@@ -1,0 +1,121 @@
+// Command wsbench reproduces the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	wsbench -exp table2            # one experiment
+//	wsbench -exp all               # every experiment, in paper order
+//	wsbench -exp fig12 -nodes 8 -runs 50 -scale 2
+//	wsbench -list                  # list experiment IDs
+//
+// Each experiment prints a table mirroring the paper's rows plus the shape
+// target it is expected to reproduce (see DESIGN.md §4 and EXPERIMENTS.md).
+// Simulated network latency is injected by default (-latency spin); use
+// -latency off for functional smoke runs.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"repro/internal/bench/experiments"
+	"repro/internal/fabric"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment ID, or 'all'")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		runs    = flag.Int("runs", 20, "repetitions per latency measurement")
+		scale   = flag.Float64("scale", 1, "dataset/rate scale multiplier")
+		nodes   = flag.Int("nodes", 8, "cluster size for distributed experiments")
+		latency = flag.String("latency", "spin", "simulated network latency mode: off|spin|sleep")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "wsbench: -exp required (or -list); e.g. -exp table2 or -exp all")
+		os.Exit(2)
+	}
+
+	var mode fabric.LatencyMode
+	switch strings.ToLower(*latency) {
+	case "off":
+		mode = fabric.Off
+	case "spin":
+		mode = fabric.Spin
+	case "sleep":
+		mode = fabric.Sleep
+	default:
+		fmt.Fprintf(os.Stderr, "wsbench: unknown latency mode %q\n", *latency)
+		os.Exit(2)
+	}
+	opts := experiments.Options{
+		Runs:        *runs,
+		Scale:       *scale,
+		Nodes:       *nodes,
+		LatencyMode: mode,
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		// Isolate experiments from each other's heap pressure: a GC cycle
+		// triggered by a previous experiment's garbage would otherwise
+		// inflate this one's latency medians.
+		runtime.GC()
+		debug.FreeOSMemory()
+		start := time.Now()
+		r, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(r)
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, r); err != nil {
+				fmt.Fprintf(os.Stderr, "wsbench: csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeCSV dumps a report's table for external plotting.
+func writeCSV(dir string, r *experiments.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, r.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(r.Table.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Table.Rows {
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

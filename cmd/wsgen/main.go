@@ -1,0 +1,104 @@
+// Command wsgen generates benchmark datasets and stream traces to files,
+// for loading into wukongsd or external tools.
+//
+//	wsgen -bench lsbench -out /tmp/ls -seconds 10 -scale 1
+//	wsgen -bench citybench -out /tmp/city -seconds 30
+//
+// It writes <out>/initial.nt (N-Triples) and one <out>/<stream>.tuples file
+// per stream (N-Triples with " . @ts" timestamp annotations, readable by
+// the server's EMIT command and by rdf.Reader).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench/citybench"
+	"repro/internal/bench/lsbench"
+	"repro/internal/rdf"
+	"repro/internal/strserver"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "lsbench", "workload: lsbench|citybench")
+		out     = flag.String("out", "", "output directory (required)")
+		seconds = flag.Int("seconds", 10, "stream trace length")
+		scale   = flag.Float64("scale", 1, "size/rate multiplier")
+		seed    = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "wsgen: -out required")
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	ss := strserver.New()
+	var initial []strserver.EncodedTriple
+	var streams []string
+	var gen func(stream string, from, to rdf.Timestamp) []strserver.EncodedTuple
+
+	switch *bench {
+	case "lsbench":
+		cfg := lsbench.Config{Seed: *seed}
+		cfg.Users = int(1000 * *scale)
+		w := lsbench.Generate(cfg, ss)
+		initial, streams, gen = w.Initial, lsbench.Streams(), w.StreamTuples
+	case "citybench":
+		cfg := citybench.Config{Seed: *seed, RateScale: int(*scale)}
+		w := citybench.Generate(cfg, ss)
+		initial, streams, gen = w.Initial, citybench.Streams(), w.StreamTuples
+	default:
+		log.Fatalf("wsgen: unknown benchmark %q", *bench)
+	}
+
+	// Initial data.
+	path := filepath.Join(*out, "initial.nt")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var triples []rdf.Triple
+	for _, enc := range initial {
+		t, err := ss.DecodeTriple(enc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		triples = append(triples, t)
+	}
+	if err := rdf.WriteTriples(f, triples); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("wrote %d triples to %s\n", len(triples), path)
+
+	// Stream traces.
+	end := rdf.Timestamp(*seconds * 1000)
+	for _, s := range streams {
+		encs := gen(s, 0, end)
+		var tuples []rdf.Tuple
+		for _, enc := range encs {
+			t, err := ss.DecodeTriple(enc.EncodedTriple)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tuples = append(tuples, rdf.Tuple{Triple: t, TS: enc.TS})
+		}
+		path := filepath.Join(*out, s+".tuples")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rdf.WriteTuples(f, tuples); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %d tuples to %s\n", len(tuples), path)
+	}
+}

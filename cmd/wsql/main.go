@@ -1,0 +1,222 @@
+// Command wsql is an interactive shell for a wukongsd server.
+//
+//	wsql -addr localhost:7690
+//
+// Statements end with a line containing only ";". Anything starting with
+// SELECT/PREFIX/REGISTER is sent as a query; meta-commands start with a dot:
+//
+//	.load <file.nt>      load an N-Triples file
+//	.stream <name> <ms> [timingPred ...]
+//	.emit <stream>       then tuple lines, end with ";"
+//	.advance <ms>        drive the logical clock
+//	.poll <name>         drain a continuous query's results
+//	.explain             then a query, end with ";" — show the plan
+//	.stats               engine summary
+//	.quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/rdf"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7690", "wukongsd address")
+	flag.Parse()
+
+	c, err := client.Dial(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsql: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	fmt.Printf("connected to %s — end statements with ';', '.quit' to exit\n", *addr)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for {
+		fmt.Print("wsql> ")
+		line, ok := readLine(sc)
+		if !ok {
+			return
+		}
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "."):
+			if quit := meta(c, sc, line); quit {
+				return
+			}
+		default:
+			body := line
+			for !strings.HasSuffix(strings.TrimSpace(body), ";") {
+				more, ok := readLine(sc)
+				if !ok {
+					return
+				}
+				body += "\n" + more
+			}
+			body = strings.TrimSuffix(strings.TrimSpace(body), ";")
+			runQuery(c, body)
+		}
+	}
+}
+
+func readLine(sc *bufio.Scanner) (string, bool) {
+	if !sc.Scan() {
+		return "", false
+	}
+	return sc.Text(), true
+}
+
+func runQuery(c *client.Client, body string) {
+	upper := strings.ToUpper(strings.TrimSpace(body))
+	if strings.HasPrefix(upper, "REGISTER") {
+		name, err := c.Register(body)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("registered %s (use .poll %s)\n", name, name)
+		return
+	}
+	start := time.Now()
+	rows, err := c.Query(body)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	fmt.Printf("(%d rows in %v)\n", len(rows), time.Since(start).Round(time.Microsecond))
+}
+
+// meta handles dot-commands; returns true to quit.
+func meta(c *client.Client, sc *bufio.Scanner, line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return true
+	case ".load":
+		if len(fields) != 2 {
+			fmt.Println("usage: .load <file.nt>")
+			return false
+		}
+		data, err := os.ReadFile(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		n, err := c.Load(string(data))
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("loaded %d triples\n", n)
+	case ".stream":
+		if len(fields) < 3 {
+			fmt.Println("usage: .stream <name> <interval_ms> [timingPred ...]")
+			return false
+		}
+		ms, err := strconv.Atoi(fields[2])
+		if err != nil {
+			fmt.Println("error: bad interval")
+			return false
+		}
+		if err := c.Stream(fields[1], time.Duration(ms)*time.Millisecond, fields[3:]...); err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Println("ok")
+	case ".emit":
+		if len(fields) != 2 {
+			fmt.Println("usage: .emit <stream> (then tuple lines, end with ';')")
+			return false
+		}
+		var tuples []rdf.Tuple
+		for {
+			l, ok := readLine(sc)
+			if !ok || strings.TrimSpace(l) == ";" {
+				break
+			}
+			tu, err := rdf.ParseTuple(l)
+			if err != nil {
+				fmt.Println("error:", err)
+				return false
+			}
+			tuples = append(tuples, tu)
+		}
+		if err := c.Emit(fields[1], tuples...); err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("emitted %d tuples\n", len(tuples))
+	case ".advance":
+		if len(fields) != 2 {
+			fmt.Println("usage: .advance <ms>")
+			return false
+		}
+		ts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			fmt.Println("error: bad timestamp")
+			return false
+		}
+		now, err := c.Advance(rdf.Timestamp(ts))
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("now %d\n", now)
+	case ".explain":
+		var body string
+		for {
+			l, ok := readLine(sc)
+			if !ok || strings.TrimSpace(l) == ";" {
+				break
+			}
+			body += l + "\n"
+		}
+		lines, err := c.Explain(body)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	case ".poll":
+		if len(fields) != 2 {
+			fmt.Println("usage: .poll <query-name>")
+			return false
+		}
+		fires, err := c.Poll(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		for _, f := range fires {
+			fmt.Printf("@%d %s\n", f.At, f.Row)
+		}
+		fmt.Printf("(%d rows)\n", len(fires))
+	case ".stats":
+		st, err := c.Stats()
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Println(st)
+	default:
+		fmt.Println("unknown command; see the wsql doc comment")
+	}
+	return false
+}

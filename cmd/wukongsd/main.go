@@ -1,0 +1,68 @@
+// Command wukongsd runs a Wukong+S server: a simulated cluster engine
+// exposed over TCP with the line protocol documented in internal/server.
+//
+//	wukongsd -addr :7690 -nodes 8 -workers 4
+//	wukongsd -addr :7690 -load data.nt -ft /var/lib/wukongs
+//
+// Try it with netcat:
+//
+//	$ nc localhost 7690
+//	LOAD
+//	<Logan> <po> <T-13> .
+//	.
+//	QUERY
+//	SELECT ?X WHERE { Logan po ?X }
+//	.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7690", "listen address")
+		nodes   = flag.Int("nodes", 4, "simulated cluster size")
+		workers = flag.Int("workers", 4, "query workers per node")
+		load    = flag.String("load", "", "N-Triples file to preload")
+		ftDir   = flag.String("ft", "", "enable fault tolerance in this directory")
+	)
+	flag.Parse()
+
+	eng, err := core.New(core.Config{Nodes: *nodes, WorkersPerNode: *workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := eng.LoadReader(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("loading %s: %v", *load, err)
+		}
+		fmt.Printf("loaded %d triples from %s\n", n, *load)
+	}
+	if *ftDir != "" {
+		if err := eng.EnableFT(core.FTConfig{Dir: *ftDir, CheckpointEveryBatches: 100}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fault tolerance enabled in %s\n", *ftDir)
+	}
+
+	srv := server.New(eng)
+	fmt.Printf("wukongsd: %d-node engine listening on %s\n", *nodes, *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Sub-millisecond
+// Stateful Stream Querying over Fast-evolving Linked Data" (Wukong+S;
+// Zhang, Chen & Chen, SOSP 2017).
+//
+// The engine lives in internal/core; see README.md for the architecture
+// tour, DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results. The root package only hosts
+// the benchmark suite (bench_test.go), one benchmark per evaluation table
+// and figure.
+package repro

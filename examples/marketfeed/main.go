@@ -1,0 +1,160 @@
+// Marketfeed: the paper's introductory motivation — market data feeds (the
+// OPRA example: millions of quote/trade messages per second) demand stateful
+// stream queries: alerts join live ticks against stored reference data, and
+// trades must be absorbed into the knowledge base for later analysis.
+//
+// This example streams synthetic quotes (timing data: a quote is meaningless
+// outside its window) and trades (timeless facts) over stored instrument
+// metadata, and runs:
+//
+//   - a continuous alert: trades in the last second on instruments of a
+//     watched sector, joined with stored metadata;
+//
+//   - a continuous aggregate: per-instrument average quoted price;
+//
+//   - one-shot analysis over the absorbed trade history.
+//
+//     go run ./examples/marketfeed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/stream"
+)
+
+func main() {
+	eng, err := core.New(core.Config{Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Stored reference data: instruments with sector and listing venue.
+	sectors := []string{"tech", "energy", "health"}
+	var symbols []string
+	var initial []rdf.Triple
+	for i := 0; i < 30; i++ {
+		sym := fmt.Sprintf("SYM%02d", i)
+		symbols = append(symbols, sym)
+		initial = append(initial,
+			rdf.T(sym, "sector", sectors[i%len(sectors)]),
+			rdf.T(sym, "venue", fmt.Sprintf("venue%d", i%4)),
+		)
+	}
+	eng.LoadTriples(initial)
+
+	quotes, err := eng.RegisterStream(stream.Config{
+		Name:             "Quotes",
+		BatchInterval:    100 * time.Millisecond,
+		TimingPredicates: []string{"bid"},        // quotes expire with their windows
+		MaxDelay:         100 * time.Millisecond, // feed handlers reorder slightly
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trades, err := eng.RegisterStream(stream.Config{
+		Name:          "Trades",
+		BatchInterval: 100 * time.Millisecond,
+		MaxDelay:      200 * time.Millisecond, // exchange feeds arrive slightly out of order
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Alert: tech-sector trades in the last second.
+	alerts := 0
+	_, err = eng.RegisterContinuous(`
+REGISTER QUERY tech_trades AS
+SELECT ?sym ?px
+FROM Trades [RANGE 1s STEP 1s]
+WHERE { GRAPH Trades { ?sym trade ?px } . ?sym sector tech }`,
+		func(r *core.Result, f core.FireInfo) {
+			alerts += r.Len()
+			if f.At%5000 == 0 {
+				fmt.Printf("[alert @%2ds] %d tech trades this window\n", f.At/1000, r.Len())
+			}
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Aggregate: average quoted bid per instrument (quotes are timing data —
+	// they only ever exist in this window).
+	_, err = eng.RegisterContinuous(`
+REGISTER QUERY avg_bid AS
+SELECT ?sym (AVG(?px) AS ?avg) (COUNT(?px) AS ?n)
+FROM Quotes [RANGE 1s STEP 1s]
+WHERE { GRAPH Quotes { ?sym bid ?px } }
+GROUP BY ?sym
+ORDER BY DESC(?n)
+LIMIT 3`,
+		func(r *core.Result, f core.FireInfo) {
+			if f.At%5000 != 0 {
+				return
+			}
+			fmt.Printf("[quote @%2ds] most-quoted instruments:\n", f.At/1000)
+			for i := 0; i < r.Len(); i++ {
+				row := r.Row(i)
+				fmt.Printf("          %s avg bid %s (%s quotes)\n", row[0].Value, row[1].Value, row[2].Value)
+			}
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive 15 seconds of feed: ~200 quotes/s, ~50 trades/s.
+	rng := rand.New(rand.NewSource(7))
+	price := func() rdf.Term { return rdf.NewIntLiteral(int64(90 + rng.Intn(20))) }
+	for now := rdf.Timestamp(100); now <= 15_000; now += 100 {
+		for i := 0; i < 20; i++ {
+			sym := symbols[rng.Intn(len(symbols))]
+			if err := quotes.Emit(rdf.Tuple{
+				Triple: rdf.Triple{S: rdf.NewIRI(sym), P: rdf.NewIRI("bid"), O: price()},
+				TS:     now - rdf.Timestamp(rng.Intn(100)),
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			sym := symbols[rng.Intn(len(symbols))]
+			// Trades arrive slightly out of order (MaxDelay absorbs it).
+			ts := now - rdf.Timestamp(rng.Intn(150))
+			if ts < 0 {
+				ts = 0
+			}
+			if err := trades.Emit(rdf.Tuple{
+				Triple: rdf.Triple{S: rdf.NewIRI(sym), P: rdf.NewIRI("trade"), O: price()},
+				TS:     ts,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		eng.AdvanceTo(now)
+	}
+
+	fmt.Printf("\ntotal tech-trade alerts: %d\n", alerts)
+
+	// Trades were absorbed; quotes were not (timing data).
+	res, err := eng.Query(`
+SELECT ?sym (COUNT(?px) AS ?n) WHERE { ?sym trade ?px . ?sym sector energy }
+GROUP BY ?sym ORDER BY DESC(?n) LIMIT 3`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("one-shot: most-traded energy instruments (absorbed history):")
+	for i := 0; i < res.Len(); i++ {
+		row := res.Row(i)
+		fmt.Printf("  %s: %s trades\n", row[0].Value, row[1].Value)
+	}
+	leaked, err := eng.Query(`SELECT ?sym ?px WHERE { ?sym bid ?px }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quotes in the persistent store: %d (timing data expires with its windows)\n", leaked.Len())
+}

@@ -1,0 +1,122 @@
+package storm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/rdf"
+)
+
+func table(vars []string, rows ...[]rdf.ID) *exec.Table {
+	return &exec.Table{Vars: vars, Rows: rows}
+}
+
+func TestSpoutAndSingleBolt(t *testing.T) {
+	src := Spout("src", table([]string{"x"}, []rdf.ID{1}, []rdf.ID{2}))
+	double := &Node{
+		Name:   "double",
+		Inputs: []*Node{src},
+		Op: func(in []*exec.Table) (*exec.Table, error) {
+			out := &exec.Table{Vars: in[0].Vars}
+			for _, r := range in[0].Rows {
+				out.Rows = append(out.Rows, []rdf.ID{r[0] * 2})
+			}
+			return out, nil
+		},
+	}
+	for _, v := range []Variant{Storm, Heron} {
+		got, err := Run(v, double)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Rows) != 2 || got.Rows[0][0] != 2 || got.Rows[1][0] != 4 {
+			t.Errorf("%v: rows = %v", v, got.Rows)
+		}
+	}
+}
+
+func TestDiamondTopology(t *testing.T) {
+	src := Spout("src", table([]string{"x"}, []rdf.ID{1}, []rdf.ID{2}, []rdf.ID{3}))
+	left := &Node{Name: "left", Inputs: []*Node{src},
+		Op: func(in []*exec.Table) (*exec.Table, error) { return in[0], nil }}
+	right := &Node{Name: "right", Inputs: []*Node{src},
+		Op: func(in []*exec.Table) (*exec.Table, error) { return in[0], nil }}
+	merge := &Node{Name: "merge", Inputs: []*Node{left, right},
+		Op: func(in []*exec.Table) (*exec.Table, error) {
+			out := &exec.Table{Vars: in[0].Vars}
+			out.Rows = append(out.Rows, in[0].Rows...)
+			out.Rows = append(out.Rows, in[1].Rows...)
+			return out, nil
+		}}
+	got, err := Run(Storm, merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 6 {
+		t.Errorf("rows = %d, want 6", len(got.Rows))
+	}
+}
+
+func TestErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	src := Spout("src", table([]string{"x"}, []rdf.ID{1}))
+	bad := &Node{Name: "bad", Inputs: []*Node{src},
+		Op: func([]*exec.Table) (*exec.Table, error) { return nil, boom }}
+	sink := &Node{Name: "sink", Inputs: []*Node{bad},
+		Op: func(in []*exec.Table) (*exec.Table, error) { return in[0], nil }}
+	if _, err := Run(Heron, sink); err == nil || !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVariantsProduceSameResult(t *testing.T) {
+	// Build a big-ish table so Heron actually batches.
+	big := &exec.Table{Vars: []string{"x"}}
+	for i := 0; i < 1000; i++ {
+		big.Rows = append(big.Rows, []rdf.ID{rdf.ID(i)})
+	}
+	src := Spout("src", big)
+	ident := &Node{Name: "id", Inputs: []*Node{src},
+		Op: func(in []*exec.Table) (*exec.Table, error) { return in[0], nil }}
+	a, err := Run(Storm, ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Heron, ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if a.Rows[i][0] != b.Rows[i][0] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestRowsAreCopied(t *testing.T) {
+	// Operators own their memory: mutating an input downstream must not
+	// corrupt the producer's table.
+	orig := table([]string{"x"}, []rdf.ID{1})
+	src := Spout("src", orig)
+	mut := &Node{Name: "mut", Inputs: []*Node{src},
+		Op: func(in []*exec.Table) (*exec.Table, error) {
+			in[0].Rows[0][0] = 99
+			return in[0], nil
+		}}
+	if _, err := Run(Storm, mut); err != nil {
+		t.Fatal(err)
+	}
+	if orig.Rows[0][0] != 1 {
+		t.Error("upstream table mutated across the serialization boundary")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Storm.String() != "storm" || Heron.String() != "heron" {
+		t.Error("Variant strings wrong")
+	}
+}

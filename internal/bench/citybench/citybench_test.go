@@ -1,0 +1,97 @@
+package citybench
+
+import (
+	"testing"
+
+	"repro/internal/sparql"
+	"repro/internal/strserver"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{}, strserver.New())
+	b := Generate(Config{}, strserver.New())
+	if len(a.Initial) != len(b.Initial) {
+		t.Fatalf("initial sizes differ")
+	}
+	at := a.StreamTuples("VT1", 0, 5000)
+	bt := b.StreamTuples("VT1", 0, 5000)
+	if len(at) != len(bt) {
+		t.Fatal("stream lengths differ")
+	}
+	for i := range at {
+		if at[i] != bt[i] {
+			t.Fatal("stream tuples differ")
+		}
+	}
+}
+
+func TestAllQueriesParseAndValidate(t *testing.T) {
+	w := Generate(Config{}, strserver.New())
+	for n := 1; n <= 11; n++ {
+		q, err := sparql.Parse(w.QueryC(n, 2))
+		if err != nil {
+			t.Errorf("C%d: %v", n, err)
+			continue
+		}
+		if !q.Continuous {
+			t.Errorf("C%d not continuous", n)
+		}
+		if len(QueryStreams(n)) == 0 {
+			t.Errorf("C%d has no stream usage", n)
+		}
+	}
+}
+
+func TestRates(t *testing.T) {
+	w := Generate(Config{}, strserver.New())
+	for _, s := range Streams() {
+		got := w.StreamTuples(s, 0, 10000) // 10s
+		want := w.rate(s) * 10
+		if len(got) != want {
+			t.Errorf("%s: %d tuples, want %d", s, len(got), want)
+		}
+	}
+	scaled := Generate(Config{RateScale: 10}, strserver.New())
+	if got := scaled.StreamTuples("VT1", 0, 1000); len(got) != 190 {
+		t.Errorf("scaled VT1 = %d tuples, want 190", len(got))
+	}
+}
+
+func TestNumericObservations(t *testing.T) {
+	ss := strserver.New()
+	w := Generate(Config{}, ss)
+	for _, tu := range w.StreamTuples("VT2", 0, 2000) {
+		v, ok := ss.Numeric(tu.O)
+		if !ok {
+			t.Fatal("speed observation is not numeric")
+		}
+		if v < 0 || v >= 120 {
+			t.Fatalf("speed %v out of range", v)
+		}
+	}
+}
+
+func TestTimingPredicates(t *testing.T) {
+	if len(TimingPredicates("UL")) != 1 {
+		t.Error("UL should be timing data")
+	}
+	if len(TimingPredicates("VT1")) != 0 {
+		t.Error("VT1 should be timeless")
+	}
+}
+
+func TestQueryPanics(t *testing.T) {
+	w := Generate(Config{}, strserver.New())
+	defer func() {
+		if recover() == nil {
+			t.Error("C12 did not panic")
+		}
+	}()
+	w.QueryC(12, 0)
+}
+
+func TestStreamConfigs(t *testing.T) {
+	if len(StreamConfigs()) != 11 {
+		t.Error("want 11 stream configs")
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"repro/internal/fabric"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAllExperimentsRun executes every experiment at quick scale: the point
+// is functional coverage (every table/figure can be produced), not numbers.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, err := Run(id, QuickOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.ID != id {
+				t.Errorf("report ID = %q", r.ID)
+			}
+			if len(r.Table.Rows) == 0 {
+				t.Error("empty table")
+			}
+			if r.String() == "" {
+				t.Error("empty report")
+			}
+		})
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", QuickOptions()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestIDsCoverRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry) {
+		t.Errorf("IDs = %d entries, Registry = %d", len(ids), len(Registry))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate ID %s", id)
+		}
+		seen[id] = true
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("ID %s not in registry", id)
+		}
+	}
+}
+
+// msValue parses a harness.Ms cell back to a duration for shape checks.
+func msValue(t *testing.T, cell string) time.Duration {
+	t.Helper()
+	if cell == "-" || cell == "x" {
+		return 0
+	}
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("bad ms cell %q: %v", cell, err)
+	}
+	return time.Duration(v * float64(time.Millisecond))
+}
+
+// TestTable2Shape verifies the headline result at quick scale: Wukong+S
+// beats the composite design, which beats the CSPARQL engine (geometric
+// means over L1–L6).
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape check needs a non-trivial run")
+	}
+	// The structural gaps (graph exploration vs table scans, integrated vs
+	// composite) need realistic data volume and network latency to show.
+	o := Options{Runs: 5, Scale: 1, Nodes: 1, LatencyMode: fabric.Spin}
+	r, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var geo []string
+	for _, row := range r.Table.Rows {
+		if row[0] == "Geo.M" {
+			geo = row
+		}
+	}
+	if geo == nil {
+		t.Fatal("no Geo.M row")
+	}
+	ws := msValue(t, geo[1])
+	comp := msValue(t, geo[2])
+	csq := msValue(t, geo[5])
+	if !(ws < comp && comp < csq) {
+		t.Errorf("shape violated: Wukong+S=%v Storm+Wukong=%v CSPARQL=%v", ws, comp, csq)
+	}
+}
+
+// TestTable4StructuredStreamingUnsupported checks the Table 4 "x" cells.
+func TestTable4StructuredStreamingUnsupported(t *testing.T) {
+	o := QuickOptions()
+	r, err := Table4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xCount := 0
+	for _, row := range r.Table.Rows {
+		if len(row) >= 5 && row[4] == "x" {
+			xCount++
+		}
+	}
+	// L3, L5, L6 join two streams; L4 joins one stream with itself but
+	// stays within a single stream scope, so at least 3 cells are x.
+	if xCount < 3 {
+		t.Errorf("only %d unsupported cells:\n%s", xCount, r.Table)
+	}
+}
+
+// TestFig4CrossSystemCost checks that the composite breakdown attributes a
+// visible share to the cross-system boundary.
+func TestFig4CrossSystemCost(t *testing.T) {
+	o := QuickOptions()
+	r, err := Fig4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Table.Rows {
+		cc, err := strconv.ParseFloat(strings.TrimSuffix(row[5], "%"), 64)
+		if err != nil {
+			t.Fatalf("bad CC cell %q", row[5])
+		}
+		if cc <= 0 {
+			t.Errorf("plan %s has no cross-system cost", row[0])
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Func is one experiment entry point.
+type Func func(Options) (*Report, error)
+
+// Registry maps experiment IDs to their functions, in the order the paper
+// presents them.
+var Registry = map[string]Func{
+	"fig4":      Fig4,
+	"table2":    Table2,
+	"table3":    Table3,
+	"table4":    Table4,
+	"table5":    Table5,
+	"fig12":     Fig12,
+	"fig13":     Fig13,
+	"table6":    Table6,
+	"fig14":     Fig14,
+	"fig15":     Fig15,
+	"table7":    Table7,
+	"snapmem":   SnapMem,
+	"ft":        FT,
+	"table8":    Table8,
+	"table9":    Table9,
+	"ablations": Ablations,
+}
+
+// order is the presentation order.
+var order = []string{
+	"fig4", "table2", "table3", "table4", "table5", "fig12", "fig13",
+	"table6", "fig14", "fig15", "table7", "snapmem", "ft", "table8", "table9",
+	"ablations",
+}
+
+// IDs returns all experiment IDs in presentation order.
+func IDs() []string {
+	out := append([]string(nil), order...)
+	// Defensive: include anything registered but not ordered.
+	for id := range Registry {
+		found := false
+		for _, o := range out {
+			if o == id {
+				found = true
+			}
+		}
+		if !found {
+			out = append(out, id)
+		}
+	}
+	if len(out) != len(Registry) {
+		sort.Strings(out[len(order):])
+	}
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, o Options) (*Report, error) {
+	f, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return f(o)
+}

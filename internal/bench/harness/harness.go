@@ -1,0 +1,310 @@
+// Package harness provides the shared machinery for reproducing the paper's
+// experiments: engine drivers that feed generated streams and advance the
+// logical clock, window feeders for the baseline systems, latency statistics
+// (percentiles, CDFs, geometric means), and table formatting for the wsbench
+// command.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bench/citybench"
+	"repro/internal/bench/lsbench"
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/stream"
+	"repro/internal/strserver"
+)
+
+// GenFunc produces a stream's tuples for a time range (generators are
+// stateful and must be called with contiguous, increasing ranges).
+type GenFunc func(stream string, from, to rdf.Timestamp) []strserver.EncodedTuple
+
+// StreamSpec describes one stream to register.
+type StreamSpec struct {
+	Name          string
+	BatchInterval time.Duration
+	TimingPreds   []string
+}
+
+// Driver feeds generated streams into a Wukong+S engine and advances its
+// clock.
+type Driver struct {
+	E       *core.Engine
+	sources map[string]*stream.Source
+	specs   []StreamSpec
+	gen     GenFunc
+	now     rdf.Timestamp
+}
+
+// NewDriver registers the streams on the engine and returns a driver.
+func NewDriver(e *core.Engine, specs []StreamSpec, gen GenFunc) (*Driver, error) {
+	d := &Driver{E: e, sources: make(map[string]*stream.Source), specs: specs, gen: gen}
+	for _, sp := range specs {
+		src, err := e.RegisterStream(stream.Config{
+			Name:             sp.Name,
+			BatchInterval:    sp.BatchInterval,
+			TimingPredicates: sp.TimingPreds,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.sources[sp.Name] = src
+	}
+	return d, nil
+}
+
+// Now returns the driver's logical clock.
+func (d *Driver) Now() rdf.Timestamp { return d.now }
+
+// StepTo generates and emits all stream tuples in (now, ts] and advances the
+// engine, firing due continuous queries.
+func (d *Driver) StepTo(ts rdf.Timestamp) error {
+	if ts <= d.now {
+		return nil
+	}
+	for _, sp := range d.specs {
+		for _, tu := range d.gen(sp.Name, d.now, ts) {
+			if err := d.sources[sp.Name].EmitEncoded(tu); err != nil {
+				return err
+			}
+		}
+	}
+	d.now = ts
+	d.E.AdvanceTo(ts)
+	return nil
+}
+
+// Run advances the logical clock in fixed steps until `until`.
+func (d *Driver) Run(step time.Duration, until rdf.Timestamp) error {
+	for d.now < until {
+		next := d.now + rdf.Timestamp(step.Milliseconds())
+		if next > until {
+			next = until
+		}
+		if err := d.StepTo(next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LSBenchEngine builds an engine loaded with an LSBench workload: the
+// engine, its driver, and the workload (sharing the engine's string server).
+func LSBenchEngine(engineCfg core.Config, lsCfg lsbench.Config) (*core.Engine, *Driver, *lsbench.Workload, error) {
+	e, err := core.New(engineCfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	w := lsbench.Generate(lsCfg, e.StringServer())
+	e.LoadEncoded(w.Initial)
+	var specs []StreamSpec
+	for _, sp := range lsbench.StreamConfigs() {
+		specs = append(specs, StreamSpec{Name: sp.Name, BatchInterval: sp.BatchInterval, TimingPreds: sp.TimingPreds})
+	}
+	d, err := NewDriver(e, specs, w.StreamTuples)
+	if err != nil {
+		e.Close()
+		return nil, nil, nil, err
+	}
+	return e, d, w, nil
+}
+
+// CityBenchEngine builds an engine loaded with a CityBench workload.
+func CityBenchEngine(engineCfg core.Config, cbCfg citybench.Config) (*core.Engine, *Driver, *citybench.Workload, error) {
+	e, err := core.New(engineCfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	w := citybench.Generate(cbCfg, e.StringServer())
+	e.LoadEncoded(w.Initial)
+	var specs []StreamSpec
+	for _, sp := range citybench.StreamConfigs() {
+		specs = append(specs, StreamSpec{Name: sp.Name, BatchInterval: sp.BatchInterval, TimingPreds: sp.TimingPreds})
+	}
+	d, err := NewDriver(e, specs, w.StreamTuples)
+	if err != nil {
+		e.Close()
+		return nil, nil, nil, err
+	}
+	return e, d, w, nil
+}
+
+// Feeder buffers generated stream tuples for the baseline systems, which
+// receive window contents per execution instead of owning an injection
+// pipeline.
+type Feeder struct {
+	gen     GenFunc
+	streams []string
+	buf     map[string][]strserver.EncodedTuple
+	upTo    rdf.Timestamp
+}
+
+// NewFeeder creates a feeder over the given streams.
+func NewFeeder(streams []string, gen GenFunc) *Feeder {
+	return &Feeder{gen: gen, streams: streams, buf: make(map[string][]strserver.EncodedTuple)}
+}
+
+// AdvanceTo extends the buffers to cover (0, ts].
+func (f *Feeder) AdvanceTo(ts rdf.Timestamp) {
+	if ts <= f.upTo {
+		return
+	}
+	for _, s := range f.streams {
+		f.buf[s] = append(f.buf[s], f.gen(s, f.upTo, ts)...)
+	}
+	f.upTo = ts
+}
+
+// Window returns the buffered tuples of a stream in (from, to].
+func (f *Feeder) Window(stream string, from, to rdf.Timestamp) []strserver.EncodedTuple {
+	all := f.buf[stream]
+	lo := sort.Search(len(all), func(i int) bool { return all[i].TS > from })
+	hi := sort.Search(len(all), func(i int) bool { return all[i].TS > to })
+	return all[lo:hi]
+}
+
+// Windows returns all streams' windows ending at `to` with the given range.
+func (f *Feeder) Windows(rng time.Duration, to rdf.Timestamp) map[string][]strserver.EncodedTuple {
+	out := make(map[string][]strserver.EncodedTuple, len(f.streams))
+	from := to - rdf.Timestamp(rng.Milliseconds())
+	if from < 0 {
+		from = 0
+	}
+	for _, s := range f.streams {
+		out[s] = f.Window(s, from, to)
+	}
+	return out
+}
+
+// All returns every buffered tuple of a stream (Wukong/Ext and Structured
+// Streaming absorb the full history).
+func (f *Feeder) All(stream string) []strserver.EncodedTuple { return f.buf[stream] }
+
+// Percentile returns the p-th percentile (0–100) of the latencies.
+func Percentile(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Median returns the 50th percentile.
+func Median(lats []time.Duration) time.Duration { return Percentile(lats, 50) }
+
+// GeoMean returns the geometric mean of durations (the paper reports
+// geometric means across queries).
+func GeoMean(vals []time.Duration) time.Duration {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			v = time.Nanosecond
+		}
+		sum += math.Log(float64(v))
+	}
+	return time.Duration(math.Exp(sum / float64(len(vals))))
+}
+
+// MedianOfRuns runs fn `runs` times and returns the median of its measured
+// durations — the paper reports "the median latency of one hundred runs".
+func MedianOfRuns(runs int, fn func() time.Duration) time.Duration {
+	lats := make([]time.Duration, 0, runs)
+	for i := 0; i < runs; i++ {
+		lats = append(lats, fn())
+	}
+	return Median(lats)
+}
+
+// CDF returns (latency, cumulative fraction) points for plotting.
+func CDF(lats []time.Duration, points int) [][2]float64 {
+	if len(lats) == 0 || points <= 0 {
+		return nil
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([][2]float64, 0, points)
+	for i := 1; i <= points; i++ {
+		idx := len(sorted)*i/points - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out = append(out, [2]float64{
+			float64(sorted[idx]) / float64(time.Millisecond),
+			float64(i) / float64(points),
+		})
+	}
+	return out
+}
+
+// Ms formats a duration in milliseconds with adaptive precision, matching
+// the paper's tables.
+func Ms(d time.Duration) string {
+	ms := float64(d) / float64(time.Millisecond)
+	switch {
+	case d == 0:
+		return "-"
+	case ms >= 100:
+		return fmt.Sprintf("%.0f", ms)
+	case ms >= 1:
+		return fmt.Sprintf("%.2f", ms)
+	default:
+		return fmt.Sprintf("%.3f", ms)
+	}
+}
+
+// Table accumulates rows and prints aligned columns.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}

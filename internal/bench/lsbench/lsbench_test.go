@@ -1,0 +1,160 @@
+package lsbench
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/strserver"
+)
+
+func small() Config {
+	return Config{Users: 50, FollowsPerUser: 4, InitialPostsPerUser: 2, Hashtags: 8,
+		RatePO: 200, RatePOL: 400, RatePH: 100, RatePHL: 100, RateGPS: 200}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(small(), strserver.New())
+	b := Generate(small(), strserver.New())
+	if len(a.Initial) != len(b.Initial) {
+		t.Fatalf("initial sizes differ: %d vs %d", len(a.Initial), len(b.Initial))
+	}
+	for i := range a.Initial {
+		if a.Initial[i] != b.Initial[i] {
+			t.Fatalf("initial triple %d differs", i)
+		}
+	}
+	at := a.StreamTuples(StreamPO, 0, 1000)
+	bt := b.StreamTuples(StreamPO, 0, 1000)
+	if len(at) != len(bt) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(at), len(bt))
+	}
+	for i := range at {
+		if at[i] != bt[i] {
+			t.Fatalf("stream tuple %d differs", i)
+		}
+	}
+}
+
+func TestInitialDataShape(t *testing.T) {
+	ss := strserver.New()
+	w := Generate(small(), ss)
+	if w.Users() != 50 {
+		t.Errorf("Users = %d", w.Users())
+	}
+	// 50 users: 50 type + 200 follow + 100 posts + 100 ht + 200 likes + 50 photos + 50 photo-posts...
+	want := 50 + 50*4 + 50*2*(1+1+2) + 50
+	if len(w.Initial) != want {
+		t.Errorf("initial = %d triples, want %d", len(w.Initial), want)
+	}
+}
+
+func TestStreamRatesRespected(t *testing.T) {
+	w := Generate(small(), strserver.New())
+	for _, s := range Streams() {
+		tuples := w.StreamTuples(s, 0, 2000) // 2 seconds
+		want := w.rate(s) * 2
+		if len(tuples) != want {
+			t.Errorf("%s: %d tuples for 2s, want %d", s, len(tuples), want)
+		}
+	}
+}
+
+func TestStreamTimestampsMonotoneInRange(t *testing.T) {
+	w := Generate(small(), strserver.New())
+	for _, s := range Streams() {
+		prev := rdf.Timestamp(100)
+		for _, tu := range w.StreamTuples(s, 100, 1100) {
+			if tu.TS <= 100 || tu.TS > 1100 {
+				t.Fatalf("%s: timestamp %d outside (100,1100]", s, tu.TS)
+			}
+			if tu.TS < prev {
+				t.Fatalf("%s: timestamp regression %d after %d", s, tu.TS, prev)
+			}
+			prev = tu.TS
+		}
+	}
+}
+
+func TestAllQueriesParse(t *testing.T) {
+	w := Generate(small(), strserver.New())
+	for n := 1; n <= 6; n++ {
+		q, err := sparql.Parse(w.QueryL(n, 3))
+		if err != nil {
+			t.Errorf("L%d: %v", n, err)
+			continue
+		}
+		if !q.Continuous {
+			t.Errorf("L%d not continuous", n)
+		}
+		want := QueryStreams(n)
+		if len(q.Streams()) != len(want) {
+			t.Errorf("L%d streams = %v, want %v", n, q.Streams(), want)
+		}
+	}
+	for n := 1; n <= 6; n++ {
+		q, err := sparql.Parse(w.QueryS(n, 3))
+		if err != nil {
+			t.Errorf("S%d: %v", n, err)
+			continue
+		}
+		if q.Continuous {
+			t.Errorf("S%d is continuous", n)
+		}
+	}
+}
+
+func TestQueryPanicsOnBadIndex(t *testing.T) {
+	w := Generate(small(), strserver.New())
+	for _, fn := range []func(){
+		func() { w.QueryL(7, 0) },
+		func() { w.QueryS(0, 0) },
+		func() { QueryStreams(9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad query index did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTimingPredicates(t *testing.T) {
+	if len(TimingPredicates(StreamGPS)) != 1 {
+		t.Error("GPS should have timing predicates")
+	}
+	if len(TimingPredicates(StreamPO)) != 0 {
+		t.Error("PO should be timeless")
+	}
+}
+
+func TestPOLReferencesRecentPosts(t *testing.T) {
+	ss := strserver.New()
+	w := Generate(small(), ss)
+	// Generate some posts first, then likes; every liked post must exist.
+	w.StreamTuples(StreamPO, 0, 1000)
+	posts := map[rdf.ID]bool{}
+	for _, p := range w.posts {
+		posts[p] = true
+	}
+	for _, tu := range w.StreamTuples(StreamPOL, 0, 1000) {
+		if !posts[tu.O] {
+			t.Fatalf("like references unknown post %d", tu.O)
+		}
+	}
+}
+
+func TestStreamConfigs(t *testing.T) {
+	cfgs := StreamConfigs()
+	if len(cfgs) != 5 {
+		t.Fatalf("configs = %d", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if c.BatchInterval <= 0 {
+			t.Errorf("%s: no batch interval", c.Name)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package client is the Go client library for a wukongsd server — the
+// paper's client-side library (§3): it parses nothing itself but speaks the
+// server's line protocol, letting applications load data, attach streams,
+// drive the logical clock, and run one-shot or continuous queries remotely.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+// Client is one protocol connection. Not safe for concurrent use — open one
+// client per goroutine (the server handles many connections).
+type Client struct {
+	conn net.Conn
+	r    *bufio.Scanner
+	w    *bufio.Writer
+}
+
+// Dial connects to a wukongsd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+}
+
+// Close sends QUIT and closes the connection.
+func (c *Client) Close() error {
+	fmt.Fprintf(c.w, "QUIT\n")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+func (c *Client) send(lines ...string) error {
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(c.w, "%s\n", l); err != nil {
+			return err
+		}
+	}
+	return c.w.Flush()
+}
+
+// status reads "+OK ..." or turns "-ERR ..." into an error.
+func (c *Client) status() (string, error) {
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("client: connection closed")
+	}
+	line := c.r.Text()
+	if strings.HasPrefix(line, "-ERR ") {
+		return "", fmt.Errorf("client: server: %s", strings.TrimPrefix(line, "-ERR "))
+	}
+	if !strings.HasPrefix(line, "+OK") {
+		return "", fmt.Errorf("client: unexpected response %q", line)
+	}
+	return strings.TrimSpace(strings.TrimPrefix(line, "+OK")), nil
+}
+
+// rows reads data lines until the "." terminator.
+func (c *Client) rows() ([]string, error) {
+	var out []string
+	for c.r.Scan() {
+		if c.r.Text() == "." {
+			return out, nil
+		}
+		out = append(out, c.r.Text())
+	}
+	if err := c.r.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("client: missing terminator")
+}
+
+// Load sends N-Triples text and returns the number of triples loaded.
+func (c *Client) Load(ntriples string) (int, error) {
+	if err := c.send("LOAD"); err != nil {
+		return 0, err
+	}
+	if err := c.sendBlock(ntriples); err != nil {
+		return 0, err
+	}
+	st, err := c.status()
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	fmt.Sscanf(st, "loaded %d", &n)
+	return n, nil
+}
+
+func (c *Client) sendBlock(body string) error {
+	for _, line := range strings.Split(body, "\n") {
+		if strings.TrimSpace(line) == "." {
+			return fmt.Errorf("client: block body may not contain a lone '.'")
+		}
+		fmt.Fprintf(c.w, "%s\n", line)
+	}
+	fmt.Fprintf(c.w, ".\n")
+	return c.w.Flush()
+}
+
+// Stream registers a stream with the given mini-batch interval and timing
+// predicates.
+func (c *Client) Stream(name string, interval time.Duration, timingPreds ...string) error {
+	cmd := fmt.Sprintf("STREAM %s %d", name, interval.Milliseconds())
+	if len(timingPreds) > 0 {
+		cmd += " " + strings.Join(timingPreds, " ")
+	}
+	if err := c.send(cmd); err != nil {
+		return err
+	}
+	_, err := c.status()
+	return err
+}
+
+// Emit pushes tuples into a stream.
+func (c *Client) Emit(stream string, tuples ...rdf.Tuple) error {
+	if err := c.send("EMIT " + stream); err != nil {
+		return err
+	}
+	var b strings.Builder
+	for i, tu := range tuples {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(tu.String())
+	}
+	if err := c.sendBlock(b.String()); err != nil {
+		return err
+	}
+	_, err := c.status()
+	return err
+}
+
+// Advance drives the server's logical clock and returns the new time.
+func (c *Client) Advance(ts rdf.Timestamp) (rdf.Timestamp, error) {
+	if err := c.send(fmt.Sprintf("ADVANCE %d", int64(ts))); err != nil {
+		return 0, err
+	}
+	st, err := c.status()
+	if err != nil {
+		return 0, err
+	}
+	var now int64
+	fmt.Sscanf(st, "now %d", &now)
+	return rdf.Timestamp(now), nil
+}
+
+// Query runs a one-shot query and returns its rows as space-joined strings.
+func (c *Client) Query(text string) ([]string, error) {
+	if err := c.send("QUERY"); err != nil {
+		return nil, err
+	}
+	if err := c.sendBlock(text); err != nil {
+		return nil, err
+	}
+	if _, err := c.status(); err != nil {
+		return nil, err
+	}
+	return c.rows()
+}
+
+// Explain returns the server's plan description for a query.
+func (c *Client) Explain(text string) ([]string, error) {
+	if err := c.send("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	if err := c.sendBlock(text); err != nil {
+		return nil, err
+	}
+	if _, err := c.status(); err != nil {
+		return nil, err
+	}
+	return c.rows()
+}
+
+// Register registers a continuous query and returns its name for Poll.
+func (c *Client) Register(text string) (string, error) {
+	if err := c.send("REGISTER"); err != nil {
+		return "", err
+	}
+	if err := c.sendBlock(text); err != nil {
+		return "", err
+	}
+	st, err := c.status()
+	if err != nil {
+		return "", err
+	}
+	fields := strings.Fields(st)
+	if len(fields) != 2 || fields[0] != "registered" {
+		return "", fmt.Errorf("client: unexpected register response %q", st)
+	}
+	return fields[1], nil
+}
+
+// FireRow is one buffered continuous-query result row.
+type FireRow struct {
+	At  rdf.Timestamp
+	Row string
+}
+
+// Poll drains a continuous query's buffered results.
+func (c *Client) Poll(name string) ([]FireRow, error) {
+	if err := c.send("POLL " + name); err != nil {
+		return nil, err
+	}
+	if _, err := c.status(); err != nil {
+		return nil, err
+	}
+	raw, err := c.rows()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FireRow, 0, len(raw))
+	for _, line := range raw {
+		fr := FireRow{Row: line}
+		if strings.HasPrefix(line, "@") {
+			if sp := strings.IndexByte(line, ' '); sp > 0 {
+				if at, err := strconv.ParseInt(line[1:sp], 10, 64); err == nil {
+					fr.At = rdf.Timestamp(at)
+					fr.Row = line[sp+1:]
+				}
+			}
+		}
+		out = append(out, fr)
+	}
+	return out, nil
+}
+
+// Stats returns the server's one-line status summary.
+func (c *Client) Stats() (string, error) {
+	if err := c.send("STATS"); err != nil {
+		return "", err
+	}
+	return c.status()
+}

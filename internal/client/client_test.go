@@ -1,0 +1,170 @@
+package client
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/server"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	eng, err := core.New(core.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	srv := server.New(eng)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	n, err := c.Load(`<Logan> <fo> <Erik> .
+<Logan> <po> <T-13> .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("loaded %d", n)
+	}
+
+	if err := c.Stream("Tweets", 100*time.Millisecond, "ga"); err != nil {
+		t.Fatal(err)
+	}
+	name, err := c.Register(`
+REGISTER QUERY QX AS
+SELECT ?X ?Z
+FROM Tweets [RANGE 1s STEP 1s]
+WHERE { GRAPH Tweets { ?X po ?Z } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "QX" {
+		t.Errorf("name = %q", name)
+	}
+
+	if err := c.Emit("Tweets",
+		rdf.Tuple{Triple: rdf.T("Logan", "po", "T-15"), TS: 150},
+		rdf.Tuple{Triple: rdf.T("Erik", "po", "T-16"), TS: 250},
+	); err != nil {
+		t.Fatal(err)
+	}
+	now, err := c.Advance(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now != 1000 {
+		t.Errorf("now = %d", now)
+	}
+
+	fires, err := c.Poll("QX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fires) != 2 {
+		t.Fatalf("fires = %v", fires)
+	}
+	if fires[0].At != 1000 || !strings.Contains(fires[0].Row, "T-1") {
+		t.Errorf("fire = %+v", fires[0])
+	}
+
+	rows, err := c.Query(`SELECT ?X WHERE { Logan po ?X } ORDER BY ?X`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0] != "T-13" || rows[1] != "T-15" {
+		t.Errorf("rows = %v", rows)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st, "now=1000") {
+		t.Errorf("stats = %q", st)
+	}
+}
+
+func TestClientServerError(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query("not a query"); err == nil || !strings.Contains(err.Error(), "server:") {
+		t.Errorf("err = %v", err)
+	}
+	// The connection survives errors.
+	if _, err := c.Stats(); err != nil {
+		t.Errorf("stats after error: %v", err)
+	}
+	if err := c.Emit("nostream", rdf.Tuple{Triple: rdf.T("a", "b", "c")}); err == nil {
+		t.Error("emit to unknown stream succeeded")
+	}
+}
+
+func TestClientBlockValidation(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Load("<a> <b> <c> .\n.\n<d> <e> <f> ."); err == nil {
+		t.Error("block containing lone '.' accepted")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestClientExplain(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Load("<a> <p> <b> ."); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := c.Explain(`SELECT ?x WHERE { a p ?x }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "mode:") || !strings.Contains(joined, "estimated cost") {
+		t.Errorf("explain = %q", joined)
+	}
+	if _, err := c.Explain("garbage"); err == nil {
+		t.Error("bad explain accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sparql"
+)
+
+// TestPublicAccessors covers the engine's small read-only API surface.
+func TestPublicAccessors(t *testing.T) {
+	e, tweets, _ := figure1Engine(t, 2)
+	if e.StringServer() == nil || e.Fabric() == nil || e.Store() == nil || e.Coordinator() == nil {
+		t.Fatal("nil accessor")
+	}
+	names := e.StreamNames()
+	if len(names) != 2 {
+		t.Errorf("StreamNames = %v", names)
+	}
+	src, ok := e.SourceOf("Tweet_Stream")
+	if !ok || src != tweets {
+		t.Errorf("SourceOf = %v, %v", src, ok)
+	}
+	if _, ok := e.SourceOf("nope"); ok {
+		t.Error("SourceOf unknown stream succeeded")
+	}
+	if len(e.ContinuousQueries()) != 0 {
+		t.Error("fresh engine has continuous queries")
+	}
+	if _, err := e.RegisterContinuous(qcText, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.ContinuousQueries(); len(got) != 1 || got[0].Name != "QC" {
+		t.Errorf("ContinuousQueries = %v", got)
+	}
+}
+
+func TestLoadReader(t *testing.T) {
+	e, err := New(Config{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	n, err := e.LoadReader(strings.NewReader("<a> <p> <b> .\n<b> <p> <c> .\n"))
+	if err != nil || n != 2 {
+		t.Fatalf("LoadReader = %d, %v", n, err)
+	}
+	res, err := e.Query(`SELECT ?x WHERE { a p ?x }`)
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("query after LoadReader: %v, %v", res, err)
+	}
+	if _, err := e.LoadReader(strings.NewReader("garbage\n")); err == nil {
+		t.Error("bad N-Triples accepted")
+	}
+}
+
+func TestQueryParsedAndResultAccessors(t *testing.T) {
+	e, _, _ := figure1Engine(t, 2)
+	q := sparql.MustParse(`SELECT ?X WHERE { Logan po ?X }`)
+	res, err := e.QueryParsed(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Vars(); len(got) != 1 || got[0] != "X" {
+		t.Errorf("Vars = %v", got)
+	}
+	if res.Raw() == nil || res.Raw().Len() != res.Len() {
+		t.Error("Raw mismatch")
+	}
+	s := res.String()
+	if !strings.Contains(s, "X") || !strings.Contains(s, "T-13") {
+		t.Errorf("String = %q", s)
+	}
+	cq := sparql.MustParse(qcText)
+	if _, err := e.QueryParsed(cq); err == nil {
+		t.Error("QueryParsed accepted a continuous query")
+	}
+}
+
+func TestExecuteNowTraced(t *testing.T) {
+	e, tweets, _ := figure1Engine(t, 2)
+	cq, err := e.RegisterContinuous(`
+REGISTER QUERY tr AS
+SELECT ?X ?Z FROM Tweet_Stream [RANGE 1s STEP 1s]
+WHERE { GRAPH Tweet_Stream { ?X po ?Z } }`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit(t, tweets, 100, "Logan", "po", "T-15")
+	e.AdvanceTo(1000)
+	res, trace, err := cq.ExecuteNowTraced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || trace == nil || len(trace.Steps) == 0 {
+		t.Errorf("traced execution: rows=%d trace=%v", res.Len(), trace)
+	}
+	if trace.Total > trace.Wall {
+		t.Error("critical path exceeds wall")
+	}
+}

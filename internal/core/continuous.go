@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/fabric"
+	"repro/internal/plan"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/tstore"
+	"repro/internal/vts"
+)
+
+// queryWindow binds one FROM STREAM clause to its stream state.
+type queryWindow struct {
+	state   *streamState
+	rangeMS int64
+	stepMS  int64
+}
+
+// fromBatch returns the oldest batch a window firing at `at` covers: batches
+// fully inside (at-range, at].
+func (w queryWindow) fromBatch(at rdf.Timestamp) tstore.BatchID {
+	start := int64(at) - w.rangeMS
+	if start < 0 {
+		start = 0
+	}
+	return tstore.BatchID(start/w.state.src.Interval().Milliseconds()) + 1
+}
+
+// toBatch returns the newest batch a window firing at `at` covers.
+func (w queryWindow) toBatch(at rdf.Timestamp) tstore.BatchID {
+	return tstore.BatchID(int64(at) / w.state.src.Interval().Milliseconds())
+}
+
+// FireInfo describes one continuous-query execution.
+type FireInfo struct {
+	// At is the logical time of the window boundary that fired.
+	At rdf.Timestamp
+	// Latency is the execution wall time.
+	Latency time.Duration
+	// Rows is the number of result rows.
+	Rows int
+}
+
+// CQStats summarizes a continuous query's executions.
+type CQStats struct {
+	Executions int64
+	TotalRows  int64
+	MedianLat  time.Duration
+	P99Lat     time.Duration
+	MeanLat    time.Duration
+}
+
+// ContinuousQuery is a registered continuous query.
+type ContinuousQuery struct {
+	Name string
+	Text string
+
+	engine  *Engine
+	query   *sparql.Query
+	plan    *plan.Plan
+	home    fabric.NodeID
+	windows []queryWindow
+	stepMS  int64 // execution period: the smallest window step
+	cb      func(*Result, FireInfo)
+
+	mu        sync.Mutex
+	nextFire  rdf.Timestamp
+	planTick  int64 // engine tick the plan was compiled at
+	execs     int64
+	totalRows int64
+	lats      []time.Duration
+}
+
+// replan recompiles the query at most once per engine tick: stream
+// statistics evolve as batches arrive, and a plan compiled at registration
+// (before any stream data) would mis-estimate window selectivity forever.
+func (cq *ContinuousQuery) replan() *plan.Plan {
+	e := cq.engine
+	tick := e.tick.Load()
+	cq.mu.Lock()
+	stale := cq.planTick != tick || cq.plan.Empty
+	cq.mu.Unlock()
+	if stale {
+		if np, err := plan.Compile(cq.query, e.ss, e.statsFor(cq.query)); err == nil {
+			cq.mu.Lock()
+			cq.plan = np
+			cq.planTick = tick
+			cq.mu.Unlock()
+		}
+	}
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return cq.plan
+}
+
+// RegisterContinuous parses, plans, and registers a continuous query. The
+// callback runs on a query worker for every execution; it must be
+// concurrency-safe. Registration places the query on a node (round-robin)
+// and replicates the indexes of its streams there — the paper's
+// locality-aware partitioning (§4.2).
+func (e *Engine) RegisterContinuous(text string, cb func(*Result, FireInfo)) (*ContinuousQuery, error) {
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if !q.Continuous {
+		return nil, fmt.Errorf("core: query is not continuous; use Query for one-shot queries")
+	}
+	if cb == nil {
+		cb = func(*Result, FireInfo) {}
+	}
+	e.mu.Lock()
+	name := q.Name
+	if name == "" {
+		name = fmt.Sprintf("cq%d", e.cqSeq)
+	}
+	e.cqSeq++
+	if _, ok := e.continuous[name]; ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("core: continuous query %q already registered", name)
+	}
+	cq := &ContinuousQuery{
+		Name:   name,
+		Text:   text,
+		engine: e,
+		query:  q,
+		home:   fabric.NodeID(e.nextHome % e.cfg.Nodes),
+		cb:     cb,
+	}
+	e.nextHome++
+	for _, w := range q.Windows {
+		st, ok := e.streams[w.Stream]
+		if !ok {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("core: query %s uses unregistered stream %q", name, w.Stream)
+		}
+		iv := st.src.Interval()
+		if w.Range < iv || w.Range%iv != 0 || w.Step%iv != 0 {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("core: window %v of %s must be a multiple of the stream's %v batch interval", w, name, iv)
+		}
+		cq.windows = append(cq.windows, queryWindow{
+			state:   st,
+			rangeMS: w.Range.Milliseconds(),
+			stepMS:  w.Step.Milliseconds(),
+		})
+		if cq.stepMS == 0 || w.Step.Milliseconds() < cq.stepMS {
+			cq.stepMS = w.Step.Milliseconds()
+		}
+		// Locality-aware partitioning: replicate this stream's index to the
+		// node where the query runs. Without RDMA, fork-join migrates
+		// execution to every node, so the index replicates everywhere.
+		if !e.cfg.DisableIndexReplication {
+			st.index.Replicate(cq.home)
+			if e.cfg.ForceForkJoin || !e.fab.RDMA() {
+				for n := 0; n < e.cfg.Nodes; n++ {
+					st.index.Replicate(fabric.NodeID(n))
+				}
+			}
+		}
+	}
+	if len(cq.windows) == 0 {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("core: continuous query %s declares no stream windows", name)
+	}
+	// First execution at the next step boundary after the current clock.
+	cq.nextFire = rdf.Timestamp((int64(e.now)/cq.stepMS + 1) * cq.stepMS)
+	e.mu.Unlock()
+
+	// Compile outside the engine lock: the planner's statistics adapter
+	// reads engine state through locking accessors.
+	cq.plan, err = plan.Compile(q, e.ss, e.statsFor(q))
+	if err != nil {
+		return nil, err
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.continuous[name]; ok {
+		return nil, fmt.Errorf("core: continuous query %q already registered", name)
+	}
+	e.continuous[name] = cq
+	if e.ft != nil {
+		e.ftLogQuery(text)
+	}
+	return cq, nil
+}
+
+// Unregister removes a continuous query; its stream state becomes
+// collectable once no other query needs it.
+func (e *Engine) Unregister(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.continuous, name)
+}
+
+// ContinuousQueries returns the registered continuous queries.
+func (e *Engine) ContinuousQueries() []*ContinuousQuery {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*ContinuousQuery, 0, len(e.continuous))
+	for _, cq := range e.continuous {
+		out = append(out, cq)
+	}
+	return out
+}
+
+// fireDueQueries executes every continuous query whose window boundary has
+// passed and whose streams are stable up to it (the paper's data-driven
+// trigger, Fig. 10). Blocks until all fired executions complete.
+func (e *Engine) fireDueQueries(ts rdf.Timestamp) {
+	type firing struct {
+		cq *ContinuousQuery
+		at rdf.Timestamp
+	}
+	var due []firing
+	e.mu.Lock()
+	cqs := make([]*ContinuousQuery, 0, len(e.continuous))
+	for _, cq := range e.continuous {
+		cqs = append(cqs, cq)
+	}
+	e.mu.Unlock()
+	for _, cq := range cqs {
+		cq.mu.Lock()
+		for cq.nextFire <= ts && cq.windowsReady(cq.nextFire) {
+			due = append(due, firing{cq: cq, at: cq.nextFire})
+			cq.nextFire += rdf.Timestamp(cq.stepMS)
+		}
+		cq.mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for _, f := range due {
+		f := f
+		wg.Add(1)
+		e.cluster.Submit(f.cq.home, func() {
+			defer wg.Done()
+			f.cq.execute(f.at)
+		})
+	}
+	wg.Wait()
+}
+
+// windowsReady reports whether the stable VTS covers every window's batches
+// for an execution at `at`. Caller holds cq.mu.
+func (cq *ContinuousQuery) windowsReady(at rdf.Timestamp) bool {
+	streams := make([]vts.StreamID, 0, len(cq.windows))
+	upto := make([]tstore.BatchID, 0, len(cq.windows))
+	for _, w := range cq.windows {
+		streams = append(streams, w.state.id)
+		upto = append(upto, w.toBatch(at))
+	}
+	return cq.engine.coord.WindowReady(streams, upto)
+}
+
+// execute runs one window execution on the query's home node.
+func (cq *ContinuousQuery) execute(at rdf.Timestamp) {
+	e := cq.engine
+	p := cq.replan()
+	prov := e.providerFor(cq.query, at)
+	mode := e.modeFor(p)
+	rs, trace, err := e.ex.Execute(exec.Request{
+		Node:             cq.home,
+		Mode:             mode,
+		Access:           prov,
+		Resolver:         e.ss,
+		ForkThreshold:    e.cfg.ForkThreshold,
+		SimulateParallel: true,
+	}, p)
+	lat := trace.Total
+	if err != nil {
+		// Execution errors indicate planner/executor bugs; surface loudly
+		// rather than silently dropping a window.
+		panic(fmt.Sprintf("core: continuous query %s failed: %v", cq.Name, err))
+	}
+	cq.mu.Lock()
+	cq.execs++
+	cq.totalRows += int64(rs.Len())
+	cq.lats = append(cq.lats, lat)
+	cq.mu.Unlock()
+	cq.cb(&Result{set: rs, ss: e.ss}, FireInfo{At: at, Latency: lat, Rows: rs.Len()})
+}
+
+// ExecuteNow synchronously runs the query once over the window ending at the
+// engine's current stable boundary, regardless of step scheduling. Intended
+// for benchmarks that measure single-execution latency.
+func (cq *ContinuousQuery) ExecuteNow() (*Result, time.Duration, error) {
+	e := cq.engine
+	// Re-execute the most recently fired window boundary (its data is still
+	// retained; see collectGarbage).
+	cq.mu.Lock()
+	at := cq.nextFire - rdf.Timestamp(cq.stepMS)
+	cq.mu.Unlock()
+	if at < 0 {
+		at = 0
+	}
+	p := cq.replan()
+	prov := e.providerFor(cq.query, at)
+	rs, trace, err := e.ex.Execute(exec.Request{
+		Node:             cq.home,
+		Mode:             e.modeFor(p),
+		Access:           prov,
+		Resolver:         e.ss,
+		ForkThreshold:    e.cfg.ForkThreshold,
+		SimulateParallel: true,
+	}, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Result{set: rs, ss: e.ss}, trace.Total, nil
+}
+
+// ExecuteNowTraced is ExecuteNow with the per-step execution trace.
+func (cq *ContinuousQuery) ExecuteNowTraced() (*Result, *exec.Trace, error) {
+	e := cq.engine
+	cq.mu.Lock()
+	at := cq.nextFire - rdf.Timestamp(cq.stepMS)
+	cq.mu.Unlock()
+	if at < 0 {
+		at = 0
+	}
+	p := cq.replan()
+	prov := e.providerFor(cq.query, at)
+	rs, trace, err := e.ex.Execute(exec.Request{
+		Node:             cq.home,
+		Mode:             e.modeFor(p),
+		Access:           prov,
+		Resolver:         e.ss,
+		ForkThreshold:    e.cfg.ForkThreshold,
+		SimulateParallel: true,
+	}, p)
+	if err != nil {
+		return nil, trace, err
+	}
+	return &Result{set: rs, ss: e.ss}, trace, nil
+}
+
+// Stats summarizes the query's executions so far.
+func (cq *ContinuousQuery) Stats() CQStats {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	st := CQStats{Executions: cq.execs, TotalRows: cq.totalRows}
+	if len(cq.lats) == 0 {
+		return st
+	}
+	sorted := append([]time.Duration(nil), cq.lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, l := range sorted {
+		sum += l
+	}
+	st.MedianLat = sorted[len(sorted)/2]
+	st.P99Lat = sorted[len(sorted)*99/100]
+	st.MeanLat = sum / time.Duration(len(sorted))
+	return st
+}
+
+// Latencies returns a copy of all recorded execution latencies (CDF plots).
+func (cq *ContinuousQuery) Latencies() []time.Duration {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return append([]time.Duration(nil), cq.lats...)
+}
+
+// Home returns the node the query executes on.
+func (cq *ContinuousQuery) Home() fabric.NodeID { return cq.home }

@@ -1,0 +1,477 @@
+// Package core implements Wukong+S: a distributed stateful stream querying
+// engine over fast-evolving linked data (Zhang, Chen & Chen, SOSP 2017).
+//
+// The engine follows the paper's integrated, store-centric design (§3):
+// one system owns both the stream processor and the persistent store.
+//
+//   - A hybrid store (§4.1) absorbs the timeless portion of streams into a
+//     continuous persistent store (shared with the initially stored data)
+//     and holds timing data in per-stream time-based transient stores.
+//   - A stream index (§4.2) gives continuous queries a fast path to window
+//     data, with locality-aware replication to the nodes where registered
+//     queries need each stream.
+//   - Decentralized vector timestamps with bounded snapshot scalarization
+//     (§4.3) make stream data consistently visible: continuous queries
+//     trigger when their windows are stable (prefix integrity), one-shot
+//     queries read the persistent store at the stable snapshot number.
+//
+// Time is logical: producers stamp tuples (rdf.Timestamp, milliseconds) and
+// the host application drives the engine with AdvanceTo. This keeps runs
+// deterministic and lets benchmarks replay streams at any speed.
+//
+// Basic use:
+//
+//	eng, _ := core.New(core.Config{Nodes: 8})
+//	defer eng.Close()
+//	eng.LoadTriples(initialData)
+//	src, _ := eng.RegisterStream(stream.Config{Name: "Tweet_Stream", BatchInterval: 100 * time.Millisecond})
+//	cq, _ := eng.RegisterContinuous(qcText, func(r *core.Result, w core.FireInfo) { ... })
+//	src.Emit(tuple)
+//	eng.AdvanceTo(now)        // seal + inject batches, fire due queries
+//	res, _ := eng.Query(qsText) // one-shot over the evolving store
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/fabric"
+	"repro/internal/rdf"
+	"repro/internal/sindex"
+	"repro/internal/store"
+	"repro/internal/stream"
+	"repro/internal/strserver"
+	"repro/internal/tstore"
+	"repro/internal/vts"
+)
+
+// Config configures an engine.
+type Config struct {
+	// Nodes is the number of logical cluster nodes (default 1).
+	Nodes int
+	// WorkersPerNode is the number of query workers bound per node
+	// (default 4; the paper binds one worker per core).
+	WorkersPerNode int
+	// Fabric overrides the network simulation (Nodes wins over
+	// Fabric.Nodes; zero value = RDMA on, no injected latency).
+	Fabric fabric.Config
+	// MaxSnapshots bounds per-key snapshot metadata (default 2, §4.3).
+	MaxSnapshots int
+	// SNCadence is the wall-clock width of one snapshot plan (default
+	// 100 ms): streams contribute batches to a snapshot proportionally to
+	// their mini-batch interval.
+	SNCadence time.Duration
+	// TransientBudget is the per-stream, per-node transient-store budget in
+	// bytes (default tstore.DefaultBudget).
+	TransientBudget int64
+	// ForkThreshold is the table size that triggers scatter/gather in
+	// fork-join execution (default 32).
+	ForkThreshold int
+	// ForceForkJoin forces fork-join execution for all queries (the paper's
+	// non-RDMA configuration, Table 5).
+	ForceForkJoin bool
+	// DisableIndexReplication turns off locality-aware stream-index
+	// replication (§4.2) — an ablation switch: continuous queries then pay
+	// an extra one-sided read per remote index lookup.
+	DisableIndexReplication bool
+	// SeedTables pre-sizes nothing yet; reserved.
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.WorkersPerNode <= 0 {
+		c.WorkersPerNode = 4
+	}
+	c.Fabric.Nodes = c.Nodes
+	if c.Fabric.Latency == (fabric.LatencyModel{}) {
+		// A zero-valued fabric config means defaults: RDMA on. Callers
+		// wanting the non-RDMA configuration (Table 5) set the latency
+		// model explicitly alongside RDMA=false.
+		c.Fabric.RDMA = true
+		c.Fabric.Latency = fabric.DefaultLatency()
+	}
+	if c.MaxSnapshots <= 0 {
+		c.MaxSnapshots = store.DefaultMaxSnapshots
+	}
+	if c.SNCadence <= 0 {
+		c.SNCadence = 100 * time.Millisecond
+	}
+	if c.ForkThreshold <= 0 {
+		c.ForkThreshold = 32
+	}
+	// Without one-sided reads, per-item remote access costs a TCP round
+	// trip; fork-join migrates every traversal step to the data instead.
+	if c.ForceForkJoin || (c.Fabric.Nodes > 1 && !c.Fabric.RDMA) {
+		c.ForkThreshold = 1
+	}
+	return c
+}
+
+// streamState is the engine's per-stream bookkeeping.
+type streamState struct {
+	id     vts.StreamID
+	src    *stream.Source
+	index  *sindex.Index
+	trans  []*tstore.Store // per node
+	home   fabric.NodeID   // adaptor home (stream arrival node)
+	timing bool            // has any timing predicates (diagnostics)
+	cfg    stream.Config   // original registration config (persisted by FT)
+
+	mu          sync.Mutex
+	tupleCount  int64 // total tuples injected
+	batchCount  int64
+	injectStats stream.InjectStats
+}
+
+// avgTuplesPerBatch estimates recent stream density for the planner.
+func (s *streamState) avgTuplesPerBatch() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.batchCount == 0 {
+		return 1
+	}
+	return float64(s.tupleCount) / float64(s.batchCount)
+}
+
+// Engine is a Wukong+S instance.
+type Engine struct {
+	cfg     Config
+	fab     *fabric.Fabric
+	cluster *fabric.Cluster
+	ss      *strserver.Server
+	stored  *store.Sharded
+	coord   *vts.Coordinator
+	ex      *exec.Executor
+
+	mu         sync.Mutex
+	streams    map[string]*streamState
+	streamByID []*streamState
+	continuous map[string]*ContinuousQuery
+	cqSeq      int
+	now        rdf.Timestamp
+	nextHome   int // round-robin placement for queries and adaptors
+
+	ft *ftState // non-nil when fault tolerance is enabled
+
+	tick atomic.Int64 // AdvanceTo counter; continuous queries replan per tick
+
+	closed bool
+}
+
+// New creates an engine.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	fab := fabric.New(cfg.Fabric)
+	e := &Engine{
+		cfg:        cfg,
+		fab:        fab,
+		cluster:    fabric.NewCluster(fab, cfg.WorkersPerNode),
+		ss:         strserver.New(),
+		stored:     store.NewSharded(fab, cfg.MaxSnapshots),
+		coord:      vts.NewCoordinator(fab, cfg.Nodes, 0, 1),
+		streams:    make(map[string]*streamState),
+		continuous: make(map[string]*ContinuousQuery),
+	}
+	e.ex = exec.New(e.cluster)
+	return e, nil
+}
+
+// Close stops the engine's workers.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.cluster.Close()
+}
+
+// StringServer exposes the shared string server (clients encode query
+// constants and decode results through it).
+func (e *Engine) StringServer() *strserver.Server { return e.ss }
+
+// Fabric exposes the simulated network (benchmarks reset and read traffic
+// counters).
+func (e *Engine) Fabric() *fabric.Fabric { return e.fab }
+
+// Store exposes the persistent store (memory accounting experiments).
+func (e *Engine) Store() *store.Sharded { return e.stored }
+
+// Coordinator exposes the consistency coordinator.
+func (e *Engine) Coordinator() *vts.Coordinator { return e.coord }
+
+// Now returns the engine's logical clock (the highest AdvanceTo argument).
+func (e *Engine) Now() rdf.Timestamp {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// LoadTriples bulk-loads initially stored data (visible at the base
+// snapshot).
+func (e *Engine) LoadTriples(triples []rdf.Triple) {
+	for _, t := range triples {
+		e.stored.Insert(e.ss.EncodeTriple(t), store.BaseSN)
+	}
+}
+
+// LoadEncoded bulk-loads pre-encoded triples (generator hot path).
+func (e *Engine) LoadEncoded(triples []strserver.EncodedTriple) {
+	e.stored.LoadBase(triples)
+}
+
+// LoadReader streams N-Triples data into the store.
+func (e *Engine) LoadReader(r io.Reader) (int, error) {
+	rd := rdf.NewReader(r)
+	n := 0
+	for {
+		t, err := rd.ReadTriple()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		e.stored.Insert(e.ss.EncodeTriple(t), store.BaseSN)
+		n++
+	}
+}
+
+// RegisterStream registers a stream and returns its source handle. The
+// stream's mini-batch interval determines how its batches map to snapshot
+// plans (SNCadence).
+func (e *Engine) RegisterStream(cfg stream.Config) (*stream.Source, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.streams[cfg.Name]; ok {
+		return nil, fmt.Errorf("core: stream %q already registered", cfg.Name)
+	}
+	src, err := stream.NewSource(cfg, e.ss)
+	if err != nil {
+		return nil, err
+	}
+	rate := float64(e.cfg.SNCadence) / float64(cfg.BatchInterval)
+	home := fabric.NodeID(e.nextHome % e.cfg.Nodes)
+	e.nextHome++
+	st := &streamState{
+		id:     e.coord.AddStreamRate(rate),
+		src:    src,
+		index:  sindex.New(home),
+		trans:  make([]*tstore.Store, e.cfg.Nodes),
+		home:   home,
+		timing: len(cfg.TimingPredicates) > 0,
+		cfg:    cfg,
+	}
+	for n := range st.trans {
+		st.trans[n] = tstore.New(e.cfg.TransientBudget)
+	}
+	e.streams[cfg.Name] = st
+	e.streamByID = append(e.streamByID, st)
+	if e.ft != nil {
+		if err := e.ftWriteStreamConfigs(); err != nil {
+			return nil, err
+		}
+	}
+	return src, nil
+}
+
+// StreamNames returns the registered stream IRIs.
+func (e *Engine) StreamNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.streams))
+	for name := range e.streams {
+		out = append(out, name)
+	}
+	return out
+}
+
+// SourceOf returns the source handle of a registered stream. Applications
+// normally keep the handle RegisterStream returned; recovery re-registers
+// streams internally, so recovered engines hand sources back through here.
+func (e *Engine) SourceOf(name string) (*stream.Source, bool) {
+	st, ok := e.streamOf(name)
+	if !ok {
+		return nil, false
+	}
+	return st.src, true
+}
+
+// streamOf looks up a stream state by IRI.
+func (e *Engine) streamOf(name string) (*streamState, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.streams[name]
+	return st, ok
+}
+
+// AdvanceTo drives the engine's logical clock to ts: seals due mini-batches
+// on every stream, dispatches and injects them (updating vector timestamps
+// and snapshot numbers), fires continuous queries whose windows became
+// stable, and garbage-collects expired stream state. It blocks until all
+// triggered work completes, so the store is consistent up to ts on return.
+func (e *Engine) AdvanceTo(ts rdf.Timestamp) {
+	e.mu.Lock()
+	if ts <= e.now && e.now != 0 {
+		e.mu.Unlock()
+		return
+	}
+	e.now = ts
+	streams := append([]*streamState(nil), e.streamByID...)
+	e.mu.Unlock()
+	e.tick.Add(1)
+
+	// Phase 1: seal + inject every due batch. The injectors must keep all
+	// batches with one snapshot number consecutive per key (§4.3), so
+	// injection proceeds SN group by SN group: within a group streams run
+	// concurrently (their batches in stream order), with a barrier before
+	// the next SN.
+	type job struct {
+		st *streamState
+		b  stream.Batch
+		sn uint32
+	}
+	perStream := make([][]job, 0, len(streams))
+	snSet := map[uint32]bool{}
+	for _, st := range streams {
+		var jobs []job
+		for _, b := range st.src.SealUpTo(ts) {
+			sn := e.coord.SNForBatch(st.id, b.ID)
+			jobs = append(jobs, job{st: st, b: b, sn: sn})
+			snSet[sn] = true
+		}
+		if len(jobs) > 0 {
+			perStream = append(perStream, jobs)
+		}
+	}
+	sns := make([]uint32, 0, len(snSet))
+	for sn := range snSet {
+		sns = append(sns, sn)
+	}
+	sort.Slice(sns, func(i, j int) bool { return sns[i] < sns[j] })
+
+	for _, sn := range sns {
+		var groupWG sync.WaitGroup
+		for si := range perStream {
+			jobs := perStream[si]
+			groupWG.Add(1)
+			go func() {
+				defer groupWG.Done()
+				for _, j := range jobs {
+					if j.sn != sn {
+						continue
+					}
+					e.injectBatch(j.st, j.b, j.sn)
+				}
+			}()
+		}
+		groupWG.Wait()
+	}
+
+	// Phase 2: fire continuous queries whose next windows are stable.
+	e.fireDueQueries(ts)
+
+	// Phase 3: GC expired stream state and snapshot metadata.
+	e.collectGarbage()
+}
+
+// injectBatch dispatches one batch and injects it on all nodes, blocking
+// until the batch is fully inserted and reported to the coordinator.
+func (e *Engine) injectBatch(st *streamState, b stream.Batch, sn uint32) {
+	work := stream.Dispatch(e.fab, st.home, b)
+	var wg sync.WaitGroup
+	for n := range work {
+		n := fabric.NodeID(n)
+		w := work[n]
+		wg.Add(1)
+		e.cluster.Submit(n, func() {
+			defer wg.Done()
+			stats := stream.InjectNode(n, w, b.ID, sn, stream.InjectTarget{
+				Store:     e.stored,
+				Index:     st.index,
+				Transient: st.trans[n],
+			})
+			st.mu.Lock()
+			st.injectStats.Add(stats)
+			st.mu.Unlock()
+			e.coord.OnBatchInserted(n, st.id, b.ID)
+		})
+	}
+	wg.Wait()
+	st.mu.Lock()
+	st.tupleCount += int64(len(b.Tuples))
+	st.batchCount++
+	st.mu.Unlock()
+	if e.ft != nil {
+		e.ftLogBatch(st, b)
+	}
+}
+
+// InjectionStats returns a stream's accumulated injection cost split
+// (Table 6).
+func (e *Engine) InjectionStats(streamName string) (stream.InjectStats, int64, error) {
+	st, ok := e.streamOf(streamName)
+	if !ok {
+		return stream.InjectStats{}, 0, fmt.Errorf("core: unknown stream %q", streamName)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.injectStats, st.batchCount, nil
+}
+
+// StreamIndexBytes returns the memory held by a stream's index (Table 7).
+func (e *Engine) StreamIndexBytes(streamName string) (int64, error) {
+	st, ok := e.streamOf(streamName)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown stream %q", streamName)
+	}
+	return st.index.MemoryBytes(), nil
+}
+
+// collectGarbage frees transient slices and stream-index batches no
+// registered window can reach, and prunes snapshot metadata below the
+// stable SN.
+func (e *Engine) collectGarbage() {
+	e.mu.Lock()
+	// Per stream, the oldest batch any registered continuous query still
+	// needs (relative to the engine clock).
+	needed := make(map[*streamState]tstore.BatchID)
+	for _, st := range e.streamByID {
+		needed[st] = st.src.BatchOf(e.now) + 1 // default: nothing needed
+	}
+	for _, cq := range e.continuous {
+		for _, w := range cq.windows {
+			st := w.state
+			// The oldest batch the query can still touch: keep the most
+			// recently fired window too — a re-execution (benchmarks,
+			// at-least-once redelivery) may revisit it.
+			lastFire := cq.nextFire - rdf.Timestamp(cq.stepMS)
+			if lastFire < 0 {
+				lastFire = 0
+			}
+			from := w.fromBatch(lastFire)
+			if from < needed[st] {
+				needed[st] = from
+			}
+		}
+	}
+	e.mu.Unlock()
+	for st, before := range needed {
+		st.index.GC(before)
+		for _, ts := range st.trans {
+			ts.GC(before)
+		}
+	}
+	if sn := e.coord.StableSN(); sn > 0 {
+		e.stored.PruneSnapshots(sn)
+	}
+}

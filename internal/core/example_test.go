@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/stream"
+)
+
+// Example reproduces the paper's Fig. 1/Fig. 2 scenario: the continuous
+// query QC fires on the stream window, and the one-shot query QS sees the
+// store evolve as timeless stream data is absorbed.
+func Example() {
+	eng, _ := core.New(core.Config{Nodes: 2})
+	defer eng.Close()
+
+	eng.LoadTriples([]rdf.Triple{
+		rdf.T("Logan", "fo", "Erik"),
+		rdf.T("Logan", "po", "T-13"),
+		rdf.T("T-13", "ht", "sosp17"),
+		rdf.T("Erik", "li", "T-13"),
+	})
+	tweets, _ := eng.RegisterStream(stream.Config{Name: "Tweets", BatchInterval: 100 * time.Millisecond})
+	likes, _ := eng.RegisterStream(stream.Config{Name: "Likes", BatchInterval: 100 * time.Millisecond})
+
+	eng.RegisterContinuous(`
+REGISTER QUERY QC AS
+SELECT ?X ?Y ?Z
+FROM Tweets [RANGE 10s STEP 1s]
+FROM Likes [RANGE 5s STEP 1s]
+WHERE {
+  GRAPH Tweets { ?X po ?Z }
+  ?X fo ?Y .
+  GRAPH Likes { ?Y li ?Z }
+}`, func(r *core.Result, f core.FireInfo) {
+		for _, row := range r.Strings() {
+			fmt.Printf("QC @%dms: %s\n", f.At, row)
+		}
+	})
+
+	tweets.Emit(rdf.Tuple{Triple: rdf.T("Logan", "po", "T-15"), TS: 200})
+	likes.Emit(rdf.Tuple{Triple: rdf.T("Erik", "li", "T-15"), TS: 600})
+	eng.AdvanceTo(1000)
+
+	res, _ := eng.Query(`SELECT ?X WHERE { Logan po ?X } ORDER BY ?X`)
+	fmt.Println("QS:", res.Strings())
+
+	// Output:
+	// QC @1000ms: Logan Erik T-15
+	// QS: [T-13 T-15]
+}

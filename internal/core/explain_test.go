@@ -1,0 +1,53 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainOrdersByConstant(t *testing.T) {
+	e, _, _ := figure1Engine(t, 2)
+	out, err := e.Explain(`SELECT ?X WHERE { ?X ht sosp17 . Logan po ?X }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mode: in-place") {
+		t.Errorf("explain = %q", out)
+	}
+	// The planner starts from Logan (constant seed) despite textual order.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 2 || !strings.Contains(lines[1], "seed-const") {
+		t.Errorf("first step not a constant seed:\n%s", out)
+	}
+	if !strings.Contains(out, "estimated cost") {
+		t.Errorf("no cost estimate:\n%s", out)
+	}
+}
+
+func TestExplainEmptyAndVariants(t *testing.T) {
+	e, _, _ := figure1Engine(t, 2)
+	out, err := e.Explain(`SELECT ?X WHERE { GhostEntity po ?X }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "empty") {
+		t.Errorf("explain = %q", out)
+	}
+	out, err = e.Explain(`SELECT ?X WHERE { { Logan po ?X } UNION { Erik po ?X } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "union branch 1") || !strings.Contains(out, "union branch 2") {
+		t.Errorf("explain = %q", out)
+	}
+	out, err = e.Explain(`SELECT ?X ?T WHERE { Logan po ?X . OPTIONAL { ?X ht ?T } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "optional (vars [T]") {
+		t.Errorf("explain = %q", out)
+	}
+	if _, err := e.Explain("not a query"); err == nil {
+		t.Error("bad query explained")
+	}
+}

@@ -1,0 +1,456 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/stream"
+	"repro/internal/tstore"
+)
+
+// Fault tolerance (§5): Wukong+S assumes upstream backup (sources buffer and
+// replay recent batches), logs registered continuous queries, and performs
+// incremental checkpointing of streaming data. Recovery reloads the initial
+// RDF data, replays the durable checkpoints in order, re-registers the
+// logged queries, and asks sources to replay anything after the last
+// checkpoint. Continuous queries get at-least-once semantics: a window may
+// execute twice across a failure, which clients deduplicate by the window's
+// time information.
+
+// FTConfig configures fault tolerance.
+type FTConfig struct {
+	// Dir is the persistence directory.
+	Dir string
+	// MirrorDir, when set, duplicates every durable write to a second
+	// directory — the paper's note that availability "can be implemented by
+	// replicating initial data and log checkpoints on remote nodes" (§5);
+	// point it at remote-mounted storage and Recover from it after losing
+	// Dir.
+	MirrorDir string
+	// CheckpointEveryBatches triggers an automatic checkpoint after this
+	// many logged batches (0 = checkpoint only on explicit Checkpoint call).
+	CheckpointEveryBatches int
+}
+
+// FTStats reports fault-tolerance overhead counters (§6.8).
+type FTStats struct {
+	LoggedBatches int64
+	LoggedTuples  int64
+	Checkpoints   int64
+	LogTime       time.Duration // cumulative logging delay
+}
+
+type ftState struct {
+	mu  sync.Mutex
+	cfg FTConfig
+
+	queryLog *os.File
+	batchF   *os.File
+	batchW   *bufio.Writer
+
+	// Mirror replicas of the durable files (nil without MirrorDir).
+	queryLogM *os.File
+	batchFM   *os.File
+	batchWM   *bufio.Writer
+
+	ckptSeq int
+	sinceCk int
+
+	stats FTStats
+}
+
+// sinks returns the active batch-log writers (primary + mirror).
+func (st *ftState) sinks() []*bufio.Writer {
+	if st.batchWM != nil {
+		return []*bufio.Writer{st.batchW, st.batchWM}
+	}
+	return []*bufio.Writer{st.batchW}
+}
+
+const (
+	ftQueriesFile = "queries.log"
+	ftStreamsFile = "streams.json"
+	ftVTSFile     = "vts.json"
+	ftQuerySep    = "\x1e" // record separator between query texts
+)
+
+// EnableFT turns on fault tolerance: registered streams and queries are
+// logged immediately; every injected batch is logged from now on.
+func (e *Engine) EnableFT(cfg FTConfig) error {
+	if cfg.Dir == "" {
+		return fmt.Errorf("core: FT requires a directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return err
+	}
+	qf, err := os.OpenFile(filepath.Join(cfg.Dir, ftQueriesFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	st := &ftState{cfg: cfg, queryLog: qf}
+	if cfg.MirrorDir != "" {
+		if err := os.MkdirAll(cfg.MirrorDir, 0o755); err != nil {
+			qf.Close()
+			return err
+		}
+		st.queryLogM, err = os.OpenFile(filepath.Join(cfg.MirrorDir, ftQueriesFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			qf.Close()
+			return err
+		}
+	}
+	if err := st.openBatchLog(); err != nil {
+		qf.Close()
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ft != nil {
+		qf.Close()
+		return fmt.Errorf("core: FT already enabled")
+	}
+	e.ft = st
+	// Log already-registered state.
+	if err := e.ftWriteStreamConfigs(); err != nil {
+		return err
+	}
+	for _, cq := range e.continuous {
+		e.ftLogQuery(cq.Text)
+	}
+	return nil
+}
+
+func (st *ftState) openBatchLog() error {
+	name := fmt.Sprintf("batches.%06d.log", st.ckptSeq)
+	f, err := os.OpenFile(filepath.Join(st.cfg.Dir, name),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	st.batchF = f
+	st.batchW = bufio.NewWriterSize(f, 1<<16)
+	if st.cfg.MirrorDir != "" {
+		m, err := os.OpenFile(filepath.Join(st.cfg.MirrorDir, name),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		st.batchFM = m
+		st.batchWM = bufio.NewWriterSize(m, 1<<16)
+	}
+	return nil
+}
+
+// ftStreamMeta is the persisted form of a stream registration.
+type ftStreamMeta struct {
+	Name          string   `json:"name"`
+	BatchMS       int64    `json:"batch_ms"`
+	TimingPreds   []string `json:"timing_preds,omitempty"`
+	KeepPreds     []string `json:"keep_preds,omitempty"`
+	BackupBatches int      `json:"backup_batches,omitempty"`
+	MaxDelayMS    int64    `json:"max_delay_ms,omitempty"`
+}
+
+func (e *Engine) ftWriteStreamConfigs() error {
+	// Caller holds e.mu.
+	metas := make([]ftStreamMeta, 0, len(e.streams))
+	for name, st := range e.streams {
+		metas = append(metas, ftStreamMeta{
+			Name:          name,
+			BatchMS:       st.src.Interval().Milliseconds(),
+			TimingPreds:   st.cfg.TimingPredicates,
+			KeepPreds:     st.cfg.KeepPredicates,
+			BackupBatches: st.cfg.BackupBudget,
+			MaxDelayMS:    st.cfg.MaxDelay.Milliseconds(),
+		})
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].Name < metas[j].Name })
+	data, err := json.MarshalIndent(metas, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(e.ft.cfg.Dir, ftStreamsFile), data, 0o644); err != nil {
+		return err
+	}
+	if e.ft.cfg.MirrorDir != "" {
+		return os.WriteFile(filepath.Join(e.ft.cfg.MirrorDir, ftStreamsFile), data, 0o644)
+	}
+	return nil
+}
+
+// ftLogQuery appends a continuous query's text to the durable query log
+// ("Wukong+S only needs to log all continuous queries to the persistent
+// storage and simply re-register them after recovery").
+func (e *Engine) ftLogQuery(text string) {
+	st := e.ft
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	fmt.Fprintf(st.queryLog, "%s%s", text, ftQuerySep)
+	st.queryLog.Sync()
+	if st.queryLogM != nil {
+		fmt.Fprintf(st.queryLogM, "%s%s", text, ftQuerySep)
+		st.queryLogM.Sync()
+	}
+}
+
+// ftLogBatch durably logs one injected batch. Runs on the injection path, so
+// its cost is the paper's "logging delay for each batch".
+func (e *Engine) ftLogBatch(sst *streamState, b stream.Batch) {
+	st := e.ft
+	start := time.Now()
+	st.mu.Lock()
+	for _, w := range st.sinks() {
+		fmt.Fprintf(w, "B %s %d %d\n", sst.src.Name(), b.ID, len(b.Tuples))
+	}
+	for _, t := range b.Tuples {
+		tr, err := e.ss.DecodeTriple(t.EncodedTriple)
+		if err != nil {
+			continue // undecodable tuples cannot occur for tuples we encoded
+		}
+		for _, w := range st.sinks() {
+			fmt.Fprintf(w, "%s . @%d\n", tr, int64(t.TS))
+		}
+	}
+	for _, w := range st.sinks() {
+		w.Flush()
+	}
+	st.stats.LoggedBatches++
+	st.stats.LoggedTuples += int64(len(b.Tuples))
+	st.sinceCk++
+	due := st.cfg.CheckpointEveryBatches > 0 && st.sinceCk >= st.cfg.CheckpointEveryBatches
+	st.stats.LogTime += time.Since(start)
+	st.mu.Unlock()
+	if due {
+		_ = e.Checkpoint()
+	}
+}
+
+// ftVTSMeta persists the coordinator's progress at a checkpoint.
+type ftVTSMeta struct {
+	StableSN  uint32           `json:"stable_sn"`
+	StableVTS map[string]int64 `json:"stable_vts"`
+}
+
+// Checkpoint makes logged state durable, persists the vector timestamps, and
+// rotates the batch log. Sources are asked to trim their upstream-backup
+// buffers below the checkpointed batches.
+func (e *Engine) Checkpoint() error {
+	e.mu.Lock()
+	st := e.ft
+	if st == nil {
+		e.mu.Unlock()
+		return fmt.Errorf("core: FT not enabled")
+	}
+	meta := ftVTSMeta{StableSN: e.coord.StableSN(), StableVTS: map[string]int64{}}
+	stable := e.coord.StableVTS()
+	type trim struct {
+		src    *stream.Source
+		before tstore.BatchID
+	}
+	var trims []trim
+	for name, sst := range e.streams {
+		b := stable[sst.id]
+		meta.StableVTS[name] = int64(b)
+		trims = append(trims, trim{src: sst.src, before: b + 1})
+	}
+	e.mu.Unlock()
+
+	st.mu.Lock()
+	st.batchW.Flush()
+	st.batchF.Sync()
+	st.batchF.Close()
+	if st.batchWM != nil {
+		st.batchWM.Flush()
+		st.batchFM.Sync()
+		st.batchFM.Close()
+	}
+	st.ckptSeq++
+	st.sinceCk = 0
+	st.stats.Checkpoints++
+	err := st.openBatchLog()
+	st.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(st.cfg.Dir, ftVTSFile), data, 0o644); err != nil {
+		return err
+	}
+	if st.cfg.MirrorDir != "" {
+		if err := os.WriteFile(filepath.Join(st.cfg.MirrorDir, ftVTSFile), data, 0o644); err != nil {
+			return err
+		}
+	}
+	// Notify sources to flush buffered data up to the checkpoint.
+	for _, t := range trims {
+		t.src.TrimBackup(t.before)
+	}
+	return nil
+}
+
+// FTStats returns fault-tolerance overhead counters.
+func (e *Engine) FTStats() (FTStats, error) {
+	e.mu.Lock()
+	st := e.ft
+	e.mu.Unlock()
+	if st == nil {
+		return FTStats{}, fmt.Errorf("core: FT not enabled")
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats, nil
+}
+
+// Recover rebuilds an engine from a fault-tolerance directory: it reloads
+// the initial RDF data, re-registers the logged streams, replays the durable
+// batch logs in order, and re-registers the logged continuous queries
+// (callbacks come from the factory, since functions cannot be persisted).
+// The recovered engine has FT re-enabled on the same directory.
+func Recover(cfg Config, ftCfg FTConfig, initial []rdf.Triple, callbacks func(name string) func(*Result, FireInfo)) (*Engine, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.LoadTriples(initial)
+
+	// Streams.
+	data, err := os.ReadFile(filepath.Join(ftCfg.Dir, ftStreamsFile))
+	if err != nil {
+		e.Close()
+		return nil, fmt.Errorf("core: recover: %w", err)
+	}
+	var metas []ftStreamMeta
+	if err := json.Unmarshal(data, &metas); err != nil {
+		e.Close()
+		return nil, fmt.Errorf("core: recover: %w", err)
+	}
+	sources := map[string]*stream.Source{}
+	for _, m := range metas {
+		src, err := e.RegisterStream(stream.Config{
+			Name:             m.Name,
+			BatchInterval:    time.Duration(m.BatchMS) * time.Millisecond,
+			TimingPredicates: m.TimingPreds,
+			KeepPredicates:   m.KeepPreds,
+			BackupBudget:     m.BackupBatches,
+			MaxDelay:         time.Duration(m.MaxDelayMS) * time.Millisecond,
+		})
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		sources[m.Name] = src
+	}
+
+	// Replay batch logs in checkpoint order.
+	logs, err := filepath.Glob(filepath.Join(ftCfg.Dir, "batches.*.log"))
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	sort.Strings(logs)
+	var maxTS rdf.Timestamp
+	for _, path := range logs {
+		ts, err := replayBatchLog(e, sources, path)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("core: recover %s: %w", path, err)
+		}
+		if ts > maxTS {
+			maxTS = ts
+		}
+	}
+	// Advance past every replayed batch so the recovered store is stable.
+	e.AdvanceTo(maxTS)
+
+	// Queries.
+	qdata, err := os.ReadFile(filepath.Join(ftCfg.Dir, ftQueriesFile))
+	if err != nil && !os.IsNotExist(err) {
+		e.Close()
+		return nil, err
+	}
+	for _, text := range strings.Split(string(qdata), ftQuerySep) {
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		q, err := sparql.Parse(text)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("core: recover query log: %w", err)
+		}
+		var cb func(*Result, FireInfo)
+		if callbacks != nil {
+			cb = callbacks(q.Name)
+		}
+		if _, err := e.RegisterContinuous(text, cb); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
+	if err := e.EnableFT(ftCfg); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// replayBatchLog replays one durable batch log and returns the highest batch
+// end timestamp it covered.
+func replayBatchLog(e *Engine, sources map[string]*stream.Source, path string) (rdf.Timestamp, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var maxTS rdf.Timestamp
+	var cur *stream.Source
+	var curEnd rdf.Timestamp
+	remaining := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "B ") {
+			var name string
+			var batch, n int64
+			if _, err := fmt.Sscanf(line, "B %s %d %d", &name, &batch, &n); err != nil {
+				return 0, fmt.Errorf("bad batch header %q: %w", line, err)
+			}
+			src, ok := sources[name]
+			if !ok {
+				return 0, fmt.Errorf("log references unknown stream %q", name)
+			}
+			cur = src
+			remaining = int(n)
+			curEnd = src.BatchEnd(tstore.BatchID(batch))
+			if curEnd > maxTS {
+				maxTS = curEnd
+			}
+			continue
+		}
+		if remaining <= 0 || cur == nil {
+			return 0, fmt.Errorf("tuple line outside batch: %q", line)
+		}
+		tu, err := rdf.ParseTuple(line)
+		if err != nil {
+			return 0, err
+		}
+		if err := cur.Emit(tu); err != nil {
+			return 0, err
+		}
+		remaining--
+	}
+	return maxTS, sc.Err()
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/fabric"
+	"repro/internal/plan"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Query runs a one-shot SPARQL query against the evolving persistent store
+// at the current stable snapshot (snapshot isolation; §4.3 treats one-shot
+// queries as read-only transactions and stream insertion as append-only
+// transactions, which never conflict).
+func (e *Engine) Query(text string) (*Result, error) {
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if q.Continuous {
+		return nil, fmt.Errorf("core: continuous queries must be registered, not executed one-shot")
+	}
+	return e.executeOneShot(q)
+}
+
+// QueryParsed is Query for a pre-parsed query (benchmark hot path: clients
+// parse once and submit many times).
+func (e *Engine) QueryParsed(q *sparql.Query) (*Result, error) {
+	if q.Continuous {
+		return nil, fmt.Errorf("core: continuous queries must be registered, not executed one-shot")
+	}
+	return e.executeOneShot(q)
+}
+
+func (e *Engine) executeOneShot(q *sparql.Query) (*Result, error) {
+	p, err := plan.Compile(q, e.ss, e.statsFor(q))
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	node := fabric.NodeID(e.nextHome % e.cfg.Nodes)
+	e.nextHome++
+	e.mu.Unlock()
+	rs, trace, err := e.ex.Execute(exec.Request{
+		Node:             node,
+		Mode:             e.modeFor(p),
+		Access:           e.providerFor(q, e.Now()),
+		Resolver:         e.ss,
+		ForkThreshold:    e.cfg.ForkThreshold,
+		SimulateParallel: true,
+	}, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{set: rs, ss: e.ss, Latency: trace.Total, Trace: trace}, nil
+}
+
+// Ask answers an ASK query (or any one-shot query, by existence of rows).
+func (e *Engine) Ask(text string) (bool, error) {
+	res, err := e.Query(text)
+	if err != nil {
+		return false, err
+	}
+	return res.Len() > 0, nil
+}
+
+// Explain parses and plans a query, returning a human-readable description
+// of the chosen execution: the ordered steps with cardinality estimates,
+// optional groups, and the execution mode. Useful for understanding why the
+// planner ordered patterns the way it did (the paper's Fig. 4 point).
+func (e *Engine) Explain(text string) (string, error) {
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return "", err
+	}
+	p, err := plan.Compile(q, e.ss, e.statsFor(q))
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode: %s\n", e.modeFor(p))
+	if p.Empty {
+		b.WriteString("empty: a query constant is unknown; the result is empty\n")
+		return b.String(), nil
+	}
+	if len(p.Unions) > 0 {
+		for i, bp := range p.Unions {
+			fmt.Fprintf(&b, "union branch %d:\n", i+1)
+			writePlanSteps(&b, "  ", bp)
+		}
+		return b.String(), nil
+	}
+	writePlanSteps(&b, "", p)
+	return b.String(), nil
+}
+
+func writePlanSteps(b *strings.Builder, indent string, p *plan.Plan) {
+	for i, st := range p.Steps {
+		fmt.Fprintf(b, "%s%2d. %s\n", indent, i+1, st)
+	}
+	for _, og := range p.Optionals {
+		fmt.Fprintf(b, "%soptional (vars %v, never=%v):\n", indent, og.Vars, og.Never)
+		for i, st := range og.Steps {
+			fmt.Fprintf(b, "%s  %2d. %s\n", indent, i+1, st)
+		}
+	}
+	for _, f := range p.PostFilters {
+		fmt.Fprintf(b, "%spost-filter %s\n", indent, f)
+	}
+	fmt.Fprintf(b, "%sestimated cost: %.1f\n", indent, p.EstCost)
+}
+
+// modeFor picks the execution strategy: in-place for selective plans
+// (constant seeds), fork-join for index-vertex seeds on a multi-node
+// cluster, and fork-join for everything when RDMA is off (§5, Table 5).
+func (e *Engine) modeFor(p *plan.Plan) exec.Mode {
+	if e.cfg.ForceForkJoin || !e.fab.RDMA() {
+		return exec.ForkJoin
+	}
+	if e.cfg.Nodes > 1 {
+		if len(p.Steps) > 0 && p.Steps[0].Kind == plan.SeedIndex {
+			return exec.ForkJoin
+		}
+		for _, bp := range p.Unions {
+			if len(bp.Steps) > 0 && bp.Steps[0].Kind == plan.SeedIndex {
+				return exec.ForkJoin
+			}
+		}
+	}
+	return exec.InPlace
+}
+
+// providerFor builds the access provider for a query executing with windows
+// ending at `at`: stored patterns read the stable snapshot, stream patterns
+// read their window via the stream index and transient store.
+func (e *Engine) providerFor(q *sparql.Query, at rdf.Timestamp) exec.Provider {
+	prov := &accessProvider{
+		stored: exec.StoredAccess{Store: e.stored, SN: e.coord.StableSN()},
+		byName: make(map[string]exec.WindowAccess),
+	}
+	for _, w := range q.Windows {
+		st, ok := e.streamOf(w.Stream)
+		if !ok {
+			continue // Validate/Register already rejected unknown streams
+		}
+		qw := queryWindow{state: st, rangeMS: w.Range.Milliseconds(), stepMS: w.Step.Milliseconds()}
+		prov.byName[w.Stream] = exec.WindowAccess{
+			Store:      e.stored,
+			Index:      st.index,
+			Transients: st.trans,
+			From:       qw.fromBatch(at),
+			To:         qw.toBatch(at),
+		}
+	}
+	return prov
+}
+
+// accessProvider implements exec.Provider for the engine.
+type accessProvider struct {
+	stored exec.StoredAccess
+	byName map[string]exec.WindowAccess
+}
+
+func (p *accessProvider) Access(g sparql.GraphRef) (exec.Access, error) {
+	if g.Kind != sparql.StreamGraph {
+		return p.stored, nil
+	}
+	w, ok := p.byName[g.Name]
+	if !ok {
+		return nil, fmt.Errorf("core: pattern references unknown stream %q", g.Name)
+	}
+	return w, nil
+}
+
+// statsFor builds a per-query planner statistics adapter: predicate
+// cardinalities from the store, window fractions from stream density.
+func (e *Engine) statsFor(q *sparql.Query) plan.StatsProvider {
+	return &statsAdapter{e: e, q: q}
+}
+
+type statsAdapter struct {
+	e *Engine
+	q *sparql.Query
+}
+
+func (s *statsAdapter) PredStats(pid rdf.ID) (int64, int64, int64) {
+	return s.e.stored.Stats(pid)
+}
+
+func (s *statsAdapter) WindowFraction(g sparql.GraphRef) float64 {
+	if g.Kind != sparql.StreamGraph {
+		return 1
+	}
+	w, ok := s.q.Window(g.Name)
+	if !ok {
+		return 1
+	}
+	st, ok := s.e.streamOf(g.Name)
+	if !ok {
+		return 1
+	}
+	batches := float64(w.Range.Milliseconds()) / float64(st.src.Interval().Milliseconds())
+	winTuples := st.avgTuplesPerBatch() * math.Max(batches, 1)
+	total := float64(s.e.stored.Memory().Values) / 2 // values count both directions
+	if total < 1 {
+		total = 1
+	}
+	f := winTuples / total
+	if f > 1 {
+		return 1
+	}
+	if f < 1e-9 {
+		return 1e-9
+	}
+	return f
+}

@@ -1,0 +1,206 @@
+package exec
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/rdf"
+	"repro/internal/sindex"
+	"repro/internal/sparql"
+	"repro/internal/store"
+	"repro/internal/tstore"
+)
+
+// Access provides a pattern's data. Implementations charge the fabric for
+// remote operations, so the executor stays oblivious to network pricing.
+type Access interface {
+	// Neighbors returns vid's pid-neighbors in direction d, as visible to
+	// this access path, on behalf of a worker on node from.
+	Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir) []rdf.ID
+	// Candidates enumerates all vertices carrying a pid edge in direction d
+	// (the index-vertex read), gathering every node's partition.
+	Candidates(from fabric.NodeID, pid rdf.ID, d store.Dir) []rdf.ID
+	// LocalCandidates returns only node n's partition of the index vertex;
+	// fork-join seeding scans each partition on its own node.
+	LocalCandidates(n fabric.NodeID, pid rdf.ID, d store.Dir) []rdf.ID
+}
+
+// Provider maps a pattern's graph scope to its Access.
+type Provider interface {
+	Access(g sparql.GraphRef) (Access, error)
+}
+
+// StoredAccess reads the persistent store at a fixed snapshot. One-shot
+// queries use Stable_SN; continuous queries touching stored patterns use the
+// stable snapshot current at trigger time.
+type StoredAccess struct {
+	Store *store.Sharded
+	SN    uint32
+}
+
+// Neighbors implements Access via a snapshot read (two one-sided reads when
+// remote: key lookup + value).
+func (a StoredAccess) Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir) []rdf.ID {
+	return a.Store.Read(from, store.EdgeKey(vid, pid, d), a.SN)
+}
+
+// Candidates gathers every node's index-vertex partition.
+func (a StoredAccess) Candidates(from fabric.NodeID, pid rdf.ID, d store.Dir) []rdf.ID {
+	var out []rdf.ID
+	for n := 0; n < a.Store.Fabric().Nodes(); n++ {
+		vals := a.Store.ReadLocalIndex(fabric.NodeID(n), pid, d, a.SN)
+		if fabric.NodeID(n) != from {
+			a.Store.Fabric().ReadRemote(from, fabric.NodeID(n), 16)
+			a.Store.Fabric().ReadRemote(from, fabric.NodeID(n), 8*len(vals))
+		}
+		out = append(out, vals...)
+	}
+	return out
+}
+
+// LocalCandidates returns node n's index partition (a local read).
+func (a StoredAccess) LocalCandidates(n fabric.NodeID, pid rdf.ID, d store.Dir) []rdf.ID {
+	return a.Store.ReadLocalIndex(n, pid, d, a.SN)
+}
+
+// WindowAccess reads one stream's window: timeless data through the stream
+// index into the persistent store, timing data from the per-node transient
+// stores. The window is the batch range [From, To].
+type WindowAccess struct {
+	Store      *store.Sharded
+	Index      *sindex.Index
+	Transients []*tstore.Store // per node; nil entries mean "no timing data"
+	From, To   tstore.BatchID
+}
+
+// indexLookup charges one extra one-sided read when the stream index is not
+// replicated on the reading node (§4.2: a partitioned stream index incurs an
+// additional RDMA read).
+func (a WindowAccess) indexLookup(from fabric.NodeID, key store.Key) []store.Span {
+	spans := a.Index.Lookup(key, a.From, a.To)
+	if !a.Index.ReplicatedOn(from) {
+		home := a.Store.HomeOf(key.Vid)
+		if home != from {
+			a.Store.Fabric().ReadRemote(from, home, 16)
+		}
+	}
+	return spans
+}
+
+// Neighbors implements Access: stream-index spans give direct value reads
+// (one one-sided read each when remote); timing data comes from the home
+// node's transient store.
+func (a WindowAccess) Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir) []rdf.ID {
+	key := store.EdgeKey(vid, pid, d)
+	var out []rdf.ID
+	for _, sp := range a.indexLookup(from, key) {
+		out = append(out, a.Store.ReadSpan(from, key, sp)...)
+	}
+	home := a.Store.HomeOf(vid)
+	if ts := a.Transients[home]; ts != nil {
+		vals := ts.Get(key, a.From, a.To)
+		if home != from && len(vals) > 0 {
+			a.Store.Fabric().ReadRemote(from, home, 8*len(vals))
+		}
+		out = append(out, vals...)
+	}
+	return out
+}
+
+// Candidates enumerates the window's vertices carrying a pid edge in
+// direction d by scanning the stream index's edge keys — the stream index IS
+// the index for window data (§4.2), so no persistent-store index vertex is
+// consulted (which would also see data outside the window, and would miss
+// vertices the store already knew).
+func (a WindowAccess) Candidates(from fabric.NodeID, pid rdf.ID, d store.Dir) []rdf.ID {
+	if !a.Index.ReplicatedOn(from) {
+		// Remote stream index: one lookup read against its home.
+		a.Store.Fabric().ReadRemote(from, a.Index.Replicas()[0], 16)
+	}
+	out := a.Index.Vertices(pid, d, a.From, a.To)
+	// Timing data: scan each node's transient window for this predicate.
+	var seen map[rdf.ID]bool
+	for n, ts := range a.Transients {
+		if ts == nil {
+			continue
+		}
+		cands := transientCandidates(ts, pid, d, a.From, a.To)
+		if len(cands) == 0 {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[rdf.ID]bool, len(out))
+			for _, v := range out {
+				seen[v] = true
+			}
+		}
+		for _, v := range cands {
+			if !seen[v] {
+				seen[v] = true
+				if fabric.NodeID(n) != from {
+					a.Store.Fabric().ReadRemote(from, fabric.NodeID(n), 8)
+				}
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// LocalCandidates returns node n's share of the window candidates: the
+// vertices homed on n.
+func (a WindowAccess) LocalCandidates(n fabric.NodeID, pid rdf.ID, d store.Dir) []rdf.ID {
+	var out []rdf.ID
+	seen := make(map[rdf.ID]bool)
+	for _, v := range a.Index.Vertices(pid, d, a.From, a.To) {
+		if a.Store.HomeOf(v) == n {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	if ts := a.Transients[n]; ts != nil {
+		for _, v := range transientCandidates(ts, pid, d, a.From, a.To) {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// transientCandidates scans a transient store's window for vertices with a
+// pid edge in direction d.
+func transientCandidates(ts *tstore.Store, pid rdf.ID, d store.Dir, from, to tstore.BatchID) []rdf.ID {
+	return ts.ScanVertices(pid, d, from, to)
+}
+
+// UnionAccess merges several access paths (a query window plus timeless data
+// already absorbed, or multiple streams feeding one scope). Not used by the
+// standard engine but available to baselines.
+type UnionAccess []Access
+
+// Neighbors unions the underlying accesses' neighbor lists.
+func (u UnionAccess) Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir) []rdf.ID {
+	var out []rdf.ID
+	for _, a := range u {
+		out = append(out, a.Neighbors(from, vid, pid, d)...)
+	}
+	return out
+}
+
+// Candidates unions the underlying accesses' candidates.
+func (u UnionAccess) Candidates(from fabric.NodeID, pid rdf.ID, d store.Dir) []rdf.ID {
+	var out []rdf.ID
+	for _, a := range u {
+		out = append(out, a.Candidates(from, pid, d)...)
+	}
+	return out
+}
+
+// LocalCandidates unions the underlying accesses' local candidates.
+func (u UnionAccess) LocalCandidates(n fabric.NodeID, pid rdf.ID, d store.Dir) []rdf.ID {
+	var out []rdf.ID
+	for _, a := range u {
+		out = append(out, a.LocalCandidates(n, pid, d)...)
+	}
+	return out
+}

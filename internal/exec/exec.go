@@ -1,0 +1,747 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/plan"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Mode selects the execution strategy.
+type Mode uint8
+
+const (
+	// InPlace runs the whole plan on one node; remote data arrives via
+	// one-sided reads.
+	InPlace Mode = iota
+	// ForkJoin scatters expansion steps to data home nodes and gathers.
+	ForkJoin
+)
+
+func (m Mode) String() string {
+	if m == InPlace {
+		return "in-place"
+	}
+	return "fork-join"
+}
+
+// TermResolver resolves FILTER operand terms and numeric values. The string
+// server implements it.
+type TermResolver interface {
+	LookupEntity(t rdf.Term) (rdf.ID, bool)
+	Numeric(id rdf.ID) (float64, bool)
+}
+
+// Request configures one query execution.
+type Request struct {
+	Node     fabric.NodeID // the node the query runs on (its engine's home)
+	Mode     Mode
+	Access   Provider
+	Resolver TermResolver
+	// ForkThreshold is the minimum table size that triggers scatter/gather
+	// in ForkJoin mode (default 32).
+	ForkThreshold int
+	// SimulateParallel makes fork-join stages execute their per-node
+	// branches sequentially while reporting critical-path latency
+	// (sequential parts + the slowest branch): on a single host this is
+	// the wall time an N-node cluster would observe. The engine enables it;
+	// leave false to measure raw single-host wall time.
+	SimulateParallel bool
+
+	savings *atomic.Int64 // accumulated (sum - max) branch time
+}
+
+// StepTrace records one step's contribution, for the Fig. 4-style breakdown.
+type StepTrace struct {
+	Step    string
+	Rows    int
+	Elapsed time.Duration
+}
+
+// Trace is the per-step execution record.
+type Trace struct {
+	Steps []StepTrace
+	// Total is the query's latency. With SimulateParallel it is the
+	// critical-path time (wall minus the time parallel branches would have
+	// overlapped on a real cluster); otherwise it equals Wall.
+	Total time.Duration
+	// Wall is the raw single-host wall time.
+	Wall time.Duration
+}
+
+// Executor runs compiled plans on a cluster.
+type Executor struct {
+	cluster *fabric.Cluster
+}
+
+// New creates an executor over a cluster.
+func New(c *fabric.Cluster) *Executor { return &Executor{cluster: c} }
+
+// Cluster returns the underlying cluster.
+func (ex *Executor) Cluster() *fabric.Cluster { return ex.cluster }
+
+// Execute runs a plan and projects the query's SELECT clause.
+func (ex *Executor) Execute(req Request, p *plan.Plan) (*ResultSet, *Trace, error) {
+	start := time.Now()
+	trace := &Trace{}
+	if req.ForkThreshold <= 0 {
+		req.ForkThreshold = 32
+	}
+	req.savings = new(atomic.Int64)
+	if p.Empty {
+		trace.Total = time.Since(start)
+		trace.Wall = trace.Total
+		return emptyResult(p.Query), trace, nil
+	}
+	if len(p.Unions) > 0 {
+		return ex.executeUnion(req, p, start, trace)
+	}
+	tbl := &Table{Rows: [][]rdf.ID{{}}} // one empty row: the unit seed
+	for _, st := range p.Steps {
+		stepStart := time.Now()
+		var err error
+		tbl, err = ex.applyStep(req, st, tbl)
+		if err != nil {
+			return nil, trace, err
+		}
+		trace.Steps = append(trace.Steps, StepTrace{
+			Step:    st.String(),
+			Rows:    len(tbl.Rows),
+			Elapsed: time.Since(stepStart),
+		})
+		if len(tbl.Rows) == 0 {
+			// No bindings survive: the result is empty regardless of the
+			// remaining steps (which may bind the projected variables).
+			trace.Wall = time.Since(start)
+			trace.Total = trace.Wall - time.Duration(req.savings.Load())
+			return emptyResult(p.Query), trace, nil
+		}
+	}
+	for _, og := range p.Optionals {
+		var err error
+		tbl, err = ex.applyOptional(req, og, tbl)
+		if err != nil {
+			return nil, trace, err
+		}
+	}
+	for _, f := range p.PostFilters {
+		var err error
+		tbl, err = applyFilter(req.Resolver, f, tbl)
+		if err != nil {
+			return nil, trace, err
+		}
+	}
+	rs, err := Project(p.Query, tbl, req.Resolver)
+	trace.Wall = time.Since(start)
+	trace.Total = trace.Wall - time.Duration(req.savings.Load())
+	if trace.Total < 0 {
+		trace.Total = 0
+	}
+	return rs, trace, err
+}
+
+// executeUnion runs each UNION branch and unions the projected rows, then
+// applies the top query's DISTINCT and solution modifiers once.
+func (ex *Executor) executeUnion(req Request, p *plan.Plan, start time.Time, trace *Trace) (*ResultSet, *Trace, error) {
+	out := emptyResult(p.Query)
+	var seen map[string]bool
+	if p.Query.Distinct {
+		seen = make(map[string]bool)
+	}
+	for _, bp := range p.Unions {
+		rs, btr, err := ex.Execute(req, bp)
+		if err != nil {
+			return nil, trace, err
+		}
+		trace.Steps = append(trace.Steps, btr.Steps...)
+		for _, row := range rs.Rows {
+			if seen != nil {
+				k := rowKeyVals(row)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	out = applyModifiers(p.Query, out, req.Resolver)
+	trace.Wall = time.Since(start)
+	trace.Total = trace.Wall - time.Duration(req.savings.Load())
+	if trace.Total < 0 {
+		trace.Total = 0
+	}
+	return out, trace, nil
+}
+
+// Unbound is the sentinel cell value for variables an OPTIONAL group left
+// unbound (entity IDs start at 1, so 0 is free).
+const Unbound rdf.ID = 0
+
+// PredTagBit marks a result cell as holding a predicate-space ID (bound by
+// a variable-predicate pattern). Entity IDs are 46-bit, so the bit never
+// collides.
+const PredTagBit rdf.ID = 1 << 62
+
+// TagPred marks a predicate ID for storage in a binding cell.
+func TagPred(pid rdf.ID) rdf.ID { return pid | PredTagBit }
+
+// UntagPred recovers a predicate ID from a tagged cell; ok is false if the
+// cell holds an entity.
+func UntagPred(id rdf.ID) (rdf.ID, bool) {
+	if id&PredTagBit == 0 {
+		return 0, false
+	}
+	return id &^ PredTagBit, true
+}
+
+// applyOptional left-joins one OPTIONAL group: each solution row either
+// extends with the group's matches or keeps its bindings with the group's
+// new variables unbound.
+func (ex *Executor) applyOptional(req Request, og plan.OptionalSteps, tbl *Table) (*Table, error) {
+	var newVars []string
+	for _, v := range og.Vars {
+		if tbl.Col(v) < 0 {
+			newVars = append(newVars, v)
+		}
+	}
+	out := &Table{Vars: append(append([]string(nil), tbl.Vars...), newVars...)}
+	pad := func(row []rdf.ID) {
+		nr := make([]rdf.ID, len(out.Vars))
+		copy(nr, row)
+		// Remaining cells stay 0 == Unbound.
+		out.Rows = append(out.Rows, nr)
+	}
+	if og.Never || len(og.Steps) == 0 {
+		for _, row := range tbl.Rows {
+			pad(row)
+		}
+		return out, nil
+	}
+	for _, row := range tbl.Rows {
+		sub := &Table{Vars: tbl.Vars, Rows: [][]rdf.ID{row}}
+		res, err := ex.ApplySteps(req, og.Steps, sub)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Rows) == 0 {
+			pad(row)
+			continue
+		}
+		cols := make([]int, len(newVars))
+		for i, v := range newVars {
+			cols[i] = res.Col(v)
+		}
+		for _, rr := range res.Rows {
+			nr := make([]rdf.ID, len(out.Vars))
+			copy(nr, rr[:len(tbl.Vars)])
+			for i, c := range cols {
+				if c >= 0 {
+					nr[len(tbl.Vars)+i] = rr[c]
+				}
+			}
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	return out, nil
+}
+
+// ApplySteps runs plan steps over an existing binding table and returns the
+// extended table. The composite baseline uses this to hand its stream
+// processor's intermediate results to the Wukong sub-component ("embedding
+// all tuples into a single query", §2.3 footnote).
+func (ex *Executor) ApplySteps(req Request, steps []plan.Step, tbl *Table) (*Table, error) {
+	if req.ForkThreshold <= 0 {
+		req.ForkThreshold = 32
+	}
+	for _, st := range steps {
+		var err error
+		tbl, err = ex.applyStep(req, st, tbl)
+		if err != nil {
+			return nil, err
+		}
+		if len(tbl.Rows) == 0 {
+			return tbl, nil
+		}
+	}
+	return tbl, nil
+}
+
+func emptyResult(q *sparql.Query) *ResultSet {
+	rs := &ResultSet{}
+	for _, pr := range q.Select {
+		rs.Vars = append(rs.Vars, pr.As)
+	}
+	return rs
+}
+
+func (ex *Executor) applyStep(req Request, st plan.Step, tbl *Table) (*Table, error) {
+	if st.Kind == plan.Filter {
+		return applyFilter(req.Resolver, st.Expr, tbl)
+	}
+	acc, err := req.Access.Access(st.Graph)
+	if err != nil {
+		return nil, err
+	}
+	switch st.Kind {
+	case plan.SeedConst, plan.SeedIndex:
+		return ex.applySeed(req, acc, st, tbl)
+	case plan.Expand, plan.Check:
+		return ex.applyTraversal(req, acc, st, tbl)
+	default:
+		return nil, fmt.Errorf("exec: unknown step kind %v", st.Kind)
+	}
+}
+
+// applySeed seeds bindings from a constant or an index vertex and expands
+// the seeding pattern. A non-empty incoming table (disconnected pattern
+// groups) gets the cartesian product.
+func (ex *Executor) applySeed(req Request, acc Access, st plan.Step, tbl *Table) (*Table, error) {
+	var seeds []rdf.ID
+	switch st.Kind {
+	case plan.SeedConst:
+		seeds = []rdf.ID{st.From.Const}
+	case plan.SeedIndex:
+		if req.Mode == ForkJoin {
+			return ex.forkJoinIndexSeed(req, acc, st, tbl)
+		}
+		seeds = acc.Candidates(req.Node, st.Pid, st.Dir)
+	}
+	pairs := expandSeeds(acc, req.Node, seeds, st)
+	return crossBind(tbl, st, pairs), nil
+}
+
+// pair is one (from, to) edge produced by expanding a seed.
+type pair struct{ from, to rdf.ID }
+
+// expandSeeds follows the seeding pattern's edges for every seed.
+func expandSeeds(acc Access, node fabric.NodeID, seeds []rdf.ID, st plan.Step) []pair {
+	var out []pair
+	for _, s := range seeds {
+		for _, n := range acc.Neighbors(node, s, st.Pid, st.Dir) {
+			if !st.To.IsVar() && n != st.To.Const {
+				continue
+			}
+			out = append(out, pair{from: s, to: n})
+		}
+	}
+	return out
+}
+
+// crossBind attaches seed pairs to the incoming table (cartesian product —
+// the incoming table is the unit seed in the common case).
+func crossBind(tbl *Table, st plan.Step, pairs []pair) *Table {
+	out := &Table{Vars: append([]string(nil), tbl.Vars...)}
+	fromCol, toCol := -1, -1
+	if st.From.IsVar() {
+		fromCol = len(out.Vars)
+		out.Vars = append(out.Vars, st.From.Var)
+	}
+	if st.To.IsVar() && st.To.Var != st.From.Var {
+		toCol = len(out.Vars)
+		out.Vars = append(out.Vars, st.To.Var)
+	}
+	for _, row := range tbl.Rows {
+		for _, pr := range pairs {
+			if st.To.IsVar() && st.To.Var == st.From.Var && pr.from != pr.to {
+				continue // ?x p ?x self-loop pattern
+			}
+			nr := make([]rdf.ID, len(out.Vars))
+			copy(nr, row)
+			if fromCol >= 0 {
+				nr[fromCol] = pr.from
+			}
+			if toCol >= 0 {
+				nr[toCol] = pr.to
+			}
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	return out
+}
+
+// forkJoinIndexSeed runs an index seed fork-join style: the candidate set
+// is read once (index vertices / stream index), partitioned by home node,
+// and each node expands its own partition in parallel against local data.
+// Sub-tasks run on their own goroutines rather than cluster worker queues:
+// a worker executing the query must not block waiting for siblings that
+// cannot be scheduled (the fork-join charges the scatter and gather
+// messages explicitly instead).
+func (ex *Executor) forkJoinIndexSeed(req Request, acc Access, st plan.Step, tbl *Table) (*Table, error) {
+	fab := ex.cluster.Fabric()
+	seeds := acc.Candidates(req.Node, st.Pid, st.Dir)
+	parts := make([][]rdf.ID, ex.cluster.Nodes())
+	for _, s := range seeds {
+		home := fab.HomeOf(uint64(s))
+		parts[home] = append(parts[home], s)
+	}
+	results := make([][]pair, ex.cluster.Nodes())
+	runBranches(req, ex.cluster.Nodes(), func(i int) bool { return len(parts[i]) > 0 },
+		func(i int) {
+			n := fabric.NodeID(i)
+			results[n] = expandSeeds(acc, n, parts[n], st)
+			fab.RPC(req.Node, n, 8*len(parts[n]), 16*len(results[n]))
+		})
+	var pairs []pair
+	for _, p := range results {
+		pairs = append(pairs, p...)
+	}
+	return crossBind(tbl, st, pairs), nil
+}
+
+// runBranches executes per-node fork-join branches: concurrently by
+// default, or sequentially-measured under SimulateParallel, crediting the
+// overlap (sum - max) to the request's savings so reported latency is the
+// critical path.
+func runBranches(req Request, n int, active func(i int) bool, branch func(i int)) {
+	if req.SimulateParallel {
+		var sum, max time.Duration
+		for i := 0; i < n; i++ {
+			if !active(i) {
+				continue
+			}
+			t0 := time.Now()
+			branch(i)
+			d := time.Since(t0)
+			sum += d
+			if d > max {
+				max = d
+			}
+		}
+		if req.savings != nil {
+			req.savings.Add(int64(sum - max))
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if !active(i) {
+			continue
+		}
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			branch(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// applyTraversal handles Expand and Check steps, scattering in ForkJoin mode
+// when the table is large enough to amortize the round trips.
+func (ex *Executor) applyTraversal(req Request, acc Access, st plan.Step, tbl *Table) (*Table, error) {
+	if req.Mode == ForkJoin && len(tbl.Rows) >= req.ForkThreshold && st.From.IsVar() {
+		return ex.forkJoinTraversal(req, acc, st, tbl)
+	}
+	return traverse(acc, req.Node, st, tbl)
+}
+
+// traverse applies an Expand/Check step to the whole table on one node.
+func traverse(acc Access, node fabric.NodeID, st plan.Step, tbl *Table) (*Table, error) {
+	if st.PVar != "" {
+		return traverseVarPred(acc, node, st, tbl)
+	}
+	fromCol := -1
+	if st.From.IsVar() {
+		fromCol = tbl.Col(st.From.Var)
+		if fromCol < 0 {
+			return nil, fmt.Errorf("exec: step %s references unbound ?%s", st, st.From.Var)
+		}
+	}
+	toCol := -1
+	newVar := false
+	if st.To.IsVar() {
+		toCol = tbl.Col(st.To.Var)
+		newVar = toCol < 0
+	}
+	out := &Table{Vars: tbl.Vars}
+	if newVar {
+		out.Vars = append(append([]string(nil), tbl.Vars...), st.To.Var)
+	}
+	for _, row := range tbl.Rows {
+		from := st.From.Const
+		if fromCol >= 0 {
+			from = row[fromCol]
+		}
+		ns := acc.Neighbors(node, from, st.Pid, st.Dir)
+		switch {
+		case newVar: // Expand
+			for _, n := range ns {
+				nr := make([]rdf.ID, len(row)+1)
+				copy(nr, row)
+				nr[len(row)] = n
+				out.Rows = append(out.Rows, nr)
+			}
+		default: // Check against bound var or constant
+			want := st.To.Const
+			if toCol >= 0 {
+				want = row[toCol]
+			}
+			for _, n := range ns {
+				if n == want {
+					out.Rows = append(out.Rows, row)
+					break
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// traverseVarPred applies a variable-predicate step: for each row it reads
+// the origin's predicate index ([vid|0|dir], Wukong's per-vertex predicate
+// list), then expands each predicate, binding the predicate variable to a
+// tagged predicate ID.
+func traverseVarPred(acc Access, node fabric.NodeID, st plan.Step, tbl *Table) (*Table, error) {
+	fromCol := -1
+	if st.From.IsVar() {
+		fromCol = tbl.Col(st.From.Var)
+		if fromCol < 0 {
+			return nil, fmt.Errorf("exec: step %s references unbound ?%s", st, st.From.Var)
+		}
+	}
+	pvCol := tbl.Col(st.PVar)
+	toCol := -1
+	newTo := false
+	if st.To.IsVar() {
+		toCol = tbl.Col(st.To.Var)
+		newTo = toCol < 0
+	}
+	out := &Table{Vars: append([]string(nil), tbl.Vars...)}
+	newPV := pvCol < 0
+	outPVCol := pvCol
+	if newPV {
+		outPVCol = len(out.Vars)
+		out.Vars = append(out.Vars, st.PVar)
+	}
+	outToCol := toCol
+	if newTo {
+		outToCol = len(out.Vars)
+		out.Vars = append(out.Vars, st.To.Var)
+	}
+	for _, row := range tbl.Rows {
+		from := st.From.Const
+		if fromCol >= 0 {
+			from = row[fromCol]
+		}
+		var preds []rdf.ID
+		if pvCol >= 0 {
+			// The predicate variable is already bound: restrict to it.
+			if pid, ok := UntagPred(row[pvCol]); ok {
+				preds = []rdf.ID{pid}
+			}
+		} else {
+			preds = acc.Neighbors(node, from, 0, st.Dir) // predicate index
+		}
+		for _, pid := range preds {
+			for _, n := range acc.Neighbors(node, from, pid, st.Dir) {
+				switch {
+				case newTo:
+					// fall through to emit
+				case st.To.IsVar():
+					if n != row[toCol] {
+						continue
+					}
+				default:
+					if n != st.To.Const {
+						continue
+					}
+				}
+				nr := make([]rdf.ID, len(out.Vars))
+				copy(nr, row)
+				if newPV {
+					nr[outPVCol] = TagPred(pid)
+				}
+				if newTo {
+					nr[outToCol] = n
+				}
+				out.Rows = append(out.Rows, nr)
+			}
+		}
+	}
+	return out, nil
+}
+
+// forkJoinTraversal partitions rows by the home node of their traversal
+// origin, ships each partition to its node, applies the step locally in
+// parallel, and gathers the partial tables.
+func (ex *Executor) forkJoinTraversal(req Request, acc Access, st plan.Step, tbl *Table) (*Table, error) {
+	fromCol := tbl.Col(st.From.Var)
+	if fromCol < 0 {
+		return nil, fmt.Errorf("exec: step %s references unbound ?%s", st, st.From.Var)
+	}
+	fab := ex.cluster.Fabric()
+	parts := make([]*Table, ex.cluster.Nodes())
+	for n := range parts {
+		parts[n] = &Table{Vars: tbl.Vars}
+	}
+	for _, row := range tbl.Rows {
+		home := fab.HomeOf(uint64(row[fromCol]))
+		parts[home].Rows = append(parts[home].Rows, row)
+	}
+	results := make([]*Table, ex.cluster.Nodes())
+	errs := make([]error, ex.cluster.Nodes())
+	runBranches(req, ex.cluster.Nodes(),
+		func(i int) bool { return len(parts[i].Rows) > 0 },
+		func(i int) {
+			n := fabric.NodeID(i)
+			res, err := traverse(acc, n, st, parts[n])
+			results[n], errs[n] = res, err
+			// Scatter (rows out) and gather (rows back) messages.
+			if err == nil {
+				fab.RPC(req.Node, n, parts[n].ByteSize(), res.ByteSize())
+			}
+		})
+	out := &Table{Vars: tbl.Vars}
+	if st.To.IsVar() && tbl.Col(st.To.Var) < 0 {
+		out.Vars = append(append([]string(nil), tbl.Vars...), st.To.Var)
+	}
+	for n, res := range results {
+		if errs[n] != nil {
+			return nil, errs[n]
+		}
+		if res != nil {
+			out.Rows = append(out.Rows, res.Rows...)
+		}
+	}
+	return out, nil
+}
+
+// applyFilter keeps rows satisfying the expression.
+func applyFilter(res TermResolver, expr sparql.Expr, tbl *Table) (*Table, error) {
+	out := &Table{Vars: tbl.Vars}
+	for _, row := range tbl.Rows {
+		ok, err := evalExpr(res, expr, tbl, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// EvalFilterExpr evaluates a FILTER expression against one row of a binding
+// table. Exported for the baseline engines, which share SPARQL filter
+// semantics with the executor.
+func EvalFilterExpr(res TermResolver, expr sparql.Expr, tbl *Table, row []rdf.ID) (bool, error) {
+	return evalExpr(res, expr, tbl, row)
+}
+
+func evalExpr(res TermResolver, expr sparql.Expr, tbl *Table, row []rdf.ID) (bool, error) {
+	switch e := expr.(type) {
+	case sparql.Cmp:
+		return evalCmp(res, e, tbl, row)
+	case sparql.And:
+		for _, sub := range e.Exprs {
+			ok, err := evalExpr(res, sub, tbl, row)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case sparql.Or:
+		for _, sub := range e.Exprs {
+			ok, err := evalExpr(res, sub, tbl, row)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case sparql.Not:
+		ok, err := evalExpr(res, e.Expr, tbl, row)
+		return !ok, err
+	default:
+		return false, fmt.Errorf("exec: unsupported filter expression %T", expr)
+	}
+}
+
+// operandValue resolves an operand against a row: an optional entity ID and
+// an optional numeric value. A variable holding the Unbound sentinel (an
+// OPTIONAL group that did not match) resolves to nothing, so comparisons
+// involving it evaluate false (SPARQL's type-error semantics).
+func operandValue(res TermResolver, o sparql.Operand, tbl *Table, row []rdf.ID) (id rdf.ID, hasID bool, num float64, hasNum bool) {
+	if o.IsVar {
+		col := tbl.Col(o.Var)
+		if col < 0 {
+			return 0, false, 0, false
+		}
+		id = row[col]
+		if id == Unbound {
+			return 0, false, 0, false
+		}
+		num, hasNum = res.Numeric(id)
+		return id, true, num, hasNum
+	}
+	if v, ok := o.Term.Numeric(); ok {
+		num, hasNum = v, true
+	}
+	id, hasID = res.LookupEntity(o.Term)
+	if !hasID && o.Term.IsIRI() {
+		// The constant may denote a predicate (comparisons against
+		// variable-predicate bindings).
+		if pl, ok := res.(interface {
+			LookupPredicate(string) (rdf.ID, bool)
+		}); ok {
+			if pid, ok := pl.LookupPredicate(o.Term.Value); ok {
+				return TagPred(pid), true, num, hasNum
+			}
+		}
+	}
+	return id, hasID, num, hasNum
+}
+
+func evalCmp(res TermResolver, e sparql.Cmp, tbl *Table, row []rdf.ID) (bool, error) {
+	// A comparison over an unbound variable is a SPARQL type error: the
+	// filter rejects the row regardless of the operator.
+	for _, o := range []sparql.Operand{e.LHS, e.RHS} {
+		if o.IsVar {
+			if col := tbl.Col(o.Var); col >= 0 && row[col] == Unbound {
+				return false, nil
+			}
+		}
+	}
+	lid, lok, lnum, lnumOK := operandValue(res, e.LHS, tbl, row)
+	rid, rok, rnum, rnumOK := operandValue(res, e.RHS, tbl, row)
+	switch e.Op {
+	case sparql.OpEQ, sparql.OpNE:
+		var eq bool
+		switch {
+		case lnumOK && rnumOK:
+			eq = lnum == rnum
+		case lok && rok:
+			eq = lid == rid
+		default:
+			eq = false // an unknown constant denotes a term equal to nothing here
+		}
+		if e.Op == sparql.OpNE {
+			return !eq, nil
+		}
+		return eq, nil
+	default:
+		if !lnumOK || !rnumOK {
+			return false, nil // SPARQL type error → filter rejects the row
+		}
+		switch e.Op {
+		case sparql.OpLT:
+			return lnum < rnum, nil
+		case sparql.OpLE:
+			return lnum <= rnum, nil
+		case sparql.OpGT:
+			return lnum > rnum, nil
+		case sparql.OpGE:
+			return lnum >= rnum, nil
+		}
+	}
+	return false, fmt.Errorf("exec: unknown comparison op %v", e.Op)
+}

@@ -1,0 +1,120 @@
+package fabric
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cluster layers per-node worker pools over a Fabric. Each logical node binds
+// a fixed number of worker goroutines (the paper binds a worker thread per
+// core) to a task queue; queries and injection work are submitted to a node
+// and executed by one of its workers. Fork-join execution scatters sub-tasks
+// to all nodes and gathers results.
+type Cluster struct {
+	fabric  *Fabric
+	queues  []chan func()
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	pending atomic.Int64
+	idle    chan struct{}
+}
+
+// NewCluster starts workersPerNode workers on each fabric node.
+func NewCluster(f *Fabric, workersPerNode int) *Cluster {
+	if workersPerNode < 1 {
+		panic("fabric: cluster requires at least one worker per node")
+	}
+	c := &Cluster{
+		fabric: f,
+		queues: make([]chan func(), f.Nodes()),
+		idle:   make(chan struct{}, 1),
+	}
+	for n := range c.queues {
+		// Generous buffering: the logical task queue per node (§3) absorbs
+		// bursts of concurrent query registrations and injections.
+		c.queues[n] = make(chan func(), 4096)
+		for w := 0; w < workersPerNode; w++ {
+			c.wg.Add(1)
+			go c.worker(c.queues[n])
+		}
+	}
+	return c
+}
+
+// Fabric returns the underlying fabric.
+func (c *Cluster) Fabric() *Fabric { return c.fabric }
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return c.fabric.Nodes() }
+
+func (c *Cluster) worker(q chan func()) {
+	defer c.wg.Done()
+	for task := range q {
+		task()
+		if c.pending.Add(-1) == 0 {
+			select {
+			case c.idle <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// Submit enqueues a task on node n's queue. It panics after Close — work
+// submitted to a stopped cluster would be silently lost otherwise.
+func (c *Cluster) Submit(n NodeID, task func()) {
+	if c.closed.Load() {
+		panic("fabric: Submit on closed cluster")
+	}
+	c.pending.Add(1)
+	c.queues[n] <- task
+}
+
+// Call runs fn on node `to` from node `from` as a synchronous RPC, charging
+// the two-sided message cost for reqBytes out and fn's returned respBytes
+// back. fn executes on one of the target node's workers.
+func (c *Cluster) Call(from, to NodeID, reqBytes int, fn func() (respBytes int)) {
+	done := make(chan int, 1)
+	c.Submit(to, func() { done <- fn() })
+	resp := <-done
+	c.fabric.RPC(from, to, reqBytes, resp)
+}
+
+// ForkJoin runs fn(node) on every node concurrently and waits for all to
+// finish, charging one scatter and one gather RPC per remote node. Each fn
+// returns the size in bytes of its partial result, which prices the gather.
+// The paper uses this mode for non-selective queries and for non-RDMA
+// networks (§5, Table 5).
+func (c *Cluster) ForkJoin(from NodeID, reqBytes int, fn func(n NodeID) (respBytes int)) {
+	var wg sync.WaitGroup
+	for n := 0; n < c.Nodes(); n++ {
+		n := NodeID(n)
+		wg.Add(1)
+		c.Submit(n, func() {
+			defer wg.Done()
+			resp := fn(n)
+			c.fabric.RPC(from, n, reqBytes, resp)
+		})
+	}
+	wg.Wait()
+}
+
+// Quiesce blocks until all submitted tasks have completed. Tasks may submit
+// further tasks; Quiesce waits for the closure.
+func (c *Cluster) Quiesce() {
+	for c.pending.Load() != 0 {
+		<-c.idle
+	}
+}
+
+// Close stops all workers after draining queued tasks. Submitting after
+// Close panics.
+func (c *Cluster) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	for _, q := range c.queues {
+		close(q)
+	}
+	c.wg.Wait()
+}

@@ -1,0 +1,295 @@
+package fabric
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with 0 nodes did not panic")
+		}
+	}()
+	New(Config{Nodes: 0})
+}
+
+func TestDefaultLatencyFilledIn(t *testing.T) {
+	f := New(Config{Nodes: 2})
+	if f.Config().Latency == (LatencyModel{}) {
+		t.Error("zero latency model not replaced by default")
+	}
+}
+
+func TestLocalAccessFree(t *testing.T) {
+	f := New(DefaultConfig(4))
+	f.ReadRemote(1, 1, 4096)
+	f.RPC(2, 2, 100, 100)
+	s := f.Stats()
+	if s.RDMAReads != 0 || s.RPCs != 0 || s.BytesRead != 0 {
+		t.Errorf("local access charged: %+v", s)
+	}
+}
+
+func TestRemoteReadCounting(t *testing.T) {
+	f := New(DefaultConfig(4))
+	f.ReadRemote(0, 1, 1024)
+	f.ReadRemote(0, 2, 2048)
+	s := f.Stats()
+	if s.RDMAReads != 2 {
+		t.Errorf("RDMAReads = %d, want 2", s.RDMAReads)
+	}
+	if s.BytesRead != 3072 {
+		t.Errorf("BytesRead = %d, want 3072", s.BytesRead)
+	}
+	if s.ChargedTime <= 0 {
+		t.Error("no latency charged")
+	}
+}
+
+func TestNonRDMAFallsBackToTCP(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.RDMA = false
+	f := New(cfg)
+	f.ReadRemote(0, 1, 100)
+	f.RPC(0, 1, 10, 10)
+	s := f.Stats()
+	if s.RDMAReads != 0 || s.RPCs != 0 {
+		t.Errorf("non-RDMA fabric used RDMA ops: %+v", s)
+	}
+	if s.TCPRounds != 2 {
+		t.Errorf("TCPRounds = %d, want 2", s.TCPRounds)
+	}
+}
+
+func TestNonRDMAChargesMore(t *testing.T) {
+	rdma := New(DefaultConfig(2))
+	cfg := DefaultConfig(2)
+	cfg.RDMA = false
+	tcp := New(cfg)
+	rdma.ReadRemote(0, 1, 512)
+	tcp.ReadRemote(0, 1, 512)
+	if rdma.Stats().ChargedTime >= tcp.Stats().ChargedTime {
+		t.Errorf("RDMA read (%v) should be cheaper than TCP (%v)",
+			rdma.Stats().ChargedTime, tcp.Stats().ChargedTime)
+	}
+}
+
+func TestSpinModeActuallyDelays(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Mode = Spin
+	cfg.Latency.RDMARead = 200 * time.Microsecond
+	f := New(cfg)
+	start := time.Now()
+	f.ReadRemote(0, 1, 64)
+	if d := time.Since(start); d < 150*time.Microsecond {
+		t.Errorf("spin mode returned after %v, want >= ~200µs", d)
+	}
+}
+
+func TestSleepModeDelays(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Mode = Sleep
+	cfg.Latency.RPC = 2 * time.Millisecond
+	f := New(cfg)
+	start := time.Now()
+	f.RPC(0, 1, 1, 1)
+	if d := time.Since(start); d < time.Millisecond {
+		t.Errorf("sleep mode returned after %v", d)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	f := New(DefaultConfig(2))
+	f.ReadRemote(0, 1, 10)
+	f.ResetStats()
+	if s := f.Stats(); s != (Stats{}) {
+		t.Errorf("stats after reset: %+v", s)
+	}
+}
+
+func TestChargeCompute(t *testing.T) {
+	f := New(DefaultConfig(1))
+	f.ChargeCompute(5 * time.Microsecond)
+	if f.Stats().ChargedTime != 5*time.Microsecond {
+		t.Errorf("ChargedTime = %v", f.Stats().ChargedTime)
+	}
+	f.ChargeCompute(-1) // negative charges are ignored
+	if f.Stats().ChargedTime != 5*time.Microsecond {
+		t.Error("negative charge changed stats")
+	}
+}
+
+func TestNodeRangeChecks(t *testing.T) {
+	f := New(DefaultConfig(2))
+	for _, fn := range []func(){
+		func() { f.ReadRemote(0, 2, 1) },
+		func() { f.ReadRemote(-1, 0, 1) },
+		func() { f.RPC(0, 5, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range node did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHomeOfInRangeAndBalanced(t *testing.T) {
+	f := New(DefaultConfig(8))
+	counts := make([]int, 8)
+	const n = 100000
+	for id := uint64(1); id <= n; id++ {
+		h := f.HomeOf(id)
+		if h < 0 || int(h) >= 8 {
+			t.Fatalf("HomeOf(%d) = %d out of range", id, h)
+		}
+		counts[h]++
+	}
+	for node, c := range counts {
+		if c < n/8*7/10 || c > n/8*13/10 {
+			t.Errorf("node %d holds %d of %d ids; poor balance %v", node, c, n, counts)
+		}
+	}
+}
+
+func TestHomeOfDeterministic(t *testing.T) {
+	f := New(DefaultConfig(4))
+	g := New(DefaultConfig(4))
+	prop := func(id uint64) bool { return f.HomeOf(id) == g.HomeOf(id) }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyModeString(t *testing.T) {
+	if Off.String() != "off" || Spin.String() != "spin" || Sleep.String() != "sleep" {
+		t.Error("LatencyMode strings wrong")
+	}
+	if LatencyMode(7).String() != "LatencyMode(7)" {
+		t.Error("unknown mode string wrong")
+	}
+}
+
+func TestClusterSubmitRuns(t *testing.T) {
+	f := New(DefaultConfig(4))
+	c := NewCluster(f, 2)
+	defer c.Close()
+	var count atomic.Int64
+	for n := 0; n < 4; n++ {
+		for i := 0; i < 25; i++ {
+			c.Submit(NodeID(n), func() { count.Add(1) })
+		}
+	}
+	c.Quiesce()
+	if count.Load() != 100 {
+		t.Errorf("ran %d tasks, want 100", count.Load())
+	}
+}
+
+func TestClusterQuiesceWaitsForSpawnedTasks(t *testing.T) {
+	f := New(DefaultConfig(2))
+	c := NewCluster(f, 1)
+	defer c.Close()
+	var count atomic.Int64
+	c.Submit(0, func() {
+		count.Add(1)
+		c.Submit(1, func() {
+			count.Add(1)
+			c.Submit(0, func() { count.Add(1) })
+		})
+	})
+	c.Quiesce()
+	if count.Load() != 3 {
+		t.Errorf("ran %d tasks, want 3 (Quiesce returned early)", count.Load())
+	}
+}
+
+func TestClusterCallChargesRPC(t *testing.T) {
+	f := New(DefaultConfig(2))
+	c := NewCluster(f, 1)
+	defer c.Close()
+	ran := false
+	c.Call(0, 1, 64, func() int { ran = true; return 128 })
+	if !ran {
+		t.Error("Call did not run fn")
+	}
+	if f.Stats().RPCs != 1 {
+		t.Errorf("RPCs = %d, want 1", f.Stats().RPCs)
+	}
+	if f.Stats().BytesRPC != 192 {
+		t.Errorf("BytesRPC = %d, want 192", f.Stats().BytesRPC)
+	}
+}
+
+func TestClusterForkJoin(t *testing.T) {
+	f := New(DefaultConfig(4))
+	c := NewCluster(f, 2)
+	defer c.Close()
+	var mu sync.Mutex
+	seen := make(map[NodeID]bool)
+	c.ForkJoin(0, 32, func(n NodeID) int {
+		mu.Lock()
+		seen[n] = true
+		mu.Unlock()
+		return 16
+	})
+	if len(seen) != 4 {
+		t.Errorf("fork-join visited %d nodes, want 4", len(seen))
+	}
+	// 3 remote nodes charged (node 0 is local).
+	if f.Stats().RPCs != 3 {
+		t.Errorf("RPCs = %d, want 3", f.Stats().RPCs)
+	}
+}
+
+func TestClusterSubmitAfterClosePanics(t *testing.T) {
+	f := New(DefaultConfig(1))
+	c := NewCluster(f, 1)
+	c.Close()
+	c.Close() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Error("Submit after Close did not panic")
+		}
+	}()
+	c.Submit(0, func() {})
+}
+
+func TestClusterWorkerValidation(t *testing.T) {
+	f := New(DefaultConfig(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("0 workers did not panic")
+		}
+	}()
+	NewCluster(f, 0)
+}
+
+func TestClusterConcurrentSubmitters(t *testing.T) {
+	f := New(DefaultConfig(8))
+	c := NewCluster(f, 4)
+	defer c.Close()
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Submit(NodeID((g+i)%8), func() { count.Add(1) })
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.Quiesce()
+	if count.Load() != 16*200 {
+		t.Errorf("ran %d, want %d", count.Load(), 16*200)
+	}
+}

@@ -1,0 +1,165 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+func TestCompileGroupBoundVars(t *testing.T) {
+	env := newFakeEnv()
+	env.ent("Logan")
+	env.pred("fo", 100, 50, 50)
+	env.pred("po", 100, 50, 100)
+	q := sparql.MustParse(`SELECT ?F ?P WHERE { ?F po ?P . Logan fo ?F }`)
+
+	// With ?F pre-bound (carried from a stream stage), the first pattern
+	// extends rather than seeding.
+	steps, empty, err := CompileGroup(q.Patterns, []string{"F"}, env)
+	if err != nil || empty {
+		t.Fatal(err, empty)
+	}
+	if steps[0].Kind != Expand || steps[0].From.Var != "F" {
+		t.Errorf("step 0 = %v", steps[0])
+	}
+	// Second pattern: Logan is const, ?F now bound -> Check.
+	if steps[1].Kind != Check {
+		t.Errorf("step 1 = %v", steps[1])
+	}
+
+	// With nothing bound, the var-var pattern seeds from the index.
+	steps, _, err = CompileGroup(q.Patterns, nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps[0].Kind != SeedIndex {
+		t.Errorf("unbound step 0 = %v", steps[0])
+	}
+}
+
+func TestCompileGroupConstSubject(t *testing.T) {
+	env := newFakeEnv()
+	env.ent("Logan")
+	env.pred("po", 100, 50, 100)
+	q := sparql.MustParse(`SELECT ?P WHERE { Logan po ?P }`)
+	steps, empty, err := CompileGroup(q.Patterns, nil, env)
+	if err != nil || empty {
+		t.Fatal(err, empty)
+	}
+	// Constant endpoints count as bound: an Expand from the constant.
+	if steps[0].Kind != Expand || steps[0].From.Const == 0 || steps[0].Dir != store.Out {
+		t.Errorf("step = %v", steps[0])
+	}
+}
+
+func TestCompileGroupConstObject(t *testing.T) {
+	env := newFakeEnv()
+	env.ent("T-15")
+	env.pred("li", 100, 50, 100)
+	q := sparql.MustParse(`SELECT ?V WHERE { ?V li T-15 }`)
+	steps, _, err := CompileGroup(q.Patterns, nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps[0].Kind != Expand || steps[0].Dir != store.In {
+		t.Errorf("step = %v", steps[0])
+	}
+}
+
+func TestCompileGroupUnknowns(t *testing.T) {
+	env := newFakeEnv()
+	env.pred("po", 10, 5, 5)
+	q := sparql.MustParse(`SELECT ?P WHERE { Ghost po ?P }`)
+	_, empty, err := CompileGroup(q.Patterns, nil, env)
+	if err != nil || !empty {
+		t.Errorf("unknown subject: empty=%v err=%v", empty, err)
+	}
+	q2 := sparql.MustParse(`SELECT ?P WHERE { ?P nopred ?X }`)
+	_, empty, err = CompileGroup(q2.Patterns, nil, env)
+	if err != nil || !empty {
+		t.Errorf("unknown predicate: empty=%v err=%v", empty, err)
+	}
+	env.ent("A")
+	q3 := sparql.MustParse(`SELECT ?S WHERE { ?S po GhostObj }`)
+	_, empty, err = CompileGroup(q3.Patterns, nil, env)
+	if err != nil || !empty {
+		t.Errorf("unknown object: empty=%v err=%v", empty, err)
+	}
+}
+
+func TestSplitConjuncts(t *testing.T) {
+	q := sparql.MustParse(`
+SELECT ?x WHERE {
+  ?x <p> ?v . ?x <q> ?w .
+  FILTER (?v > 1 && (?w < 2 && ?v != 3))
+  FILTER (?v < 9 || ?w > 0)
+}`)
+	got := SplitConjuncts(q.Filters)
+	// The AND tree flattens into 3 conjuncts; the OR stays intact.
+	if len(got) != 4 {
+		t.Fatalf("conjuncts = %d, want 4: %v", len(got), got)
+	}
+	for i, e := range got[:3] {
+		if _, ok := e.(sparql.Cmp); !ok {
+			t.Errorf("conjunct %d = %T, want Cmp", i, e)
+		}
+	}
+	if _, ok := got[3].(sparql.Or); !ok {
+		t.Errorf("conjunct 3 = %T, want Or", got[3])
+	}
+}
+
+func TestCompilePlacesConjunctsIndependently(t *testing.T) {
+	env := newFakeEnv()
+	env.pred("p", 100, 100, 100)
+	env.pred("q", 100, 100, 100)
+	q := sparql.MustParse(`
+SELECT ?a ?b WHERE { ?x <p> ?a . ?y <q> ?b . FILTER (?a > 1 && ?b > 2) }`)
+	p, err := Compile(q, env, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each conjunct must sit immediately after the step binding its var,
+	// i.e. a filter between the two pattern steps.
+	var kinds []StepKind
+	for _, st := range p.Steps {
+		kinds = append(kinds, st.Kind)
+	}
+	filterBetween := false
+	seenPattern := 0
+	for _, k := range kinds {
+		if k == Filter && seenPattern == 1 {
+			filterBetween = true
+		}
+		if k != Filter {
+			seenPattern++
+		}
+	}
+	if !filterBetween {
+		t.Errorf("no early filter placement: %v", kinds)
+	}
+}
+
+func TestEstCostAccumulates(t *testing.T) {
+	env := newFakeEnv()
+	env.ent("Logan")
+	env.pred("po", 1000, 100, 1000)
+	q := sparql.MustParse(`SELECT ?P WHERE { Logan po ?P }`)
+	p, err := Compile(q, env, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EstCost <= 0 {
+		t.Errorf("EstCost = %v", p.EstCost)
+	}
+}
+
+func TestEndpointString(t *testing.T) {
+	if endpointStr(Endpoint{Var: "x"}) != "?x" {
+		t.Error("var endpoint string wrong")
+	}
+	if endpointStr(Endpoint{Const: 7}) != "#7" {
+		t.Error("const endpoint string wrong")
+	}
+}

@@ -1,0 +1,349 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// fakeEnv supplies deterministic IDs and statistics for planner tests.
+type fakeEnv struct {
+	ents  map[string]rdf.ID
+	preds map[string]rdf.ID
+	stats map[rdf.ID][3]int64 // pid -> edges, subjects, objects
+	winF  float64
+}
+
+func newFakeEnv() *fakeEnv {
+	return &fakeEnv{
+		ents:  map[string]rdf.ID{},
+		preds: map[string]rdf.ID{},
+		stats: map[rdf.ID][3]int64{},
+		winF:  1,
+	}
+}
+
+func (f *fakeEnv) ent(name string) rdf.ID {
+	if id, ok := f.ents[name]; ok {
+		return id
+	}
+	id := rdf.ID(len(f.ents) + 1)
+	f.ents[name] = id
+	return id
+}
+
+func (f *fakeEnv) pred(name string, edges, subj, obj int64) rdf.ID {
+	if id, ok := f.preds[name]; ok {
+		return id
+	}
+	id := rdf.ID(len(f.preds) + 1)
+	f.preds[name] = id
+	f.stats[id] = [3]int64{edges, subj, obj}
+	return id
+}
+
+func (f *fakeEnv) LookupEntity(t rdf.Term) (rdf.ID, bool) {
+	id, ok := f.ents[t.Value]
+	return id, ok
+}
+
+func (f *fakeEnv) LookupPredicate(iri string) (rdf.ID, bool) {
+	id, ok := f.preds[iri]
+	return id, ok
+}
+
+func (f *fakeEnv) PredStats(pid rdf.ID) (int64, int64, int64) {
+	s := f.stats[pid]
+	return s[0], s[1], s[2]
+}
+
+func (f *fakeEnv) WindowFraction(g sparql.GraphRef) float64 {
+	if g.Kind == sparql.StreamGraph {
+		return f.winF
+	}
+	return 1
+}
+
+func TestCompileStartsFromConstant(t *testing.T) {
+	env := newFakeEnv()
+	env.ent("Logan")
+	env.ent("Erik")
+	env.pred("po", 1000, 100, 1000)
+	env.pred("ht", 1000, 1000, 10)
+	env.pred("li", 5000, 500, 1000)
+
+	q := sparql.MustParse(`SELECT ?X WHERE { Logan po ?X . ?X ht ?tag . Erik li ?X }`)
+	p, err := Compile(q, env, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Empty {
+		t.Fatal("plan unexpectedly empty")
+	}
+	if p.Steps[0].Kind != SeedConst {
+		t.Errorf("first step = %v, want seed-const", p.Steps[0])
+	}
+	// All subsequent pattern steps must be connected (Expand/Check), never a
+	// mid-plan index seed for this connected query.
+	for _, st := range p.Steps[1:] {
+		if st.Kind == SeedIndex || st.Kind == SeedConst {
+			t.Errorf("disconnected step in connected query: %v", st)
+		}
+	}
+	if len(p.Steps) != 3 {
+		t.Errorf("got %d steps, want 3", len(p.Steps))
+	}
+}
+
+func TestCompilePrefersSelectiveSeed(t *testing.T) {
+	env := newFakeEnv()
+	env.ent("Logan")
+	// "po" has tiny fanout from a subject; "li" has huge fanout to objects.
+	env.pred("po", 100, 50, 100)
+	env.pred("li", 100000, 10, 100000)
+
+	q := sparql.MustParse(`SELECT ?X ?Y WHERE { ?Y li ?X . Logan po ?X }`)
+	p, err := Compile(q, env, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[0].Kind != SeedConst || p.Steps[0].From.Const != env.ents["Logan"] {
+		t.Errorf("planner did not start from Logan: %v", p.Steps[0])
+	}
+}
+
+func TestCompileIndexSeedWhenNoConstant(t *testing.T) {
+	env := newFakeEnv()
+	env.pred("po", 1000, 100, 1000)
+	q := sparql.MustParse(`SELECT ?X ?Y WHERE { ?X po ?Y }`)
+	p, err := Compile(q, env, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[0].Kind != SeedIndex {
+		t.Errorf("step = %v, want seed-index", p.Steps[0])
+	}
+	// Subjects (100) < objects (1000): enumerate subjects via Out.
+	if p.Steps[0].Dir != store.Out {
+		t.Errorf("dir = %v, want out", p.Steps[0].Dir)
+	}
+}
+
+func TestCompileUnknownConstantIsEmpty(t *testing.T) {
+	env := newFakeEnv()
+	env.pred("po", 10, 5, 10)
+	q := sparql.MustParse(`SELECT ?X WHERE { Nobody po ?X }`)
+	p, err := Compile(q, env, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty {
+		t.Error("unknown constant did not produce empty plan")
+	}
+	// Unknown predicate likewise.
+	q2 := sparql.MustParse(`SELECT ?X WHERE { ?X nopred ?Y }`)
+	p2, err := Compile(q2, env, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Empty {
+		t.Error("unknown predicate did not produce empty plan")
+	}
+}
+
+func TestCompileVariablePredicateRejected(t *testing.T) {
+	env := newFakeEnv()
+	q := sparql.MustParse(`SELECT ?X WHERE { ?X ?p ?Y }`)
+	if _, err := Compile(q, env, env); err == nil {
+		t.Error("variable predicate accepted")
+	}
+	if _, err := FixedOrder(q, env, env); err == nil {
+		t.Error("variable predicate accepted by FixedOrder")
+	}
+}
+
+func TestCompileFilterPlacement(t *testing.T) {
+	env := newFakeEnv()
+	env.ent("Logan")
+	env.pred("po", 100, 50, 100)
+	env.pred("speed", 100, 100, 100)
+	q := sparql.MustParse(`SELECT ?X WHERE { Logan po ?X . ?X speed ?v . FILTER (?v > 3) }`)
+	p, err := Compile(q, env, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The filter must appear immediately after ?v becomes bound.
+	filterIdx, vBoundIdx := -1, -1
+	for i, st := range p.Steps {
+		if st.Kind == Filter {
+			filterIdx = i
+		}
+		if st.Kind != Filter && ((st.From.IsVar() && st.From.Var == "v") || (st.To.IsVar() && st.To.Var == "v")) {
+			vBoundIdx = i
+		}
+	}
+	if filterIdx != vBoundIdx+1 {
+		t.Errorf("filter at step %d, ?v bound at %d:\n%v", filterIdx, vBoundIdx, stepsStr(p))
+	}
+}
+
+func TestCompileWindowFractionInfluencesSeed(t *testing.T) {
+	env := newFakeEnv()
+	// Stored li is huge; the stream's window makes its po tiny.
+	env.pred("po", 1000000, 1000000, 1000000)
+	env.pred("li", 1000, 10, 1000)
+	env.winF = 0.00001
+
+	q := sparql.MustParse(`
+SELECT ?X ?Y ?Z
+FROM STREAM <S> [RANGE 1s STEP 1s]
+WHERE { GRAPH STREAM <S> { ?X po ?Z } . ?Y li ?Z }`)
+	p, err := Compile(q, env, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[0].Graph.Kind != sparql.StreamGraph {
+		t.Errorf("planner ignored window fraction; first step %v", p.Steps[0])
+	}
+}
+
+func TestCompileDisconnectedGroups(t *testing.T) {
+	env := newFakeEnv()
+	env.pred("p", 10, 5, 10)
+	env.pred("q", 10, 5, 10)
+	q := sparql.MustParse(`SELECT ?X ?Y WHERE { ?X p ?V . ?Y q ?W }`)
+	p, err := Compile(q, env, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := 0
+	for _, st := range p.Steps {
+		if st.Kind == SeedConst || st.Kind == SeedIndex {
+			seeds++
+		}
+	}
+	if seeds != 2 {
+		t.Errorf("got %d seeds for 2 disconnected groups:\n%v", seeds, stepsStr(p))
+	}
+}
+
+func TestFixedOrderPreservesTextualOrder(t *testing.T) {
+	env := newFakeEnv()
+	env.ent("Logan")
+	env.pred("po", 1000, 100, 1000)
+	env.pred("fo", 100, 50, 50)
+	env.pred("li", 5000, 500, 1000)
+	q := sparql.MustParse(`SELECT ?X ?Y ?Z WHERE { ?X po ?Z . ?X fo ?Y . ?Y li ?Z }`)
+	p, err := FixedOrder(q, env, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[0].Kind != SeedIndex || p.Steps[0].Pid != env.preds["po"] {
+		t.Errorf("step 0 = %v", p.Steps[0])
+	}
+	if p.Steps[1].Kind != Expand || p.Steps[1].Pid != env.preds["fo"] {
+		t.Errorf("step 1 = %v", p.Steps[1])
+	}
+	if p.Steps[2].Kind != Check || p.Steps[2].Pid != env.preds["li"] {
+		t.Errorf("step 2 = %v", p.Steps[2])
+	}
+}
+
+func TestFixedOrderUnknownConstant(t *testing.T) {
+	env := newFakeEnv()
+	env.pred("po", 10, 5, 5)
+	q := sparql.MustParse(`SELECT ?X WHERE { Ghost po ?X }`)
+	p, err := FixedOrder(q, env, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty {
+		t.Error("unknown constant did not produce empty plan")
+	}
+}
+
+func TestCheckStepForBoundBoth(t *testing.T) {
+	env := newFakeEnv()
+	env.ent("Logan")
+	env.ent("Erik")
+	env.pred("po", 100, 10, 100)
+	env.pred("li", 100, 10, 100)
+	q := sparql.MustParse(`SELECT ?X WHERE { Logan po ?X . Erik li ?X }`)
+	p, err := Compile(q, env, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[1].Kind != Check {
+		t.Errorf("second step = %v, want check", p.Steps[1])
+	}
+}
+
+func TestStepString(t *testing.T) {
+	st := Step{Kind: Expand, Pid: 4, From: Endpoint{Var: "x"}, To: Endpoint{Var: "y"}, Dir: store.Out}
+	s := st.String()
+	if !strings.Contains(s, "expand") || !strings.Contains(s, "?x") {
+		t.Errorf("String = %q", s)
+	}
+	f := Step{Kind: Filter, Expr: sparql.Cmp{Op: sparql.OpGT, LHS: sparql.Operand{IsVar: true, Var: "v"}}}
+	if !strings.Contains(f.String(), "filter") {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+func TestExprVars(t *testing.T) {
+	q := sparql.MustParse(`SELECT ?x WHERE { ?x <p> ?v . FILTER (!(?v > 3) || ?x = ?v) }`)
+	vars := ExprVars(q.Filters[0])
+	if len(vars) != 3 {
+		t.Errorf("ExprVars = %v", vars)
+	}
+}
+
+func stepsStr(p *Plan) string {
+	var b strings.Builder
+	for _, s := range p.Steps {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestCompileVariablePredicate(t *testing.T) {
+	env := newFakeEnv()
+	env.ent("Logan")
+	env.pred("po", 100, 50, 100)
+	q := sparql.MustParse(`SELECT ?p ?o WHERE { Logan ?p ?o }`)
+	p, err := Compile(q, env, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 1 || p.Steps[0].PVar != "p" || p.Steps[0].Kind != Expand {
+		t.Errorf("steps = %v", p.Steps)
+	}
+	if !strings.Contains(p.Steps[0].String(), "?p") {
+		t.Errorf("String = %q", p.Steps[0])
+	}
+	// Scheduled after a binding pattern when its endpoint starts unbound.
+	q2 := sparql.MustParse(`SELECT ?x ?p ?y WHERE { ?x ?p ?y . Logan po ?x }`)
+	p2, err := Compile(q2, env, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Steps[0].PVar != "" || p2.Steps[1].PVar != "p" {
+		t.Errorf("order = %v", p2.Steps)
+	}
+	// No bound endpoint anywhere: error.
+	q3 := sparql.MustParse(`SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+	if _, err := Compile(q3, env, env); err == nil {
+		t.Error("fully unbound var-pred accepted")
+	}
+	// Stream scope: error.
+	q4 := sparql.MustParse(`
+SELECT ?p ?o FROM STREAM <S> [RANGE 1s STEP 1s]
+WHERE { GRAPH STREAM <S> { Logan ?p ?o } }`)
+	if _, err := Compile(q4, env, env); err == nil {
+		t.Error("stream var-pred accepted")
+	}
+}

@@ -1,0 +1,254 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements a line-oriented codec for triples and stream tuples.
+// The syntax is a pragmatic subset of N-Triples:
+//
+//	<http://ex/a> <http://ex/p> <http://ex/b> .
+//	<http://ex/a> <http://ex/p> "12"^^<http://www.w3.org/2001/XMLSchema#integer> .
+//	_:b1 <http://ex/p> "plain" .
+//
+// Stream tuples append a timestamp annotation after the dot:
+//
+//	<http://ex/a> <http://ex/p> <http://ex/b> . @802
+//
+// Comments start with '#'; blank lines are ignored.
+
+// ParseTerm parses a single N-Triples term.
+func ParseTerm(s string) (Term, error) {
+	t, rest, err := scanTerm(s)
+	if err != nil {
+		return Term{}, err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return Term{}, fmt.Errorf("rdf: trailing input %q after term", rest)
+	}
+	return t, nil
+}
+
+// scanTerm parses one term from the front of s and returns the remainder.
+func scanTerm(s string) (Term, string, error) {
+	s = strings.TrimLeft(s, " \t")
+	if s == "" {
+		return Term{}, "", fmt.Errorf("rdf: expected term, got end of line")
+	}
+	switch s[0] {
+	case '<':
+		end := strings.IndexByte(s, '>')
+		if end < 0 {
+			return Term{}, "", fmt.Errorf("rdf: unterminated IRI in %q", s)
+		}
+		return NewIRI(s[1:end]), s[end+1:], nil
+	case '_':
+		if len(s) < 2 || s[1] != ':' {
+			return Term{}, "", fmt.Errorf("rdf: malformed blank node in %q", s)
+		}
+		end := strings.IndexAny(s, " \t")
+		if end < 0 {
+			end = len(s)
+		}
+		return NewBlank(s[2:end]), s[end:], nil
+	case '"':
+		lex, rest, err := scanQuoted(s)
+		if err != nil {
+			return Term{}, "", err
+		}
+		if strings.HasPrefix(rest, "^^<") {
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				return Term{}, "", fmt.Errorf("rdf: unterminated datatype in %q", rest)
+			}
+			return NewTypedLiteral(lex, rest[3:end]), rest[end+1:], nil
+		}
+		// Language tags are accepted and discarded: the workloads are
+		// monolingual and C-SPARQL matching here is language-agnostic.
+		if strings.HasPrefix(rest, "@") {
+			end := strings.IndexAny(rest, " \t")
+			if end < 0 {
+				end = len(rest)
+			}
+			rest = rest[end:]
+		}
+		return NewLiteral(lex), rest, nil
+	default:
+		return Term{}, "", fmt.Errorf("rdf: unrecognized term start %q", s)
+	}
+}
+
+// scanQuoted parses a double-quoted string with backslash escapes from the
+// front of s, returning the unescaped lexical form and the remainder.
+func scanQuoted(s string) (string, string, error) {
+	if s == "" || s[0] != '"' {
+		return "", "", fmt.Errorf("rdf: expected quoted literal in %q", s)
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("rdf: dangling escape in %q", s)
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"', '\\':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("rdf: unsupported escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+		i++
+	}
+	return "", "", fmt.Errorf("rdf: unterminated literal in %q", s)
+}
+
+// ParseTriple parses one triple line (with or without the trailing dot).
+func ParseTriple(line string) (Triple, error) {
+	s, rest, err := scanTerm(line)
+	if err != nil {
+		return Triple{}, fmt.Errorf("subject: %w", err)
+	}
+	p, rest, err := scanTerm(rest)
+	if err != nil {
+		return Triple{}, fmt.Errorf("predicate: %w", err)
+	}
+	o, rest, err := scanTerm(rest)
+	if err != nil {
+		return Triple{}, fmt.Errorf("object: %w", err)
+	}
+	rest = strings.TrimSpace(rest)
+	if rest != "" && rest != "." {
+		return Triple{}, fmt.Errorf("rdf: trailing input %q after triple", rest)
+	}
+	return Triple{S: s, P: p, O: o}, nil
+}
+
+// ParseTuple parses one stream tuple line: a triple optionally followed by
+// ". @ts". A tuple without a timestamp annotation gets timestamp 0.
+func ParseTuple(line string) (Tuple, error) {
+	ts := Timestamp(0)
+	if i := strings.LastIndex(line, "@"); i >= 0 && !strings.ContainsAny(line[i:], ">\"") {
+		v, err := strconv.ParseInt(strings.TrimSpace(line[i+1:]), 10, 64)
+		if err != nil {
+			return Tuple{}, fmt.Errorf("rdf: bad timestamp: %w", err)
+		}
+		ts = Timestamp(v)
+		line = line[:i]
+	}
+	tr, err := ParseTriple(line)
+	if err != nil {
+		return Tuple{}, err
+	}
+	return Tuple{Triple: tr, TS: ts}, nil
+}
+
+// Reader streams triples or tuples from line-oriented input.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader returns a Reader over r. Lines may be up to 1 MiB long.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Reader{sc: sc}
+}
+
+// next returns the next non-blank, non-comment line, or io.EOF.
+func (r *Reader) next() (string, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.EOF
+}
+
+// ReadTriple returns the next triple, or io.EOF at end of input.
+func (r *Reader) ReadTriple() (Triple, error) {
+	line, err := r.next()
+	if err != nil {
+		return Triple{}, err
+	}
+	t, err := ParseTriple(line)
+	if err != nil {
+		return Triple{}, fmt.Errorf("line %d: %w", r.line, err)
+	}
+	return t, nil
+}
+
+// ReadTuple returns the next stream tuple, or io.EOF at end of input.
+func (r *Reader) ReadTuple() (Tuple, error) {
+	line, err := r.next()
+	if err != nil {
+		return Tuple{}, err
+	}
+	t, err := ParseTuple(line)
+	if err != nil {
+		return Tuple{}, fmt.Errorf("line %d: %w", r.line, err)
+	}
+	return t, nil
+}
+
+// ReadAllTriples consumes the remaining input and returns all triples.
+func ReadAllTriples(r io.Reader) ([]Triple, error) {
+	rd := NewReader(r)
+	var out []Triple
+	for {
+		t, err := rd.ReadTriple()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}
+
+// WriteTriples writes triples in N-Triples syntax, one per line.
+func WriteTriples(w io.Writer, triples []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		if _, err := fmt.Fprintf(bw, "%s .\n", t); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTuples writes stream tuples, one per line, with timestamp annotations.
+func WriteTuples(w io.Writer, tuples []Tuple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range tuples {
+		if _, err := fmt.Fprintf(bw, "%s\n", t); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,198 @@
+// Package rdf defines the RDF data model used throughout the Wukong+S
+// reproduction: terms (IRIs, literals, blank nodes), triples, and timestamped
+// stream tuples, together with a line-oriented N-Triples-style codec.
+//
+// The model follows RDF 1.1 Concepts loosely: we keep exactly what the
+// LSBench/CityBench workloads and the C-SPARQL query subset need, and we keep
+// terms cheap to copy (a small struct, no interning here — interning is the
+// string server's job).
+package rdf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ID is the numeric identifier assigned to a term by the string server.
+// Wukong+S uses a 46-bit entity ID space (more than 70 trillion entities);
+// predicates live in their own small space.
+type ID uint64
+
+// MaxEntityID is the largest assignable entity ID (46-bit space, §4.1).
+const MaxEntityID ID = 1<<46 - 1
+
+// TermKind discriminates the three RDF term kinds.
+type TermKind uint8
+
+const (
+	// IRIKind identifies an IRI reference term.
+	IRIKind TermKind = iota
+	// LiteralKind identifies a literal term (plain, typed, or numeric).
+	LiteralKind
+	// BlankKind identifies a blank node term.
+	BlankKind
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case IRIKind:
+		return "iri"
+	case LiteralKind:
+		return "literal"
+	case BlankKind:
+		return "blank"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is a single RDF term. Value holds the IRI text, the literal lexical
+// form, or the blank-node label. Datatype is the literal datatype IRI and is
+// empty for plain literals, IRIs, and blank nodes.
+type Term struct {
+	Kind     TermKind
+	Value    string
+	Datatype string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRIKind, Value: iri} }
+
+// NewLiteral returns a plain literal term.
+func NewLiteral(lex string) Term { return Term{Kind: LiteralKind, Value: lex} }
+
+// NewTypedLiteral returns a literal term with an explicit datatype IRI.
+func NewTypedLiteral(lex, datatype string) Term {
+	return Term{Kind: LiteralKind, Value: lex, Datatype: datatype}
+}
+
+// NewIntLiteral returns an xsd:integer literal.
+func NewIntLiteral(v int64) Term {
+	return NewTypedLiteral(strconv.FormatInt(v, 10), XSDInteger)
+}
+
+// NewFloatLiteral returns an xsd:double literal.
+func NewFloatLiteral(v float64) Term {
+	return NewTypedLiteral(strconv.FormatFloat(v, 'g', -1, 64), XSDDouble)
+}
+
+// NewBlank returns a blank-node term with the given label.
+func NewBlank(label string) Term { return Term{Kind: BlankKind, Value: label} }
+
+// Common XSD datatype IRIs.
+const (
+	XSDInteger = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDouble  = "http://www.w3.org/2001/XMLSchema#double"
+	XSDString  = "http://www.w3.org/2001/XMLSchema#string"
+	XSDBoolean = "http://www.w3.org/2001/XMLSchema#boolean"
+)
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRIKind }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == LiteralKind }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == BlankKind }
+
+// Numeric returns the term's numeric value if it is a numeric literal.
+func (t Term) Numeric() (float64, bool) {
+	if t.Kind != LiteralKind {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(t.Value, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Key returns a canonical string for interning the term. Two terms intern to
+// the same ID iff their keys are equal. The encoding is unambiguous: the
+// leading byte discriminates kind, and literal datatypes are appended after a
+// separator that cannot occur in an IRI.
+func (t Term) Key() string {
+	switch t.Kind {
+	case IRIKind:
+		return "<" + t.Value
+	case BlankKind:
+		return "_" + t.Value
+	default:
+		if t.Datatype == "" {
+			return "\"" + t.Value
+		}
+		return "\"" + t.Value + "\"^^" + t.Datatype
+	}
+}
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRIKind:
+		return "<" + t.Value + ">"
+	case BlankKind:
+		return "_:" + t.Value
+	default:
+		if t.Datatype == "" {
+			return strconv.Quote(t.Value)
+		}
+		return strconv.Quote(t.Value) + "^^<" + t.Datatype + ">"
+	}
+}
+
+// TermFromKey reconstructs a term from its interning key. It is the inverse
+// of Term.Key and panics on malformed input, which can only arise from
+// corruption of the string server's tables.
+func TermFromKey(key string) Term {
+	if key == "" {
+		panic("rdf: empty term key")
+	}
+	body := key[1:]
+	switch key[0] {
+	case '<':
+		return NewIRI(body)
+	case '_':
+		return NewBlank(body)
+	case '"':
+		if i := strings.LastIndex(body, "\"^^"); i >= 0 {
+			return NewTypedLiteral(body[:i], body[i+3:])
+		}
+		return NewLiteral(body)
+	default:
+		panic(fmt.Sprintf("rdf: malformed term key %q", key))
+	}
+}
+
+// Triple is a single RDF statement.
+type Triple struct {
+	S, P, O Term
+}
+
+// T is a convenience constructor for an all-IRI triple.
+func T(s, p, o string) Triple {
+	return Triple{S: NewIRI(s), P: NewIRI(p), O: NewIRI(o)}
+}
+
+// String renders the triple in N-Triples syntax (without trailing dot).
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String()
+}
+
+// Timestamp is a logical stream timestamp in milliseconds. The paper's
+// C-SPARQL time model assumes monotonically non-decreasing timestamps within
+// a stream; generators and the adaptor preserve that invariant.
+type Timestamp int64
+
+// Tuple is one element of an RDF stream: a triple plus its timestamp, e.g.
+// ⟨Logan, po, T-15⟩ 0802 in the paper's Fig. 1.
+type Tuple struct {
+	Triple
+	TS Timestamp
+}
+
+// String renders the tuple as "triple . @ts".
+func (t Tuple) String() string {
+	return fmt.Sprintf("%s . @%d", t.Triple, int64(t.TS))
+}

@@ -1,0 +1,356 @@
+// Package server exposes a Wukong+S engine over TCP with a line-oriented
+// text protocol, playing the role of the paper's client library / proxy
+// layer (§3): clients parse and submit queries, register continuous
+// queries, push stream tuples, and drive the logical clock.
+//
+// Protocol (requests end with a line containing only "."; responses are
+// "+OK ..." or "-ERR ...", followed by data lines and a "." terminator
+// where noted):
+//
+//	STREAM <name> <interval_ms> [timingPred ...]   register a stream
+//	LOAD                                           then N-Triples lines, "."
+//	EMIT <stream>                                  then tuple lines, "."
+//	ADVANCE <ts_ms>                                drive the clock
+//	QUERY                                          then C-SPARQL text, "." → rows, "."
+//	EXPLAIN                                        then C-SPARQL text, "." → plan, "."
+//	REGISTER                                       then C-SPARQL text, "." → +OK <name>
+//	POLL <name>                                    buffered results → rows, "."
+//	STATS                                          engine counters
+//	QUIT
+//
+// The server is deliberately simple — its purpose is to make the engine a
+// deployable artifact (cmd/wukongsd) and exercise the full client path in
+// tests, not to compete with RDMA messaging.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/stream"
+)
+
+// Server wraps an engine with the TCP front end.
+type Server struct {
+	eng *core.Engine
+
+	mu      sync.Mutex
+	sources map[string]*stream.Source
+	results map[string][]string // continuous query name → buffered rows
+	ln      net.Listener
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// New wraps an engine (which the caller keeps owning).
+func New(eng *core.Engine) *Server {
+	return &Server{
+		eng:     eng,
+		sources: make(map[string]*stream.Source),
+		results: make(map[string][]string),
+	}
+}
+
+// Serve accepts connections until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the bound address (once serving).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd := strings.ToUpper(fields[0])
+		var err error
+		switch cmd {
+		case "QUIT":
+			fmt.Fprintf(w, "+OK bye\n")
+			w.Flush()
+			return
+		case "STREAM":
+			err = s.cmdStream(w, fields[1:])
+		case "LOAD":
+			err = s.cmdLoad(w, r)
+		case "EMIT":
+			err = s.cmdEmit(w, r, fields[1:])
+		case "ADVANCE":
+			err = s.cmdAdvance(w, fields[1:])
+		case "QUERY":
+			err = s.cmdQuery(w, r)
+		case "EXPLAIN":
+			err = s.cmdExplain(w, r)
+		case "REGISTER":
+			err = s.cmdRegister(w, r)
+		case "POLL":
+			err = s.cmdPoll(w, fields[1:])
+		case "STATS":
+			err = s.cmdStats(w)
+		default:
+			err = fmt.Errorf("unknown command %q", cmd)
+		}
+		if err != nil {
+			fmt.Fprintf(w, "-ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		}
+		w.Flush()
+	}
+}
+
+// readBlock consumes lines until the "." terminator.
+func readBlock(r *bufio.Scanner) (string, error) {
+	var b strings.Builder
+	for r.Scan() {
+		line := r.Text()
+		if strings.TrimSpace(line) == "." {
+			return b.String(), nil
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	if err := r.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+func (s *Server) cmdStream(w *bufio.Writer, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: STREAM <name> <interval_ms> [timingPred ...]")
+	}
+	ms, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil || ms <= 0 {
+		return fmt.Errorf("bad interval %q", args[1])
+	}
+	src, err := s.eng.RegisterStream(stream.Config{
+		Name:             args[0],
+		BatchInterval:    time.Duration(ms) * time.Millisecond,
+		TimingPredicates: args[2:],
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.sources[args[0]] = src
+	s.mu.Unlock()
+	fmt.Fprintf(w, "+OK stream %s\n", args[0])
+	return nil
+}
+
+func (s *Server) cmdLoad(w *bufio.Writer, r *bufio.Scanner) error {
+	block, err := readBlock(r)
+	if err != nil {
+		return err
+	}
+	n, err := s.eng.LoadReader(strings.NewReader(block))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "+OK loaded %d\n", n)
+	return nil
+}
+
+func (s *Server) cmdEmit(w *bufio.Writer, r *bufio.Scanner, args []string) error {
+	// Consume the payload before validating, or a rejected command would
+	// leave its tuple lines to be parsed as commands.
+	block, err := readBlock(r)
+	if err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: EMIT <stream>")
+	}
+	s.mu.Lock()
+	src, ok := s.sources[args[0]]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("unknown stream %q", args[0])
+	}
+	rd := rdf.NewReader(strings.NewReader(block))
+	n := 0
+	for {
+		tu, err := rd.ReadTuple()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := src.Emit(tu); err != nil {
+			return err
+		}
+		n++
+	}
+	fmt.Fprintf(w, "+OK emitted %d\n", n)
+	return nil
+}
+
+func (s *Server) cmdAdvance(w *bufio.Writer, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: ADVANCE <ts_ms>")
+	}
+	ts, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad timestamp %q", args[0])
+	}
+	s.eng.AdvanceTo(rdf.Timestamp(ts))
+	fmt.Fprintf(w, "+OK now %d\n", s.eng.Now())
+	return nil
+}
+
+func (s *Server) cmdQuery(w *bufio.Writer, r *bufio.Scanner) error {
+	text, err := readBlock(r)
+	if err != nil {
+		return err
+	}
+	res, err := s.eng.Query(text)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "+OK %d rows in %v\n", res.Len(), res.Latency.Round(time.Microsecond))
+	for _, row := range res.Strings() {
+		fmt.Fprintf(w, "%s\n", row)
+	}
+	fmt.Fprintf(w, ".\n")
+	return nil
+}
+
+// pollBuffer bounds the rows buffered per continuous query between POLLs.
+const pollBuffer = 10000
+
+func (s *Server) cmdExplain(w *bufio.Writer, r *bufio.Scanner) error {
+	text, err := readBlock(r)
+	if err != nil {
+		return err
+	}
+	out, err := s.eng.Explain(text)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "+OK explain\n%s.\n", out)
+	return nil
+}
+
+func (s *Server) cmdRegister(w *bufio.Writer, r *bufio.Scanner) error {
+	text, err := readBlock(r)
+	if err != nil {
+		return err
+	}
+	// The engine assigns the query name; the buffering callback must know
+	// it, so it blocks on ready until registration completes (a query
+	// cannot fire before the next ADVANCE anyway).
+	ready := make(chan struct{})
+	name := ""
+	cb := func(res *core.Result, f core.FireInfo) {
+		<-ready
+		rows := res.Strings()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		buf := s.results[name]
+		for _, row := range rows {
+			if len(buf) >= pollBuffer {
+				break
+			}
+			buf = append(buf, fmt.Sprintf("@%d %s", f.At, row))
+		}
+		s.results[name] = buf
+	}
+	cq, err := s.eng.RegisterContinuous(text, cb)
+	if err != nil {
+		close(ready)
+		return err
+	}
+	name = cq.Name
+	close(ready)
+	fmt.Fprintf(w, "+OK registered %s\n", cq.Name)
+	return nil
+}
+
+func (s *Server) cmdPoll(w *bufio.Writer, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: POLL <name>")
+	}
+	s.mu.Lock()
+	rows := s.results[args[0]]
+	s.results[args[0]] = nil
+	s.mu.Unlock()
+	fmt.Fprintf(w, "+OK %d rows\n", len(rows))
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s\n", row)
+	}
+	fmt.Fprintf(w, ".\n")
+	return nil
+}
+
+func (s *Server) cmdStats(w *bufio.Writer) error {
+	mem := s.eng.Store().Memory()
+	fmt.Fprintf(w, "+OK now=%d stable_sn=%d entries=%d values=%d\n",
+		s.eng.Now(), s.eng.Coordinator().StableSN(), mem.Entries, mem.Values)
+	return nil
+}

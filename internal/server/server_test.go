@@ -1,0 +1,205 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// client is a tiny test client for the line protocol.
+type client struct {
+	t *testing.T
+	c net.Conn
+	r *bufio.Scanner
+	w *bufio.Writer
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &client{t: t, c: c, r: bufio.NewScanner(c), w: bufio.NewWriter(c)}
+}
+
+func (c *client) send(lines ...string) {
+	c.t.Helper()
+	for _, l := range lines {
+		fmt.Fprintf(c.w, "%s\n", l)
+	}
+	if err := c.w.Flush(); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+// status reads the next status line.
+func (c *client) status() string {
+	c.t.Helper()
+	if !c.r.Scan() {
+		c.t.Fatalf("connection closed: %v", c.r.Err())
+	}
+	return c.r.Text()
+}
+
+// rows reads data lines until the "." terminator.
+func (c *client) rows() []string {
+	c.t.Helper()
+	var out []string
+	for c.r.Scan() {
+		if c.r.Text() == "." {
+			return out
+		}
+		out = append(out, c.r.Text())
+	}
+	c.t.Fatalf("missing terminator: %v", c.r.Err())
+	return nil
+}
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	eng, err := core.New(core.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	srv := New(eng)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	return srv, ln.Addr().String()
+}
+
+func expectOK(t *testing.T, status string) {
+	t.Helper()
+	if !strings.HasPrefix(status, "+OK") {
+		t.Fatalf("status = %q", status)
+	}
+}
+
+func TestFullClientSession(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+
+	// Load the Fig. 1 graph.
+	c.send("LOAD",
+		"<Logan> <fo> <Erik> .",
+		"<Logan> <po> <T-13> .",
+		"<T-13> <ht> <sosp17> .",
+		"<Erik> <li> <T-13> .",
+		".")
+	expectOK(t, c.status())
+
+	// Register a stream and a continuous query.
+	c.send("STREAM Tweet_Stream 100 ga")
+	expectOK(t, c.status())
+	c.send("REGISTER",
+		"REGISTER QUERY QX AS",
+		"SELECT ?X ?Z",
+		"FROM Tweet_Stream [RANGE 1s STEP 1s]",
+		"WHERE { GRAPH Tweet_Stream { ?X po ?Z } }",
+		".")
+	st := c.status()
+	expectOK(t, st)
+	if !strings.Contains(st, "QX") {
+		t.Errorf("register status = %q", st)
+	}
+
+	// Emit tuples and advance.
+	c.send("EMIT Tweet_Stream",
+		"<Logan> <po> <T-15> . @200",
+		".")
+	expectOK(t, c.status())
+	c.send("ADVANCE 1000")
+	expectOK(t, c.status())
+
+	// Poll the continuous query's buffered results.
+	c.send("POLL QX")
+	expectOK(t, c.status())
+	rows := c.rows()
+	if len(rows) != 1 || !strings.Contains(rows[0], "Logan T-15") {
+		t.Errorf("poll rows = %v", rows)
+	}
+	// Poll drains.
+	c.send("POLL QX")
+	expectOK(t, c.status())
+	if rows := c.rows(); len(rows) != 0 {
+		t.Errorf("second poll = %v", rows)
+	}
+
+	// One-shot query sees the absorbed tuple.
+	c.send("QUERY", "SELECT ?Z WHERE { Logan po ?Z }", ".")
+	expectOK(t, c.status())
+	rows = c.rows()
+	if len(rows) != 2 {
+		t.Errorf("one-shot rows = %v", rows)
+	}
+
+	// Stats and quit.
+	c.send("STATS")
+	st = c.status()
+	expectOK(t, st)
+	if !strings.Contains(st, "stable_sn=") {
+		t.Errorf("stats = %q", st)
+	}
+	c.send("QUIT")
+	expectOK(t, c.status())
+}
+
+func TestErrors(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+
+	c.send("BOGUS")
+	if st := c.status(); !strings.HasPrefix(st, "-ERR") {
+		t.Errorf("status = %q", st)
+	}
+	c.send("EMIT nope", ".")
+	if st := c.status(); !strings.HasPrefix(st, "-ERR") {
+		t.Errorf("status = %q", st)
+	}
+	c.send("QUERY", "not a query", ".")
+	if st := c.status(); !strings.HasPrefix(st, "-ERR") {
+		t.Errorf("status = %q", st)
+	}
+	c.send("ADVANCE abc")
+	if st := c.status(); !strings.HasPrefix(st, "-ERR") {
+		t.Errorf("status = %q", st)
+	}
+	c.send("STREAM x")
+	if st := c.status(); !strings.HasPrefix(st, "-ERR") {
+		t.Errorf("status = %q", st)
+	}
+	// The connection stays usable after errors.
+	c.send("STATS")
+	expectOK(t, c.status())
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr := startServer(t)
+	a := dial(t, addr)
+	a.send("LOAD", "<a> <p> <b> .", ".")
+	expectOK(t, a.status())
+
+	b := dial(t, addr)
+	b.send("QUERY", "SELECT ?x WHERE { a p ?x }", ".")
+	expectOK(t, b.status())
+	if rows := b.rows(); len(rows) != 1 || rows[0] != "b" {
+		t.Errorf("rows = %v", rows)
+	}
+}

@@ -1,0 +1,239 @@
+// Package sindex implements the Wukong+S stream index (§4.2): a fast path
+// for continuous queries to reach streaming data that the persistent store
+// has scattered across its key/value pairs.
+//
+// For each stream, the index is a time-ordered sequence of per-batch indexes.
+// A batch index maps a store key to the span(s) of values that batch appended
+// to the key — the paper's "fat pointer" that may locate into the middle of a
+// value. A continuous query over window [from,to] looks up its key in each
+// covered batch index and reads the spans directly, making the search space
+// independent of the stored-data size.
+//
+// Like the transient store, batch indexes are created on the later side and
+// garbage-collected from the earlier side. The index also tracks its replica
+// set: with locality-aware partitioning the index is replicated to exactly
+// the nodes where registered continuous queries demand the stream (§4.2),
+// so in-place execution needs one one-sided read per span instead of two.
+package sindex
+
+import (
+	"sync"
+
+	"repro/internal/fabric"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/tstore"
+)
+
+// pidDir keys the per-predicate vertex lists.
+type pidDir struct {
+	pid rdf.ID
+	dir store.Dir
+}
+
+// batchIndex is the stream index of a single mini-batch.
+type batchIndex struct {
+	batch   tstore.BatchID
+	entries map[store.Key][]store.Span
+	// byPred lists the distinct vertices that gained a (pid,dir) edge in
+	// this batch — the window-scoped equivalent of Wukong's index vertices.
+	// Unbound stream patterns enumerate candidates from these lists, so the
+	// search space stays proportional to the window, not the store (§4.2).
+	byPred map[pidDir][]rdf.ID
+	bytes  int64
+}
+
+// entryBytes approximates the resident size of one index entry: a 24-byte
+// key plus an 8-byte span (the paper's 96-bit fat pointer ≈ 12 bytes; we
+// charge our actual layout).
+const entryBytes = 24 + 8
+
+// Index is the stream index for one stream. Methods are safe for concurrent
+// use.
+type Index struct {
+	mu      sync.RWMutex
+	batches []*batchIndex // ascending batch order
+
+	replicaMu sync.RWMutex
+	replicas  map[fabric.NodeID]bool
+
+	gcRuns int64
+}
+
+// New creates an empty stream index homed on the given node.
+func New(home fabric.NodeID) *Index {
+	return &Index{replicas: map[fabric.NodeID]bool{home: true}}
+}
+
+// AddBatch records the key spans appended by one batch's injection. Adjacent
+// spans for the same key merge into one (injection within a batch is
+// consecutive per key, §4.3). Batches must arrive in non-decreasing order.
+func (ix *Index) AddBatch(batch tstore.BatchID, spans []store.KeySpan) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	n := len(ix.batches)
+	var bi *batchIndex
+	switch {
+	case n > 0 && ix.batches[n-1].batch == batch:
+		bi = ix.batches[n-1]
+	case n > 0 && ix.batches[n-1].batch > batch:
+		panic("sindex: batch regression on AddBatch")
+	default:
+		bi = &batchIndex{
+			batch:   batch,
+			entries: make(map[store.Key][]store.Span),
+			byPred:  make(map[pidDir][]rdf.ID),
+		}
+		ix.batches = append(ix.batches, bi)
+	}
+	for _, ks := range spans {
+		prev := bi.entries[ks.Key]
+		isNewKey := prev == nil
+		if len(prev) > 0 && prev[len(prev)-1].End == ks.Span.Start {
+			prev[len(prev)-1].End = ks.Span.End
+			continue
+		}
+		bi.entries[ks.Key] = append(prev, ks.Span)
+		bi.bytes += entryBytes
+		if isNewKey && !ks.Key.IsIndex() {
+			pd := pidDir{pid: ks.Key.Pid, dir: ks.Key.Dir}
+			bi.byPred[pd] = append(bi.byPred[pd], ks.Key.Vid)
+			bi.bytes += 8
+		}
+	}
+}
+
+// Vertices returns the distinct vertices with a (pid,dir) edge inside
+// batches [from, to] — the window candidates for unbound stream patterns.
+func (ix *Index) Vertices(pid rdf.ID, d store.Dir, from, to tstore.BatchID) []rdf.ID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	seen := make(map[rdf.ID]bool)
+	var out []rdf.ID
+	pd := pidDir{pid: pid, dir: d}
+	for _, bi := range ix.batches {
+		if bi.batch < from {
+			continue
+		}
+		if bi.batch > to {
+			break
+		}
+		for _, v := range bi.byPred[pd] {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Lookup returns the spans for key across batches in [from, to], in time
+// order. The slice is freshly allocated.
+func (ix *Index) Lookup(key store.Key, from, to tstore.BatchID) []store.Span {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []store.Span
+	for _, bi := range ix.batches {
+		if bi.batch < from {
+			continue
+		}
+		if bi.batch > to {
+			break
+		}
+		out = append(out, bi.entries[key]...)
+	}
+	return out
+}
+
+// Keys returns the distinct keys indexed across batches in [from, to]. The
+// continuous engine uses this to enumerate window data for index-vertex
+// starts.
+func (ix *Index) Keys(from, to tstore.BatchID) []store.Key {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	seen := make(map[store.Key]bool)
+	var out []store.Key
+	for _, bi := range ix.batches {
+		if bi.batch < from || bi.batch > to {
+			continue
+		}
+		for k := range bi.entries {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// Batches returns the range of batches currently indexed, or (0,0) if empty.
+func (ix *Index) Batches() (oldest, newest tstore.BatchID) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.batches) == 0 {
+		return 0, 0
+	}
+	return ix.batches[0].batch, ix.batches[len(ix.batches)-1].batch
+}
+
+// GC frees batch indexes with batch < before.
+func (ix *Index) GC(before tstore.BatchID) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	freed := false
+	for len(ix.batches) > 0 && ix.batches[0].batch < before {
+		ix.batches[0] = nil
+		ix.batches = ix.batches[1:]
+		freed = true
+	}
+	if freed {
+		ix.gcRuns++
+	}
+}
+
+// Replicate marks the index as replicated on node n. Registration of a
+// continuous query that demands this stream on node n triggers this; the
+// engine charges the ongoing replication traffic at injection time.
+func (ix *Index) Replicate(n fabric.NodeID) {
+	ix.replicaMu.Lock()
+	defer ix.replicaMu.Unlock()
+	ix.replicas[n] = true
+}
+
+// ReplicatedOn reports whether node n holds a replica.
+func (ix *Index) ReplicatedOn(n fabric.NodeID) bool {
+	ix.replicaMu.RLock()
+	defer ix.replicaMu.RUnlock()
+	return ix.replicas[n]
+}
+
+// Replicas returns the current replica set (a copy).
+func (ix *Index) Replicas() []fabric.NodeID {
+	ix.replicaMu.RLock()
+	defer ix.replicaMu.RUnlock()
+	out := make([]fabric.NodeID, 0, len(ix.replicas))
+	for n := range ix.replicas {
+		out = append(out, n)
+	}
+	return out
+}
+
+// MemoryBytes returns the resident size of the index (one replica).
+func (ix *Index) MemoryBytes() int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var n int64
+	for _, bi := range ix.batches {
+		n += bi.bytes
+	}
+	return n
+}
+
+// GCRuns returns the number of GC invocations that freed at least one batch.
+func (ix *Index) GCRuns() int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.gcRuns
+}

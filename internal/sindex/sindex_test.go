@@ -1,0 +1,196 @@
+package sindex
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/tstore"
+)
+
+func key(v rdf.ID) store.Key { return store.EdgeKey(v, 3, store.In) }
+
+func TestAddLookup(t *testing.T) {
+	ix := New(0)
+	ix.AddBatch(1, []store.KeySpan{
+		{Key: key(7), Span: store.Span{Start: 0, End: 3}},
+		{Key: key(8), Span: store.Span{Start: 0, End: 1}},
+	})
+	ix.AddBatch(2, []store.KeySpan{
+		{Key: key(7), Span: store.Span{Start: 3, End: 5}},
+	})
+	got := ix.Lookup(key(7), 1, 2)
+	if len(got) != 2 || got[0] != (store.Span{Start: 0, End: 3}) || got[1] != (store.Span{Start: 3, End: 5}) {
+		t.Errorf("Lookup = %v", got)
+	}
+	if got := ix.Lookup(key(7), 2, 2); len(got) != 1 {
+		t.Errorf("Lookup [2,2] = %v", got)
+	}
+	if got := ix.Lookup(key(9), 1, 2); got != nil {
+		t.Errorf("Lookup missing = %v", got)
+	}
+}
+
+func TestAdjacentSpansMerge(t *testing.T) {
+	ix := New(0)
+	ix.AddBatch(1, []store.KeySpan{
+		{Key: key(7), Span: store.Span{Start: 0, End: 2}},
+		{Key: key(7), Span: store.Span{Start: 2, End: 5}},
+	})
+	got := ix.Lookup(key(7), 1, 1)
+	if len(got) != 1 || got[0] != (store.Span{Start: 0, End: 5}) {
+		t.Errorf("merged spans = %v", got)
+	}
+}
+
+func TestNonAdjacentSpansKept(t *testing.T) {
+	ix := New(0)
+	ix.AddBatch(1, []store.KeySpan{
+		{Key: key(7), Span: store.Span{Start: 0, End: 2}},
+		{Key: key(7), Span: store.Span{Start: 5, End: 6}},
+	})
+	if got := ix.Lookup(key(7), 1, 1); len(got) != 2 {
+		t.Errorf("spans = %v", got)
+	}
+}
+
+func TestBatchRegressionPanics(t *testing.T) {
+	ix := New(0)
+	ix.AddBatch(5, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("regression did not panic")
+		}
+	}()
+	ix.AddBatch(4, nil)
+}
+
+func TestKeys(t *testing.T) {
+	ix := New(0)
+	ix.AddBatch(1, []store.KeySpan{{Key: key(1), Span: store.Span{Start: 0, End: 1}}})
+	ix.AddBatch(2, []store.KeySpan{
+		{Key: key(1), Span: store.Span{Start: 1, End: 2}},
+		{Key: key(2), Span: store.Span{Start: 0, End: 1}},
+	})
+	ix.AddBatch(3, []store.KeySpan{{Key: key(3), Span: store.Span{Start: 0, End: 1}}})
+	ks := ix.Keys(1, 2)
+	if len(ks) != 2 {
+		t.Errorf("Keys = %v", ks)
+	}
+	if len(ix.Keys(3, 3)) != 1 {
+		t.Error("Keys [3,3] wrong")
+	}
+}
+
+func TestGC(t *testing.T) {
+	ix := New(0)
+	for b := tstore.BatchID(1); b <= 5; b++ {
+		ix.AddBatch(b, []store.KeySpan{{Key: key(1), Span: store.Span{Start: uint32(b), End: uint32(b) + 1}}})
+	}
+	before := ix.MemoryBytes()
+	ix.GC(4)
+	if o, n := ix.Batches(); o != 4 || n != 5 {
+		t.Errorf("batches after GC: %d..%d", o, n)
+	}
+	if after := ix.MemoryBytes(); after >= before {
+		t.Errorf("memory did not shrink: %d -> %d", before, after)
+	}
+	if got := ix.Lookup(key(1), 1, 5); len(got) != 2 {
+		t.Errorf("Lookup after GC = %v", got)
+	}
+	if ix.GCRuns() != 1 {
+		t.Errorf("GCRuns = %d", ix.GCRuns())
+	}
+}
+
+func TestBatchesEmpty(t *testing.T) {
+	ix := New(0)
+	if o, n := ix.Batches(); o != 0 || n != 0 {
+		t.Error("empty index reports batches")
+	}
+}
+
+func TestReplicas(t *testing.T) {
+	ix := New(2)
+	if !ix.ReplicatedOn(2) {
+		t.Error("home node not a replica")
+	}
+	if ix.ReplicatedOn(0) {
+		t.Error("node 0 unexpectedly a replica")
+	}
+	ix.Replicate(0)
+	ix.Replicate(0) // idempotent
+	if !ix.ReplicatedOn(0) {
+		t.Error("Replicate did not take")
+	}
+	if len(ix.Replicas()) != 2 {
+		t.Errorf("Replicas = %v", ix.Replicas())
+	}
+}
+
+func TestConcurrentLookupDuringAdd(t *testing.T) {
+	ix := New(0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := tstore.BatchID(1); b <= 200; b++ {
+			ix.AddBatch(b, []store.KeySpan{{Key: key(rdf.ID(b % 7)), Span: store.Span{Start: uint32(b), End: uint32(b + 1)}}})
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				_ = ix.Lookup(key(rdf.ID(i%7)), 1, 200)
+				_ = ix.MemoryBytes()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Property: Lookup over a window equals the brute-force union of the spans
+// added to batches within that window (the stream index is a faithful fast
+// path — the paper's §4.2 correctness requirement).
+func TestLookupMatchesBruteForce(t *testing.T) {
+	type added struct {
+		batch tstore.BatchID
+		span  store.Span
+	}
+	f := func(deltas []uint8, from8, width8 uint8) bool {
+		ix := New(0)
+		k := key(1)
+		b := tstore.BatchID(1)
+		pos := uint32(0)
+		var all []added
+		for _, d := range deltas {
+			b += tstore.BatchID(d % 2)
+			n := uint32(d%3 + 1)
+			sp := store.Span{Start: pos, End: pos + n}
+			pos += n
+			ix.AddBatch(b, []store.KeySpan{{Key: k, Span: sp}})
+			all = append(all, added{batch: b, span: sp})
+		}
+		from := tstore.BatchID(from8%8) + 1
+		to := from + tstore.BatchID(width8%8)
+		got := ix.Lookup(k, from, to)
+		// Total covered length must match; merging may change span count.
+		var want, have int
+		for _, a := range all {
+			if a.batch >= from && a.batch <= to {
+				want += a.span.Len()
+			}
+		}
+		for _, sp := range got {
+			have += sp.Len()
+		}
+		return want == have
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

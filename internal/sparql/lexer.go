@@ -1,0 +1,332 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokVar         // ?name
+	tokIRI         // <...>
+	tokPName       // prefix:local
+	tokString      // "..."
+	tokTypedString // "..."^^<datatype>; text is lex + NUL + datatype IRI
+	tokNumber      // 123, -4.5
+	tokLBrace      // {
+	tokRBrace      // }
+	tokLParen      // (
+	tokRParen      // )
+	tokLBrack      // [
+	tokRBrack      // ]
+	tokDot         // .
+	tokComma       // ,
+	tokStar        // *
+	tokEQ          // =
+	tokNE          // !=
+	tokLT          // <  (only in FILTER context; '<' otherwise starts an IRI)
+	tokLE          // <=
+	tokGT          // >
+	tokGE          // >=
+	tokAnd         // &&
+	tokOr          // ||
+	tokBang        // !
+	tokSemi        // ;
+)
+
+func (k tokKind) String() string {
+	names := [...]string{"EOF", "identifier", "variable", "IRI", "prefixed name",
+		"string", "typed literal", "number", "{", "}", "(", ")", "[", "]", ".", ",", "*",
+		"=", "!=", "<", "<=", ">", ">=", "&&", "||", "!", ";"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("tokKind(%d)", uint8(k))
+}
+
+type token struct {
+	kind tokKind
+	text string // raw text (identifier name, IRI body, string body, number)
+	pos  int    // byte offset for error messages
+}
+
+type lexer struct {
+	src           string
+	pos           int
+	toks          []token
+	filter        int  // >0 while inside FILTER parentheses: '<' lexes as less-than
+	filterPending bool // FILTER keyword seen; next '(' arms filter context
+}
+
+// lex tokenizes the whole input up front. Queries are short; a materialized
+// token slice keeps the parser simple and supports one-token lookahead.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	line := 1 + strings.Count(l.src[:pos], "\n")
+	return fmt.Errorf("sparql: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and '#' comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '{':
+		l.pos++
+		return token{tokLBrace, "{", start}, nil
+	case c == '}':
+		l.pos++
+		return token{tokRBrace, "}", start}, nil
+	case c == '(':
+		l.pos++
+		switch {
+		case l.filterPending:
+			l.filterPending = false
+			l.filter = 1
+		case l.filter > 0:
+			l.filter++
+		}
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		if l.filter > 0 {
+			l.filter--
+		}
+		return token{tokRParen, ")", start}, nil
+	case c == '[':
+		l.pos++
+		return token{tokLBrack, "[", start}, nil
+	case c == ']':
+		l.pos++
+		return token{tokRBrack, "]", start}, nil
+	case c == '.':
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == ';':
+		l.pos++
+		return token{tokSemi, ";", start}, nil
+	case c == '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case c == '=':
+		l.pos++
+		return token{tokEQ, "=", start}, nil
+	case c == '&' && l.peekAt(1) == '&':
+		l.pos += 2
+		return token{tokAnd, "&&", start}, nil
+	case c == '|' && l.peekAt(1) == '|':
+		l.pos += 2
+		return token{tokOr, "||", start}, nil
+	case c == '!':
+		if l.peekAt(1) == '=' {
+			l.pos += 2
+			return token{tokNE, "!=", start}, nil
+		}
+		l.pos++
+		return token{tokBang, "!", start}, nil
+	case c == '>':
+		if l.peekAt(1) == '=' {
+			l.pos += 2
+			return token{tokGE, ">=", start}, nil
+		}
+		l.pos++
+		return token{tokGT, ">", start}, nil
+	case c == '<':
+		// Inside FILTER parens '<' is a comparison unless it clearly opens
+		// an IRI (no whitespace before '>'); elsewhere it opens an IRI.
+		if l.filter > 0 && !l.looksLikeIRI() {
+			if l.peekAt(1) == '=' {
+				l.pos += 2
+				return token{tokLE, "<=", start}, nil
+			}
+			l.pos++
+			return token{tokLT, "<", start}, nil
+		}
+		return l.lexIRI()
+	case c == '?' || c == '$':
+		l.pos++
+		name := l.lexName()
+		if name == "" {
+			return token{}, l.errf(start, "empty variable name")
+		}
+		return token{tokVar, name, start}, nil
+	case c == '"':
+		return l.lexString()
+	case c == '-' || c == '+' || unicode.IsDigit(rune(c)):
+		return l.lexNumber()
+	default:
+		name := l.lexName()
+		if name == "" {
+			if c == ':' { // default-prefix prefixed name, e.g. ":alice"
+				l.pos++
+				local := l.lexName()
+				return token{tokPName, ":" + local, start}, nil
+			}
+			return token{}, l.errf(start, "unexpected character %q", c)
+		}
+		// prefix:local prefixed names (also :local with default prefix).
+		if l.pos < len(l.src) && l.src[l.pos] == ':' {
+			l.pos++
+			local := l.lexName()
+			return token{tokPName, name + ":" + local, start}, nil
+		}
+		if strings.EqualFold(name, "FILTER") {
+			l.filterPending = true
+		}
+		return token{tokIdent, name, start}, nil
+	}
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+// looksLikeIRI reports whether the '<' at the current position opens an IRI:
+// a '>' appears before any whitespace.
+func (l *lexer) looksLikeIRI() bool {
+	for i := l.pos + 1; i < len(l.src); i++ {
+		switch l.src[i] {
+		case '>':
+			return true
+		case ' ', '\t', '\n', '\r':
+			return false
+		}
+	}
+	return false
+}
+
+func (l *lexer) lexIRI() (token, error) {
+	start := l.pos
+	l.pos++ // consume '<'
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == '>' {
+			body := l.src[start+1 : l.pos]
+			l.pos++
+			return token{tokIRI, body, start}, nil
+		}
+		l.pos++
+	}
+	return token{}, l.errf(start, "unterminated IRI")
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // consume '"'
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			// "..."^^<datatype> typed literal.
+			if l.peekAt(0) == '^' && l.peekAt(1) == '^' && l.peekAt(2) == '<' {
+				l.pos += 2
+				iri, err := l.lexIRI()
+				if err != nil {
+					return token{}, err
+				}
+				return token{tokTypedString, b.String() + "\x00" + iri.text, start}, nil
+			}
+			return token{tokString, b.String(), start}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf(start, "dangling escape in string")
+			}
+			l.pos++
+			switch l.src[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\':
+				b.WriteByte(l.src[l.pos])
+			default:
+				return token{}, l.errf(l.pos, "unsupported escape \\%c", l.src[l.pos])
+			}
+			l.pos++
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, l.errf(start, "unterminated string")
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	if c := l.src[l.pos]; c == '-' || c == '+' {
+		l.pos++
+	}
+	digits := 0
+	for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+		if l.src[l.pos] != '.' {
+			digits++
+		} else if l.pos+1 >= len(l.src) || !unicode.IsDigit(rune(l.src[l.pos+1])) {
+			break // trailing dot is the triple terminator
+		}
+		l.pos++
+	}
+	if digits == 0 {
+		if l.src[start] == '.' {
+			l.pos = start + 1
+			return token{tokDot, ".", start}, nil
+		}
+		return token{}, l.errf(start, "malformed number")
+	}
+	return token{tokNumber, l.src[start:l.pos], start}, nil
+}
+
+// lexName consumes an identifier: letters, digits, '_', '-'.
+func (l *lexer) lexName() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	return l.src[start:l.pos]
+}

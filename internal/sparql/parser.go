@@ -1,0 +1,734 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+// Parse parses a C-SPARQL query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks, prefixes: map[string]string{}}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse for statically known queries; it panics on error.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src      string
+	toks     []token
+	i        int
+	prefixes map[string]string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) backup()     { p.i-- }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) errf(t token, format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:t.pos], "\n")
+	return fmt.Errorf("sparql: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// acceptKeyword consumes the next token if it is the given case-insensitive
+// identifier.
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf(p.peek(), "expected %s, got %q", strings.ToUpper(kw), p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expect(kind tokKind) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, p.errf(t, "expected %s, got %q", kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Text: p.src}
+
+	// PREFIX declarations.
+	for p.acceptKeyword("PREFIX") {
+		name, err := p.expect(tokPName)
+		if err != nil {
+			// Also allow a bare "p :" split? Standard form is p: <iri>.
+			return nil, err
+		}
+		if !strings.HasSuffix(name.text, ":") && strings.Count(name.text, ":") != 1 {
+			return nil, p.errf(name, "malformed prefix %q", name.text)
+		}
+		iri, err := p.expect(tokIRI)
+		if err != nil {
+			return nil, err
+		}
+		pfx := strings.TrimSuffix(name.text[:strings.Index(name.text, ":")+1], ":")
+		p.prefixes[pfx] = iri.text
+	}
+
+	// REGISTER QUERY name AS
+	if p.acceptKeyword("REGISTER") {
+		if err := p.expectKeyword("QUERY"); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		q.Name = name.text
+		q.Continuous = true
+		p.acceptKeyword("AS") // optional
+	}
+
+	// SELECT or ASK clause.
+	if p.acceptKeyword("ASK") {
+		q.Ask = true
+		q.Limit = 1 // existence needs one solution
+	} else {
+		if err := p.expectKeyword("SELECT"); err != nil {
+			return nil, err
+		}
+		if p.acceptKeyword("DISTINCT") {
+			q.Distinct = true
+		}
+		if err := p.parseProjections(q); err != nil {
+			return nil, err
+		}
+	}
+
+	// FROM clauses.
+	for p.acceptKeyword("FROM") {
+		if p.acceptKeyword("STREAM") {
+			w, err := p.parseWindow()
+			if err != nil {
+				return nil, err
+			}
+			q.Windows = append(q.Windows, w)
+			q.Continuous = true
+			continue
+		}
+		name, err := p.parseGraphName()
+		if err != nil {
+			return nil, err
+		}
+		// Paper-style shorthand: FROM Tweet_Stream [RANGE..] without STREAM.
+		if p.peek().kind == tokLBrack {
+			w, err := p.parseWindowBody(name)
+			if err != nil {
+				return nil, err
+			}
+			q.Windows = append(q.Windows, w)
+			q.Continuous = true
+			continue
+		}
+		q.Graphs = append(q.Graphs, name)
+	}
+
+	// WHERE clause. A body that opens with a braced group is a UNION of
+	// alternatives; otherwise it is a plain pattern group.
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokLBrace {
+		if err := p.parseUnionBody(q); err != nil {
+			return nil, err
+		}
+	} else if err := p.parseGroup(q, GraphRef{Kind: DefaultGraph}); err != nil {
+		return nil, err
+	}
+
+	// Solution modifiers.
+	for {
+		switch {
+		case p.acceptKeyword("GROUP"):
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			for p.peek().kind == tokVar {
+				q.GroupBy = append(q.GroupBy, p.next().text)
+			}
+			if len(q.GroupBy) == 0 {
+				return nil, p.errf(p.peek(), "GROUP BY requires at least one variable")
+			}
+		case p.acceptKeyword("ORDER"):
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			if err := p.parseOrderKeys(q); err != nil {
+				return nil, err
+			}
+		case p.acceptKeyword("LIMIT"):
+			n, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			v, err := strconv.Atoi(n.text)
+			if err != nil || v < 0 {
+				return nil, p.errf(n, "bad LIMIT %q", n.text)
+			}
+			q.Limit = v
+		case p.acceptKeyword("OFFSET"):
+			n, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			v, err := strconv.Atoi(n.text)
+			if err != nil || v < 0 {
+				return nil, p.errf(n, "bad OFFSET %q", n.text)
+			}
+			q.Offset = v
+		default:
+			if !p.atEOF() {
+				return nil, p.errf(p.peek(), "unexpected %q after query body", p.peek().text)
+			}
+			return q, nil
+		}
+	}
+}
+
+// parseUnionBody parses "{ group } UNION { group } ..." and the closing
+// brace of the WHERE body. A single braced group without UNION merges into
+// the query as a plain group.
+func (p *parser) parseUnionBody(q *Query) error {
+	var branches []UnionBranch
+	for {
+		if _, err := p.expect(tokLBrace); err != nil {
+			return err
+		}
+		sub := &Query{Windows: q.Windows}
+		if err := p.parseGroup(sub, GraphRef{Kind: DefaultGraph}); err != nil {
+			return err
+		}
+		if len(sub.Optionals) > 0 {
+			return fmt.Errorf("sparql: OPTIONAL inside UNION branches is not supported")
+		}
+		branches = append(branches, UnionBranch{Patterns: sub.Patterns, Filters: sub.Filters})
+		if p.acceptKeyword("UNION") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return err
+	}
+	if len(branches) == 1 {
+		q.Patterns = append(q.Patterns, branches[0].Patterns...)
+		q.Filters = append(q.Filters, branches[0].Filters...)
+		return nil
+	}
+	q.Unions = branches
+	return nil
+}
+
+// parseOrderKeys parses "?v | ASC(?v) | DESC(?v)" keys after ORDER BY.
+func (p *parser) parseOrderKeys(q *Query) error {
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokVar:
+			p.next()
+			q.OrderBy = append(q.OrderBy, OrderKey{Var: t.text})
+		case t.kind == tokIdent && (strings.EqualFold(t.text, "ASC") || strings.EqualFold(t.text, "DESC")):
+			p.next()
+			if _, err := p.expect(tokLParen); err != nil {
+				return err
+			}
+			v, err := p.expect(tokVar)
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return err
+			}
+			q.OrderBy = append(q.OrderBy, OrderKey{Var: v.text, Desc: strings.EqualFold(t.text, "DESC")})
+		default:
+			if len(q.OrderBy) == 0 {
+				return p.errf(t, "ORDER BY requires at least one key")
+			}
+			return nil
+		}
+	}
+}
+
+func (p *parser) parseProjections(q *Query) error {
+	if p.peek().kind == tokStar {
+		return p.errf(p.next(), "SELECT * is not supported; list variables explicitly")
+	}
+	for {
+		t := p.peek()
+		switch t.kind {
+		case tokVar:
+			p.next()
+			q.Select = append(q.Select, Projection{Var: t.text, As: t.text})
+		case tokLParen:
+			p.next()
+			proj, err := p.parseAggregate()
+			if err != nil {
+				return err
+			}
+			q.Select = append(q.Select, proj)
+		default:
+			if len(q.Select) == 0 {
+				return p.errf(t, "SELECT requires at least one projection")
+			}
+			return nil
+		}
+	}
+}
+
+// parseAggregate parses "AGG(?v) AS ?name)" after the opening paren.
+func (p *parser) parseAggregate() (Projection, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return Projection{}, err
+	}
+	var agg AggKind
+	switch strings.ToUpper(name.text) {
+	case "COUNT":
+		agg = AggCount
+	case "SUM":
+		agg = AggSum
+	case "AVG":
+		agg = AggAvg
+	case "MIN":
+		agg = AggMin
+	case "MAX":
+		agg = AggMax
+	default:
+		return Projection{}, p.errf(name, "unknown aggregate %q", name.text)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return Projection{}, err
+	}
+	var arg string
+	switch t := p.next(); t.kind {
+	case tokVar:
+		arg = t.text
+	case tokStar:
+		if agg != AggCount {
+			return Projection{}, p.errf(t, "only COUNT accepts *")
+		}
+		arg = "*"
+	default:
+		return Projection{}, p.errf(t, "expected variable or * in aggregate")
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return Projection{}, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return Projection{}, err
+	}
+	out, err := p.expect(tokVar)
+	if err != nil {
+		return Projection{}, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return Projection{}, err
+	}
+	return Projection{Agg: agg, Var: arg, As: out.text}, nil
+}
+
+// parseGraphName parses an IRI, prefixed name, or bare identifier.
+func (p *parser) parseGraphName() (string, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIRI:
+		return t.text, nil
+	case tokPName:
+		return p.expandPName(t)
+	case tokIdent:
+		return t.text, nil
+	default:
+		return "", p.errf(t, "expected graph name, got %q", t.text)
+	}
+}
+
+// parseWindow parses "<stream> [RANGE ns STEP ms]".
+func (p *parser) parseWindow() (StreamWindow, error) {
+	name, err := p.parseGraphName()
+	if err != nil {
+		return StreamWindow{}, err
+	}
+	return p.parseWindowBody(name)
+}
+
+func (p *parser) parseWindowBody(name string) (StreamWindow, error) {
+	if _, err := p.expect(tokLBrack); err != nil {
+		return StreamWindow{}, err
+	}
+	if err := p.expectKeyword("RANGE"); err != nil {
+		return StreamWindow{}, err
+	}
+	rng, err := p.parseDuration()
+	if err != nil {
+		return StreamWindow{}, err
+	}
+	if err := p.expectKeyword("STEP"); err != nil {
+		return StreamWindow{}, err
+	}
+	step, err := p.parseDuration()
+	if err != nil {
+		return StreamWindow{}, err
+	}
+	if _, err := p.expect(tokRBrack); err != nil {
+		return StreamWindow{}, err
+	}
+	if step <= 0 || rng <= 0 {
+		return StreamWindow{}, fmt.Errorf("sparql: window RANGE and STEP must be positive")
+	}
+	return StreamWindow{Stream: name, Range: rng, Step: step}, nil
+}
+
+// parseDuration parses "10s", "100ms", "2m", or "500" (milliseconds). The
+// unit may be attached to the number or follow as an identifier.
+func (p *parser) parseDuration() (time.Duration, error) {
+	t, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	unit := "ms"
+	if u := p.peek(); u.kind == tokIdent {
+		switch strings.ToLower(u.text) {
+		case "ms", "s", "m", "h", "sec", "min":
+			p.next()
+			unit = strings.ToLower(u.text)
+		}
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, p.errf(t, "bad duration %q", t.text)
+	}
+	var mult time.Duration
+	switch unit {
+	case "ms":
+		mult = time.Millisecond
+	case "s", "sec":
+		mult = time.Second
+	case "m", "min":
+		mult = time.Minute
+	case "h":
+		mult = time.Hour
+	}
+	return time.Duration(v * float64(mult)), nil
+}
+
+// parseGroup parses pattern content until the closing brace: triple
+// patterns, nested GRAPH groups, and FILTER expressions.
+func (p *parser) parseGroup(q *Query, graph GraphRef) error {
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokRBrace:
+			p.next()
+			return nil
+		case t.kind == tokEOF:
+			return p.errf(t, "unterminated group: missing }")
+		case t.kind == tokIdent && strings.EqualFold(t.text, "GRAPH"):
+			p.next()
+			ref := GraphRef{Kind: NamedGraph}
+			if p.acceptKeyword("STREAM") {
+				ref.Kind = StreamGraph
+			}
+			name, err := p.parseGraphName()
+			if err != nil {
+				return err
+			}
+			ref.Name = name
+			// GRAPH over a declared stream window is a stream scope even
+			// without the STREAM keyword (paper Fig. 2 writes GRAPH
+			// Tweet_Stream { ... }).
+			if ref.Kind == NamedGraph {
+				if _, ok := q.Window(name); ok {
+					ref.Kind = StreamGraph
+				}
+			}
+			if _, err := p.expect(tokLBrace); err != nil {
+				return err
+			}
+			if err := p.parseGroup(q, ref); err != nil {
+				return err
+			}
+			if p.peek().kind == tokDot {
+				p.next()
+			}
+		case t.kind == tokIdent && strings.EqualFold(t.text, "OPTIONAL"):
+			p.next()
+			if _, err := p.expect(tokLBrace); err != nil {
+				return err
+			}
+			sub := &Query{Windows: q.Windows}
+			if err := p.parseGroup(sub, graph); err != nil {
+				return err
+			}
+			q.Optionals = append(q.Optionals, OptionalGroup{
+				Patterns: sub.Patterns,
+				Filters:  sub.Filters,
+			})
+			// Nested OPTIONALs inside an OPTIONAL flatten into siblings: the
+			// common use (independent optional properties) is unaffected.
+			q.Optionals = append(q.Optionals, sub.Optionals...)
+			if p.peek().kind == tokDot {
+				p.next()
+			}
+		case t.kind == tokIdent && strings.EqualFold(t.text, "FILTER"):
+			p.next()
+			expr, err := p.parseFilter()
+			if err != nil {
+				return err
+			}
+			q.Filters = append(q.Filters, expr)
+			if p.peek().kind == tokDot {
+				p.next()
+			}
+		default:
+			pat, err := p.parseTriplePattern(graph)
+			if err != nil {
+				return err
+			}
+			q.Patterns = append(q.Patterns, pat)
+			// Optional '.' separator.
+			if p.peek().kind == tokDot {
+				p.next()
+			}
+		}
+	}
+}
+
+func (p *parser) parseTriplePattern(graph GraphRef) (Pattern, error) {
+	s, err := p.parsePatternTerm(false)
+	if err != nil {
+		return Pattern{}, err
+	}
+	pr, err := p.parsePatternTerm(true)
+	if err != nil {
+		return Pattern{}, err
+	}
+	o, err := p.parsePatternTerm(false)
+	if err != nil {
+		return Pattern{}, err
+	}
+	return Pattern{Graph: graph, S: s, P: pr, O: o}, nil
+}
+
+// parsePatternTerm parses a variable or constant. In predicate position
+// (isPred) the keyword "a" expands to rdf:type.
+func (p *parser) parsePatternTerm(isPred bool) (PatternTerm, error) {
+	t := p.next()
+	switch t.kind {
+	case tokVar:
+		return Variable(t.text), nil
+	case tokIRI:
+		return Constant(rdf.NewIRI(t.text)), nil
+	case tokPName:
+		iri, err := p.expandPName(t)
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return Constant(rdf.NewIRI(iri)), nil
+	case tokIdent:
+		if isPred && t.text == "a" {
+			return Constant(rdf.NewIRI(RDFType)), nil
+		}
+		// Bare identifiers are IRIs (paper-style shorthand: Logan po ?X).
+		return Constant(rdf.NewIRI(t.text)), nil
+	case tokString:
+		return Constant(rdf.NewLiteral(t.text)), nil
+	case tokTypedString:
+		lex, dt, _ := strings.Cut(t.text, "\x00")
+		return Constant(rdf.NewTypedLiteral(lex, dt)), nil
+	case tokNumber:
+		return Constant(numberTerm(t.text)), nil
+	default:
+		return PatternTerm{}, p.errf(t, "expected pattern term, got %q", t.text)
+	}
+}
+
+// RDFType is the rdf:type predicate IRI that "a" abbreviates.
+const RDFType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+func numberTerm(text string) rdf.Term {
+	if strings.ContainsAny(text, ".eE") {
+		return rdf.NewTypedLiteral(text, rdf.XSDDouble)
+	}
+	return rdf.NewTypedLiteral(text, rdf.XSDInteger)
+}
+
+func (p *parser) expandPName(t token) (string, error) {
+	i := strings.Index(t.text, ":")
+	pfx, local := t.text[:i], t.text[i+1:]
+	base, ok := p.prefixes[pfx]
+	if !ok {
+		return "", p.errf(t, "undeclared prefix %q", pfx)
+	}
+	return base + local, nil
+}
+
+// parseFilter parses "( expr )" after the FILTER keyword.
+func (p *parser) parseFilter() (Expr, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	exprs := []Expr{left}
+	for p.peek().kind == tokOr {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, right)
+	}
+	if len(exprs) == 1 {
+		return left, nil
+	}
+	return Or{Exprs: exprs}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	exprs := []Expr{left}
+	for p.peek().kind == tokAnd {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, right)
+	}
+	if len(exprs) == 1 {
+		return left, nil
+	}
+	return And{Exprs: exprs}, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.peek().kind {
+	case tokBang:
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Expr: inner}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return p.parseComparison()
+	}
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	lhs, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	var op CmpOp
+	switch t := p.next(); t.kind {
+	case tokEQ:
+		op = OpEQ
+	case tokNE:
+		op = OpNE
+	case tokLT:
+		op = OpLT
+	case tokLE:
+		op = OpLE
+	case tokGT:
+		op = OpGT
+	case tokGE:
+		op = OpGE
+	default:
+		return nil, p.errf(t, "expected comparison operator, got %q", t.text)
+	}
+	rhs, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return Cmp{Op: op, LHS: lhs, RHS: rhs}, nil
+}
+
+func (p *parser) parseOperand() (Operand, error) {
+	t := p.next()
+	switch t.kind {
+	case tokVar:
+		return Operand{IsVar: true, Var: t.text}, nil
+	case tokNumber:
+		return Operand{Term: numberTerm(t.text)}, nil
+	case tokString:
+		return Operand{Term: rdf.NewLiteral(t.text)}, nil
+	case tokTypedString:
+		lex, dt, _ := strings.Cut(t.text, "\x00")
+		return Operand{Term: rdf.NewTypedLiteral(lex, dt)}, nil
+	case tokIRI:
+		return Operand{Term: rdf.NewIRI(t.text)}, nil
+	case tokPName:
+		iri, err := p.expandPName(t)
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Term: rdf.NewIRI(iri)}, nil
+	case tokIdent:
+		return Operand{Term: rdf.NewIRI(t.text)}, nil
+	default:
+		return Operand{}, p.errf(t, "expected operand, got %q", t.text)
+	}
+}

@@ -1,0 +1,122 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// String renders the query back to parseable C-SPARQL text. Prefixes are
+// expanded (terms render as full IRIs), so Parse(q.String()) is structurally
+// equal to q; the FT query log and the wsql shell rely on this.
+func (q *Query) String() string {
+	var b strings.Builder
+	if q.Name != "" {
+		fmt.Fprintf(&b, "REGISTER QUERY %s AS\n", q.Name)
+	}
+	if q.Ask {
+		b.WriteString("ASK\n")
+	} else {
+		b.WriteString("SELECT")
+		if q.Distinct {
+			b.WriteString(" DISTINCT")
+		}
+		for _, pr := range q.Select {
+			b.WriteByte(' ')
+			b.WriteString(pr.String())
+		}
+		b.WriteByte('\n')
+	}
+	for _, w := range q.Windows {
+		fmt.Fprintf(&b, "FROM STREAM <%s> [RANGE %s STEP %s]\n",
+			w.Stream, renderDuration(w.Range), renderDuration(w.Step))
+	}
+	for _, g := range q.Graphs {
+		fmt.Fprintf(&b, "FROM <%s>\n", g)
+	}
+	b.WriteString("WHERE {\n")
+	if len(q.Unions) > 0 {
+		for i, br := range q.Unions {
+			if i > 0 {
+				b.WriteString("  UNION\n")
+			}
+			b.WriteString("  {\n")
+			renderGroup(&b, "    ", br.Patterns, br.Filters)
+			b.WriteString("  }\n")
+		}
+	} else {
+		renderGroup(&b, "  ", q.Patterns, nil)
+		for _, g := range q.Optionals {
+			b.WriteString("  OPTIONAL {\n")
+			renderGroup(&b, "    ", g.Patterns, g.Filters)
+			b.WriteString("  }\n")
+		}
+		for _, f := range q.Filters {
+			fmt.Fprintf(&b, "  FILTER %s\n", f)
+		}
+	}
+	b.WriteString("}")
+	if len(q.GroupBy) > 0 {
+		b.WriteString("\nGROUP BY")
+		for _, g := range q.GroupBy {
+			b.WriteString(" ?" + g)
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString("\nORDER BY")
+		for _, k := range q.OrderBy {
+			b.WriteByte(' ')
+			b.WriteString(k.String())
+		}
+	}
+	if q.Limit > 0 && !q.Ask {
+		fmt.Fprintf(&b, "\nLIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, "\nOFFSET %d", q.Offset)
+	}
+	return b.String()
+}
+
+// renderGroup writes patterns (grouped into GRAPH scopes preserving order)
+// and filters.
+func renderGroup(b *strings.Builder, indent string, pats []Pattern, filters []Expr) {
+	for _, p := range pats {
+		switch p.Graph.Kind {
+		case DefaultGraph:
+			fmt.Fprintf(b, "%s%s .\n", indent, renderPattern(p))
+		case NamedGraph:
+			fmt.Fprintf(b, "%sGRAPH <%s> { %s }\n", indent, p.Graph.Name, renderPattern(p))
+		case StreamGraph:
+			fmt.Fprintf(b, "%sGRAPH STREAM <%s> { %s }\n", indent, p.Graph.Name, renderPattern(p))
+		}
+	}
+	for _, f := range filters {
+		fmt.Fprintf(b, "%sFILTER %s\n", indent, f)
+	}
+}
+
+func renderPattern(p Pattern) string {
+	return fmt.Sprintf("%s %s %s", renderTerm(p.S), renderTerm(p.P), renderTerm(p.O))
+}
+
+func renderTerm(t PatternTerm) string {
+	if t.IsVar {
+		return "?" + t.Var
+	}
+	return t.Term.String() // N-Triples syntax: IRIs bracketed, literals quoted
+}
+
+// renderDuration renders a window duration in the parser's accepted units.
+func renderDuration(d time.Duration) string {
+	switch {
+	case d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	case d%time.Second == 0:
+		return fmt.Sprintf("%ds", d/time.Second)
+	default:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	}
+}

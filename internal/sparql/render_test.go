@@ -1,0 +1,67 @@
+package sparql
+
+import (
+	"reflect"
+	"testing"
+)
+
+// corpus covers every language construct for round-trip testing.
+var renderCorpus = []string{
+	figure2QC,
+	figure2QS,
+	`SELECT ?x WHERE { ?x <http://ex/p> "lit" . ?x <http://ex/q> 42 }`,
+	`SELECT DISTINCT ?x ?y WHERE { ?x <p> ?y } ORDER BY DESC(?x) ?y LIMIT 5 OFFSET 2`,
+	`SELECT ?r (AVG(?v) AS ?a) (COUNT(*) AS ?n) WHERE { ?s <road> ?r . ?s <speed> ?v } GROUP BY ?r`,
+	`SELECT ?x WHERE { ?x <p> ?v . FILTER (?v > 3 && (?v < 9 || !(?x = <bad>))) }`,
+	`SELECT ?u ?e WHERE { ?u <ty> <Person> . OPTIONAL { ?u <email> ?e . FILTER (?e != <spam>) } }`,
+	`SELECT ?x WHERE { { ?x <p> ?y } UNION { ?x <q> ?y . FILTER (?y != <z>) } }`,
+	`REGISTER QUERY W AS
+SELECT ?a ?b
+FROM STREAM <S1> [RANGE 2s STEP 500ms]
+FROM STREAM <S2> [RANGE 1m STEP 2s]
+FROM <Base>
+WHERE { GRAPH STREAM <S1> { ?a <p> ?b } . GRAPH <Base> { ?b <q> ?a } }`,
+	`SELECT ?x WHERE { ?x a <Person> }`,
+	`ASK WHERE { <Logan> <fo> <Erik> . ?x <po> ?y }`,
+}
+
+// normalize strips fields that legitimately differ across a render cycle.
+func normalize(q *Query) *Query {
+	c := *q
+	c.Text = ""
+	return &c
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	for _, src := range renderCorpus {
+		orig, err := Parse(src)
+		if err != nil {
+			t.Fatalf("corpus entry failed to parse: %v\n%s", err, src)
+		}
+		rendered := orig.String()
+		re, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered text failed to parse: %v\nrendered:\n%s", err, rendered)
+		}
+		if !reflect.DeepEqual(normalize(orig), normalize(re)) {
+			t.Errorf("round trip changed the query\noriginal: %#v\nreparsed: %#v\nrendered:\n%s",
+				normalize(orig), normalize(re), rendered)
+		}
+	}
+}
+
+func TestRenderDuration(t *testing.T) {
+	cases := map[string]string{
+		"[RANGE 1h STEP 1h]":       "1h",
+		"[RANGE 2m STEP 2m]":       "2m",
+		"[RANGE 10s STEP 10s]":     "10s",
+		"[RANGE 500ms STEP 500ms]": "500ms",
+	}
+	for w, want := range cases {
+		q := MustParse("SELECT ?x FROM STREAM <s> " + w + " WHERE { GRAPH STREAM <s> { ?x <p> ?y } }")
+		got := renderDuration(q.Windows[0].Range)
+		if got != want {
+			t.Errorf("%s -> %q, want %q", w, got, want)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fabric"
+	"repro/internal/rdf"
+	"repro/internal/strserver"
+)
+
+// KeySpan pairs a key with the span of values one insertion appended to it;
+// the injector forwards these to the stream index (§4.2).
+type KeySpan struct {
+	Key  Key
+	Span Span
+}
+
+// Sharded is the cluster-wide persistent store: one Shard per fabric node,
+// partitioned by vertex ID. It also maintains the global statistics the
+// query planner uses for selectivity estimation.
+type Sharded struct {
+	fab    *fabric.Fabric
+	shards []*Shard
+
+	statMu    sync.RWMutex
+	predStats map[rdf.ID]*PredStat
+}
+
+// PredStat is the planner-facing statistics for one predicate.
+type PredStat struct {
+	Edges    atomic.Int64 // total (s,p,o) statements with this predicate
+	Subjects atomic.Int64 // distinct subjects (index-vertex Out size)
+	Objects  atomic.Int64 // distinct objects (index-vertex In size)
+}
+
+// NewSharded creates an empty cluster store over the fabric.
+func NewSharded(f *fabric.Fabric, maxSnapshots int) *Sharded {
+	g := &Sharded{
+		fab:       f,
+		shards:    make([]*Shard, f.Nodes()),
+		predStats: make(map[rdf.ID]*PredStat),
+	}
+	for n := range g.shards {
+		g.shards[n] = NewShard(fabric.NodeID(n), maxSnapshots)
+	}
+	return g
+}
+
+// Fabric returns the underlying fabric.
+func (g *Sharded) Fabric() *fabric.Fabric { return g.fab }
+
+// HomeOf returns the node owning a vertex's keys.
+func (g *Sharded) HomeOf(vid rdf.ID) fabric.NodeID { return g.fab.HomeOf(uint64(vid)) }
+
+// Shard returns node n's partition.
+func (g *Sharded) Shard(n fabric.NodeID) *Shard { return g.shards[n] }
+
+// ShardOf returns the partition owning vid.
+func (g *Sharded) ShardOf(vid rdf.ID) *Shard { return g.shards[g.HomeOf(vid)] }
+
+func (g *Sharded) pstat(pid rdf.ID) *PredStat {
+	g.statMu.RLock()
+	st, ok := g.predStats[pid]
+	g.statMu.RUnlock()
+	if ok {
+		return st
+	}
+	g.statMu.Lock()
+	defer g.statMu.Unlock()
+	if st, ok := g.predStats[pid]; ok {
+		return st
+	}
+	st = &PredStat{}
+	g.predStats[pid] = st
+	return st
+}
+
+// Stats returns the statistics for a predicate (zero stats if unseen).
+func (g *Sharded) Stats(pid rdf.ID) (edges, subjects, objects int64) {
+	g.statMu.RLock()
+	st, ok := g.predStats[pid]
+	g.statMu.RUnlock()
+	if !ok {
+		return 0, 0, 0
+	}
+	return st.Edges.Load(), st.Subjects.Load(), st.Objects.Load()
+}
+
+// BumpEdges updates planner statistics for injectors that write shard-level
+// appends directly (bypassing Insert).
+func (g *Sharded) BumpEdges(pid rdf.ID) { g.pstat(pid).Edges.Add(1) }
+
+// BumpSubjects records a first-sight subject for pid.
+func (g *Sharded) BumpSubjects(pid rdf.ID) { g.pstat(pid).Subjects.Add(1) }
+
+// BumpObjects records a first-sight object for pid.
+func (g *Sharded) BumpObjects(pid rdf.ID) { g.pstat(pid).Objects.Add(1) }
+
+// Insert adds one triple under snapshot sn: the out-edge on the subject's
+// home shard, the in-edge on the object's home shard, and the index-vertex
+// entries on first sight of each (vid,pid,dir). It returns the key spans of
+// all appended values so the caller can build stream indexes.
+//
+// Insert performs the *local* work of the paper's Injector; the stream
+// substrate's dispatcher is responsible for routing each tuple so that
+// Insert runs on (or on behalf of) the owning nodes.
+func (g *Sharded) Insert(t strserver.EncodedTriple, sn uint32) []KeySpan {
+	spans := make([]KeySpan, 0, 4)
+	st := g.pstat(t.P)
+	st.Edges.Add(1)
+
+	// Subject side.
+	sShard := g.ShardOf(t.S)
+	outKey := EdgeKey(t.S, t.P, Out)
+	sp, newSubj := sShard.AppendOne(outKey, t.O, sn)
+	spans = append(spans, KeySpan{Key: outKey, Span: sp})
+	if newSubj {
+		idx := IndexKey(t.P, Out)
+		isp, _ := sShard.AppendOne(idx, t.S, sn)
+		spans = append(spans, KeySpan{Key: idx, Span: isp})
+		sShard.AppendOne(PredIndexKey(t.S, Out), t.P, sn)
+		st.Subjects.Add(1)
+	}
+
+	// Object side.
+	oShard := g.ShardOf(t.O)
+	inKey := EdgeKey(t.O, t.P, In)
+	osp, newObj := oShard.AppendOne(inKey, t.S, sn)
+	spans = append(spans, KeySpan{Key: inKey, Span: osp})
+	if newObj {
+		idx := IndexKey(t.P, In)
+		isp, _ := oShard.AppendOne(idx, t.O, sn)
+		spans = append(spans, KeySpan{Key: idx, Span: isp})
+		oShard.AppendOne(PredIndexKey(t.O, In), t.P, sn)
+		st.Objects.Add(1)
+	}
+	return spans
+}
+
+// LoadBase bulk-loads the initially stored data at the base snapshot.
+func (g *Sharded) LoadBase(triples []strserver.EncodedTriple) {
+	for _, t := range triples {
+		g.Insert(t, BaseSN)
+	}
+}
+
+// Read returns key's values visible at snapshot sn, charging the network
+// cost of a normal remote key/value access: at least two one-sided reads —
+// read key (lookup) and read value (§5 "Leveraging RDMA").
+func (g *Sharded) Read(from fabric.NodeID, key Key, sn uint32) []rdf.ID {
+	home := g.HomeOf(key.Vid)
+	vals := g.shards[home].Get(key, sn)
+	if home != from {
+		g.fab.ReadRemote(from, home, 16)          // key lookup
+		g.fab.ReadRemote(from, home, 8*len(vals)) // value read
+	}
+	return vals
+}
+
+// ReadSpan returns the values covered by a stream-index span with a single
+// one-sided read: the replicated stream index made the fat pointer locally
+// available, so no lookup round is needed (§5).
+func (g *Sharded) ReadSpan(from fabric.NodeID, key Key, sp Span) []rdf.ID {
+	home := g.HomeOf(key.Vid)
+	vals := g.shards[home].GetSpan(key, sp)
+	if home != from {
+		g.fab.ReadRemote(from, home, 8*len(vals))
+	}
+	return vals
+}
+
+// ReadLocalIndex returns node n's partition of an index vertex at snapshot
+// sn. Index vertices are partitioned (each node lists its local vertices),
+// so full index scans fork-join across nodes.
+func (g *Sharded) ReadLocalIndex(n fabric.NodeID, pid rdf.ID, d Dir, sn uint32) []rdf.ID {
+	return g.shards[n].Get(IndexKey(pid, d), sn)
+}
+
+// PruneSnapshots collapses snapshot metadata below minSN on every shard.
+func (g *Sharded) PruneSnapshots(minSN uint32) {
+	for _, s := range g.shards {
+		s.PruneSnapshots(minSN)
+	}
+}
+
+// Memory aggregates memory statistics across all shards.
+func (g *Sharded) Memory() MemoryStats {
+	var total MemoryStats
+	for _, s := range g.shards {
+		m := s.Memory()
+		total.Entries += m.Entries
+		total.Values += m.Values
+		total.SegBoundaries += m.SegBoundaries
+		total.ValueBytes += m.ValueBytes
+		total.SegBytes += m.SegBytes
+		total.KeyBytes += m.KeyBytes
+		total.ScalarizedCost += m.ScalarizedCost
+	}
+	return total
+}

@@ -1,0 +1,368 @@
+// Package store implements the continuous persistent store of Wukong+S's
+// hybrid store (§4.1): a sharded key/value graph store in the style of Wukong
+// (OSDI'16), extended with incremental key/value update and bounded snapshot
+// scalarization (§4.3).
+//
+// Layout follows the paper's Fig. 6: the key combines a vertex ID, an edge
+// (predicate) ID, and an in/out direction — [vid|pid|dir] — and the value is
+// the list of neighboring vertex IDs. Index vertices (pseudo vid 0) provide a
+// reverse mapping from an edge label to all normal vertices carrying it.
+//
+// Values are append-only. Each key keeps a bounded list of snapshot
+// boundaries {SN, end}: a one-shot query reading at stable snapshot number s
+// sees the value prefix up to the newest boundary with SN ≤ s. Because stream
+// batches with the same SN are inserted consecutively (§4.3), one boundary
+// per snapshot suffices — this is the storage half of bounded snapshot
+// scalarization. Boundaries older than the coordinator's minimum active SN
+// are pruned, so per-key metadata stays at O(MaxSnapshots).
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fabric"
+	"repro/internal/rdf"
+	"repro/internal/strserver"
+)
+
+// Dir is the edge direction component of a key.
+type Dir uint8
+
+const (
+	// In selects edges arriving at the vertex (the vertex is the object).
+	In Dir = 0
+	// Out selects edges leaving the vertex (the vertex is the subject).
+	Out Dir = 1
+)
+
+func (d Dir) String() string {
+	if d == In {
+		return "in"
+	}
+	return "out"
+}
+
+// Reverse returns the opposite direction.
+func (d Dir) Reverse() Dir { return 1 - d }
+
+// Key is a store key [vid|pid|dir] per Fig. 6.
+type Key struct {
+	Vid rdf.ID
+	Pid rdf.ID
+	Dir Dir
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("[%d|%d|%d]", k.Vid, k.Pid, k.Dir)
+}
+
+// EdgeKey returns the key addressing vid's pid-neighbors in direction d.
+func EdgeKey(vid, pid rdf.ID, d Dir) Key { return Key{Vid: vid, Pid: pid, Dir: d} }
+
+// IndexKey returns the index-vertex key listing all normal vertices that
+// carry a pid edge in direction d (e.g. [0|po|in] lists all posts).
+func IndexKey(pid rdf.ID, d Dir) Key {
+	return Key{Vid: strserver.ReservedIndexID, Pid: pid, Dir: d}
+}
+
+// PredIndexKey returns the key of a vertex's predicate index: the list of
+// predicate IDs the vertex carries edges for in direction d (Wukong's
+// per-vertex predicate index, [vid|0|d]). Variable-predicate patterns read
+// it to enumerate a bound vertex's predicates.
+func PredIndexKey(vid rdf.ID, d Dir) Key {
+	return Key{Vid: vid, Pid: 0, Dir: d}
+}
+
+// IsPredIndex reports whether the key addresses a vertex's predicate index.
+func (k Key) IsPredIndex() bool { return k.Pid == 0 && k.Vid != strserver.ReservedIndexID }
+
+// IsIndex reports whether the key addresses an index vertex.
+func (k Key) IsIndex() bool { return k.Vid == strserver.ReservedIndexID }
+
+// BaseSN is the snapshot number of the initially stored data.
+const BaseSN uint32 = 0
+
+// DefaultMaxSnapshots bounds per-key snapshot boundaries: "one is for using
+// and another is for inserting" (§4.3).
+const DefaultMaxSnapshots = 2
+
+// segBoundary records that the value prefix [:end] is visible at snapshots
+// ≥ sn (until superseded by a newer boundary).
+type segBoundary struct {
+	sn  uint32
+	end uint32
+}
+
+// entry is one key's value: an append-only neighbor list plus its snapshot
+// boundaries, newest last.
+type entry struct {
+	vals []rdf.ID
+	segs []segBoundary
+}
+
+// visibleLen returns how many values a reader at snapshot sn may see.
+func (e *entry) visibleLen(sn uint32) int {
+	// segs is short (≤ MaxSnapshots) and ordered; scan from the newest.
+	for i := len(e.segs) - 1; i >= 0; i-- {
+		if e.segs[i].sn <= sn {
+			return int(e.segs[i].end)
+		}
+	}
+	return 0
+}
+
+// append adds vals under snapshot sn and returns the [start,end) span of the
+// new values. Snapshot numbers must be non-decreasing per key; the dispatcher
+// and coordinator guarantee this (stream batches within a stream are inserted
+// in order, and SN–VTS plans advance monotonically).
+func (e *entry) append(vals []rdf.ID, sn uint32, maxSnapshots int) Span {
+	start := uint32(len(e.vals))
+	e.vals = append(e.vals, vals...)
+	end := uint32(len(e.vals))
+	n := len(e.segs)
+	switch {
+	case n > 0 && e.segs[n-1].sn == sn:
+		e.segs[n-1].end = end
+	case n > 0 && e.segs[n-1].sn > sn:
+		panic(fmt.Sprintf("store: snapshot regression on append: %d after %d", sn, e.segs[n-1].sn))
+	default:
+		e.segs = append(e.segs, segBoundary{sn: sn, end: end})
+	}
+	// Bound metadata: collapse the oldest boundaries. This is safe only once
+	// no reader is below the collapsed SN; Shard.PruneSnapshots is the
+	// coordinated path, but a hard cap protects memory if a caller never
+	// prunes. Collapsing {sn1,e1},{sn2,e2} into {sn2,e2} loses only the
+	// ability to read below sn2.
+	if maxSnapshots > 0 && len(e.segs) > maxSnapshots {
+		e.segs = e.segs[len(e.segs)-maxSnapshots:]
+	}
+	return Span{Start: start, End: end}
+}
+
+// prune collapses boundaries below minSN into a single floor boundary.
+func (e *entry) prune(minSN uint32) {
+	i := 0
+	for i < len(e.segs) && e.segs[i].sn < minSN {
+		i++
+	}
+	if i <= 1 {
+		return
+	}
+	// Keep the newest pruned boundary as the floor for readers at exactly
+	// minSN-1 .. the paper's coordinator guarantees no reader is below it.
+	e.segs = append(e.segs[:0], e.segs[i-1:]...)
+}
+
+// Span is a half-open [Start,End) range into a key's value list. Stream
+// indexes store spans as their fat pointers into the persistent store (§4.2).
+type Span struct {
+	Start, End uint32
+}
+
+// Len returns the number of values covered by the span.
+func (s Span) Len() int { return int(s.End - s.Start) }
+
+const stripes = 64
+
+// Shard is one node's partition of the persistent store. Reads and writes
+// are safe for concurrent use; the injector additionally partitions the key
+// space across its threads so writes rarely contend (§4.1).
+type Shard struct {
+	node         fabric.NodeID
+	maxSnapshots int
+
+	mu   [stripes]sync.RWMutex
+	kv   [stripes]map[Key]*entry
+	stat [stripes]shardStat
+}
+
+type shardStat struct {
+	entries   int64
+	values    int64
+	segBounds int64
+}
+
+func stripeOf(k Key) int {
+	h := uint64(k.Vid)*0x9e3779b97f4a7c15 ^ uint64(k.Pid)<<8 ^ uint64(k.Dir)
+	return int(h>>32) % stripes
+}
+
+// NewShard creates an empty shard for a node.
+func NewShard(node fabric.NodeID, maxSnapshots int) *Shard {
+	if maxSnapshots <= 0 {
+		maxSnapshots = DefaultMaxSnapshots
+	}
+	s := &Shard{node: node, maxSnapshots: maxSnapshots}
+	for i := range s.kv {
+		s.kv[i] = make(map[Key]*entry)
+	}
+	return s
+}
+
+// Node returns the shard's owning node.
+func (s *Shard) Node() fabric.NodeID { return s.node }
+
+// Append adds vals to key under snapshot sn, returning the span of the newly
+// appended values (for the stream index).
+func (s *Shard) Append(key Key, vals []rdf.ID, sn uint32) Span {
+	st := stripeOf(key)
+	s.mu[st].Lock()
+	defer s.mu[st].Unlock()
+	e, ok := s.kv[st][key]
+	if !ok {
+		e = &entry{}
+		s.kv[st][key] = e
+		s.stat[st].entries++
+	}
+	segsBefore := len(e.segs)
+	sp := e.append(vals, sn, s.maxSnapshots)
+	s.stat[st].values += int64(len(vals))
+	s.stat[st].segBounds += int64(len(e.segs) - segsBefore)
+	return sp
+}
+
+// AppendOne is Append for a single value, avoiding a slice allocation on the
+// injection hot path. wasEmpty reports whether the key had no values before
+// this append — the injector's atomic cue to update the index vertex.
+func (s *Shard) AppendOne(key Key, val rdf.ID, sn uint32) (sp Span, wasEmpty bool) {
+	st := stripeOf(key)
+	s.mu[st].Lock()
+	defer s.mu[st].Unlock()
+	e, ok := s.kv[st][key]
+	if !ok {
+		e = &entry{}
+		s.kv[st][key] = e
+		s.stat[st].entries++
+	}
+	wasEmpty = len(e.vals) == 0
+	segsBefore := len(e.segs)
+	start := uint32(len(e.vals))
+	e.vals = append(e.vals, val)
+	sp = Span{Start: start, End: start + 1}
+	n := len(e.segs)
+	switch {
+	case n > 0 && e.segs[n-1].sn == sn:
+		e.segs[n-1].end = start + 1
+	case n > 0 && e.segs[n-1].sn > sn:
+		panic(fmt.Sprintf("store: snapshot regression on append: %d after %d", sn, e.segs[n-1].sn))
+	default:
+		e.segs = append(e.segs, segBoundary{sn: sn, end: start + 1})
+		if len(e.segs) > s.maxSnapshots {
+			e.segs = e.segs[len(e.segs)-s.maxSnapshots:]
+		}
+	}
+	s.stat[st].values++
+	s.stat[st].segBounds += int64(len(e.segs) - segsBefore)
+	return sp, wasEmpty
+}
+
+// HasEdge reports whether the key already has any values at all.
+func (s *Shard) HasEdge(key Key) bool {
+	st := stripeOf(key)
+	s.mu[st].RLock()
+	defer s.mu[st].RUnlock()
+	e, ok := s.kv[st][key]
+	return ok && len(e.vals) > 0
+}
+
+// Get returns the values of key visible at snapshot sn. The returned slice
+// aliases the store (values below the visible length are immutable); callers
+// must not modify it.
+func (s *Shard) Get(key Key, sn uint32) []rdf.ID {
+	st := stripeOf(key)
+	s.mu[st].RLock()
+	defer s.mu[st].RUnlock()
+	e, ok := s.kv[st][key]
+	if !ok {
+		return nil
+	}
+	return e.vals[:e.visibleLen(sn)]
+}
+
+// GetAll returns every value of key regardless of snapshot (continuous
+// queries use window extraction, not snapshots, so they read via spans).
+func (s *Shard) GetAll(key Key) []rdf.ID {
+	st := stripeOf(key)
+	s.mu[st].RLock()
+	defer s.mu[st].RUnlock()
+	e, ok := s.kv[st][key]
+	if !ok {
+		return nil
+	}
+	return e.vals[:len(e.vals):len(e.vals)]
+}
+
+// GetSpan returns the values covered by a stream-index span. The span's fat
+// pointer may locate into the middle of the value (§4.2).
+func (s *Shard) GetSpan(key Key, sp Span) []rdf.ID {
+	st := stripeOf(key)
+	s.mu[st].RLock()
+	defer s.mu[st].RUnlock()
+	e, ok := s.kv[st][key]
+	if !ok || int(sp.End) > len(e.vals) {
+		return nil
+	}
+	return e.vals[sp.Start:sp.End:sp.End]
+}
+
+// PruneSnapshots collapses per-key snapshot metadata below minSN. The engine
+// calls this as the coordinator's stable SN advances.
+func (s *Shard) PruneSnapshots(minSN uint32) {
+	for st := 0; st < stripes; st++ {
+		s.mu[st].Lock()
+		for _, e := range s.kv[st] {
+			before := len(e.segs)
+			e.prune(minSN)
+			s.stat[st].segBounds -= int64(before - len(e.segs))
+		}
+		s.mu[st].Unlock()
+	}
+}
+
+// MemoryStats describes a shard's resident footprint for the memory
+// experiments (Table 7 and §6.7).
+type MemoryStats struct {
+	Entries        int64 // number of keys
+	Values         int64 // total neighbor-list elements
+	SegBoundaries  int64 // total snapshot boundaries across keys
+	ValueBytes     int64 // Values * 8
+	SegBytes       int64 // SegBoundaries * 8
+	KeyBytes       int64 // Entries * 24 (three packed words per key)
+	ScalarizedCost int64 // KeyBytes + ValueBytes + SegBytes
+}
+
+// VTSAlternativeBytes models the footprint of the straw-man design the paper
+// rejects in §4.3: every value element carries a vector timestamp with one
+// 8-byte slot per stream.
+func (m MemoryStats) VTSAlternativeBytes(streams int) int64 {
+	return m.KeyBytes + m.ValueBytes + m.Values*8*int64(streams)
+}
+
+// Memory returns the shard's memory statistics.
+func (s *Shard) Memory() MemoryStats {
+	var m MemoryStats
+	for st := 0; st < stripes; st++ {
+		s.mu[st].RLock()
+		m.Entries += s.stat[st].entries
+		m.Values += s.stat[st].values
+		m.SegBoundaries += s.stat[st].segBounds
+		s.mu[st].RUnlock()
+	}
+	m.ValueBytes = m.Values * 8
+	m.SegBytes = m.SegBoundaries * 8
+	m.KeyBytes = m.Entries * 24
+	m.ScalarizedCost = m.KeyBytes + m.ValueBytes + m.SegBytes
+	return m
+}
+
+// Len returns the number of keys in the shard.
+func (s *Shard) Len() int {
+	var n int64
+	for st := 0; st < stripes; st++ {
+		s.mu[st].RLock()
+		n += s.stat[st].entries
+		s.mu[st].RUnlock()
+	}
+	return int(n)
+}

@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/rdf"
+	"repro/internal/sindex"
+	"repro/internal/store"
+	"repro/internal/tstore"
+)
+
+// NodeWork is one node's share of a batch: the tuple sides homed there.
+type NodeWork struct {
+	// SubjectSide tuples have their subject homed on this node: the out-edge
+	// key (and possibly the Out index vertex) is written here.
+	SubjectSide []Tuple
+	// ObjectSide tuples have their object homed on this node: the in-edge
+	// key (and possibly the In index vertex) is written here.
+	ObjectSide []Tuple
+}
+
+// Empty reports whether the node receives no work for the batch.
+func (w NodeWork) Empty() bool { return len(w.SubjectSide) == 0 && len(w.ObjectSide) == 0 }
+
+// bytes approximates the wire size of the work (32 bytes per tuple side).
+func (w NodeWork) bytes() int { return 32 * (len(w.SubjectSide) + len(w.ObjectSide)) }
+
+// Dispatch partitions a batch across nodes and charges the dispatcher's
+// network traffic: the stream arrives at one node (its adaptor home) and
+// tuple shares are shipped to their owners.
+func Dispatch(fab *fabric.Fabric, adaptorHome fabric.NodeID, b Batch) []NodeWork {
+	work := make([]NodeWork, fab.Nodes())
+	for _, t := range b.Tuples {
+		sHome := fab.HomeOf(uint64(t.S))
+		oHome := fab.HomeOf(uint64(t.O))
+		work[sHome].SubjectSide = append(work[sHome].SubjectSide, t)
+		work[oHome].ObjectSide = append(work[oHome].ObjectSide, t)
+	}
+	for n := range work {
+		if fabric.NodeID(n) != adaptorHome && !work[n].Empty() {
+			// One-way shipment: the dispatcher does not block on delivery.
+			fab.SendAsync(adaptorHome, fabric.NodeID(n), work[n].bytes())
+		}
+	}
+	return work
+}
+
+// InjectTarget bundles the stores one node's injector writes to.
+type InjectTarget struct {
+	Store     *store.Sharded
+	Index     *sindex.Index // the stream's index (shared; replicas charged separately)
+	Transient *tstore.Store // this node's transient store for this stream
+}
+
+// InjectStats reports one injection's cost split for Table 6.
+type InjectStats struct {
+	TimelessTuples int
+	TimingTuples   int
+	Spans          int
+	InjectTime     time.Duration // persistent/transient store appends
+	IndexTime      time.Duration // stream-index maintenance
+}
+
+// Add accumulates another node's stats.
+func (s *InjectStats) Add(o InjectStats) {
+	s.TimelessTuples += o.TimelessTuples
+	s.TimingTuples += o.TimingTuples
+	s.Spans += o.Spans
+	s.InjectTime += o.InjectTime
+	s.IndexTime += o.IndexTime
+}
+
+// InjectNode applies one node's share of a batch under snapshot sn. Timeless
+// tuples go to the persistent store (key/value appends + index vertices) and
+// their spans to the stream index; timing tuples go to the transient store.
+// The caller must run it on (or on behalf of) node n — the writes only touch
+// n's shard by construction of Dispatch.
+func InjectNode(n fabric.NodeID, w NodeWork, batch tstore.BatchID, sn uint32, tgt InjectTarget) InjectStats {
+	var st InjectStats
+	shard := tgt.Store.Shard(n)
+	spans := make([]store.KeySpan, 0, len(w.SubjectSide)+len(w.ObjectSide))
+
+	start := time.Now()
+	for _, t := range w.SubjectSide {
+		key := store.EdgeKey(t.S, t.P, store.Out)
+		if t.Timing {
+			tgt.Transient.Append(batch, key, []rdf.ID{t.O})
+			st.TimingTuples++
+			continue
+		}
+		sp, wasEmpty := shard.AppendOne(key, t.O, sn)
+		spans = append(spans, store.KeySpan{Key: key, Span: sp})
+		if wasEmpty {
+			idx := store.IndexKey(t.P, store.Out)
+			isp, _ := shard.AppendOne(idx, t.S, sn)
+			spans = append(spans, store.KeySpan{Key: idx, Span: isp})
+			shard.AppendOne(store.PredIndexKey(t.S, store.Out), t.P, sn)
+			tgt.Store.BumpSubjects(t.P)
+		}
+		tgt.Store.BumpEdges(t.P)
+		st.TimelessTuples++
+	}
+	for _, t := range w.ObjectSide {
+		key := store.EdgeKey(t.O, t.P, store.In)
+		if t.Timing {
+			tgt.Transient.Append(batch, key, []rdf.ID{t.S})
+			continue
+		}
+		sp, wasEmpty := shard.AppendOne(key, t.S, sn)
+		spans = append(spans, store.KeySpan{Key: key, Span: sp})
+		if wasEmpty {
+			idx := store.IndexKey(t.P, store.In)
+			isp, _ := shard.AppendOne(idx, t.O, sn)
+			spans = append(spans, store.KeySpan{Key: idx, Span: isp})
+			shard.AppendOne(store.PredIndexKey(t.O, store.In), t.P, sn)
+			tgt.Store.BumpObjects(t.P)
+		}
+	}
+	st.InjectTime = time.Since(start)
+
+	idxStart := time.Now()
+	if len(spans) > 0 {
+		tgt.Index.AddBatch(batch, spans)
+		st.Spans = len(spans)
+		// Replicating the index: ship the new entries to each replica with
+		// one-way messages — the injector does not wait for replicas.
+		fab := tgt.Store.Fabric()
+		for _, r := range tgt.Index.Replicas() {
+			if r != n {
+				fab.SendAsync(n, r, 32*len(spans))
+			}
+		}
+	} else {
+		// Even an all-timing batch must appear in the index timeline so
+		// window lookups and GC see a consistent batch range.
+		tgt.Index.AddBatch(batch, nil)
+	}
+	st.IndexTime = time.Since(idxStart)
+	return st
+}

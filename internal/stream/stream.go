@@ -1,0 +1,318 @@
+// Package stream implements Wukong+S's stream substrate (§3, Fig. 5):
+//
+//   - Source (the paper's Adaptor): receives raw RDF tuples, converts strings
+//     to IDs, classifies each tuple as timing or timeless, enforces the
+//     C-SPARQL monotonic-timestamp model, and groups tuples into mini-batches
+//     by timestamp. It also keeps an upstream-backup buffer for fault
+//     tolerance (§5): recently sent batches can be replayed after a failure.
+//   - Dispatch (the paper's Dispatcher): partitions a sealed batch across
+//     nodes — each tuple's subject side goes to the subject's home node and
+//     its object side to the object's home node, the same sharding the
+//     persistent and transient stores use (§4.1).
+//   - InjectNode (the paper's Injector): applies one node's share of a batch
+//     to the hybrid store — timeless data into the continuous persistent
+//     store plus the stream index, timing data into the transient store —
+//     and reports the injection/indexing cost split (Table 6).
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/strserver"
+	"repro/internal/tstore"
+)
+
+// Tuple is an encoded stream tuple with its timing/timeless classification.
+type Tuple struct {
+	strserver.EncodedTuple
+	Timing bool
+}
+
+// Batch is one sealed mini-batch of a stream.
+type Batch struct {
+	ID     tstore.BatchID
+	Tuples []Tuple
+}
+
+// Config configures a stream source.
+type Config struct {
+	// Name is the stream IRI used in FROM STREAM clauses.
+	Name string
+	// BatchInterval is the mini-batch width (the paper uses 100 ms
+	// batches, "similar to mini batches of Spark Streaming").
+	BatchInterval time.Duration
+	// TimingPredicates lists predicate IRIs whose tuples are timing data
+	// (kept only in the transient store, e.g. gps_add). All others are
+	// timeless and absorbed into the persistent store.
+	TimingPredicates []string
+	// KeepPredicates, when non-empty, makes the adaptor discard tuples with
+	// any other predicate ("the Adaptor will also discard unrelated
+	// tuples").
+	KeepPredicates []string
+	// BackupBudget bounds the upstream-backup buffer in batches
+	// (0 = DefaultBackupBatches).
+	BackupBudget int
+	// MaxDelay enables bounded out-of-order tolerance — an extension beyond
+	// the paper, which adopts C-SPARQL's monotonic time model (§4.3
+	// "Consistency guarantee"). Tuples may arrive up to MaxDelay late; the
+	// adaptor holds a reorder buffer and only releases tuples once the
+	// watermark (newest timestamp seen - MaxDelay) passes them, so
+	// downstream the stream is monotonic again. Batches can only seal up to
+	// the watermark, adding MaxDelay of latency — the classic trade-off.
+	MaxDelay time.Duration
+}
+
+// DefaultBackupBatches is the default upstream-backup retention.
+const DefaultBackupBatches = 256
+
+// Source is the per-stream adaptor. Emit is safe for concurrent use with
+// SealUpTo, though a single producer per stream is the expected pattern
+// (C-SPARQL's time model makes timestamps per stream monotonic).
+type Source struct {
+	name     string
+	interval time.Duration
+	ss       *strserver.Server
+
+	timing map[rdf.ID]bool
+	keep   map[rdf.ID]bool // nil = keep all
+
+	maxDelay rdf.Timestamp // 0 = strict monotonic input
+
+	mu        sync.Mutex
+	pending   []Tuple // released tuples, time-ordered
+	reorder   []Tuple // out-of-order holding area (sorted on release)
+	maxSeen   rdf.Timestamp
+	lastTS    rdf.Timestamp
+	sealedTo  tstore.BatchID
+	discarded int64
+	reordered int64 // tuples that arrived out of order and were re-sorted
+
+	backup       []Batch // upstream backup, ascending batch
+	backupBudget int
+}
+
+// NewSource creates a stream source. The string server is shared with the
+// engine so stream data and queries agree on IDs.
+func NewSource(cfg Config, ss *strserver.Server) (*Source, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("stream: source requires a name")
+	}
+	if cfg.BatchInterval <= 0 {
+		return nil, fmt.Errorf("stream: source %q requires a positive batch interval", cfg.Name)
+	}
+	s := &Source{
+		name:         cfg.Name,
+		interval:     cfg.BatchInterval,
+		ss:           ss,
+		timing:       make(map[rdf.ID]bool),
+		backupBudget: cfg.BackupBudget,
+		maxDelay:     rdf.Timestamp(cfg.MaxDelay.Milliseconds()),
+	}
+	if s.backupBudget <= 0 {
+		s.backupBudget = DefaultBackupBatches
+	}
+	for _, p := range cfg.TimingPredicates {
+		s.timing[ss.InternPredicate(p)] = true
+	}
+	if len(cfg.KeepPredicates) > 0 {
+		s.keep = make(map[rdf.ID]bool)
+		for _, p := range cfg.KeepPredicates {
+			s.keep[ss.InternPredicate(p)] = true
+		}
+		for pid := range s.timing {
+			s.keep[pid] = true
+		}
+	}
+	return s, nil
+}
+
+// Name returns the stream IRI.
+func (s *Source) Name() string { return s.name }
+
+// Interval returns the mini-batch width.
+func (s *Source) Interval() time.Duration { return s.interval }
+
+// BatchOf maps a timestamp to its batch number (1-based).
+func (s *Source) BatchOf(ts rdf.Timestamp) tstore.BatchID {
+	return tstore.BatchID(int64(ts)/s.interval.Milliseconds()) + 1
+}
+
+// BatchEnd returns the first timestamp after batch b.
+func (s *Source) BatchEnd(b tstore.BatchID) rdf.Timestamp {
+	return rdf.Timestamp(int64(b) * s.interval.Milliseconds())
+}
+
+// Emit accepts one raw tuple: encodes, classifies, and buffers it.
+// Timestamps must be monotonically non-decreasing, and a tuple whose batch
+// has already been sealed is rejected (it would violate prefix integrity).
+func (s *Source) Emit(t rdf.Tuple) error {
+	enc := s.ss.EncodeTuple(t)
+	return s.EmitEncoded(enc)
+}
+
+// EmitEncoded is Emit for pre-encoded tuples (the benchmark hot path).
+func (s *Source) EmitEncoded(enc strserver.EncodedTuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxDelay > 0 {
+		return s.emitReorderedLocked(enc)
+	}
+	if enc.TS < s.lastTS {
+		return fmt.Errorf("stream %s: timestamp regression %d after %d", s.name, enc.TS, s.lastTS)
+	}
+	if b := s.BatchOf(enc.TS); b <= s.sealedTo {
+		return fmt.Errorf("stream %s: tuple at %d arrived after batch %d was sealed", s.name, enc.TS, b)
+	}
+	s.lastTS = enc.TS
+	if s.keep != nil && !s.keep[enc.P] {
+		s.discarded++
+		return nil
+	}
+	s.pending = append(s.pending, Tuple{EncodedTuple: enc, Timing: s.timing[enc.P]})
+	return nil
+}
+
+// emitReorderedLocked accepts a possibly-late tuple into the reorder buffer
+// and releases everything at or below the watermark into pending, sorted.
+func (s *Source) emitReorderedLocked(enc strserver.EncodedTuple) error {
+	watermark := s.maxSeen - s.maxDelay
+	if enc.TS < watermark {
+		return fmt.Errorf("stream %s: tuple at %d is older than the watermark %d (max delay exceeded)",
+			s.name, enc.TS, watermark)
+	}
+	if b := s.BatchOf(enc.TS); b <= s.sealedTo {
+		return fmt.Errorf("stream %s: tuple at %d arrived after batch %d was sealed", s.name, enc.TS, b)
+	}
+	if enc.TS < s.maxSeen {
+		s.reordered++
+	}
+	if enc.TS > s.maxSeen {
+		s.maxSeen = enc.TS
+	}
+	if s.keep != nil && !s.keep[enc.P] {
+		s.discarded++
+		return nil
+	}
+	s.reorder = append(s.reorder, Tuple{EncodedTuple: enc, Timing: s.timing[enc.P]})
+	s.releaseLocked()
+	return nil
+}
+
+// releaseLocked moves reorder-buffer tuples at or below the watermark into
+// pending in timestamp order.
+func (s *Source) releaseLocked() {
+	watermark := s.maxSeen - s.maxDelay
+	sort.SliceStable(s.reorder, func(i, j int) bool { return s.reorder[i].TS < s.reorder[j].TS })
+	n := 0
+	for n < len(s.reorder) && s.reorder[n].TS <= watermark {
+		n++
+	}
+	s.pending = append(s.pending, s.reorder[:n]...)
+	s.reorder = append(s.reorder[:0], s.reorder[n:]...)
+}
+
+// Reordered returns how many tuples arrived out of order (MaxDelay mode).
+func (s *Source) Reordered() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reordered
+}
+
+// Discarded returns the number of tuples the adaptor dropped as unrelated.
+func (s *Source) Discarded() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.discarded
+}
+
+// SealUpTo seals and returns every batch whose interval ends at or before
+// ts, including empty batches (the coordinator needs insertion reports for
+// every batch to advance the stable VTS). The sealed batches are also
+// appended to the upstream-backup buffer.
+func (s *Source) SealUpTo(ts rdf.Timestamp) []Batch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxDelay > 0 {
+		// Late tuples may still arrive for anything above the watermark.
+		if s.maxSeen < ts {
+			s.maxSeen = ts // the clock advancing is itself a watermark signal
+		}
+		s.releaseLocked()
+		if wm := s.maxSeen - s.maxDelay; wm < ts {
+			ts = wm
+		}
+		if ts < 0 {
+			return nil
+		}
+	}
+	// Batch b is complete when ts >= BatchEnd(b).
+	lastComplete := tstore.BatchID(int64(ts) / s.interval.Milliseconds())
+	if lastComplete <= s.sealedTo {
+		return nil
+	}
+	var out []Batch
+	for b := s.sealedTo + 1; b <= lastComplete; b++ {
+		end := s.BatchEnd(b)
+		n := 0
+		for n < len(s.pending) && s.pending[n].TS < end {
+			n++
+		}
+		batch := Batch{ID: b, Tuples: append([]Tuple(nil), s.pending[:n]...)}
+		s.pending = s.pending[n:]
+		out = append(out, batch)
+		s.backup = append(s.backup, batch)
+	}
+	s.sealedTo = lastComplete
+	for len(s.backup) > s.backupBudget {
+		s.backup[0] = Batch{}
+		s.backup = s.backup[1:]
+	}
+	return out
+}
+
+// SealedTo returns the newest sealed batch.
+func (s *Source) SealedTo() tstore.BatchID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealedTo
+}
+
+// Replay returns buffered batches with ID ≥ from, for recovery (§5:
+// "Wukong+S assumes upstream backup such that the stream sources buffer
+// recently sent data and replay them").
+func (s *Source) Replay(from tstore.BatchID) []Batch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Batch
+	for _, b := range s.backup {
+		if b.ID >= from {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// TrimBackup drops buffered batches below `before` — called after a
+// checkpoint makes them unnecessary ("Wukong+S will notify the source of
+// streams to flush buffered data").
+func (s *Source) TrimBackup(before tstore.BatchID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := 0
+	for i < len(s.backup) && s.backup[i].ID < before {
+		s.backup[i] = Batch{}
+		i++
+	}
+	s.backup = s.backup[i:]
+}
+
+// BackupLen returns the number of buffered batches (test and FT accounting).
+func (s *Source) BackupLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.backup)
+}

@@ -1,0 +1,224 @@
+// Package strserver implements the Wukong+S string server: a shared,
+// concurrency-safe mapping between RDF terms and compact numeric IDs.
+//
+// As in the paper (§3, §4.1), every string in data and queries is converted
+// to a unique ID before it reaches the servers, so queries ship IDs rather
+// than long strings. Entities (IRIs, literals, blank nodes appearing in
+// subject/object position) get 46-bit IDs; predicates get IDs from a small
+// separate space, mirroring Wukong's [vid|pid|dir] key layout. The mapping
+// table is never garbage collected (§4.1 footnote 8): future one-shot or
+// continuous queries may reference any previously seen entity.
+package strserver
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// Server interns terms and predicates. The zero value is not usable; call New.
+type Server struct {
+	mu sync.RWMutex
+
+	entity  map[string]rdf.ID // term key → entity ID
+	entToo  []string          // entity ID (1-based) → term key
+	numeric []float64         // parallel to entToo: cached numeric value
+	isNum   []bool
+
+	pred    map[string]rdf.ID // predicate IRI → predicate ID
+	predToo []string          // predicate ID (1-based) → IRI
+}
+
+// ReservedIndexID is the pseudo vertex ID used for index vertices in store
+// keys (paper Fig. 6: key [0|pid|dir] lists all vertices touching pid).
+const ReservedIndexID rdf.ID = 0
+
+// New returns an empty string server. ID 0 is reserved for index vertices in
+// both spaces, so assignment starts at 1.
+func New() *Server {
+	return &Server{
+		entity: make(map[string]rdf.ID),
+		pred:   make(map[string]rdf.ID),
+	}
+}
+
+// InternEntity returns the ID for a subject/object term, assigning a fresh
+// one on first sight.
+func (s *Server) InternEntity(t rdf.Term) rdf.ID {
+	key := t.Key()
+	s.mu.RLock()
+	id, ok := s.entity[key]
+	s.mu.RUnlock()
+	if ok {
+		return id
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.entity[key]; ok {
+		return id
+	}
+	id = rdf.ID(len(s.entToo) + 1)
+	if id > rdf.MaxEntityID {
+		panic("strserver: 46-bit entity ID space exhausted")
+	}
+	s.entity[key] = id
+	s.entToo = append(s.entToo, key)
+	v, ok := t.Numeric()
+	s.numeric = append(s.numeric, v)
+	s.isNum = append(s.isNum, ok)
+	return id
+}
+
+// LookupEntity returns the ID for a term without assigning one.
+func (s *Server) LookupEntity(t rdf.Term) (rdf.ID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.entity[t.Key()]
+	return id, ok
+}
+
+// Entity returns the term for an entity ID.
+func (s *Server) Entity(id rdf.ID) (rdf.Term, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id == 0 || int(id) > len(s.entToo) {
+		return rdf.Term{}, false
+	}
+	return rdf.TermFromKey(s.entToo[id-1]), true
+}
+
+// MustEntity returns the term for an entity ID and panics if unknown; use it
+// only for IDs that came out of this server.
+func (s *Server) MustEntity(id rdf.ID) rdf.Term {
+	t, ok := s.Entity(id)
+	if !ok {
+		panic(fmt.Sprintf("strserver: unknown entity ID %d", id))
+	}
+	return t
+}
+
+// Numeric returns the cached numeric value for an entity ID, if its term is a
+// numeric literal. FILTER evaluation uses this to avoid re-parsing lexical
+// forms on the query path.
+func (s *Server) Numeric(id rdf.ID) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id == 0 || int(id) > len(s.isNum) || !s.isNum[id-1] {
+		return 0, false
+	}
+	return s.numeric[id-1], true
+}
+
+// InternPredicate returns the ID for a predicate IRI, assigning a fresh one
+// on first sight.
+func (s *Server) InternPredicate(iri string) rdf.ID {
+	s.mu.RLock()
+	id, ok := s.pred[iri]
+	s.mu.RUnlock()
+	if ok {
+		return id
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.pred[iri]; ok {
+		return id
+	}
+	id = rdf.ID(len(s.predToo) + 1)
+	s.pred[iri] = id
+	s.predToo = append(s.predToo, iri)
+	return id
+}
+
+// LookupPredicate returns the ID for a predicate IRI without assigning one.
+func (s *Server) LookupPredicate(iri string) (rdf.ID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.pred[iri]
+	return id, ok
+}
+
+// Predicate returns the IRI for a predicate ID.
+func (s *Server) Predicate(id rdf.ID) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id == 0 || int(id) > len(s.predToo) {
+		return "", false
+	}
+	return s.predToo[id-1], true
+}
+
+// NumEntities returns the number of interned entities.
+func (s *Server) NumEntities() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entToo)
+}
+
+// NumPredicates returns the number of interned predicates.
+func (s *Server) NumPredicates() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.predToo)
+}
+
+// EncodedTriple is a triple after ID conversion.
+type EncodedTriple struct {
+	S, P, O rdf.ID
+}
+
+// EncodedTuple is a stream tuple after ID conversion.
+type EncodedTuple struct {
+	EncodedTriple
+	TS rdf.Timestamp
+}
+
+// EncodeTriple interns all three terms of a triple.
+func (s *Server) EncodeTriple(t rdf.Triple) EncodedTriple {
+	if !t.P.IsIRI() {
+		panic(fmt.Sprintf("strserver: predicate must be an IRI, got %v", t.P))
+	}
+	return EncodedTriple{
+		S: s.InternEntity(t.S),
+		P: s.InternPredicate(t.P.Value),
+		O: s.InternEntity(t.O),
+	}
+}
+
+// EncodeTuple interns a stream tuple.
+func (s *Server) EncodeTuple(t rdf.Tuple) EncodedTuple {
+	return EncodedTuple{EncodedTriple: s.EncodeTriple(t.Triple), TS: t.TS}
+}
+
+// DecodeTriple converts an encoded triple back to terms.
+func (s *Server) DecodeTriple(t EncodedTriple) (rdf.Triple, error) {
+	sub, ok := s.Entity(t.S)
+	if !ok {
+		return rdf.Triple{}, fmt.Errorf("strserver: unknown subject ID %d", t.S)
+	}
+	p, ok := s.Predicate(t.P)
+	if !ok {
+		return rdf.Triple{}, fmt.Errorf("strserver: unknown predicate ID %d", t.P)
+	}
+	obj, ok := s.Entity(t.O)
+	if !ok {
+		return rdf.Triple{}, fmt.Errorf("strserver: unknown object ID %d", t.O)
+	}
+	return rdf.Triple{S: sub, P: rdf.NewIRI(p), O: obj}, nil
+}
+
+// MemoryBytes estimates the resident size of the mapping tables, used by the
+// memory-accounting experiments (Table 7, §6.7).
+func (s *Server) MemoryBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, k := range s.entToo {
+		n += int64(len(k)) + 16 // key bytes + map/slice overhead approximation
+	}
+	for _, k := range s.predToo {
+		n += int64(len(k)) + 16
+	}
+	n += int64(len(s.numeric))*8 + int64(len(s.isNum))
+	return n
+}

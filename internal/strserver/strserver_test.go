@@ -1,0 +1,238 @@
+package strserver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func TestInternEntityStable(t *testing.T) {
+	s := New()
+	a := s.InternEntity(rdf.NewIRI("http://ex/a"))
+	b := s.InternEntity(rdf.NewIRI("http://ex/b"))
+	if a == b {
+		t.Fatal("distinct terms share an ID")
+	}
+	if again := s.InternEntity(rdf.NewIRI("http://ex/a")); again != a {
+		t.Fatalf("re-intern changed ID: %d vs %d", again, a)
+	}
+	if a == ReservedIndexID || b == ReservedIndexID {
+		t.Fatal("assigned the reserved index ID")
+	}
+}
+
+func TestEntityKindsDistinct(t *testing.T) {
+	s := New()
+	iri := s.InternEntity(rdf.NewIRI("x"))
+	lit := s.InternEntity(rdf.NewLiteral("x"))
+	blk := s.InternEntity(rdf.NewBlank("x"))
+	if iri == lit || lit == blk || iri == blk {
+		t.Fatalf("same-text terms of different kinds collided: %d %d %d", iri, lit, blk)
+	}
+}
+
+func TestEntityRoundTrip(t *testing.T) {
+	s := New()
+	terms := []rdf.Term{
+		rdf.NewIRI("http://ex/a"),
+		rdf.NewTypedLiteral("42", rdf.XSDInteger),
+		rdf.NewLiteral("plain"),
+		rdf.NewBlank("b9"),
+	}
+	for _, tm := range terms {
+		id := s.InternEntity(tm)
+		got, ok := s.Entity(id)
+		if !ok || got != tm {
+			t.Errorf("Entity(%d) = %v, %v; want %v", id, got, ok, tm)
+		}
+	}
+	if _, ok := s.Entity(0); ok {
+		t.Error("Entity(0) should be unknown")
+	}
+	if _, ok := s.Entity(999); ok {
+		t.Error("Entity(999) should be unknown")
+	}
+}
+
+func TestLookupEntity(t *testing.T) {
+	s := New()
+	if _, ok := s.LookupEntity(rdf.NewIRI("nope")); ok {
+		t.Error("lookup of unseen term succeeded")
+	}
+	id := s.InternEntity(rdf.NewIRI("yes"))
+	got, ok := s.LookupEntity(rdf.NewIRI("yes"))
+	if !ok || got != id {
+		t.Errorf("LookupEntity = %d, %v; want %d", got, ok, id)
+	}
+}
+
+func TestMustEntityPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEntity(7) did not panic")
+		}
+	}()
+	s.MustEntity(7)
+}
+
+func TestNumericCache(t *testing.T) {
+	s := New()
+	n := s.InternEntity(rdf.NewIntLiteral(99))
+	if v, ok := s.Numeric(n); !ok || v != 99 {
+		t.Errorf("Numeric = %v, %v", v, ok)
+	}
+	x := s.InternEntity(rdf.NewIRI("notnum"))
+	if _, ok := s.Numeric(x); ok {
+		t.Error("IRI reported numeric")
+	}
+	if _, ok := s.Numeric(0); ok {
+		t.Error("ID 0 reported numeric")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	s := New()
+	p1 := s.InternPredicate("http://ex/follows")
+	p2 := s.InternPredicate("http://ex/likes")
+	if p1 == p2 {
+		t.Fatal("distinct predicates share ID")
+	}
+	if again := s.InternPredicate("http://ex/follows"); again != p1 {
+		t.Fatal("re-intern changed predicate ID")
+	}
+	iri, ok := s.Predicate(p1)
+	if !ok || iri != "http://ex/follows" {
+		t.Errorf("Predicate(%d) = %q, %v", p1, iri, ok)
+	}
+	if _, ok := s.Predicate(0); ok {
+		t.Error("Predicate(0) should be unknown")
+	}
+	if _, ok := s.LookupPredicate("unseen"); ok {
+		t.Error("lookup of unseen predicate succeeded")
+	}
+}
+
+func TestEncodeDecodeTriple(t *testing.T) {
+	s := New()
+	tr := rdf.Triple{
+		S: rdf.NewIRI("http://ex/logan"),
+		P: rdf.NewIRI("http://ex/po"),
+		O: rdf.NewIRI("http://ex/t15"),
+	}
+	enc := s.EncodeTriple(tr)
+	dec, err := s.DecodeTriple(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != tr {
+		t.Errorf("decode = %v, want %v", dec, tr)
+	}
+	if _, err := s.DecodeTriple(EncodedTriple{S: 999, P: enc.P, O: enc.O}); err == nil {
+		t.Error("decode of unknown subject succeeded")
+	}
+	if _, err := s.DecodeTriple(EncodedTriple{S: enc.S, P: 999, O: enc.O}); err == nil {
+		t.Error("decode of unknown predicate succeeded")
+	}
+	if _, err := s.DecodeTriple(EncodedTriple{S: enc.S, P: enc.P, O: 999}); err == nil {
+		t.Error("decode of unknown object succeeded")
+	}
+}
+
+func TestEncodeTuple(t *testing.T) {
+	s := New()
+	tu := rdf.Tuple{Triple: rdf.T("a", "p", "b"), TS: 802}
+	enc := s.EncodeTuple(tu)
+	if enc.TS != 802 {
+		t.Errorf("TS = %d", enc.TS)
+	}
+	if enc.S == 0 || enc.P == 0 || enc.O == 0 {
+		t.Errorf("zero IDs in %+v", enc)
+	}
+}
+
+func TestEncodeTripleNonIRIPredicatePanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("literal predicate did not panic")
+		}
+	}()
+	s.EncodeTriple(rdf.Triple{S: rdf.NewIRI("s"), P: rdf.NewLiteral("p"), O: rdf.NewIRI("o")})
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	s := New()
+	const workers = 8
+	const terms = 500
+	var wg sync.WaitGroup
+	ids := make([][]rdf.ID, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]rdf.ID, terms)
+			for i := 0; i < terms; i++ {
+				ids[w][i] = s.InternEntity(rdf.NewIRI(fmt.Sprintf("http://ex/e%d", i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := 0; i < terms; i++ {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d got ID %d for term %d, worker 0 got %d", w, ids[w][i], i, ids[0][i])
+			}
+		}
+	}
+	if n := s.NumEntities(); n != terms {
+		t.Errorf("NumEntities = %d, want %d", n, terms)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	s := New()
+	if s.NumEntities() != 0 || s.NumPredicates() != 0 {
+		t.Error("fresh server not empty")
+	}
+	s.InternEntity(rdf.NewIRI("a"))
+	s.InternPredicate("p")
+	s.InternPredicate("q")
+	if s.NumEntities() != 1 || s.NumPredicates() != 2 {
+		t.Errorf("counts = %d, %d", s.NumEntities(), s.NumPredicates())
+	}
+}
+
+func TestMemoryBytesGrows(t *testing.T) {
+	s := New()
+	before := s.MemoryBytes()
+	for i := 0; i < 100; i++ {
+		s.InternEntity(rdf.NewIRI(fmt.Sprintf("http://example.org/entity/%d", i)))
+	}
+	if after := s.MemoryBytes(); after <= before {
+		t.Errorf("MemoryBytes did not grow: %d -> %d", before, after)
+	}
+}
+
+// Property: interning is injective — distinct terms get distinct IDs, and
+// Entity inverts InternEntity.
+func TestInternInjectiveProperty(t *testing.T) {
+	s := New()
+	seen := make(map[rdf.ID]rdf.Term)
+	f := func(kind uint8, value string) bool {
+		tm := rdf.Term{Kind: rdf.TermKind(kind % 3), Value: value}
+		id := s.InternEntity(tm)
+		if prev, ok := seen[id]; ok && prev != tm {
+			return false
+		}
+		seen[id] = tm
+		got, ok := s.Entity(id)
+		return ok && got == tm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

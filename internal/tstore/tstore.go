@@ -1,0 +1,190 @@
+// Package tstore implements the time-based transient store of Wukong+S's
+// hybrid store (§4.1, Fig. 7). Timing data — stream tuples whose facts are
+// only meaningful inside a window, like GPS positions — is held in a sequence
+// of transient slices arranged in time order, one slice per stream batch.
+// The injector appends new slices at the later side while the garbage
+// collector frees expired slices from the earlier side. The store is a ring
+// buffer with a fixed, user-defined memory budget; GC runs periodically in
+// the background or is forced when the buffer fills.
+package tstore
+
+import (
+	"sync"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// BatchID numbers a stream's mini-batches, sequential from 1.
+type BatchID int64
+
+// slice holds the timing data of one stream batch.
+type slice struct {
+	batch BatchID
+	data  map[store.Key][]rdf.ID
+	bytes int64
+}
+
+// sliceBytes approximates the resident size of one (key, vals) pair.
+func pairBytes(n int) int64 { return 24 + 8*int64(n) }
+
+// Store is the transient store for one stream on one node. Methods are safe
+// for concurrent use.
+type Store struct {
+	mu          sync.RWMutex
+	slices      []*slice // ascending batch order (deque)
+	budgetBytes int64
+	curBytes    int64
+	gcRuns      int64
+	forcedGCs   int64
+	dropped     int64 // batches freed by forced GC before natural expiry
+}
+
+// DefaultBudget is the default per-stream transient-store budget.
+const DefaultBudget = 64 << 20 // 64 MiB
+
+// New creates a transient store with the given memory budget in bytes
+// (DefaultBudget if ≤ 0).
+func New(budgetBytes int64) *Store {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultBudget
+	}
+	return &Store{budgetBytes: budgetBytes}
+}
+
+// Append records timing values for key within a batch. Batches must arrive
+// in non-decreasing order (C-SPARQL's time model guarantees monotonic
+// timestamps per stream, §4.3 "Consistency guarantee"). Appending to the
+// newest batch is allowed repeatedly; appending to an older batch panics.
+func (s *Store) Append(batch BatchID, key store.Key, vals []rdf.ID) {
+	if len(vals) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.slices)
+	var sl *slice
+	switch {
+	case n > 0 && s.slices[n-1].batch == batch:
+		sl = s.slices[n-1]
+	case n > 0 && s.slices[n-1].batch > batch:
+		panic("tstore: batch regression on append")
+	default:
+		sl = &slice{batch: batch, data: make(map[store.Key][]rdf.ID)}
+		s.slices = append(s.slices, sl)
+	}
+	prev := sl.data[key]
+	var delta int64
+	if prev == nil {
+		delta = pairBytes(len(vals))
+	} else {
+		delta = 8 * int64(len(vals))
+	}
+	sl.data[key] = append(prev, vals...)
+	sl.bytes += delta
+	s.curBytes += delta
+	// Ring buffer full: force GC from the earlier side, never touching the
+	// newest slice (it is still being written).
+	for s.curBytes > s.budgetBytes && len(s.slices) > 1 {
+		s.dropOldestLocked()
+		s.forcedGCs++
+	}
+}
+
+// Get returns the values recorded for key across batches in [from, to],
+// concatenated in time order. The result is freshly allocated.
+func (s *Store) Get(key store.Key, from, to BatchID) []rdf.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []rdf.ID
+	for _, sl := range s.slices {
+		if sl.batch < from {
+			continue
+		}
+		if sl.batch > to {
+			break
+		}
+		out = append(out, sl.data[key]...)
+	}
+	return out
+}
+
+// Batches returns the range of batches currently held, or (0,0) when empty.
+func (s *Store) Batches() (oldest, newest BatchID) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.slices) == 0 {
+		return 0, 0
+	}
+	return s.slices[0].batch, s.slices[len(s.slices)-1].batch
+}
+
+// GC frees all slices with batch < before. The engine invokes it once every
+// registered window has slid past those batches.
+func (s *Store) GC(before BatchID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	freed := false
+	for len(s.slices) > 0 && s.slices[0].batch < before {
+		s.dropOldestLocked()
+		freed = true
+	}
+	if freed {
+		s.gcRuns++
+	}
+}
+
+func (s *Store) dropOldestLocked() {
+	sl := s.slices[0]
+	s.curBytes -= sl.bytes
+	s.slices[0] = nil
+	s.slices = s.slices[1:]
+	s.dropped++
+}
+
+// ScanVertices returns the distinct vertices that carry a pid edge in
+// direction d within batches [from, to]. Timing data has no index vertices
+// (it expires too fast to be worth indexing), so unbound-pattern seeds over
+// timing data scan the window — which is small by construction.
+func (s *Store) ScanVertices(pid rdf.ID, d store.Dir, from, to BatchID) []rdf.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[rdf.ID]bool)
+	var out []rdf.ID
+	for _, sl := range s.slices {
+		if sl.batch < from || sl.batch > to {
+			continue
+		}
+		for k := range sl.data {
+			if k.Pid == pid && k.Dir == d && !seen[k.Vid] {
+				seen[k.Vid] = true
+				out = append(out, k.Vid)
+			}
+		}
+	}
+	return out
+}
+
+// Stats describes the store's occupancy.
+type Stats struct {
+	Slices    int
+	Bytes     int64
+	Budget    int64
+	GCRuns    int64
+	ForcedGCs int64
+	Dropped   int64
+}
+
+// Stats returns a snapshot of occupancy counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Slices:    len(s.slices),
+		Bytes:     s.curBytes,
+		Budget:    s.budgetBytes,
+		GCRuns:    s.gcRuns,
+		ForcedGCs: s.forcedGCs,
+		Dropped:   s.dropped,
+	}
+}
