@@ -1,0 +1,34 @@
+GO ?= go
+
+# Packages whose concurrency matters most; `make race` keeps them honest.
+RACE_PKGS := ./internal/core/... ./internal/fabric/... ./internal/server/... \
+             ./internal/client/... ./internal/chaos/...
+
+.PHONY: all ci vet build test race smoke bench clean
+
+all: ci
+
+# The full gate: what CI runs, in order.
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Quick confidence pass, including the chaos kill/recover smoke test.
+smoke:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench . -benchtime 20x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

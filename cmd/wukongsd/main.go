@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/server"
@@ -35,9 +36,39 @@ func main() {
 	)
 	flag.Parse()
 
-	eng, err := core.New(core.Config{Nodes: *nodes, WorkersPerNode: *workers})
-	if err != nil {
-		log.Fatal(err)
+	cfg := core.Config{Nodes: *nodes, WorkersPerNode: *workers}
+	ftCfg := core.FTConfig{Dir: *ftDir, CheckpointEveryBatches: 100}
+	var srvp atomic.Pointer[server.Server]
+	var eng *core.Engine
+	var err error
+	if *ftDir != "" {
+		// A directory with prior state means this is a restart: recover the
+		// replayed store, streams, and logged queries instead of starting
+		// empty. Recovered queries route their firings into the server's
+		// POLL buffers once it is up (earlier re-fires predate any client).
+		eng, err = core.Recover(cfg, ftCfg, nil,
+			func(name string) func(*core.Result, core.FireInfo) {
+				return func(res *core.Result, f core.FireInfo) {
+					if s := srvp.Load(); s != nil {
+						s.BufferResult(name, res, f)
+					}
+				}
+			})
+		if err == nil {
+			fmt.Printf("recovered engine state from %s\n", *ftDir)
+		}
+	}
+	if eng == nil {
+		eng, err = core.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *ftDir != "" {
+			if err := eng.EnableFT(ftCfg); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("fault tolerance enabled in %s\n", *ftDir)
+		}
 	}
 	defer eng.Close()
 
@@ -53,14 +84,8 @@ func main() {
 		}
 		fmt.Printf("loaded %d triples from %s\n", n, *load)
 	}
-	if *ftDir != "" {
-		if err := eng.EnableFT(core.FTConfig{Dir: *ftDir, CheckpointEveryBatches: 100}); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("fault tolerance enabled in %s\n", *ftDir)
-	}
-
 	srv := server.New(eng)
+	srvp.Store(srv)
 	fmt.Printf("wukongsd: %d-node engine listening on %s\n", *nodes, *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatal(err)

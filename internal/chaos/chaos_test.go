@@ -1,0 +1,236 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/rdf"
+	"repro/internal/stream"
+)
+
+// checkInvariants asserts the §5 recovery contract of a faulty run against
+// its fault-free twin (same seed, no kill).
+func checkInvariants(t *testing.T, faultFree, faulty *Report) {
+	t.Helper()
+	if !faulty.Recovered {
+		t.Fatal("faulty run did not go through kill+recover")
+	}
+	// (c) prefix integrity: no window delivered before its VTS prefix was
+	// stable.
+	for _, f := range faulty.Firings {
+		if !f.Ready {
+			t.Errorf("window %d delivered before its VTS prefix was stable", f.At)
+		}
+	}
+	// (b) superset with window-granularity duplicates only: deduplicating by
+	// the window timestamp makes the runs identical.
+	base, err := faultFree.Dedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := faulty.Dedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(base) {
+		t.Errorf("faulty run covers %d windows, fault-free %d", len(got), len(base))
+	}
+	for at, rows := range base {
+		frows, ok := got[at]
+		if !ok {
+			t.Errorf("window %d missing after recovery", at)
+			continue
+		}
+		if !reflect.DeepEqual(rows, frows) {
+			t.Errorf("window %d diverged after recovery:\n%v\nvs\n%v", at, rows, frows)
+		}
+	}
+	// (a) at-least-once re-delivery actually happened: the recovered engine
+	// re-registered the logged query and re-fired recovered windows.
+	if len(faulty.Firings) <= len(got) {
+		t.Error("recovery produced no duplicate window deliveries (queries not re-fired?)")
+	}
+	last := faulty.Firings[len(faulty.Firings)-1]
+	if lastBase := faultFree.Firings[len(faultFree.Firings)-1]; last.At != lastBase.At {
+		t.Errorf("final window = %d, fault-free run ends at %d", last.At, lastBase.At)
+	}
+}
+
+// TestChaosKillAtNonCheckpointBoundary is the short-mode smoke test: kill
+// between checkpoints, recover, and hold all three §5 invariants.
+func TestChaosKillAtNonCheckpointBoundary(t *testing.T) {
+	cfg := Config{Seed: 7, Nodes: 2, Batches: 8, TuplesPerBatch: 6, Dir: t.TempDir()}
+	faultFree, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faultFree.Recovered || len(faultFree.Firings) == 0 {
+		t.Fatalf("fault-free run: recovered=%v firings=%d", faultFree.Recovered, len(faultFree.Firings))
+	}
+
+	cfg.Dir = t.TempDir()
+	cfg.CheckpointEvery = 3
+	cfg.KillAtBatch = 4 // checkpoints land after batches 3 and 6: batch 4 is mid-interval
+	faulty, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, faultFree, faulty)
+}
+
+func TestChaosKillAtCheckpointBoundary(t *testing.T) {
+	cfg := Config{Seed: 11, Nodes: 2, Batches: 8, TuplesPerBatch: 5, Dir: t.TempDir()}
+	faultFree, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Dir = t.TempDir()
+	cfg.CheckpointEvery = 2
+	cfg.KillAtBatch = 4 // immediately after the batch-4 auto-checkpoint
+	faulty, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, faultFree, faulty)
+}
+
+// TestChaosDeterminism: the same seed and script produce byte-identical
+// reports — including the kill, the recovery, and injected latency spikes —
+// and a different seed diverges.
+func TestChaosDeterminism(t *testing.T) {
+	cfg := Config{
+		Seed: 42, Nodes: 2, Batches: 8, TuplesPerBatch: 6,
+		CheckpointEvery: 3, KillAtBatch: 5, FaultSeed: 9,
+	}
+	cfg.Dir = t.TempDir()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Dir = t.TempDir()
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Firings, b.Firings) {
+		t.Errorf("same seed diverged:\n%v\nvs\n%v", a.Firings, b.Firings)
+	}
+	cfg.Dir = t.TempDir()
+	cfg.Seed = 43
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Firings, c.Firings) {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+// TestChaosLongerRun exercises a longer script with a late kill; skipped in
+// short mode.
+func TestChaosLongerRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chaos run")
+	}
+	cfg := Config{Seed: 3, Nodes: 4, Batches: 30, TuplesPerBatch: 12, Dir: t.TempDir()}
+	faultFree, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Dir = t.TempDir()
+	cfg.CheckpointEvery = 7
+	cfg.KillAtBatch = 17
+	faulty, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, faultFree, faulty)
+}
+
+// TestCrashedNodeSurfacesErrors: a crashed fabric node makes queries that
+// need its data fail with fabric.ErrInjected — propagated through the
+// store/exec layers to the API — never panic, never silently succeed.
+func TestCrashedNodeSurfacesErrors(t *testing.T) {
+	e, err := core.New(core.Config{Nodes: 2, WorkersPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	plan := fabric.NewFaultPlan(1)
+	e.Fabric().SetFaultPlan(plan)
+
+	var triples []rdf.Triple
+	for _, tu := range scriptBatch(5, 1, 20) {
+		triples = append(triples, tu.Triple)
+	}
+	e.LoadTriples(triples)
+
+	const q = `SELECT ?X ?Y WHERE { ?X po ?Y }`
+	if _, err := e.Query(q); err != nil {
+		t.Fatalf("healthy query failed: %v", err)
+	}
+	plan.Crash(1)
+	res, err := e.Query(q)
+	if err == nil {
+		t.Fatalf("query over crashed node returned %d rows and no error", res.Len())
+	}
+	if !errors.Is(err, fabric.ErrInjected) {
+		t.Errorf("err = %v, want fabric.ErrInjected", err)
+	}
+	plan.Restart(1)
+	if _, err := e.Query(q); err != nil {
+		t.Errorf("query after restart failed: %v", err)
+	}
+}
+
+// TestCrashedNodeFailsContinuousWindowsWithoutPanic: a continuous query
+// whose window data became unreachable counts a failed execution and keeps
+// the engine alive.
+func TestCrashedNodeFailsContinuousWindowsWithoutPanic(t *testing.T) {
+	e, err := core.New(core.Config{Nodes: 2, WorkersPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	plan := fabric.NewFaultPlan(2)
+	e.Fabric().SetFaultPlan(plan)
+	src, err := e.RegisterStream(stream.Config{Name: StreamName, BatchInterval: batchMS * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := e.RegisterContinuous(queryText, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range scriptBatch(5, 1, 20) {
+		if err := src.Emit(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.AdvanceTo(batchMS) // healthy window
+	plan.Crash(1)
+	for _, tu := range scriptBatch(5, 2, 20) {
+		if err := src.Emit(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.AdvanceTo(2 * batchMS) // window over unreachable data: must not panic
+	st := cq.Stats()
+	if st.FailedExecutions == 0 {
+		t.Errorf("stats = %+v, want a failed execution while node 1 was down", st)
+	}
+	plan.Restart(1)
+	for _, tu := range scriptBatch(5, 3, 20) {
+		if err := src.Emit(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.AdvanceTo(3 * batchMS)
+	if after := cq.Stats(); after.Executions <= st.Executions {
+		t.Errorf("no executions after restart: %+v", after)
+	}
+}

@@ -2,11 +2,20 @@
 // paper's client-side library (§3): it parses nothing itself but speaks the
 // server's line protocol, letting applications load data, attach streams,
 // drive the logical clock, and run one-shot or continuous queries remotely.
+//
+// The client is fault-tolerant in the same at-least-once sense as the engine
+// (§5): every request runs under an I/O deadline, and when the connection
+// dies the client reconnects with jittered exponential backoff, replays its
+// session (STREAM and REGISTER commands), and retries the request. A retried
+// EMIT may therefore deliver tuples twice — exactly the duplication the
+// engine's window-granularity dedup contract absorbs.
 package client
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strconv"
 	"strings"
@@ -15,30 +24,220 @@ import (
 	"repro/internal/rdf"
 )
 
+// Options tunes connection management. The zero value picks the defaults
+// noted on each field; negative values disable where noted.
+type Options struct {
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// RequestTimeout is the I/O deadline applied to every request/response
+	// exchange (default 10s; negative disables deadlines).
+	RequestTimeout time.Duration
+	// MaxRetries is how many reconnect+retry cycles a failed request gets
+	// (default 2; negative disables reconnection entirely).
+	MaxRetries int
+	// BaseBackoff is the first reconnect delay (default 20ms); each further
+	// attempt doubles it, jittered, capped at MaxBackoff (default 1s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterSeed makes the backoff jitter deterministic when nonzero.
+	JitterSeed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.BaseBackoff == 0 {
+		o.BaseBackoff = 20 * time.Millisecond
+	}
+	if o.MaxBackoff == 0 {
+		o.MaxBackoff = time.Second
+	}
+	return o
+}
+
+// ServerError is an application-level "-ERR" response. It means the server
+// received and rejected the request, so it is never retried.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "client: server: " + e.Msg }
+
+var errClosed = errors.New("client: connection closed")
+
+// streamReg and queryReg are the session state replayed after a reconnect.
+type streamReg struct{ cmd string }
+
+type queryReg struct {
+	text string
+	orig string // name returned to the caller
+	cur  string // name on the current connection (server may reassign)
+}
+
 // Client is one protocol connection. Not safe for concurrent use — open one
 // client per goroutine (the server handles many connections).
 type Client struct {
-	conn net.Conn
-	r    *bufio.Scanner
-	w    *bufio.Writer
+	addr string
+	opts Options
+	rng  *rand.Rand
+
+	conn   net.Conn
+	r      *bufio.Scanner
+	w      *bufio.Writer
+	closed bool
+
+	streams []streamReg
+	queries []*queryReg
 }
 
-// Dial connects to a wukongsd server.
+// Dial connects to a wukongsd server with default Options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects to a wukongsd server.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c := &Client{addr: addr, opts: opts, rng: rand.New(rand.NewSource(seed))}
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+	c.install(conn)
+	return c, nil
 }
 
-// Close sends QUIT and closes the connection.
+func (c *Client) install(conn net.Conn) {
+	c.conn = conn
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	c.r = sc
+	c.w = bufio.NewWriter(conn)
+}
+
+// Close sends QUIT (best effort) and closes the connection.
 func (c *Client) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
 	fmt.Fprintf(c.w, "QUIT\n")
 	c.w.Flush()
 	return c.conn.Close()
+}
+
+// do runs one request exchange, reconnecting and retrying on connection
+// failures (server "-ERR" responses are not connection failures).
+func (c *Client) do(fn func() error) error {
+	err := c.attempt(fn)
+	if err == nil || !c.retryable(err) {
+		return err
+	}
+	for try := 0; try < c.opts.MaxRetries; try++ {
+		if rerr := c.reconnect(try); rerr != nil {
+			err = rerr
+			continue
+		}
+		if err = c.attempt(fn); err == nil || !c.retryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+func (c *Client) attempt(fn func() error) error {
+	if c.closed || c.conn == nil {
+		return errClosed
+	}
+	c.applyDeadline()
+	return fn()
+}
+
+func (c *Client) applyDeadline() {
+	if c.opts.RequestTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.RequestTimeout))
+	}
+}
+
+func (c *Client) retryable(err error) bool {
+	if c.closed || c.opts.MaxRetries < 0 {
+		return false
+	}
+	var se *ServerError
+	return !errors.As(err, &se)
+}
+
+// reconnect dials again after a jittered exponential backoff and replays the
+// session's stream and query registrations.
+func (c *Client) reconnect(try int) error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	backoff := c.opts.BaseBackoff << uint(try)
+	if backoff > c.opts.MaxBackoff || backoff <= 0 {
+		backoff = c.opts.MaxBackoff
+	}
+	// Full jitter in [backoff/2, backoff): desynchronizes reconnect storms.
+	time.Sleep(backoff/2 + time.Duration(c.rng.Int63n(int64(backoff/2)+1)))
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	c.install(conn)
+	c.applyDeadline()
+	return c.replay()
+}
+
+// replay re-registers the session's streams and continuous queries on a
+// fresh connection. Server-side rejections (typically "already registered"
+// when only the connection — not the server — died) are ignored; connection
+// failures abort so the retry loop can back off again. A replayed REGISTER
+// may come back under a new server-assigned name; Poll translates.
+func (c *Client) replay() error {
+	for _, s := range c.streams {
+		if err := c.send(s.cmd); err != nil {
+			return err
+		}
+		if _, err := c.status(); err != nil {
+			var se *ServerError
+			if !errors.As(err, &se) {
+				return err
+			}
+		}
+	}
+	for _, q := range c.queries {
+		if err := c.send("REGISTER"); err != nil {
+			return err
+		}
+		if err := c.sendBlock(q.text); err != nil {
+			return err
+		}
+		st, err := c.status()
+		if err != nil {
+			var se *ServerError
+			if !errors.As(err, &se) {
+				return err
+			}
+			continue // rejected: keep the old name
+		}
+		if f := strings.Fields(st); len(f) == 2 && f[0] == "registered" {
+			q.cur = f[1]
+		}
+	}
+	return nil
 }
 
 func (c *Client) send(lines ...string) error {
@@ -50,17 +249,17 @@ func (c *Client) send(lines ...string) error {
 	return c.w.Flush()
 }
 
-// status reads "+OK ..." or turns "-ERR ..." into an error.
+// status reads "+OK ..." or turns "-ERR ..." into a ServerError.
 func (c *Client) status() (string, error) {
 	if !c.r.Scan() {
 		if err := c.r.Err(); err != nil {
 			return "", err
 		}
-		return "", fmt.Errorf("client: connection closed")
+		return "", errClosed
 	}
 	line := c.r.Text()
 	if strings.HasPrefix(line, "-ERR ") {
-		return "", fmt.Errorf("client: server: %s", strings.TrimPrefix(line, "-ERR "))
+		return "", &ServerError{Msg: strings.TrimPrefix(line, "-ERR ")}
 	}
 	if !strings.HasPrefix(line, "+OK") {
 		return "", fmt.Errorf("client: unexpected response %q", line)
@@ -83,53 +282,71 @@ func (c *Client) rows() ([]string, error) {
 	return nil, fmt.Errorf("client: missing terminator")
 }
 
-// Load sends N-Triples text and returns the number of triples loaded.
-func (c *Client) Load(ntriples string) (int, error) {
-	if err := c.send("LOAD"); err != nil {
-		return 0, err
-	}
-	if err := c.sendBlock(ntriples); err != nil {
-		return 0, err
-	}
-	st, err := c.status()
-	if err != nil {
-		return 0, err
-	}
-	var n int
-	fmt.Sscanf(st, "loaded %d", &n)
-	return n, nil
-}
-
-func (c *Client) sendBlock(body string) error {
+// checkBlock rejects bodies the protocol cannot frame.
+func checkBlock(body string) error {
 	for _, line := range strings.Split(body, "\n") {
 		if strings.TrimSpace(line) == "." {
 			return fmt.Errorf("client: block body may not contain a lone '.'")
 		}
+	}
+	return nil
+}
+
+func (c *Client) sendBlock(body string) error {
+	for _, line := range strings.Split(body, "\n") {
 		fmt.Fprintf(c.w, "%s\n", line)
 	}
 	fmt.Fprintf(c.w, ".\n")
 	return c.w.Flush()
 }
 
+// Load sends N-Triples text and returns the number of triples loaded.
+func (c *Client) Load(ntriples string) (int, error) {
+	if err := checkBlock(ntriples); err != nil {
+		return 0, err
+	}
+	var n int
+	err := c.do(func() error {
+		if err := c.send("LOAD"); err != nil {
+			return err
+		}
+		if err := c.sendBlock(ntriples); err != nil {
+			return err
+		}
+		st, err := c.status()
+		if err != nil {
+			return err
+		}
+		n = 0
+		fmt.Sscanf(st, "loaded %d", &n)
+		return nil
+	})
+	return n, err
+}
+
 // Stream registers a stream with the given mini-batch interval and timing
-// predicates.
+// predicates. The registration is replayed after reconnects.
 func (c *Client) Stream(name string, interval time.Duration, timingPreds ...string) error {
 	cmd := fmt.Sprintf("STREAM %s %d", name, interval.Milliseconds())
 	if len(timingPreds) > 0 {
 		cmd += " " + strings.Join(timingPreds, " ")
 	}
-	if err := c.send(cmd); err != nil {
+	err := c.do(func() error {
+		if err := c.send(cmd); err != nil {
+			return err
+		}
+		_, err := c.status()
 		return err
+	})
+	if err == nil {
+		c.streams = append(c.streams, streamReg{cmd: cmd})
 	}
-	_, err := c.status()
 	return err
 }
 
-// Emit pushes tuples into a stream.
+// Emit pushes tuples into a stream. A retried Emit may deliver tuples twice
+// (at-least-once); the engine's window-granularity dedup absorbs this.
 func (c *Client) Emit(stream string, tuples ...rdf.Tuple) error {
-	if err := c.send("EMIT " + stream); err != nil {
-		return err
-	}
 	var b strings.Builder
 	for i, tu := range tuples {
 		if i > 0 {
@@ -137,72 +354,102 @@ func (c *Client) Emit(stream string, tuples ...rdf.Tuple) error {
 		}
 		b.WriteString(tu.String())
 	}
-	if err := c.sendBlock(b.String()); err != nil {
+	if err := checkBlock(b.String()); err != nil {
 		return err
 	}
-	_, err := c.status()
-	return err
+	return c.do(func() error {
+		if err := c.send("EMIT " + stream); err != nil {
+			return err
+		}
+		if err := c.sendBlock(b.String()); err != nil {
+			return err
+		}
+		_, err := c.status()
+		return err
+	})
 }
 
 // Advance drives the server's logical clock and returns the new time.
 func (c *Client) Advance(ts rdf.Timestamp) (rdf.Timestamp, error) {
-	if err := c.send(fmt.Sprintf("ADVANCE %d", int64(ts))); err != nil {
-		return 0, err
-	}
-	st, err := c.status()
-	if err != nil {
-		return 0, err
-	}
 	var now int64
-	fmt.Sscanf(st, "now %d", &now)
-	return rdf.Timestamp(now), nil
+	err := c.do(func() error {
+		if err := c.send(fmt.Sprintf("ADVANCE %d", int64(ts))); err != nil {
+			return err
+		}
+		st, err := c.status()
+		if err != nil {
+			return err
+		}
+		now = 0
+		fmt.Sscanf(st, "now %d", &now)
+		return nil
+	})
+	return rdf.Timestamp(now), err
 }
 
 // Query runs a one-shot query and returns its rows as space-joined strings.
 func (c *Client) Query(text string) ([]string, error) {
-	if err := c.send("QUERY"); err != nil {
-		return nil, err
-	}
-	if err := c.sendBlock(text); err != nil {
-		return nil, err
-	}
-	if _, err := c.status(); err != nil {
-		return nil, err
-	}
-	return c.rows()
+	return c.block("QUERY", text)
 }
 
 // Explain returns the server's plan description for a query.
 func (c *Client) Explain(text string) ([]string, error) {
-	if err := c.send("EXPLAIN"); err != nil {
-		return nil, err
-	}
-	if err := c.sendBlock(text); err != nil {
-		return nil, err
-	}
-	if _, err := c.status(); err != nil {
-		return nil, err
-	}
-	return c.rows()
+	return c.block("EXPLAIN", text)
 }
 
-// Register registers a continuous query and returns its name for Poll.
+func (c *Client) block(cmd, text string) ([]string, error) {
+	if err := checkBlock(text); err != nil {
+		return nil, err
+	}
+	var out []string
+	err := c.do(func() error {
+		if err := c.send(cmd); err != nil {
+			return err
+		}
+		if err := c.sendBlock(text); err != nil {
+			return err
+		}
+		if _, err := c.status(); err != nil {
+			return err
+		}
+		var err error
+		out, err = c.rows()
+		return err
+	})
+	return out, err
+}
+
+// Register registers a continuous query and returns its name for Poll. The
+// registration is replayed after reconnects; if the server assigns a new
+// name then, Poll keeps accepting the name returned here.
 func (c *Client) Register(text string) (string, error) {
-	if err := c.send("REGISTER"); err != nil {
+	if err := checkBlock(text); err != nil {
 		return "", err
 	}
-	if err := c.sendBlock(text); err != nil {
-		return "", err
-	}
-	st, err := c.status()
+	var name string
+	err := c.do(func() error {
+		if err := c.send("REGISTER"); err != nil {
+			return err
+		}
+		if err := c.sendBlock(text); err != nil {
+			return err
+		}
+		st, err := c.status()
+		if err != nil {
+			return err
+		}
+		fields := strings.Fields(st)
+		if len(fields) != 2 || fields[0] != "registered" {
+			return fmt.Errorf("client: unexpected register response %q", st)
+		}
+		name = fields[1]
+		return nil
+	})
 	if err != nil {
 		return "", err
 	}
-	fields := strings.Fields(st)
-	if len(fields) != 2 || fields[0] != "registered" {
-		return "", fmt.Errorf("client: unexpected register response %q", st)
-	}
-	return fields[1], nil
+	c.queries = append(c.queries, &queryReg{text: text, orig: name, cur: name})
+	return name, nil
 }
 
 // FireRow is one buffered continuous-query result row.
@@ -211,15 +458,27 @@ type FireRow struct {
 	Row string
 }
 
-// Poll drains a continuous query's buffered results.
+// Poll drains a continuous query's buffered results. name is the name
+// Register returned; reconnect renames are translated internally.
 func (c *Client) Poll(name string) ([]FireRow, error) {
-	if err := c.send("POLL " + name); err != nil {
-		return nil, err
+	cur := name
+	for _, q := range c.queries {
+		if q.orig == name {
+			cur = q.cur
+		}
 	}
-	if _, err := c.status(); err != nil {
-		return nil, err
-	}
-	raw, err := c.rows()
+	var raw []string
+	err := c.do(func() error {
+		if err := c.send("POLL " + cur); err != nil {
+			return err
+		}
+		if _, err := c.status(); err != nil {
+			return err
+		}
+		var err error
+		raw, err = c.rows()
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -241,8 +500,14 @@ func (c *Client) Poll(name string) ([]FireRow, error) {
 
 // Stats returns the server's one-line status summary.
 func (c *Client) Stats() (string, error) {
-	if err := c.send("STATS"); err != nil {
-		return "", err
-	}
-	return c.status()
+	var st string
+	err := c.do(func() error {
+		if err := c.send("STATS"); err != nil {
+			return err
+		}
+		var err error
+		st, err = c.status()
+		return err
+	})
+	return st, err
 }

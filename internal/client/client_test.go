@@ -140,6 +140,120 @@ func TestClientBlockValidation(t *testing.T) {
 	}
 }
 
+// TestClientRequestTimeout: a server that accepts but never answers must not
+// hang the client — the request fails with a deadline error.
+func TestClientRequestTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold open, never respond
+		}
+	}()
+	c, err := DialOptions(ln.Addr().String(), Options{
+		RequestTimeout: 100 * time.Millisecond,
+		MaxRetries:     -1, // reconnecting to the same black hole won't help
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("request against silent server succeeded")
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Errorf("request took %v, deadline not applied", d)
+	}
+}
+
+// TestClientReconnectReplaysSession: when the server process is replaced, the
+// next request transparently reconnects, replays STREAM and REGISTER, and
+// succeeds against the new engine.
+func TestClientReconnectReplaysSession(t *testing.T) {
+	newServer := func(ln net.Listener) (*server.Server, chan struct{}) {
+		t.Helper()
+		eng, err := core.New(core.Config{Nodes: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(eng.Close)
+		srv := server.New(eng)
+		srv.ShutdownTimeout = 50 * time.Millisecond
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.Serve(ln)
+		}()
+		return srv, done
+	}
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln1.Addr().String()
+	srv1, done1 := newServer(ln1)
+
+	c, err := DialOptions(addr, Options{
+		RequestTimeout: 2 * time.Second,
+		MaxRetries:     8,
+		BaseBackoff:    10 * time.Millisecond,
+		MaxBackoff:     200 * time.Millisecond,
+		JitterSeed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Stream("S", 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	name, err := c.Register(`
+REGISTER QUERY QR AS
+SELECT ?X ?Z
+FROM S [RANGE 1s STEP 1s]
+WHERE { GRAPH S { ?X po ?Z } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replace the server: the old engine (and its registrations) is gone.
+	srv1.Close()
+	<-done1
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, done2 := newServer(ln2)
+	t.Cleanup(func() {
+		srv2.Close()
+		<-done2
+	})
+
+	// The emit rides the reconnect+replay; the replayed stream and query
+	// exist on the new engine.
+	if err := c.Emit("S", rdf.Tuple{Triple: rdf.T("Logan", "po", "T-1"), TS: 150}); err != nil {
+		t.Fatalf("emit across server restart: %v", err)
+	}
+	if _, err := c.Advance(1000); err != nil {
+		t.Fatal(err)
+	}
+	fires, err := c.Poll(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fires) != 1 || !strings.Contains(fires[0].Row, "T-1") {
+		t.Errorf("fires after reconnect = %v", fires)
+	}
+}
+
 func TestDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1"); err == nil {
 		t.Error("dial to closed port succeeded")

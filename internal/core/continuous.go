@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -50,10 +51,13 @@ type FireInfo struct {
 // CQStats summarizes a continuous query's executions.
 type CQStats struct {
 	Executions int64
-	TotalRows  int64
-	MedianLat  time.Duration
-	P99Lat     time.Duration
-	MeanLat    time.Duration
+	// FailedExecutions counts window firings abandoned because an injected
+	// fabric fault made their data unreachable mid-execution.
+	FailedExecutions int64
+	TotalRows        int64
+	MedianLat        time.Duration
+	P99Lat           time.Duration
+	MeanLat          time.Duration
 }
 
 // ContinuousQuery is a registered continuous query.
@@ -69,12 +73,13 @@ type ContinuousQuery struct {
 	stepMS  int64 // execution period: the smallest window step
 	cb      func(*Result, FireInfo)
 
-	mu        sync.Mutex
-	nextFire  rdf.Timestamp
-	planTick  int64 // engine tick the plan was compiled at
-	execs     int64
-	totalRows int64
-	lats      []time.Duration
+	mu          sync.Mutex
+	nextFire    rdf.Timestamp
+	planTick    int64 // engine tick the plan was compiled at
+	execs       int64
+	failedExecs int64
+	totalRows   int64
+	lats        []time.Duration
 }
 
 // replan recompiles the query at most once per engine tick: stream
@@ -258,6 +263,15 @@ func (cq *ContinuousQuery) windowsReady(at rdf.Timestamp) bool {
 	return cq.engine.coord.WindowReady(streams, upto)
 }
 
+// ReadyAt reports whether the stable VTS prefix covers every window batch for
+// an execution at `at` — the §4.3 trigger condition. The chaos harness uses
+// it to assert prefix integrity: no window may fire before ReadyAt(at) holds.
+func (cq *ContinuousQuery) ReadyAt(at rdf.Timestamp) bool {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return cq.windowsReady(at)
+}
+
 // execute runs one window execution on the query's home node.
 func (cq *ContinuousQuery) execute(at rdf.Timestamp) {
 	e := cq.engine
@@ -274,8 +288,17 @@ func (cq *ContinuousQuery) execute(at rdf.Timestamp) {
 	}, p)
 	lat := trace.Total
 	if err != nil {
-		// Execution errors indicate planner/executor bugs; surface loudly
-		// rather than silently dropping a window.
+		if errors.Is(err, fabric.ErrInjected) {
+			// An injected network fault made window data unreachable. The
+			// window is NOT delivered (a partial answer would be wrong);
+			// recovery re-fires it over replayed data (§5 at-least-once).
+			cq.mu.Lock()
+			cq.failedExecs++
+			cq.mu.Unlock()
+			return
+		}
+		// Other execution errors indicate planner/executor bugs; surface
+		// loudly rather than silently dropping a window.
 		panic(fmt.Sprintf("core: continuous query %s failed: %v", cq.Name, err))
 	}
 	cq.mu.Lock()
@@ -344,7 +367,7 @@ func (cq *ContinuousQuery) ExecuteNowTraced() (*Result, *exec.Trace, error) {
 func (cq *ContinuousQuery) Stats() CQStats {
 	cq.mu.Lock()
 	defer cq.mu.Unlock()
-	st := CQStats{Executions: cq.execs, TotalRows: cq.totalRows}
+	st := CQStats{Executions: cq.execs, FailedExecutions: cq.failedExecs, TotalRows: cq.totalRows}
 	if len(cq.lats) == 0 {
 		return st
 	}

@@ -183,7 +183,7 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// Close stops the engine's workers.
+// Close stops the engine's workers and flushes durable state gracefully.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -191,8 +191,33 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
+	ft := e.ft
 	e.mu.Unlock()
 	e.cluster.Close()
+	if ft != nil {
+		ft.close(true)
+	}
+}
+
+// Kill abruptly stops the engine, simulating a process crash: workers stop,
+// durable files are closed without flushing, and no final checkpoint is
+// taken — the fault-tolerance directory is left exactly as the last durable
+// write left it. The engine is unusable afterwards; Recover builds a
+// successor from the directory. The chaos harness uses this to exercise §5
+// recovery at non-checkpoint boundaries.
+func (e *Engine) Kill() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	ft := e.ft
+	e.mu.Unlock()
+	e.cluster.Close()
+	if ft != nil {
+		ft.close(false)
+	}
 }
 
 // StringServer exposes the shared string server (clients encode query
@@ -387,7 +412,12 @@ func (e *Engine) AdvanceTo(ts rdf.Timestamp) {
 // injectBatch dispatches one batch and injects it on all nodes, blocking
 // until the batch is fully inserted and reported to the coordinator.
 func (e *Engine) injectBatch(st *streamState, b stream.Batch, sn uint32) {
-	work := stream.Dispatch(e.fab, st.home, b)
+	work, lost := stream.Dispatch(e.fab, st.home, b)
+	if lost > 0 {
+		st.mu.Lock()
+		st.injectStats.Dropped += lost
+		st.mu.Unlock()
+	}
 	var wg sync.WaitGroup
 	for n := range work {
 		n := fabric.NodeID(n)

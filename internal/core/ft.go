@@ -69,6 +69,29 @@ type ftState struct {
 	stats FTStats
 }
 
+// close releases the durable files. With flush, buffered batch records are
+// written out first (graceful shutdown); without, they die with the process
+// (simulated crash).
+func (st *ftState) close(flush bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if flush {
+		if st.batchW != nil {
+			st.batchW.Flush()
+			st.batchF.Sync()
+		}
+		if st.batchWM != nil {
+			st.batchWM.Flush()
+			st.batchFM.Sync()
+		}
+	}
+	for _, f := range []*os.File{st.batchF, st.batchFM, st.queryLog, st.queryLogM} {
+		if f != nil {
+			f.Close()
+		}
+	}
+}
+
 // sinks returns the active batch-log writers (primary + mirror).
 func (st *ftState) sinks() []*bufio.Writer {
 	if st.batchWM != nil {
@@ -84,6 +107,38 @@ const (
 	ftQuerySep    = "\x1e" // record separator between query texts
 )
 
+// writeFileAtomic durably replaces path: the data is written to a temporary
+// file in the same directory, fsynced, and renamed over the target, so a
+// crash mid-write never leaves a torn metadata file. The directory is synced
+// after the rename so the new name itself survives the crash.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
 // EnableFT turns on fault tolerance: registered streams and queries are
 // logged immediately; every injected batch is logged from now on.
 func (e *Engine) EnableFT(cfg FTConfig) error {
@@ -93,7 +148,10 @@ func (e *Engine) EnableFT(cfg FTConfig) error {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return err
 	}
-	qf, err := os.OpenFile(filepath.Join(cfg.Dir, ftQueriesFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	// The query log is rewritten from the engine's current state: after a
+	// recovery the recovered queries are re-logged below, so appending to the
+	// old log would accumulate duplicates across kill/recover cycles.
+	qf, err := os.OpenFile(filepath.Join(cfg.Dir, ftQueriesFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -103,10 +161,22 @@ func (e *Engine) EnableFT(cfg FTConfig) error {
 			qf.Close()
 			return err
 		}
-		st.queryLogM, err = os.OpenFile(filepath.Join(cfg.MirrorDir, ftQueriesFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		st.queryLogM, err = os.OpenFile(filepath.Join(cfg.MirrorDir, ftQueriesFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 		if err != nil {
 			qf.Close()
 			return err
+		}
+	}
+	// Resume at the highest existing batch-log sequence: replay sorts logs by
+	// name, so a recovered engine must append to the newest log, not restart
+	// at 000000 (which would put post-recovery batches before checkpointed
+	// ones in replay order).
+	if logs, _ := filepath.Glob(filepath.Join(cfg.Dir, "batches.*.log")); len(logs) > 0 {
+		for _, path := range logs {
+			var seq int
+			if _, err := fmt.Sscanf(filepath.Base(path), "batches.%d.log", &seq); err == nil && seq > st.ckptSeq {
+				st.ckptSeq = seq
+			}
 		}
 	}
 	if err := st.openBatchLog(); err != nil {
@@ -179,11 +249,11 @@ func (e *Engine) ftWriteStreamConfigs() error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(e.ft.cfg.Dir, ftStreamsFile), data, 0o644); err != nil {
+	if err := writeFileAtomic(filepath.Join(e.ft.cfg.Dir, ftStreamsFile), data); err != nil {
 		return err
 	}
 	if e.ft.cfg.MirrorDir != "" {
-		return os.WriteFile(filepath.Join(e.ft.cfg.MirrorDir, ftStreamsFile), data, 0o644)
+		return writeFileAtomic(filepath.Join(e.ft.cfg.MirrorDir, ftStreamsFile), data)
 	}
 	return nil
 }
@@ -286,11 +356,11 @@ func (e *Engine) Checkpoint() error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(st.cfg.Dir, ftVTSFile), data, 0o644); err != nil {
+	if err := writeFileAtomic(filepath.Join(st.cfg.Dir, ftVTSFile), data); err != nil {
 		return err
 	}
 	if st.cfg.MirrorDir != "" {
-		if err := os.WriteFile(filepath.Join(st.cfg.MirrorDir, ftVTSFile), data, 0o644); err != nil {
+		if err := writeFileAtomic(filepath.Join(st.cfg.MirrorDir, ftVTSFile), data); err != nil {
 			return err
 		}
 	}
@@ -354,37 +424,21 @@ func Recover(cfg Config, ftCfg FTConfig, initial []rdf.Triple, callbacks func(na
 		sources[m.Name] = src
 	}
 
-	// Replay batch logs in checkpoint order.
-	logs, err := filepath.Glob(filepath.Join(ftCfg.Dir, "batches.*.log"))
-	if err != nil {
-		e.Close()
-		return nil, err
-	}
-	sort.Strings(logs)
-	var maxTS rdf.Timestamp
-	for _, path := range logs {
-		ts, err := replayBatchLog(e, sources, path)
-		if err != nil {
-			e.Close()
-			return nil, fmt.Errorf("core: recover %s: %w", path, err)
-		}
-		if ts > maxTS {
-			maxTS = ts
-		}
-	}
-	// Advance past every replayed batch so the recovered store is stable.
-	e.AdvanceTo(maxTS)
-
-	// Queries.
+	// Queries are re-registered BEFORE the batch logs replay: windows that
+	// already fired before the crash then fire again over the replayed data
+	// during AdvanceTo below — the paper's at-least-once contract (§5).
+	// Clients deduplicate by the window's time information (FireInfo.At).
 	qdata, err := os.ReadFile(filepath.Join(ftCfg.Dir, ftQueriesFile))
 	if err != nil && !os.IsNotExist(err) {
 		e.Close()
 		return nil, err
 	}
+	seen := map[string]bool{}
 	for _, text := range strings.Split(string(qdata), ftQuerySep) {
-		if strings.TrimSpace(text) == "" {
+		if strings.TrimSpace(text) == "" || seen[text] {
 			continue
 		}
+		seen[text] = true
 		q, err := sparql.Parse(text)
 		if err != nil {
 			e.Close()
@@ -399,6 +453,35 @@ func Recover(cfg Config, ftCfg FTConfig, initial []rdf.Triple, callbacks func(na
 			return nil, err
 		}
 	}
+
+	// Replay batch logs in checkpoint order. A log with a truncated or corrupt
+	// tail (the crash hit mid-write) replays up to its last complete batch;
+	// nothing after the damage is replayed — later records could depend on the
+	// lost ones. The upstream backup covers the gap in a real deployment.
+	logs, err := filepath.Glob(filepath.Join(ftCfg.Dir, "batches.*.log"))
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	sort.Strings(logs)
+	var maxTS rdf.Timestamp
+	for _, path := range logs {
+		ts, complete, err := replayBatchLog(e, sources, path)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("core: recover %s: %w", path, err)
+		}
+		if ts > maxTS {
+			maxTS = ts
+		}
+		if !complete {
+			break
+		}
+	}
+	// Advance past every replayed batch so the recovered store is stable —
+	// this also fires the re-registered queries' recovered windows.
+	e.AdvanceTo(maxTS)
+
 	if err := e.EnableFT(ftCfg); err != nil {
 		e.Close()
 		return nil, err
@@ -407,11 +490,14 @@ func Recover(cfg Config, ftCfg FTConfig, initial []rdf.Triple, callbacks func(na
 }
 
 // replayBatchLog replays one durable batch log and returns the highest batch
-// end timestamp it covered.
-func replayBatchLog(e *Engine, sources map[string]*stream.Source, path string) (rdf.Timestamp, error) {
+// end timestamp it covered. Records are buffered per batch and emitted only
+// once the batch is complete, so a truncated or corrupt tail (a crash mid-
+// append) loses at most the damaged batch: replay stops at the last complete
+// record and reports complete=false instead of failing.
+func replayBatchLog(e *Engine, sources map[string]*stream.Source, path string) (rdf.Timestamp, bool, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
@@ -419,38 +505,68 @@ func replayBatchLog(e *Engine, sources map[string]*stream.Source, path string) (
 	var maxTS rdf.Timestamp
 	var cur *stream.Source
 	var curEnd rdf.Timestamp
+	var pending []rdf.Tuple
 	remaining := 0
+	flush := func() error {
+		for _, tu := range pending {
+			if err := cur.Emit(tu); err != nil {
+				return err
+			}
+		}
+		if curEnd > maxTS {
+			maxTS = curEnd
+		}
+		pending = pending[:0]
+		return nil
+	}
 	for sc.Scan() {
 		line := sc.Text()
 		if strings.HasPrefix(line, "B ") {
+			if remaining > 0 {
+				// A new header inside an unfinished batch: the previous
+				// batch's tail was lost. Discard it and stop — later records
+				// may depend on the lost tuples.
+				return maxTS, false, nil
+			}
 			var name string
 			var batch, n int64
 			if _, err := fmt.Sscanf(line, "B %s %d %d", &name, &batch, &n); err != nil {
-				return 0, fmt.Errorf("bad batch header %q: %w", line, err)
+				return maxTS, false, nil // corrupt header: stop at last complete batch
 			}
 			src, ok := sources[name]
 			if !ok {
-				return 0, fmt.Errorf("log references unknown stream %q", name)
+				return 0, false, fmt.Errorf("log references unknown stream %q", name)
 			}
 			cur = src
 			remaining = int(n)
 			curEnd = src.BatchEnd(tstore.BatchID(batch))
-			if curEnd > maxTS {
-				maxTS = curEnd
+			pending = pending[:0]
+			if remaining == 0 {
+				if err := flush(); err != nil {
+					return maxTS, false, err
+				}
 			}
 			continue
 		}
-		if remaining <= 0 || cur == nil {
-			return 0, fmt.Errorf("tuple line outside batch: %q", line)
+		if cur == nil || remaining <= 0 {
+			return maxTS, false, nil // stray tuple line: corrupt tail
 		}
 		tu, err := rdf.ParseTuple(line)
 		if err != nil {
-			return 0, err
+			return maxTS, false, nil // corrupt record: stop at last complete batch
 		}
-		if err := cur.Emit(tu); err != nil {
-			return 0, err
-		}
+		pending = append(pending, tu)
 		remaining--
+		if remaining == 0 {
+			if err := flush(); err != nil {
+				return maxTS, false, err
+			}
+		}
 	}
-	return maxTS, sc.Err()
+	if err := sc.Err(); err != nil {
+		return maxTS, false, err
+	}
+	// A batch still open at EOF is a truncated tail: its buffered tuples are
+	// dropped, everything before it was already emitted.
+	return maxTS, remaining == 0, nil
 }

@@ -11,15 +11,19 @@ import (
 
 // Access provides a pattern's data. Implementations charge the fabric for
 // remote operations, so the executor stays oblivious to network pricing.
+// Remote reads can fail when the fabric has injected faults; a fault on the
+// path to the data surfaces as an error rather than a silently-empty result,
+// so a query never returns a wrong answer because a node was unreachable.
 type Access interface {
 	// Neighbors returns vid's pid-neighbors in direction d, as visible to
 	// this access path, on behalf of a worker on node from.
-	Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir) []rdf.ID
+	Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir) ([]rdf.ID, error)
 	// Candidates enumerates all vertices carrying a pid edge in direction d
 	// (the index-vertex read), gathering every node's partition.
-	Candidates(from fabric.NodeID, pid rdf.ID, d store.Dir) []rdf.ID
+	Candidates(from fabric.NodeID, pid rdf.ID, d store.Dir) ([]rdf.ID, error)
 	// LocalCandidates returns only node n's partition of the index vertex;
-	// fork-join seeding scans each partition on its own node.
+	// fork-join seeding scans each partition on its own node. Purely local:
+	// it cannot observe network faults.
 	LocalCandidates(n fabric.NodeID, pid rdf.ID, d store.Dir) []rdf.ID
 }
 
@@ -38,22 +42,13 @@ type StoredAccess struct {
 
 // Neighbors implements Access via a snapshot read (two one-sided reads when
 // remote: key lookup + value).
-func (a StoredAccess) Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir) []rdf.ID {
+func (a StoredAccess) Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir) ([]rdf.ID, error) {
 	return a.Store.Read(from, store.EdgeKey(vid, pid, d), a.SN)
 }
 
 // Candidates gathers every node's index-vertex partition.
-func (a StoredAccess) Candidates(from fabric.NodeID, pid rdf.ID, d store.Dir) []rdf.ID {
-	var out []rdf.ID
-	for n := 0; n < a.Store.Fabric().Nodes(); n++ {
-		vals := a.Store.ReadLocalIndex(fabric.NodeID(n), pid, d, a.SN)
-		if fabric.NodeID(n) != from {
-			a.Store.Fabric().ReadRemote(from, fabric.NodeID(n), 16)
-			a.Store.Fabric().ReadRemote(from, fabric.NodeID(n), 8*len(vals))
-		}
-		out = append(out, vals...)
-	}
-	return out
+func (a StoredAccess) Candidates(from fabric.NodeID, pid rdf.ID, d store.Dir) ([]rdf.ID, error) {
+	return a.Store.ReadIndex(from, pid, d, a.SN)
 }
 
 // LocalCandidates returns node n's index partition (a local read).
@@ -74,35 +69,45 @@ type WindowAccess struct {
 // indexLookup charges one extra one-sided read when the stream index is not
 // replicated on the reading node (§4.2: a partitioned stream index incurs an
 // additional RDMA read).
-func (a WindowAccess) indexLookup(from fabric.NodeID, key store.Key) []store.Span {
+func (a WindowAccess) indexLookup(from fabric.NodeID, key store.Key) ([]store.Span, error) {
 	spans := a.Index.Lookup(key, a.From, a.To)
 	if !a.Index.ReplicatedOn(from) {
 		home := a.Store.HomeOf(key.Vid)
 		if home != from {
-			a.Store.Fabric().ReadRemote(from, home, 16)
+			if err := a.Store.Fabric().ReadRemote(from, home, 16); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return spans
+	return spans, nil
 }
 
 // Neighbors implements Access: stream-index spans give direct value reads
 // (one one-sided read each when remote); timing data comes from the home
 // node's transient store.
-func (a WindowAccess) Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir) []rdf.ID {
+func (a WindowAccess) Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir) ([]rdf.ID, error) {
 	key := store.EdgeKey(vid, pid, d)
-	var out []rdf.ID
-	for _, sp := range a.indexLookup(from, key) {
-		out = append(out, a.Store.ReadSpan(from, key, sp)...)
+	spans, err := a.indexLookup(from, key)
+	if err != nil {
+		return nil, err
 	}
-	home := a.Store.HomeOf(vid)
-	if ts := a.Transients[home]; ts != nil {
-		vals := ts.Get(key, a.From, a.To)
-		if home != from && len(vals) > 0 {
-			a.Store.Fabric().ReadRemote(from, home, 8*len(vals))
+	var out []rdf.ID
+	for _, sp := range spans {
+		vals, err := a.Store.ReadSpan(from, key, sp)
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, vals...)
 	}
-	return out
+	home := a.Store.HomeOf(vid)
+	if ts := a.Transients[home]; ts != nil {
+		vals, err := ts.GetFrom(a.Store.Fabric(), from, home, key, a.From, a.To)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
+	}
+	return out, nil
 }
 
 // Candidates enumerates the window's vertices carrying a pid edge in
@@ -110,12 +115,11 @@ func (a WindowAccess) Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir
 // the index for window data (§4.2), so no persistent-store index vertex is
 // consulted (which would also see data outside the window, and would miss
 // vertices the store already knew).
-func (a WindowAccess) Candidates(from fabric.NodeID, pid rdf.ID, d store.Dir) []rdf.ID {
-	if !a.Index.ReplicatedOn(from) {
-		// Remote stream index: one lookup read against its home.
-		a.Store.Fabric().ReadRemote(from, a.Index.Replicas()[0], 16)
+func (a WindowAccess) Candidates(from fabric.NodeID, pid rdf.ID, d store.Dir) ([]rdf.ID, error) {
+	out, err := a.Index.VerticesFrom(a.Store.Fabric(), from, pid, d, a.From, a.To)
+	if err != nil {
+		return nil, err
 	}
-	out := a.Index.Vertices(pid, d, a.From, a.To)
 	// Timing data: scan each node's transient window for this predicate.
 	var seen map[rdf.ID]bool
 	for n, ts := range a.Transients {
@@ -136,13 +140,15 @@ func (a WindowAccess) Candidates(from fabric.NodeID, pid rdf.ID, d store.Dir) []
 			if !seen[v] {
 				seen[v] = true
 				if fabric.NodeID(n) != from {
-					a.Store.Fabric().ReadRemote(from, fabric.NodeID(n), 8)
+					if err := a.Store.Fabric().ReadRemote(from, fabric.NodeID(n), 8); err != nil {
+						return nil, err
+					}
 				}
 				out = append(out, v)
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // LocalCandidates returns node n's share of the window candidates: the
@@ -179,21 +185,29 @@ func transientCandidates(ts *tstore.Store, pid rdf.ID, d store.Dir, from, to tst
 type UnionAccess []Access
 
 // Neighbors unions the underlying accesses' neighbor lists.
-func (u UnionAccess) Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir) []rdf.ID {
+func (u UnionAccess) Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir) ([]rdf.ID, error) {
 	var out []rdf.ID
 	for _, a := range u {
-		out = append(out, a.Neighbors(from, vid, pid, d)...)
+		vals, err := a.Neighbors(from, vid, pid, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
 	}
-	return out
+	return out, nil
 }
 
 // Candidates unions the underlying accesses' candidates.
-func (u UnionAccess) Candidates(from fabric.NodeID, pid rdf.ID, d store.Dir) []rdf.ID {
+func (u UnionAccess) Candidates(from fabric.NodeID, pid rdf.ID, d store.Dir) ([]rdf.ID, error) {
 	var out []rdf.ID
 	for _, a := range u {
-		out = append(out, a.Candidates(from, pid, d)...)
+		vals, err := a.Candidates(from, pid, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
 	}
-	return out
+	return out, nil
 }
 
 // LocalCandidates unions the underlying accesses' local candidates.

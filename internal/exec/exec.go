@@ -310,9 +310,16 @@ func (ex *Executor) applySeed(req Request, acc Access, st plan.Step, tbl *Table)
 		if req.Mode == ForkJoin {
 			return ex.forkJoinIndexSeed(req, acc, st, tbl)
 		}
-		seeds = acc.Candidates(req.Node, st.Pid, st.Dir)
+		var err error
+		seeds, err = acc.Candidates(req.Node, st.Pid, st.Dir)
+		if err != nil {
+			return nil, err
+		}
 	}
-	pairs := expandSeeds(acc, req.Node, seeds, st)
+	pairs, err := expandSeeds(acc, req.Node, seeds, st)
+	if err != nil {
+		return nil, err
+	}
 	return crossBind(tbl, st, pairs), nil
 }
 
@@ -320,17 +327,21 @@ func (ex *Executor) applySeed(req Request, acc Access, st plan.Step, tbl *Table)
 type pair struct{ from, to rdf.ID }
 
 // expandSeeds follows the seeding pattern's edges for every seed.
-func expandSeeds(acc Access, node fabric.NodeID, seeds []rdf.ID, st plan.Step) []pair {
+func expandSeeds(acc Access, node fabric.NodeID, seeds []rdf.ID, st plan.Step) ([]pair, error) {
 	var out []pair
 	for _, s := range seeds {
-		for _, n := range acc.Neighbors(node, s, st.Pid, st.Dir) {
+		ns, err := acc.Neighbors(node, s, st.Pid, st.Dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range ns {
 			if !st.To.IsVar() && n != st.To.Const {
 				continue
 			}
 			out = append(out, pair{from: s, to: n})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // crossBind attaches seed pairs to the incoming table (cartesian product —
@@ -374,21 +385,30 @@ func crossBind(tbl *Table, st plan.Step, pairs []pair) *Table {
 // messages explicitly instead).
 func (ex *Executor) forkJoinIndexSeed(req Request, acc Access, st plan.Step, tbl *Table) (*Table, error) {
 	fab := ex.cluster.Fabric()
-	seeds := acc.Candidates(req.Node, st.Pid, st.Dir)
+	seeds, err := acc.Candidates(req.Node, st.Pid, st.Dir)
+	if err != nil {
+		return nil, err
+	}
 	parts := make([][]rdf.ID, ex.cluster.Nodes())
 	for _, s := range seeds {
 		home := fab.HomeOf(uint64(s))
 		parts[home] = append(parts[home], s)
 	}
 	results := make([][]pair, ex.cluster.Nodes())
+	errs := make([]error, ex.cluster.Nodes())
 	runBranches(req, ex.cluster.Nodes(), func(i int) bool { return len(parts[i]) > 0 },
 		func(i int) {
 			n := fabric.NodeID(i)
-			results[n] = expandSeeds(acc, n, parts[n], st)
-			fab.RPC(req.Node, n, 8*len(parts[n]), 16*len(results[n]))
+			results[n], errs[n] = expandSeeds(acc, n, parts[n], st)
+			if errs[n] == nil {
+				errs[n] = fab.RPC(req.Node, n, 8*len(parts[n]), 16*len(results[n]))
+			}
 		})
 	var pairs []pair
-	for _, p := range results {
+	for n, p := range results {
+		if errs[n] != nil {
+			return nil, errs[n]
+		}
 		pairs = append(pairs, p...)
 	}
 	return crossBind(tbl, st, pairs), nil
@@ -469,7 +489,10 @@ func traverse(acc Access, node fabric.NodeID, st plan.Step, tbl *Table) (*Table,
 		if fromCol >= 0 {
 			from = row[fromCol]
 		}
-		ns := acc.Neighbors(node, from, st.Pid, st.Dir)
+		ns, err := acc.Neighbors(node, from, st.Pid, st.Dir)
+		if err != nil {
+			return nil, err
+		}
 		switch {
 		case newVar: // Expand
 			for _, n := range ns {
@@ -537,10 +560,18 @@ func traverseVarPred(acc Access, node fabric.NodeID, st plan.Step, tbl *Table) (
 				preds = []rdf.ID{pid}
 			}
 		} else {
-			preds = acc.Neighbors(node, from, 0, st.Dir) // predicate index
+			var err error
+			preds, err = acc.Neighbors(node, from, 0, st.Dir) // predicate index
+			if err != nil {
+				return nil, err
+			}
 		}
 		for _, pid := range preds {
-			for _, n := range acc.Neighbors(node, from, pid, st.Dir) {
+			ns, err := acc.Neighbors(node, from, pid, st.Dir)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range ns {
 				switch {
 				case newTo:
 					// fall through to emit
@@ -595,7 +626,7 @@ func (ex *Executor) forkJoinTraversal(req Request, acc Access, st plan.Step, tbl
 			results[n], errs[n] = res, err
 			// Scatter (rows out) and gather (rows back) messages.
 			if err == nil {
-				fab.RPC(req.Node, n, parts[n].ByteSize(), res.ByteSize())
+				errs[n] = fab.RPC(req.Node, n, parts[n].ByteSize(), res.ByteSize())
 			}
 		})
 	out := &Table{Vars: tbl.Vars}

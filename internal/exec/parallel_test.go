@@ -125,12 +125,26 @@ func TestUnionAccess(t *testing.T) {
 	u := UnionAccess{a, a}
 	logan := f.id("Logan")
 	po, _ := f.ss.LookupPredicate("po")
-	single := a.Neighbors(0, logan, po, store.Out)
-	double := u.Neighbors(0, logan, po, store.Out)
+	single, err := a.Neighbors(0, logan, po, store.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	double, err := u.Neighbors(0, logan, po, store.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(double) != 2*len(single) {
 		t.Errorf("union neighbors = %d, want %d", len(double), 2*len(single))
 	}
-	if len(u.Candidates(0, po, store.Out)) != 2*len(a.Candidates(0, po, store.Out)) {
+	uc, err := u.Candidates(0, po, store.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := a.Candidates(0, po, store.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uc) != 2*len(ac) {
 		t.Error("union candidates wrong")
 	}
 	if len(u.LocalCandidates(0, po, store.Out)) != 2*len(a.LocalCandidates(0, po, store.Out)) {

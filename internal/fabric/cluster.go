@@ -72,31 +72,47 @@ func (c *Cluster) Submit(n NodeID, task func()) {
 
 // Call runs fn on node `to` from node `from` as a synchronous RPC, charging
 // the two-sided message cost for reqBytes out and fn's returned respBytes
-// back. fn executes on one of the target node's workers.
-func (c *Cluster) Call(from, to NodeID, reqBytes int, fn func() (respBytes int)) {
+// back. fn executes on one of the target node's workers. If the path to `to`
+// is faulted, fn never runs — the request message could not be delivered.
+func (c *Cluster) Call(from, to NodeID, reqBytes int, fn func() (respBytes int)) error {
+	if err := c.fabric.Reachable(from, to); err != nil {
+		return err
+	}
 	done := make(chan int, 1)
 	c.Submit(to, func() { done <- fn() })
 	resp := <-done
-	c.fabric.RPC(from, to, reqBytes, resp)
+	return c.fabric.RPC(from, to, reqBytes, resp)
 }
 
 // ForkJoin runs fn(node) on every node concurrently and waits for all to
 // finish, charging one scatter and one gather RPC per remote node. Each fn
 // returns the size in bytes of its partial result, which prices the gather.
 // The paper uses this mode for non-selective queries and for non-RDMA
-// networks (§5, Table 5).
-func (c *Cluster) ForkJoin(from NodeID, reqBytes int, fn func(n NodeID) (respBytes int)) {
+// networks (§5, Table 5). Unreachable nodes are skipped and the first fault
+// observed is returned after all reachable branches complete.
+func (c *Cluster) ForkJoin(from NodeID, reqBytes int, fn func(n NodeID) (respBytes int)) error {
 	var wg sync.WaitGroup
+	errs := make([]error, c.Nodes())
 	for n := 0; n < c.Nodes(); n++ {
 		n := NodeID(n)
+		if err := c.fabric.Reachable(from, n); err != nil {
+			errs[n] = err
+			continue
+		}
 		wg.Add(1)
 		c.Submit(n, func() {
 			defer wg.Done()
 			resp := fn(n)
-			c.fabric.RPC(from, n, reqBytes, resp)
+			errs[n] = c.fabric.RPC(from, n, reqBytes, resp)
 		})
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Quiesce blocks until all submitted tasks have completed. Tasks may submit

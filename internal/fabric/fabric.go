@@ -115,6 +115,9 @@ type Stats struct {
 type Fabric struct {
 	cfg Config
 
+	// plan, when non-nil, injects faults into remote operations (faults.go).
+	plan atomic.Pointer[FaultPlan]
+
 	rdmaReads   atomic.Int64
 	rpcs        atomic.Int64
 	tcpRounds   atomic.Int64
@@ -143,6 +146,46 @@ func (f *Fabric) RDMA() bool { return f.cfg.RDMA }
 
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
+
+// SetFaultPlan installs (or, with nil, removes) a fault-injection plan. The
+// healthy fabric has no plan and every operation succeeds.
+func (f *Fabric) SetFaultPlan(p *FaultPlan) { f.plan.Store(p) }
+
+// Plan returns the installed fault plan, or nil when the fabric is healthy.
+func (f *Fabric) Plan() *FaultPlan { return f.plan.Load() }
+
+// admit consults the fault plan for one remote op; a healthy fabric admits
+// everything with no extra latency.
+func (f *Fabric) admit(op string, from, to NodeID, oneWay bool) (time.Duration, error) {
+	p := f.plan.Load()
+	if p == nil {
+		return 0, nil
+	}
+	return p.admit(op, from, to, oneWay)
+}
+
+// Reachable reports whether a remote operation from->to would currently be
+// admitted, without consuming any probabilistic fault decision. Local paths
+// (from == to) are reachable unless the node itself is down.
+func (f *Fabric) Reachable(from, to NodeID) error {
+	f.checkNode(from)
+	f.checkNode(to)
+	p := f.plan.Load()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, n := range [2]NodeID{to, from} {
+		if p.crashed[n] {
+			return &FaultError{Kind: FaultNodeDown, Op: "reach", From: from, To: to, Node: n}
+		}
+	}
+	if from != to && p.groupOf != nil && p.groupOf[from] != p.groupOf[to] {
+		return &FaultError{Kind: FaultPartitioned, Op: "reach", From: from, To: to}
+	}
+	return nil
+}
 
 // charge injects d of latency according to the configured mode and records it.
 func (f *Fabric) charge(d time.Duration) {
@@ -181,42 +224,55 @@ func perKB(rate time.Duration, n int) time.Duration {
 // ReadRemote charges one remote read of n bytes from node `to`, issued by
 // node `from`. Local accesses (from == to) are free. With RDMA enabled this
 // is a one-sided read; otherwise it degenerates to a TCP round trip whose
-// remote side must be served by a CPU.
-func (f *Fabric) ReadRemote(from, to NodeID, n int) {
+// remote side must be served by a CPU. Under an installed fault plan the read
+// fails — with an error, never a panic or silent success — when either
+// endpoint is crashed or the link is partitioned.
+func (f *Fabric) ReadRemote(from, to NodeID, n int) error {
 	f.checkNode(from)
 	f.checkNode(to)
 	if from == to {
-		return
+		return nil
+	}
+	extra, err := f.admit("read", from, to, false)
+	if err != nil {
+		return err
 	}
 	if f.cfg.RDMA {
 		f.rdmaReads.Add(1)
 		f.bytesRead.Add(int64(n))
-		f.charge(f.cfg.Latency.RDMARead + perKB(f.cfg.Latency.RDMAPerKB, n))
-		return
+		f.charge(f.cfg.Latency.RDMARead + perKB(f.cfg.Latency.RDMAPerKB, n) + extra)
+		return nil
 	}
 	f.tcpRounds.Add(1)
 	f.bytesRead.Add(int64(n))
-	f.charge(f.cfg.Latency.TCPRoundTrip + perKB(f.cfg.Latency.TCPPerKB, n))
+	f.charge(f.cfg.Latency.TCPRoundTrip + perKB(f.cfg.Latency.TCPPerKB, n) + extra)
+	return nil
 }
 
 // RPC charges one two-sided message exchange between nodes carrying reqBytes
-// out and respBytes back. Local calls are free.
-func (f *Fabric) RPC(from, to NodeID, reqBytes, respBytes int) {
+// out and respBytes back. Local calls are free. Fault-plan failures surface
+// as errors, like ReadRemote.
+func (f *Fabric) RPC(from, to NodeID, reqBytes, respBytes int) error {
 	f.checkNode(from)
 	f.checkNode(to)
 	if from == to {
-		return
+		return nil
+	}
+	extra, err := f.admit("rpc", from, to, false)
+	if err != nil {
+		return err
 	}
 	n := reqBytes + respBytes
 	if f.cfg.RDMA {
 		f.rpcs.Add(1)
 		f.bytesRPC.Add(int64(n))
-		f.charge(f.cfg.Latency.RPC + perKB(f.cfg.Latency.RPCPerKB, n))
-		return
+		f.charge(f.cfg.Latency.RPC + perKB(f.cfg.Latency.RPCPerKB, n) + extra)
+		return nil
 	}
 	f.tcpRounds.Add(1)
 	f.bytesRPC.Add(int64(n))
-	f.charge(f.cfg.Latency.TCPRoundTrip + perKB(f.cfg.Latency.TCPPerKB, n))
+	f.charge(f.cfg.Latency.TCPRoundTrip + perKB(f.cfg.Latency.TCPPerKB, n) + extra)
+	return nil
 }
 
 // ChargeCompute injects a pure compute/overhead delay (used by baseline
@@ -226,22 +282,29 @@ func (f *Fabric) ChargeCompute(d time.Duration) { f.charge(d) }
 // SendAsync records a one-way message of n bytes from->to without delaying
 // the sender: fire-and-forget traffic (stream-index replication, dispatcher
 // fan-out) is off the sender's critical path. The message still shows up in
-// the counters and in ChargedTime.
-func (f *Fabric) SendAsync(from, to NodeID, n int) {
+// the counters and in ChargedTime. One-way messages are the droppable class:
+// a fault plan may lose them probabilistically in addition to the crash and
+// partition failures shared with the two-sided ops.
+func (f *Fabric) SendAsync(from, to NodeID, n int) error {
 	f.checkNode(from)
 	f.checkNode(to)
 	if from == to {
-		return
+		return nil
+	}
+	extra, err := f.admit("send", from, to, true)
+	if err != nil {
+		return err
 	}
 	if f.cfg.RDMA {
 		f.rpcs.Add(1)
 		f.bytesRPC.Add(int64(n))
-		f.chargedNano.Add(int64(f.cfg.Latency.RPC + perKB(f.cfg.Latency.RPCPerKB, n)))
-		return
+		f.chargedNano.Add(int64(f.cfg.Latency.RPC + perKB(f.cfg.Latency.RPCPerKB, n) + extra))
+		return nil
 	}
 	f.tcpRounds.Add(1)
 	f.bytesRPC.Add(int64(n))
-	f.chargedNano.Add(int64(f.cfg.Latency.TCPRoundTrip + perKB(f.cfg.Latency.TCPPerKB, n)))
+	f.chargedNano.Add(int64(f.cfg.Latency.TCPRoundTrip + perKB(f.cfg.Latency.TCPPerKB, n) + extra))
+	return nil
 }
 
 // Stats returns a snapshot of traffic counters.

@@ -1,0 +1,207 @@
+// Fault injection (§5 support machinery): a FaultPlan turns the always-healthy
+// simulated fabric into one whose nodes can crash and restart, whose links can
+// partition, and whose messages can be dropped or delayed. Remote operations
+// against an unhealthy path return errors instead of silently succeeding, so
+// every layer above the fabric (store, stream index, transient store, executor,
+// engine) exercises its failure paths.
+//
+// All probabilistic decisions draw from a single seeded RNG under one lock:
+// given the same seed and the same sequence of fabric operations, a chaos run
+// injects exactly the same faults, making failures reproducible from the seed.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the base error every injected fault wraps. Layers that want
+// to distinguish "the network failed" from "the code is wrong" test with
+// errors.Is(err, fabric.ErrInjected).
+var ErrInjected = errors.New("injected fault")
+
+// FaultKind classifies an injected fault.
+type FaultKind int
+
+const (
+	// FaultNodeDown means an endpoint of the operation has crashed.
+	FaultNodeDown FaultKind = iota
+	// FaultPartitioned means the (from, to) link is cut by a partition.
+	FaultPartitioned
+	// FaultDropped means a one-way message was probabilistically dropped.
+	FaultDropped
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNodeDown:
+		return "node down"
+	case FaultPartitioned:
+		return "partitioned"
+	case FaultDropped:
+		return "message dropped"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultError reports one injected fault with its topology context.
+type FaultError struct {
+	Kind     FaultKind
+	Op       string // "read", "rpc", "send"
+	From, To NodeID
+	Node     NodeID // the crashed node for FaultNodeDown
+}
+
+func (e *FaultError) Error() string {
+	if e.Kind == FaultNodeDown {
+		return fmt.Sprintf("fabric: %s %d->%d: node %d is down: %v", e.Op, e.From, e.To, e.Node, ErrInjected)
+	}
+	return fmt.Sprintf("fabric: %s %d->%d: %s: %v", e.Op, e.From, e.To, e.Kind, ErrInjected)
+}
+
+// Unwrap lets errors.Is(err, ErrInjected) see through a FaultError.
+func (e *FaultError) Unwrap() error { return ErrInjected }
+
+// FaultStats counts injected faults by kind plus latency spikes.
+type FaultStats struct {
+	NodeDown    int64
+	Partitioned int64
+	Dropped     int64
+	Spikes      int64
+}
+
+// FaultPlan is an injectable fault schedule for a Fabric. The zero value is
+// unusable; construct with NewFaultPlan. All methods are safe for concurrent
+// use, and all randomized decisions are deterministic in the seed and the
+// operation order.
+type FaultPlan struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	seed int64
+
+	crashed map[NodeID]bool
+	// groupOf assigns nodes to partition groups; traffic between different
+	// groups is cut. nil = no partition.
+	groupOf map[NodeID]int
+
+	dropProb  float64 // one-way (SendAsync) message loss probability
+	spikeProb float64 // probability of an added latency spike on any remote op
+	spike     time.Duration
+
+	stats FaultStats
+}
+
+// NewFaultPlan creates a fault plan with a deterministic RNG seeded by seed.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{
+		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
+		crashed: make(map[NodeID]bool),
+	}
+}
+
+// Seed returns the seed the plan was built from (for reproduction reports).
+func (p *FaultPlan) Seed() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seed
+}
+
+// Crash marks node n as crashed: every remote operation with n as an endpoint
+// fails until Restart.
+func (p *FaultPlan) Crash(n NodeID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.crashed[n] = true
+}
+
+// Restart clears node n's crashed state.
+func (p *FaultPlan) Restart(n NodeID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.crashed, n)
+}
+
+// Crashed reports whether node n is currently crashed.
+func (p *FaultPlan) Crashed(n NodeID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashed[n]
+}
+
+// Partition splits the cluster: traffic between the listed groups is cut
+// (nodes absent from every group form an implicit extra group). A new call
+// replaces the previous partition.
+func (p *FaultPlan) Partition(groups ...[]NodeID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.groupOf = make(map[NodeID]int)
+	for g, nodes := range groups {
+		for _, n := range nodes {
+			p.groupOf[n] = g + 1 // 0 is the implicit group of unlisted nodes
+		}
+	}
+}
+
+// Heal removes any partition.
+func (p *FaultPlan) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.groupOf = nil
+}
+
+// SetDrop sets the probability that a one-way message (SendAsync) is lost.
+func (p *FaultPlan) SetDrop(prob float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dropProb = prob
+}
+
+// SetSpike makes any remote operation incur an extra latency charge of d with
+// the given probability.
+func (p *FaultPlan) SetSpike(prob float64, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.spikeProb = prob
+	p.spike = d
+}
+
+// Stats returns a snapshot of injected-fault counters.
+func (p *FaultPlan) Stats() FaultStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// admit decides the fate of one remote operation from->to: an error if the
+// path is faulty, otherwise any extra latency to charge. oneWay marks
+// droppable fire-and-forget traffic. Probabilistic draws happen only for
+// configured fault classes, so enabling a new class does not perturb the
+// random sequence of runs that never used it.
+func (p *FaultPlan) admit(op string, from, to NodeID, oneWay bool) (time.Duration, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, n := range [2]NodeID{to, from} {
+		if p.crashed[n] {
+			p.stats.NodeDown++
+			return 0, &FaultError{Kind: FaultNodeDown, Op: op, From: from, To: to, Node: n}
+		}
+	}
+	if p.groupOf != nil && p.groupOf[from] != p.groupOf[to] {
+		p.stats.Partitioned++
+		return 0, &FaultError{Kind: FaultPartitioned, Op: op, From: from, To: to}
+	}
+	if oneWay && p.dropProb > 0 && p.rng.Float64() < p.dropProb {
+		p.stats.Dropped++
+		return 0, &FaultError{Kind: FaultDropped, Op: op, From: from, To: to}
+	}
+	if p.spikeProb > 0 && p.rng.Float64() < p.spikeProb {
+		p.stats.Spikes++
+		return p.spike, nil
+	}
+	return 0, nil
+}

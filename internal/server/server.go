@@ -25,6 +25,7 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -38,14 +39,33 @@ import (
 	"repro/internal/stream"
 )
 
+// pollBuf buffers one continuous query's rows between POLLs. When full, the
+// oldest rows are dropped (the client is lagging; fresh results matter more)
+// and the loss is counted so POLL can report it.
+type pollBuf struct {
+	rows    []string
+	dropped int
+}
+
 // Server wraps an engine with the TCP front end.
 type Server struct {
 	eng *core.Engine
 
+	// IdleTimeout, when > 0, disconnects clients idle longer than this
+	// between requests. Set before Serve.
+	IdleTimeout time.Duration
+	// ShutdownTimeout bounds how long Close waits for in-flight connections
+	// before force-closing them (default 1s). Set before Serve.
+	ShutdownTimeout time.Duration
+	// PollBuffer bounds the rows buffered per continuous query between
+	// POLLs (default 10000). Set before Serve.
+	PollBuffer int
+
 	mu      sync.Mutex
 	sources map[string]*stream.Source
-	results map[string][]string // continuous query name → buffered rows
+	results map[string]*pollBuf // continuous query name → buffered rows
 	ln      net.Listener
+	conns   map[net.Conn]struct{}
 	wg      sync.WaitGroup
 	closed  bool
 }
@@ -55,7 +75,8 @@ func New(eng *core.Engine) *Server {
 	return &Server{
 		eng:     eng,
 		sources: make(map[string]*stream.Source),
-		results: make(map[string][]string),
+		results: make(map[string]*pollBuf),
+		conns:   make(map[net.Conn]struct{}),
 	}
 }
 
@@ -75,9 +96,22 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
 			s.handle(conn)
 		}()
 	}
@@ -102,23 +136,58 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Close stops accepting and waits for in-flight connections.
+// Close stops accepting, gives in-flight connections ShutdownTimeout to
+// finish, then force-closes whatever is left and waits for the handlers.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
+	deadline := s.ShutdownTimeout
 	s.mu.Unlock()
+	if deadline <= 0 {
+		deadline = time.Second
+	}
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
-	s.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(deadline):
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
 	return err
+}
+
+// idleConn re-arms a read deadline on every Read so a stalled client is
+// disconnected after IdleTimeout instead of pinning a handler forever.
+type idleConn struct {
+	net.Conn
+	idle time.Duration
+}
+
+func (c *idleConn) Read(p []byte) (int, error) {
+	c.Conn.SetReadDeadline(time.Now().Add(c.idle))
+	return c.Conn.Read(p)
 }
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	r := bufio.NewScanner(conn)
+	var rc io.Reader = conn
+	if s.IdleTimeout > 0 {
+		rc = &idleConn{Conn: conn, idle: s.IdleTimeout}
+	}
+	r := bufio.NewScanner(rc)
 	r.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	w := bufio.NewWriter(conn)
 	defer w.Flush()
@@ -161,6 +230,13 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		w.Flush()
 	}
+	// Degrade gracefully on oversized input: tell the client why before
+	// hanging up (the stream is unframed past this point, so the connection
+	// cannot be salvaged).
+	if errors.Is(r.Err(), bufio.ErrTooLong) {
+		fmt.Fprintf(w, "-ERR line too long\n")
+		w.Flush()
+	}
 }
 
 // readBlock consumes lines until the "." terminator.
@@ -194,7 +270,14 @@ func (s *Server) cmdStream(w *bufio.Writer, args []string) error {
 		TimingPredicates: args[2:],
 	})
 	if err != nil {
-		return err
+		// Idempotent re-registration: the stream already exists on the
+		// engine (a reconnecting client replaying its session, or a stream
+		// recovered from the FT log). Adopt it.
+		existing, ok := s.eng.SourceOf(args[0])
+		if !ok {
+			return err
+		}
+		src = existing
 	}
 	s.mu.Lock()
 	s.sources[args[0]] = src
@@ -230,7 +313,15 @@ func (s *Server) cmdEmit(w *bufio.Writer, r *bufio.Scanner, args []string) error
 	src, ok := s.sources[args[0]]
 	s.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("unknown stream %q", args[0])
+		// The stream may predate this server process (recovered from the
+		// FT log by a restarted daemon); fall back to the engine.
+		src, ok = s.eng.SourceOf(args[0])
+		if !ok {
+			return fmt.Errorf("unknown stream %q", args[0])
+		}
+		s.mu.Lock()
+		s.sources[args[0]] = src
+		s.mu.Unlock()
 	}
 	rd := rdf.NewReader(strings.NewReader(block))
 	n := 0
@@ -281,8 +372,9 @@ func (s *Server) cmdQuery(w *bufio.Writer, r *bufio.Scanner) error {
 	return nil
 }
 
-// pollBuffer bounds the rows buffered per continuous query between POLLs.
-const pollBuffer = 10000
+// defaultPollBuffer bounds the rows buffered per continuous query between
+// POLLs unless Server.PollBuffer overrides it.
+const defaultPollBuffer = 10000
 
 func (s *Server) cmdExplain(w *bufio.Writer, r *bufio.Scanner) error {
 	text, err := readBlock(r)
@@ -309,17 +401,7 @@ func (s *Server) cmdRegister(w *bufio.Writer, r *bufio.Scanner) error {
 	name := ""
 	cb := func(res *core.Result, f core.FireInfo) {
 		<-ready
-		rows := res.Strings()
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		buf := s.results[name]
-		for _, row := range rows {
-			if len(buf) >= pollBuffer {
-				break
-			}
-			buf = append(buf, fmt.Sprintf("@%d %s", f.At, row))
-		}
-		s.results[name] = buf
+		s.BufferResult(name, res, f)
 	}
 	cq, err := s.eng.RegisterContinuous(text, cb)
 	if err != nil {
@@ -332,15 +414,47 @@ func (s *Server) cmdRegister(w *bufio.Writer, r *bufio.Scanner) error {
 	return nil
 }
 
+// BufferResult appends a continuous-query firing to name's POLL buffer —
+// the same sink REGISTER wires up. Exported so an engine recovered before
+// the server existed (a cmd/wukongsd restart) can route its re-registered
+// queries' firings here via core.Recover's callback factory.
+func (s *Server) BufferResult(name string, res *core.Result, f core.FireInfo) {
+	rows := res.Strings()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := s.results[name]
+	if buf == nil {
+		buf = &pollBuf{}
+		s.results[name] = buf
+	}
+	for _, row := range rows {
+		buf.rows = append(buf.rows, fmt.Sprintf("@%d %s", f.At, row))
+	}
+	limit := s.PollBuffer
+	if limit <= 0 {
+		limit = defaultPollBuffer
+	}
+	// Bounded buffer, drop-oldest: a lagging poller loses the stalest
+	// windows first and learns how many went missing.
+	if over := len(buf.rows) - limit; over > 0 {
+		buf.rows = append(buf.rows[:0:0], buf.rows[over:]...)
+		buf.dropped += over
+	}
+}
+
 func (s *Server) cmdPoll(w *bufio.Writer, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: POLL <name>")
 	}
 	s.mu.Lock()
-	rows := s.results[args[0]]
-	s.results[args[0]] = nil
+	var rows []string
+	dropped := 0
+	if buf := s.results[args[0]]; buf != nil {
+		rows, dropped = buf.rows, buf.dropped
+		buf.rows, buf.dropped = nil, 0
+	}
 	s.mu.Unlock()
-	fmt.Fprintf(w, "+OK %d rows\n", len(rows))
+	fmt.Fprintf(w, "+OK %d rows dropped %d\n", len(rows), dropped)
 	for _, row := range rows {
 		fmt.Fprintf(w, "%s\n", row)
 	}

@@ -6,8 +6,10 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/stream"
 )
 
 // client is a tiny test client for the line protocol.
@@ -190,6 +192,161 @@ func TestErrors(t *testing.T) {
 	expectOK(t, c.status())
 }
 
+// TestCloseForceClosesIdleConnections: Close must not hang on a client that
+// never sends QUIT — after ShutdownTimeout the connection is force-closed.
+func TestCloseForceClosesIdleConnections(t *testing.T) {
+	eng, err := core.New(core.Config{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	srv := New(eng)
+	srv.ShutdownTimeout = 50 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	c := dial(t, ln.Addr().String())
+	c.send("STATS")
+	expectOK(t, c.status())
+	// The client holds its connection open and idle; Close must return anyway.
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on an idle connection")
+	}
+	<-done
+	// The handler's side was torn down: the next read sees EOF/reset.
+	if c.r.Scan() {
+		t.Errorf("idle connection still live after Close: %q", c.r.Text())
+	}
+}
+
+// TestIdleTimeoutDisconnects: a client silent past IdleTimeout is dropped;
+// an active one is not.
+func TestIdleTimeoutDisconnects(t *testing.T) {
+	eng, err := core.New(core.Config{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	srv := New(eng)
+	srv.IdleTimeout = 80 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	c := dial(t, ln.Addr().String())
+	c.send("STATS")
+	expectOK(t, c.status()) // active within the deadline
+	time.Sleep(250 * time.Millisecond)
+	c.c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if c.r.Scan() {
+		t.Errorf("idle connection survived: %q", c.r.Text())
+	}
+}
+
+// TestLineTooLong: an oversized request line gets an explicit error before
+// the connection is dropped, not a silent hangup.
+func TestLineTooLong(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	big := strings.Repeat("x", 1<<20+1024)
+	go func() {
+		fmt.Fprintf(c.w, "%s\n", big)
+		c.w.Flush()
+	}()
+	c.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if st := c.status(); !strings.Contains(st, "line too long") {
+		t.Errorf("status = %q", st)
+	}
+}
+
+// TestPollDropsOldest: an overflowing poll buffer keeps the newest rows and
+// reports the loss.
+func TestPollDropsOldest(t *testing.T) {
+	eng, err := core.New(core.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	srv := New(eng)
+	srv.PollBuffer = 3
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	c := dial(t, ln.Addr().String())
+	c.send("STREAM S 100")
+	expectOK(t, c.status())
+	// One row per window so the retained/dropped split is by window age.
+	c.send("REGISTER",
+		"REGISTER QUERY QO AS",
+		"SELECT ?X ?Z",
+		"FROM S [RANGE 100ms STEP 100ms]",
+		"WHERE { GRAPH S { ?X po ?Z } }",
+		".")
+	expectOK(t, c.status())
+	c.send("EMIT S",
+		"<u1> <po> <t1> . @10",
+		"<u1> <po> <t2> . @110",
+		"<u1> <po> <t3> . @210",
+		"<u1> <po> <t4> . @310",
+		"<u1> <po> <t5> . @410",
+		".")
+	expectOK(t, c.status())
+	// Advance one window boundary at a time so the fires arrive in window
+	// order and "oldest" is well defined.
+	for ts := 100; ts <= 600; ts += 100 {
+		c.send(fmt.Sprintf("ADVANCE %d", ts))
+		expectOK(t, c.status())
+	}
+	c.send("POLL QO")
+	st := c.status()
+	expectOK(t, st)
+	if !strings.Contains(st, "3 rows dropped 2") {
+		t.Errorf("poll status = %q", st)
+	}
+	rows := c.rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Newest-first retention: t1 and t2 (the oldest) were dropped.
+	for _, r := range rows {
+		if strings.Contains(r, "t1") || strings.Contains(r, "t2") {
+			t.Errorf("oldest row retained: %q (all: %v)", r, rows)
+		}
+	}
+}
+
 func TestConcurrentClients(t *testing.T) {
 	_, addr := startServer(t)
 	a := dial(t, addr)
@@ -201,5 +358,66 @@ func TestConcurrentClients(t *testing.T) {
 	expectOK(t, b.status())
 	if rows := b.rows(); len(rows) != 1 || rows[0] != "b" {
 		t.Errorf("rows = %v", rows)
+	}
+}
+
+// A restarted daemon recovers streams from the FT log into the engine, but
+// the server process's own stream table starts empty. EMIT must fall back to
+// the engine, and a replayed STREAM must be an idempotent no-op, or
+// reconnecting clients are stranded after every recovery.
+func TestRecoveredStreamsReachableAfterRestart(t *testing.T) {
+	eng, err := core.New(core.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	// Simulate recovery: the engine knows the stream before any client
+	// ever speaks to this server process.
+	if _, err := eng.RegisterStream(stream.Config{
+		Name:          "S",
+		BatchInterval: 100 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+
+	c := dial(t, ln.Addr().String())
+	// EMIT with no prior STREAM on this connection: engine fallback.
+	c.send("EMIT S", "<a> <po> <b> . @50", ".")
+	expectOK(t, c.status())
+	// Replayed STREAM for an existing stream: idempotent, not an error.
+	c.send("STREAM S 100")
+	expectOK(t, c.status())
+	c.send("EMIT S", "<a2> <po> <b2> . @60", ".")
+	expectOK(t, c.status())
+	// The tuples landed in the real stream: a window query sees them.
+	c.send("REGISTER",
+		"REGISTER QUERY QR AS",
+		"SELECT ?X ?Y",
+		"FROM S [RANGE 1s STEP 1s]",
+		"WHERE { GRAPH S { ?X po ?Y } }",
+		".")
+	expectOK(t, c.status())
+	c.send("ADVANCE 1000")
+	expectOK(t, c.status())
+	c.send("POLL QR")
+	st := c.status()
+	expectOK(t, st)
+	rows := c.rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v, want both emitted tuples", rows)
 	}
 }

@@ -54,6 +54,8 @@ type Index struct {
 	mu      sync.RWMutex
 	batches []*batchIndex // ascending batch order
 
+	home fabric.NodeID // the stream's arrival node; always a replica
+
 	replicaMu sync.RWMutex
 	replicas  map[fabric.NodeID]bool
 
@@ -62,8 +64,11 @@ type Index struct {
 
 // New creates an empty stream index homed on the given node.
 func New(home fabric.NodeID) *Index {
-	return &Index{replicas: map[fabric.NodeID]bool{home: true}}
+	return &Index{home: home, replicas: map[fabric.NodeID]bool{home: true}}
 }
+
+// Home returns the node the index is homed on (the stream's adaptor home).
+func (ix *Index) Home() fabric.NodeID { return ix.home }
 
 // AddBatch records the key spans appended by one batch's injection. Adjacent
 // spans for the same key merge into one (injection within a batch is
@@ -144,6 +149,32 @@ func (ix *Index) Lookup(key store.Key, from, to tstore.BatchID) []store.Span {
 		out = append(out, bi.entries[key]...)
 	}
 	return out
+}
+
+// LookupFrom is Lookup on behalf of a worker on node `from`, charging the
+// §4.2 cost structure against fab: a node holding a replica reads the fat
+// pointers locally; a node without one pays an extra one-sided read against
+// the index home — and inherits that path's faults. The key's spans come back
+// like Lookup's.
+func (ix *Index) LookupFrom(fab *fabric.Fabric, from fabric.NodeID, key store.Key, lo, hi tstore.BatchID) ([]store.Span, error) {
+	if !ix.ReplicatedOn(from) && ix.home != from {
+		if err := fab.ReadRemote(from, ix.home, 16); err != nil {
+			return nil, err
+		}
+	}
+	return ix.Lookup(key, lo, hi), nil
+}
+
+// VerticesFrom is Vertices on behalf of a worker on node `from`: a node
+// without a replica pays (and may fail) one remote lookup read against the
+// index home before scanning.
+func (ix *Index) VerticesFrom(fab *fabric.Fabric, from fabric.NodeID, pid rdf.ID, d store.Dir, lo, hi tstore.BatchID) ([]rdf.ID, error) {
+	if !ix.ReplicatedOn(from) && ix.home != from {
+		if err := fab.ReadRemote(from, ix.home, 16); err != nil {
+			return nil, err
+		}
+	}
+	return ix.Vertices(pid, d, lo, hi), nil
 }
 
 // Keys returns the distinct keys indexed across batches in [from, to]. The

@@ -147,27 +147,63 @@ func (g *Sharded) LoadBase(triples []strserver.EncodedTriple) {
 
 // Read returns key's values visible at snapshot sn, charging the network
 // cost of a normal remote key/value access: at least two one-sided reads —
-// read key (lookup) and read value (§5 "Leveraging RDMA").
-func (g *Sharded) Read(from fabric.NodeID, key Key, sn uint32) []rdf.ID {
+// read key (lookup) and read value (§5 "Leveraging RDMA"). A faulted path to
+// the key's home node surfaces as an error: the data is unreachable, not
+// silently empty.
+func (g *Sharded) Read(from fabric.NodeID, key Key, sn uint32) ([]rdf.ID, error) {
 	home := g.HomeOf(key.Vid)
+	if home != from {
+		if err := g.fab.ReadRemote(from, home, 16); err != nil { // key lookup
+			return nil, err
+		}
+	}
 	vals := g.shards[home].Get(key, sn)
 	if home != from {
-		g.fab.ReadRemote(from, home, 16)          // key lookup
-		g.fab.ReadRemote(from, home, 8*len(vals)) // value read
+		if err := g.fab.ReadRemote(from, home, 8*len(vals)); err != nil { // value read
+			return nil, err
+		}
 	}
-	return vals
+	return vals, nil
 }
 
 // ReadSpan returns the values covered by a stream-index span with a single
 // one-sided read: the replicated stream index made the fat pointer locally
 // available, so no lookup round is needed (§5).
-func (g *Sharded) ReadSpan(from fabric.NodeID, key Key, sp Span) []rdf.ID {
+func (g *Sharded) ReadSpan(from fabric.NodeID, key Key, sp Span) ([]rdf.ID, error) {
 	home := g.HomeOf(key.Vid)
+	if home != from {
+		if err := g.fab.Reachable(from, home); err != nil {
+			return nil, err
+		}
+	}
 	vals := g.shards[home].GetSpan(key, sp)
 	if home != from {
-		g.fab.ReadRemote(from, home, 8*len(vals))
+		if err := g.fab.ReadRemote(from, home, 8*len(vals)); err != nil {
+			return nil, err
+		}
 	}
-	return vals
+	return vals, nil
+}
+
+// ReadIndex gathers an index vertex across all nodes on behalf of a worker on
+// `from`: each remote partition costs a key lookup plus a value read. The
+// first unreachable partition aborts the gather — a partial candidate set
+// would silently produce wrong query results.
+func (g *Sharded) ReadIndex(from fabric.NodeID, pid rdf.ID, d Dir, sn uint32) ([]rdf.ID, error) {
+	var out []rdf.ID
+	for n := 0; n < g.fab.Nodes(); n++ {
+		vals := g.shards[n].Get(IndexKey(pid, d), sn)
+		if fabric.NodeID(n) != from {
+			if err := g.fab.ReadRemote(from, fabric.NodeID(n), 16); err != nil {
+				return nil, err
+			}
+			if err := g.fab.ReadRemote(from, fabric.NodeID(n), 8*len(vals)); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, vals...)
+	}
+	return out, nil
 }
 
 // ReadLocalIndex returns node n's partition of an index vertex at snapshot

@@ -28,9 +28,12 @@ func (w NodeWork) bytes() int { return 32 * (len(w.SubjectSide) + len(w.ObjectSi
 
 // Dispatch partitions a batch across nodes and charges the dispatcher's
 // network traffic: the stream arrives at one node (its adaptor home) and
-// tuple shares are shipped to their owners.
-func Dispatch(fab *fabric.Fabric, adaptorHome fabric.NodeID, b Batch) []NodeWork {
-	work := make([]NodeWork, fab.Nodes())
+// tuple shares are shipped to their owners. A share whose one-way shipment
+// the fabric faults (drop, partition, crashed receiver) is lost — its node
+// receives empty work — and counted in the second return value; the upstream
+// backup (§5) is the recovery path for lost shares.
+func Dispatch(fab *fabric.Fabric, adaptorHome fabric.NodeID, b Batch) (work []NodeWork, lost int) {
+	work = make([]NodeWork, fab.Nodes())
 	for _, t := range b.Tuples {
 		sHome := fab.HomeOf(uint64(t.S))
 		oHome := fab.HomeOf(uint64(t.O))
@@ -40,10 +43,13 @@ func Dispatch(fab *fabric.Fabric, adaptorHome fabric.NodeID, b Batch) []NodeWork
 	for n := range work {
 		if fabric.NodeID(n) != adaptorHome && !work[n].Empty() {
 			// One-way shipment: the dispatcher does not block on delivery.
-			fab.SendAsync(adaptorHome, fabric.NodeID(n), work[n].bytes())
+			if err := fab.SendAsync(adaptorHome, fabric.NodeID(n), work[n].bytes()); err != nil {
+				lost += len(work[n].SubjectSide) + len(work[n].ObjectSide)
+				work[n] = NodeWork{}
+			}
 		}
 	}
-	return work
+	return work, lost
 }
 
 // InjectTarget bundles the stores one node's injector writes to.
@@ -60,6 +66,9 @@ type InjectStats struct {
 	Spans          int
 	InjectTime     time.Duration // persistent/transient store appends
 	IndexTime      time.Duration // stream-index maintenance
+	// Dropped counts tuple shares and index-replica shipments lost to
+	// injected fabric faults (one-way messages carry no delivery guarantee).
+	Dropped int
 }
 
 // Add accumulates another node's stats.
@@ -69,6 +78,7 @@ func (s *InjectStats) Add(o InjectStats) {
 	s.Spans += o.Spans
 	s.InjectTime += o.InjectTime
 	s.IndexTime += o.IndexTime
+	s.Dropped += o.Dropped
 }
 
 // InjectNode applies one node's share of a batch under snapshot sn. Timeless
@@ -128,7 +138,9 @@ func InjectNode(n fabric.NodeID, w NodeWork, batch tstore.BatchID, sn uint32, tg
 		fab := tgt.Store.Fabric()
 		for _, r := range tgt.Index.Replicas() {
 			if r != n {
-				fab.SendAsync(n, r, 32*len(spans))
+				if err := fab.SendAsync(n, r, 32*len(spans)); err != nil {
+					st.Dropped++
+				}
 			}
 		}
 	} else {

@@ -11,6 +11,7 @@ package tstore
 import (
 	"sync"
 
+	"repro/internal/fabric"
 	"repro/internal/rdf"
 	"repro/internal/store"
 )
@@ -107,6 +108,44 @@ func (s *Store) Get(key store.Key, from, to BatchID) []rdf.ID {
 		out = append(out, sl.data[key]...)
 	}
 	return out
+}
+
+// GetFrom is Get on behalf of a worker on node `from` against a store living
+// on node `home`: a non-empty remote result costs (and may fail on) one
+// one-sided read of the values.
+func (s *Store) GetFrom(fab *fabric.Fabric, from, home fabric.NodeID, key store.Key, lo, hi BatchID) ([]rdf.ID, error) {
+	if from != home {
+		if err := fab.Reachable(from, home); err != nil {
+			return nil, err
+		}
+	}
+	vals := s.Get(key, lo, hi)
+	if from != home && len(vals) > 0 {
+		if err := fab.ReadRemote(from, home, 8*len(vals)); err != nil {
+			return nil, err
+		}
+	}
+	return vals, nil
+}
+
+// ScanVerticesFrom is ScanVertices on behalf of a worker on node `from`: a
+// remote scan pays one 8-byte read per candidate found, and fails if the path
+// to `home` is faulted.
+func (s *Store) ScanVerticesFrom(fab *fabric.Fabric, from, home fabric.NodeID, pid rdf.ID, d store.Dir, lo, hi BatchID) ([]rdf.ID, error) {
+	if from != home {
+		if err := fab.Reachable(from, home); err != nil {
+			return nil, err
+		}
+	}
+	vs := s.ScanVertices(pid, d, lo, hi)
+	if from != home {
+		for range vs {
+			if err := fab.ReadRemote(from, home, 8); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return vs, nil
 }
 
 // Batches returns the range of batches currently held, or (0,0) when empty.
