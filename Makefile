@@ -2,20 +2,26 @@ GO ?= go
 
 # Packages whose concurrency matters most; `make race` keeps them honest.
 RACE_PKGS := ./internal/core/... ./internal/fabric/... ./internal/server/... \
-             ./internal/client/... ./internal/chaos/...
+             ./internal/client/... ./internal/chaos/... ./internal/obs/...
 
-.PHONY: all ci vet build test race smoke bench clean
+.PHONY: all ci vet build build-cmds test race smoke bench bench-smoke clean
 
 all: ci
 
 # The full gate: what CI runs, in order.
-ci: vet build test race
+ci: vet build build-cmds test race
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+# Build-only guard for the binaries: catches flag/wiring breakage in the
+# commands without running a workload.
+build-cmds:
+	$(GO) build -o /dev/null ./cmd/wukongsd
+	$(GO) build -o /dev/null ./cmd/wsbench
 
 test:
 	$(GO) test ./...
@@ -30,5 +36,12 @@ smoke:
 bench:
 	$(GO) test -bench . -benchtime 20x -run '^$$' .
 
+# Short observability-instrumented workload: prints per-stage p50/p99/p999 and
+# writes BENCH_PR2.json. wsbench exits nonzero if no stage samples were
+# recorded, so this target fails when the instrumentation goes dark.
+bench-smoke:
+	$(GO) run ./cmd/wsbench -exp table2 -runs 3 -latency off -obs-json BENCH_PR2.json
+
 clean:
 	$(GO) clean ./...
+	rm -f BENCH_PR2.json

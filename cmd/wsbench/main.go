@@ -15,17 +15,20 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/bench/experiments"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -37,6 +40,7 @@ func main() {
 		nodes   = flag.Int("nodes", 8, "cluster size for distributed experiments")
 		latency = flag.String("latency", "spin", "simulated network latency mode: off|spin|sleep")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		obsJSON = flag.String("obs-json", "", "after all experiments, print per-stage latency percentiles and write the full metric registry to this JSON file")
 	)
 	flag.Parse()
 
@@ -95,6 +99,53 @@ func main() {
 			}
 		}
 	}
+	if *obsJSON != "" {
+		if err := reportObs(*obsJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "wsbench: obs: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// reportObs prints the per-stage pipeline latency percentiles recorded during
+// the run and writes the full metric registry to path. A run that recorded no
+// stage samples is an error: it means the workload exercised no instrumented
+// pipeline and the benchmark proved nothing.
+func reportObs(path string) error {
+	stages := obs.Default.StageSnapshots()
+	names := make([]string, 0, len(stages))
+	var samples int64
+	for name, snap := range stages {
+		names = append(names, name)
+		samples += snap.Count
+	}
+	sort.Strings(names)
+	fmt.Printf("pipeline stage latency (ns):\n")
+	fmt.Printf("%-22s %10s %12s %12s %12s\n", "stage", "count", "p50", "p99", "p999")
+	for _, name := range names {
+		s := stages[name]
+		fmt.Printf("%-22s %10d %12d %12d %12d\n", name, s.Count, s.P50, s.P99, s.P999)
+	}
+	if samples == 0 {
+		return fmt.Errorf("no stage samples recorded (did the workload run?)")
+	}
+	registry, err := obs.Default.JSON()
+	if err != nil {
+		return err
+	}
+	doc := struct {
+		Stages   map[string]obs.HistogramSnapshot `json:"stages"`
+		Registry json.RawMessage                  `json:"registry"`
+	}{Stages: stages, Registry: registry}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d stage samples)\n", path, samples)
+	return nil
 }
 
 // writeCSV dumps a report's table for external plotting.

@@ -19,20 +19,23 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7690", "listen address")
-		nodes   = flag.Int("nodes", 4, "simulated cluster size")
-		workers = flag.Int("workers", 4, "query workers per node")
-		load    = flag.String("load", "", "N-Triples file to preload")
-		ftDir   = flag.String("ft", "", "enable fault tolerance in this directory")
+		addr        = flag.String("addr", "127.0.0.1:7690", "listen address")
+		nodes       = flag.Int("nodes", 4, "simulated cluster size")
+		workers     = flag.Int("workers", 4, "query workers per node")
+		load        = flag.String("load", "", "N-Triples file to preload")
+		ftDir       = flag.String("ft", "", "enable fault tolerance in this directory")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text or ?format=json) and /debug/pprof/ on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -86,6 +89,15 @@ func main() {
 	}
 	srv := server.New(eng)
 	srvp.Store(srv)
+	if *metricsAddr != "" {
+		mux := obs.NewHTTPMux(eng.Metrics())
+		go func() {
+			fmt.Printf("wukongsd: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
 	fmt.Printf("wukongsd: %d-node engine listening on %s\n", *nodes, *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatal(err)

@@ -511,3 +511,20 @@ func (c *Client) Stats() (string, error) {
 	})
 	return st, err
 }
+
+// Metrics returns the server's metric registry as Prometheus text lines.
+func (c *Client) Metrics() ([]string, error) {
+	var out []string
+	err := c.do(func() error {
+		if err := c.send("METRICS"); err != nil {
+			return err
+		}
+		if _, err := c.status(); err != nil {
+			return err
+		}
+		var err error
+		out, err = c.rows()
+		return err
+	})
+	return out, err
+}

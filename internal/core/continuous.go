@@ -80,6 +80,7 @@ type ContinuousQuery struct {
 	failedExecs int64
 	totalRows   int64
 	lats        []time.Duration
+	waitSince   time.Time // wall time a due firing first found its windows unstable
 }
 
 // replan recompiles the query at most once per engine tick: stream
@@ -233,9 +234,21 @@ func (e *Engine) fireDueQueries(ts rdf.Timestamp) {
 	e.mu.Unlock()
 	for _, cq := range cqs {
 		cq.mu.Lock()
+		fired := false
 		for cq.nextFire <= ts && cq.windowsReady(cq.nextFire) {
 			due = append(due, firing{cq: cq, at: cq.nextFire})
 			cq.nextFire += rdf.Timestamp(cq.stepMS)
+			fired = true
+		}
+		// Prefix-integrity wait accounting: a firing that is due but whose
+		// windows are not yet stable waits for the VTS prefix; measure the
+		// wall time between first observing the wait and finally firing.
+		switch {
+		case fired && !cq.waitSince.IsZero():
+			e.hPrefixWait.Record(int64(time.Since(cq.waitSince)))
+			cq.waitSince = time.Time{}
+		case !fired && cq.nextFire <= ts && cq.waitSince.IsZero():
+			cq.waitSince = time.Now()
 		}
 		cq.mu.Unlock()
 	}
@@ -275,6 +288,7 @@ func (cq *ContinuousQuery) ReadyAt(at rdf.Timestamp) bool {
 // execute runs one window execution on the query's home node.
 func (cq *ContinuousQuery) execute(at rdf.Timestamp) {
 	e := cq.engine
+	emitted := e.obs.Span("cq_trigger_to_emit") // trigger → emit, incl. planning
 	p := cq.replan()
 	prov := e.providerFor(cq.query, at)
 	mode := e.modeFor(p)
@@ -295,6 +309,7 @@ func (cq *ContinuousQuery) execute(at rdf.Timestamp) {
 			cq.mu.Lock()
 			cq.failedExecs++
 			cq.mu.Unlock()
+			e.cFailedExecs.Inc()
 			return
 		}
 		// Other execution errors indicate planner/executor bugs; surface
@@ -306,7 +321,13 @@ func (cq *ContinuousQuery) execute(at rdf.Timestamp) {
 	cq.totalRows += int64(rs.Len())
 	cq.lats = append(cq.lats, lat)
 	cq.mu.Unlock()
+	e.hExecute.Observe(lat)
+	e.cExecs.Inc()
+	e.cRows.Add(int64(rs.Len()))
+	emit := e.obs.Span("emit")
 	cq.cb(&Result{set: rs, ss: e.ss}, FireInfo{At: at, Latency: lat, Rows: rs.Len()})
+	emit.End()
+	emitted.End()
 }
 
 // ExecuteNow synchronously runs the query once over the window ending at the

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/sindex"
 	"repro/internal/store"
@@ -79,6 +80,10 @@ type Config struct {
 	// replication (§4.2) — an ablation switch: continuous queries then pay
 	// an extra one-sided read per remote index lookup.
 	DisableIndexReplication bool
+	// Metrics is the observability registry the engine records into
+	// (default obs.Default, the process-global registry). Tests that need
+	// isolation pass their own.
+	Metrics *obs.Registry
 	// SeedTables pre-sizes nothing yet; reserved.
 }
 
@@ -124,6 +129,10 @@ type streamState struct {
 	timing bool            // has any timing predicates (diagnostics)
 	cfg    stream.Config   // original registration config (persisted by FT)
 
+	// Per-stream observability counters (nil-safe; see RegisterStream).
+	mTuples  *obs.Counter
+	mBatches *obs.Counter
+
 	mu          sync.Mutex
 	tupleCount  int64 // total tuples injected
 	batchCount  int64
@@ -149,6 +158,22 @@ type Engine struct {
 	stored  *store.Sharded
 	coord   *vts.Coordinator
 	ex      *exec.Executor
+
+	obs          *obs.Registry     // observability registry (never nil)
+	hBatchTuples *obs.Histogram    // tuples per sealed batch
+	hPrefixWait  *obs.Histogram    // prefix-integrity wait before a firing
+	winObs       *exec.WindowObs   // pre-resolved window fan-out counters
+	injObs       *stream.InjectObs // pre-resolved injection metrics
+
+	// Pre-resolved per-execution metrics: resolved once here so the query
+	// firing path pays no registry lookups.
+	hExecute     *obs.Histogram
+	hOneshot     *obs.Histogram
+	cExecs       *obs.Counter
+	cFailedExecs *obs.Counter
+	cRows        *obs.Counter
+	cOneshots    *obs.Counter
+	cDispDropped *obs.Counter
 
 	mu         sync.Mutex
 	streams    map[string]*streamState
@@ -180,7 +205,96 @@ func New(cfg Config) (*Engine, error) {
 		continuous: make(map[string]*ContinuousQuery),
 	}
 	e.ex = exec.New(e.cluster)
+	e.obs = cfg.Metrics
+	if e.obs == nil {
+		e.obs = obs.Default
+	}
+	e.hBatchTuples = e.obs.Histogram("stream_batch_tuples", obs.SizeBuckets)
+	e.hPrefixWait = e.obs.Histogram("vts_prefix_wait_ns", obs.LatencyBuckets)
+	e.winObs = exec.NewWindowObs(e.obs)
+	e.injObs = stream.NewInjectObs(e.obs)
+	e.hExecute = e.obs.Stage("execute")
+	e.hOneshot = e.obs.Stage("oneshot")
+	e.cExecs = e.obs.Counter("cq_executions_total")
+	e.cFailedExecs = e.obs.Counter("cq_failed_executions_total")
+	e.cRows = e.obs.Counter("cq_rows_total")
+	e.cOneshots = e.obs.Counter("oneshot_queries_total")
+	e.cDispDropped = e.obs.Counter("stream_dispatch_dropped_total")
+	e.registerMetrics()
 	return e, nil
+}
+
+// Metrics returns the registry the engine records into.
+func (e *Engine) Metrics() *obs.Registry { return e.obs }
+
+// registerMetrics installs scrape-time gauges for engine-wide state. The
+// functions are re-registered (replacing any previous engine's) so the newest
+// engine in a process owns the process-wide series.
+func (e *Engine) registerMetrics() {
+	r := e.obs
+	// Persistent store: memory and operation counters.
+	r.GaugeFunc("store_entries", func() int64 { return e.stored.Memory().Entries })
+	r.GaugeFunc("store_values", func() int64 { return e.stored.Memory().Values })
+	r.GaugeFunc("store_value_bytes", func() int64 { return e.stored.Memory().ValueBytes })
+	r.GaugeFunc("store_key_bytes", func() int64 { return e.stored.Memory().KeyBytes })
+	r.GaugeFunc("store_seg_bytes", func() int64 { return e.stored.Memory().SegBytes })
+	r.GaugeFunc("store_reads_total", func() int64 { return e.stored.OpStats().Reads })
+	r.GaugeFunc("store_span_reads_total", func() int64 { return e.stored.OpStats().SpanReads })
+	r.GaugeFunc("store_index_reads_total", func() int64 { return e.stored.OpStats().IndexReads })
+	r.GaugeFunc("store_snapshot_prunes_total", func() int64 { return e.stored.OpStats().Prunes })
+	// Consistency machinery.
+	r.GaugeFunc("vts_stable_sn", func() int64 { return int64(e.coord.StableSN()) })
+	r.GaugeFunc("vts_stall_waits_total", func() int64 { return e.coord.StallWaits() })
+	r.GaugeFunc("vts_plans_published_total", func() int64 { return e.coord.PlansPublished() })
+	r.GaugeFunc("vts_retained_plans", func() int64 { return int64(len(e.coord.RetainedPlans())) })
+	// Fabric traffic and injected faults.
+	r.GaugeFunc("fabric_rdma_reads_total", func() int64 { return e.fab.Stats().RDMAReads })
+	r.GaugeFunc("fabric_rpcs_total", func() int64 { return e.fab.Stats().RPCs })
+	r.GaugeFunc("fabric_tcp_rounds_total", func() int64 { return e.fab.Stats().TCPRounds })
+	r.GaugeFunc("fabric_bytes_read_total", func() int64 { return e.fab.Stats().BytesRead })
+	r.GaugeFunc("fabric_bytes_rpc_total", func() int64 { return e.fab.Stats().BytesRPC })
+	r.GaugeFunc("fabric_charged_ns_total", func() int64 { return int64(e.fab.Stats().ChargedTime) })
+	r.GaugeFunc("fabric_faults_node_down_total", func() int64 {
+		if p := e.fab.Plan(); p != nil {
+			return p.Stats().NodeDown
+		}
+		return 0
+	})
+	r.GaugeFunc("fabric_faults_partitioned_total", func() int64 {
+		if p := e.fab.Plan(); p != nil {
+			return p.Stats().Partitioned
+		}
+		return 0
+	})
+	r.GaugeFunc("fabric_faults_dropped_total", func() int64 {
+		if p := e.fab.Plan(); p != nil {
+			return p.Stats().Dropped
+		}
+		return 0
+	})
+	r.GaugeFunc("fabric_faults_spikes_total", func() int64 {
+		if p := e.fab.Plan(); p != nil {
+			return p.Stats().Spikes
+		}
+		return 0
+	})
+	// Per-pair traffic matrix (only for small clusters: n² series).
+	if n := e.fab.Nodes(); n <= 16 {
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				if from == to {
+					continue
+				}
+				f, t := fabric.NodeID(from), fabric.NodeID(to)
+				r.GaugeFunc(obs.Name("fabric_pair_msgs_total",
+					"from", fmt.Sprint(from), "to", fmt.Sprint(to)),
+					func() int64 { m, _ := e.fab.PairTraffic(f, t); return m })
+				r.GaugeFunc(obs.Name("fabric_pair_bytes_total",
+					"from", fmt.Sprint(from), "to", fmt.Sprint(to)),
+					func() int64 { _, b := e.fab.PairTraffic(f, t); return b })
+			}
+		}
+	}
 }
 
 // Close stops the engine's workers and flushes durable state gracefully.
@@ -299,6 +413,7 @@ func (e *Engine) RegisterStream(cfg stream.Config) (*stream.Source, error) {
 	for n := range st.trans {
 		st.trans[n] = tstore.New(e.cfg.TransientBudget)
 	}
+	e.registerStreamMetrics(st, cfg.Name)
 	e.streams[cfg.Name] = st
 	e.streamByID = append(e.streamByID, st)
 	if e.ft != nil {
@@ -307,6 +422,79 @@ func (e *Engine) RegisterStream(cfg stream.Config) (*stream.Source, error) {
 		}
 	}
 	return src, nil
+}
+
+// registerStreamMetrics installs the per-stream series, labeled by stream
+// IRI. Injection counts, index/transient memory, GC reclaim, and stable-VTS
+// lag all surface here — the one registry view unifying InjectionStats and
+// StreamIndexBytes.
+func (e *Engine) registerStreamMetrics(st *streamState, name string) {
+	r := e.obs
+	lbl := func(base string) string { return obs.Name(base, "stream", name) }
+	st.mTuples = r.Counter(lbl("stream_tuples_total"))
+	st.mBatches = r.Counter(lbl("stream_batches_total"))
+	// Injection cost split (Table 6), read from the accumulated InjectStats.
+	r.GaugeFunc(lbl("stream_inject_ns_total"), func() int64 {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return int64(st.injectStats.InjectTime)
+	})
+	r.GaugeFunc(lbl("stream_index_ns_total"), func() int64 {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return int64(st.injectStats.IndexTime)
+	})
+	r.GaugeFunc(lbl("stream_dropped_total"), func() int64 {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return int64(st.injectStats.Dropped)
+	})
+	// Stream index: memory (Table 7), lookups, GC reclaim.
+	r.GaugeFunc(lbl("sindex_bytes"), func() int64 { return st.index.MemoryBytes() })
+	r.GaugeFunc(lbl("sindex_lookups_total"), func() int64 { return st.index.Counters().Lookups })
+	r.GaugeFunc(lbl("sindex_vertices_total"), func() int64 { return st.index.Counters().Vertices })
+	r.GaugeFunc(lbl("sindex_gc_runs_total"), func() int64 { return st.index.Counters().GCRuns })
+	r.GaugeFunc(lbl("sindex_gc_bytes_total"), func() int64 { return st.index.Counters().GCBytes })
+	// Transient stores, aggregated across nodes.
+	r.GaugeFunc(lbl("tstore_bytes"), func() int64 {
+		var n int64
+		for _, ts := range st.trans {
+			n += ts.Stats().Bytes
+		}
+		return n
+	})
+	r.GaugeFunc(lbl("tstore_appends_total"), func() int64 {
+		var n int64
+		for _, ts := range st.trans {
+			n += ts.Stats().Appends
+		}
+		return n
+	})
+	r.GaugeFunc(lbl("tstore_gets_total"), func() int64 {
+		var n int64
+		for _, ts := range st.trans {
+			n += ts.Stats().Gets
+		}
+		return n
+	})
+	r.GaugeFunc(lbl("tstore_reclaimed_bytes_total"), func() int64 {
+		var n int64
+		for _, ts := range st.trans {
+			n += ts.Stats().Reclaimed
+		}
+		return n
+	})
+	r.GaugeFunc(lbl("tstore_forced_gcs_total"), func() int64 {
+		var n int64
+		for _, ts := range st.trans {
+			n += ts.Stats().ForcedGCs
+		}
+		return n
+	})
+	// How many batches the stable VTS trails this stream's newest insertion.
+	r.GaugeFunc(lbl("vts_stable_lag_batches"), func() int64 {
+		return int64(e.coord.StableLag(st.id))
+	})
 }
 
 // StreamNames returns the registered stream IRIs.
@@ -354,6 +542,7 @@ func (e *Engine) AdvanceTo(ts rdf.Timestamp) {
 	streams := append([]*streamState(nil), e.streamByID...)
 	e.mu.Unlock()
 	e.tick.Add(1)
+	defer e.obs.Span("advance").End()
 
 	// Phase 1: seal + inject every due batch. The injectors must keep all
 	// batches with one snapshot number consecutive per key (§4.3), so
@@ -403,20 +592,27 @@ func (e *Engine) AdvanceTo(ts rdf.Timestamp) {
 	}
 
 	// Phase 2: fire continuous queries whose next windows are stable.
+	trig := e.obs.Span("trigger")
 	e.fireDueQueries(ts)
+	trig.End()
 
 	// Phase 3: GC expired stream state and snapshot metadata.
+	gc := e.obs.Span("gc")
 	e.collectGarbage()
+	gc.End()
 }
 
 // injectBatch dispatches one batch and injects it on all nodes, blocking
 // until the batch is fully inserted and reported to the coordinator.
 func (e *Engine) injectBatch(st *streamState, b stream.Batch, sn uint32) {
+	disp := e.obs.Span("dispatch")
 	work, lost := stream.Dispatch(e.fab, st.home, b)
+	disp.End()
 	if lost > 0 {
 		st.mu.Lock()
 		st.injectStats.Dropped += lost
 		st.mu.Unlock()
+		e.cDispDropped.Add(int64(lost))
 	}
 	var wg sync.WaitGroup
 	for n := range work {
@@ -429,6 +625,7 @@ func (e *Engine) injectBatch(st *streamState, b stream.Batch, sn uint32) {
 				Store:     e.stored,
 				Index:     st.index,
 				Transient: st.trans[n],
+				Obs:       e.injObs,
 			})
 			st.mu.Lock()
 			st.injectStats.Add(stats)
@@ -441,6 +638,9 @@ func (e *Engine) injectBatch(st *streamState, b stream.Batch, sn uint32) {
 	st.tupleCount += int64(len(b.Tuples))
 	st.batchCount++
 	st.mu.Unlock()
+	e.hBatchTuples.Record(int64(len(b.Tuples)))
+	st.mTuples.Add(int64(len(b.Tuples)))
+	st.mBatches.Inc()
 	if e.ft != nil {
 		e.ftLogBatch(st, b)
 	}

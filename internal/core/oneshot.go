@@ -56,6 +56,8 @@ func (e *Engine) executeOneShot(q *sparql.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.hOneshot.Observe(trace.Total)
+	e.cOneshots.Inc()
 	return &Result{set: rs, ss: e.ss, Latency: trace.Total, Trace: trace}, nil
 }
 
@@ -154,6 +156,7 @@ func (e *Engine) providerFor(q *sparql.Query, at rdf.Timestamp) exec.Provider {
 			Transients: st.trans,
 			From:       qw.fromBatch(at),
 			To:         qw.toBatch(at),
+			Obs:        e.winObs,
 		}
 	}
 	return prov

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/sindex"
 	"repro/internal/sparql"
@@ -56,6 +57,52 @@ func (a StoredAccess) LocalCandidates(n fabric.NodeID, pid rdf.ID, d store.Dir) 
 	return a.Store.ReadLocalIndex(n, pid, d, a.SN)
 }
 
+// WindowObs holds pre-resolved counters for window fetch fan-out — how many
+// index lookups, span reads, and transient reads one window execution spreads
+// across the cluster. Pre-resolving keeps the executor hot path free of
+// registry map lookups. All methods are safe on a nil receiver.
+type WindowObs struct {
+	IndexLookups   *obs.Counter
+	SpanReads      *obs.Counter
+	TransientReads *obs.Counter
+	CandidateScans *obs.Counter
+}
+
+// NewWindowObs resolves the window fan-out counters against r (nil r → all
+// recording disabled).
+func NewWindowObs(r *obs.Registry) *WindowObs {
+	return &WindowObs{
+		IndexLookups:   r.Counter("window_index_lookups_total"),
+		SpanReads:      r.Counter("window_span_reads_total"),
+		TransientReads: r.Counter("window_transient_reads_total"),
+		CandidateScans: r.Counter("window_candidate_scans_total"),
+	}
+}
+
+func (w *WindowObs) lookup() {
+	if w != nil {
+		w.IndexLookups.Inc()
+	}
+}
+
+func (w *WindowObs) spanRead() {
+	if w != nil {
+		w.SpanReads.Inc()
+	}
+}
+
+func (w *WindowObs) transientRead() {
+	if w != nil {
+		w.TransientReads.Inc()
+	}
+}
+
+func (w *WindowObs) candidateScan() {
+	if w != nil {
+		w.CandidateScans.Inc()
+	}
+}
+
 // WindowAccess reads one stream's window: timeless data through the stream
 // index into the persistent store, timing data from the per-node transient
 // stores. The window is the batch range [From, To].
@@ -64,12 +111,14 @@ type WindowAccess struct {
 	Index      *sindex.Index
 	Transients []*tstore.Store // per node; nil entries mean "no timing data"
 	From, To   tstore.BatchID
+	Obs        *WindowObs // fan-out counters; nil records nothing
 }
 
 // indexLookup charges one extra one-sided read when the stream index is not
 // replicated on the reading node (§4.2: a partitioned stream index incurs an
 // additional RDMA read).
 func (a WindowAccess) indexLookup(from fabric.NodeID, key store.Key) ([]store.Span, error) {
+	a.Obs.lookup()
 	spans := a.Index.Lookup(key, a.From, a.To)
 	if !a.Index.ReplicatedOn(from) {
 		home := a.Store.HomeOf(key.Vid)
@@ -93,6 +142,7 @@ func (a WindowAccess) Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir
 	}
 	var out []rdf.ID
 	for _, sp := range spans {
+		a.Obs.spanRead()
 		vals, err := a.Store.ReadSpan(from, key, sp)
 		if err != nil {
 			return nil, err
@@ -101,6 +151,7 @@ func (a WindowAccess) Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir
 	}
 	home := a.Store.HomeOf(vid)
 	if ts := a.Transients[home]; ts != nil {
+		a.Obs.transientRead()
 		vals, err := ts.GetFrom(a.Store.Fabric(), from, home, key, a.From, a.To)
 		if err != nil {
 			return nil, err
@@ -116,6 +167,7 @@ func (a WindowAccess) Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir
 // consulted (which would also see data outside the window, and would miss
 // vertices the store already knew).
 func (a WindowAccess) Candidates(from fabric.NodeID, pid rdf.ID, d store.Dir) ([]rdf.ID, error) {
+	a.Obs.candidateScan()
 	out, err := a.Index.VerticesFrom(a.Store.Fabric(), from, pid, d, a.From, a.To)
 	if err != nil {
 		return nil, err

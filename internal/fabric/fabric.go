@@ -124,6 +124,11 @@ type Fabric struct {
 	bytesRead   atomic.Int64
 	bytesRPC    atomic.Int64
 	chargedNano atomic.Int64
+
+	// Per node-pair traffic, indexed from*Nodes+to (remote ops only). The
+	// observability layer exports these as fabric_pair_* series.
+	pairMsgs  []atomic.Int64
+	pairBytes []atomic.Int64
 }
 
 // New creates a fabric. It panics if cfg.Nodes < 1 — a cluster without nodes
@@ -135,7 +140,27 @@ func New(cfg Config) *Fabric {
 	if cfg.Latency == (LatencyModel{}) {
 		cfg.Latency = DefaultLatency()
 	}
-	return &Fabric{cfg: cfg}
+	return &Fabric{
+		cfg:       cfg,
+		pairMsgs:  make([]atomic.Int64, cfg.Nodes*cfg.Nodes),
+		pairBytes: make([]atomic.Int64, cfg.Nodes*cfg.Nodes),
+	}
+}
+
+// addPair records one remote message of n bytes on the from→to link.
+func (f *Fabric) addPair(from, to NodeID, n int) {
+	i := int(from)*f.cfg.Nodes + int(to)
+	f.pairMsgs[i].Add(1)
+	f.pairBytes[i].Add(int64(n))
+}
+
+// PairTraffic returns the message and byte totals of the from→to link
+// (remote operations only; local accesses are free and uncounted).
+func (f *Fabric) PairTraffic(from, to NodeID) (msgs, bytes int64) {
+	f.checkNode(from)
+	f.checkNode(to)
+	i := int(from)*f.cfg.Nodes + int(to)
+	return f.pairMsgs[i].Load(), f.pairBytes[i].Load()
 }
 
 // Nodes returns the cluster size.
@@ -237,6 +262,7 @@ func (f *Fabric) ReadRemote(from, to NodeID, n int) error {
 	if err != nil {
 		return err
 	}
+	f.addPair(from, to, n)
 	if f.cfg.RDMA {
 		f.rdmaReads.Add(1)
 		f.bytesRead.Add(int64(n))
@@ -263,6 +289,7 @@ func (f *Fabric) RPC(from, to NodeID, reqBytes, respBytes int) error {
 		return err
 	}
 	n := reqBytes + respBytes
+	f.addPair(from, to, n)
 	if f.cfg.RDMA {
 		f.rpcs.Add(1)
 		f.bytesRPC.Add(int64(n))
@@ -295,6 +322,7 @@ func (f *Fabric) SendAsync(from, to NodeID, n int) error {
 	if err != nil {
 		return err
 	}
+	f.addPair(from, to, n)
 	if f.cfg.RDMA {
 		f.rpcs.Add(1)
 		f.bytesRPC.Add(int64(n))

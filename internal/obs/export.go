@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+)
+
+// splitName separates a (possibly labeled) metric name into its family and
+// label block: "x_total{q=\"a\"}" → ("x_total", `q="a"`).
+func splitName(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per family, histograms expanded
+// into cumulative _bucket/_sum/_count series, all in sorted name order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type sample struct {
+		name string
+		m    Metric
+	}
+	var samples []sample
+	r.Each(func(name string, m Metric) { samples = append(samples, sample{name, m}) })
+	// Group by family so # TYPE headers are emitted once; families in sorted
+	// order, then each family's label variants in sorted order (Each already
+	// sorts by full name, and the family is a prefix of it).
+	sort.SliceStable(samples, func(i, j int) bool {
+		fi, _ := splitName(samples[i].name)
+		fj, _ := splitName(samples[j].name)
+		if fi != fj {
+			return fi < fj
+		}
+		return samples[i].name < samples[j].name
+	})
+	prefix := r.prefix
+	if prefix != "" {
+		prefix += "_"
+	}
+	lastFamily := ""
+	for _, s := range samples {
+		family, labels := splitName(s.name)
+		full := prefix + family
+		if family != lastFamily {
+			fmt.Fprintf(w, "# TYPE %s %s\n", full, s.m.metricType())
+			lastFamily = family
+		}
+		switch m := s.m.(type) {
+		case *Counter:
+			writeSample(w, full, labels, m.Value())
+		case *Gauge:
+			writeSample(w, full, labels, m.Value())
+		case *FuncGauge:
+			writeSample(w, full, labels, m.Value())
+		case *Histogram:
+			snap := m.Snapshot()
+			var cum int64
+			for _, b := range snap.Buckets {
+				cum += b.Count
+				le := "+Inf"
+				if b.LE != math.MaxInt64 {
+					le = fmt.Sprintf("%d", b.LE)
+				}
+				writeSample(w, full+"_bucket", joinLabels(labels, `le="`+le+`"`), cum)
+			}
+			if len(snap.Buckets) == 0 {
+				writeSample(w, full+"_bucket", joinLabels(labels, `le="+Inf"`), 0)
+			}
+			writeSample(w, full+"_sum", labels, snap.Sum)
+			writeSample(w, full+"_count", labels, snap.Count)
+		}
+	}
+	return nil
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func writeSample(w io.Writer, name, labels string, v int64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %d\n", name, v)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %d\n", name, labels, v)
+}
+
+// jsonMetric is the JSON shape of one metric.
+type jsonMetric struct {
+	Type      string             `json:"type"`
+	Value     *int64             `json:"value,omitempty"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// snapshotJSON builds the registry's JSON view: metric name (with the export
+// prefix) → value or histogram snapshot.
+func (r *Registry) snapshotJSON() map[string]jsonMetric {
+	out := make(map[string]jsonMetric)
+	if r == nil {
+		return out
+	}
+	prefix := r.prefix
+	if prefix != "" {
+		prefix += "_"
+	}
+	r.Each(func(name string, m Metric) {
+		key := prefix + name
+		switch m := m.(type) {
+		case *Counter:
+			v := m.Value()
+			out[key] = jsonMetric{Type: "counter", Value: &v}
+		case *Gauge:
+			v := m.Value()
+			out[key] = jsonMetric{Type: "gauge", Value: &v}
+		case *FuncGauge:
+			v := m.Value()
+			out[key] = jsonMetric{Type: "gauge", Value: &v}
+		case *Histogram:
+			snap := m.Snapshot()
+			out[key] = jsonMetric{Type: "histogram", Histogram: &snap}
+		}
+	})
+	return out
+}
+
+// JSON renders the registry as indented JSON (names sorted by Go's map-key
+// marshaling order, which is lexicographic).
+func (r *Registry) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.snapshotJSON(), "", "  ")
+}
+
+// WriteJSON writes the registry's JSON rendering to w.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// Handler returns an http.Handler serving the registry: Prometheus text by
+// default, JSON with ?format=json (or an application/json Accept header).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			r.WriteJSON(w) //nolint:errcheck // best-effort over HTTP
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck
+	})
+}
+
+// StageSnapshots returns every stage histogram's snapshot keyed by stage name
+// (the <stage> in stage_<stage>_latency_ns). Benchmarks use this to report
+// per-stage pipeline latency percentiles.
+func (r *Registry) StageSnapshots() map[string]HistogramSnapshot {
+	out := make(map[string]HistogramSnapshot)
+	if r == nil {
+		return out
+	}
+	r.Each(func(name string, m Metric) {
+		h, ok := m.(*Histogram)
+		if !ok {
+			return
+		}
+		stage, found := strings.CutPrefix(name, "stage_")
+		if !found {
+			return
+		}
+		stage, found = strings.CutSuffix(stage, "_latency_ns")
+		if !found {
+			return
+		}
+		out[stage] = h.Snapshot()
+	})
+	return out
+}
+
+// NewHTTPMux builds the daemon's observability surface: /metrics for the
+// registry and the full net/http/pprof suite under /debug/pprof/.
+func NewHTTPMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry("t")
+	c := r.Counter("reqs_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+	// Idempotent registration returns the same metric.
+	if r.Counter("reqs_total") != c {
+		t.Error("Counter re-registration returned a different metric")
+	}
+}
+
+func TestGaugeFuncReplaces(t *testing.T) {
+	r := NewRegistry("t")
+	r.GaugeFunc("v", func() int64 { return 1 })
+	r.GaugeFunc("v", func() int64 { return 2 })
+	var got int64
+	r.Each(func(name string, m Metric) {
+		if name == "v" {
+			got = m.(*FuncGauge).Value()
+		}
+	})
+	if got != 2 {
+		t.Errorf("func gauge = %d, want 2 (newest registration wins)", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	// None of these may panic; records are dropped.
+	r.Counter("x").Add(1)
+	r.Gauge("x").Set(1)
+	r.GaugeFunc("x", func() int64 { return 1 })
+	r.Histogram("x", nil).Record(1)
+	r.Stage("x").Observe(time.Millisecond)
+	r.Span("x").End()
+	r.SetEnabled(true)
+	if r.Enabled() {
+		t.Error("nil registry reports enabled")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+	var h *Histogram
+	h.Record(1)
+	if h.Snapshot().Count != 0 {
+		t.Error("nil histogram snapshot not zero")
+	}
+}
+
+func TestDisabledRegistryFreezesValues(t *testing.T) {
+	r := NewRegistry("t")
+	c := r.Counter("x_total")
+	h := r.Histogram("h_ns", nil)
+	c.Inc()
+	h.Record(1000)
+	r.SetEnabled(false)
+	c.Inc()
+	h.Record(1000)
+	if c.Value() != 1 {
+		t.Errorf("disabled counter advanced to %d", c.Value())
+	}
+	if h.Snapshot().Count != 1 {
+		t.Errorf("disabled histogram advanced to %d", h.Snapshot().Count)
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 2 {
+		t.Errorf("re-enabled counter = %d, want 2", c.Value())
+	}
+}
+
+// TestHistogramBucketEdges pins the `le` semantics at the microsecond and
+// millisecond boundaries: a value equal to a bound lands in that bound's
+// bucket, one past it lands in the next.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry("t")
+	h := r.Histogram("lat_ns", LatencyBuckets)
+	find := func(le int64) int {
+		for i, b := range LatencyBuckets {
+			if b == le {
+				return i
+			}
+		}
+		t.Fatalf("bound %d not in LatencyBuckets", le)
+		return -1
+	}
+	cases := []struct {
+		v      int64
+		bucket int // index into snapshot buckets
+	}{
+		{1000, find(1000)},                   // exactly 1µs → le=1000 bucket
+		{1001, find(2000)},                   // just past 1µs → next bucket
+		{1_000_000, find(1_000_000)},         // exactly 1ms
+		{1_000_001, find(2_000_000)},         // just past 1ms
+		{0, 0},                               // below the first bound
+		{math.MaxInt64, len(LatencyBuckets)}, // overflow bucket (+Inf)
+	}
+	for _, tc := range cases {
+		h.Record(tc.v)
+	}
+	snap := h.Snapshot()
+	if len(snap.Buckets) != len(LatencyBuckets)+1 {
+		t.Fatalf("bucket count = %d, want %d", len(snap.Buckets), len(LatencyBuckets)+1)
+	}
+	counts := make([]int64, len(snap.Buckets))
+	for _, tc := range cases {
+		counts[tc.bucket]++
+	}
+	for i, b := range snap.Buckets {
+		if b.Count != counts[i] {
+			t.Errorf("bucket %d (le=%d): count %d, want %d", i, b.LE, b.Count, counts[i])
+		}
+	}
+	if snap.Min != 0 || snap.Max != math.MaxInt64 {
+		t.Errorf("min/max = %d/%d", snap.Min, snap.Max)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry("t")
+	h := r.Histogram("lat_ns", LatencyBuckets)
+	// 100 samples at exactly 5µs: every quantile must interpolate within the
+	// covering bucket but clamp to the observed min/max.
+	for i := 0; i < 100; i++ {
+		h.Record(5000)
+	}
+	snap := h.Snapshot()
+	if snap.P50 != 5000 || snap.P99 != 5000 || snap.P999 != 5000 {
+		t.Errorf("uniform-sample quantiles = %d/%d/%d, want all 5000",
+			snap.P50, snap.P99, snap.P999)
+	}
+	if snap.Mean != 5000 {
+		t.Errorf("mean = %v, want 5000", snap.Mean)
+	}
+	// A spread: 90 fast samples, 10 slow ones; p99 must land in the slow range.
+	h2 := r.Histogram("lat2_ns", LatencyBuckets)
+	for i := 0; i < 90; i++ {
+		h2.Record(2000)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Record(90_000)
+	}
+	s2 := h2.Snapshot()
+	if s2.P50 > 5000 {
+		t.Errorf("p50 = %d, want ≤ 5000", s2.P50)
+	}
+	if s2.P99 < 50_000 || s2.P99 > 100_000 {
+		t.Errorf("p99 = %d, want within the slow bucket", s2.P99)
+	}
+}
+
+// TestHistogramConcurrent exercises concurrent recording under -race and
+// checks no samples are lost.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry("t")
+	h := r.Histogram("lat_ns", LatencyBuckets)
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(int64(1000 + g*1000 + i))
+				if i%10 == 0 {
+					_ = h.Snapshot() // concurrent reads race-check the snapshot path
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != goroutines*perG {
+		t.Errorf("count = %d, want %d", snap.Count, goroutines*perG)
+	}
+	var bucketSum int64
+	for _, b := range snap.Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum != snap.Count {
+		t.Errorf("bucket sum = %d, count = %d", bucketSum, snap.Count)
+	}
+}
+
+func TestSpanRecordsStageHistogram(t *testing.T) {
+	r := NewRegistry("t")
+	sp := r.Span("inject")
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d < time.Millisecond {
+		t.Errorf("span duration %v too short", d)
+	}
+	snap := r.Stage("inject").Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("stage histogram count = %d, want 1", snap.Count)
+	}
+	if snap.Min < int64(time.Millisecond) {
+		t.Errorf("recorded %dns, want ≥ 1ms", snap.Min)
+	}
+	stages := r.StageSnapshots()
+	if _, ok := stages["inject"]; !ok || len(stages) != 1 {
+		t.Errorf("StageSnapshots = %v, want exactly {inject}", stages)
+	}
+}
+
+// TestPrometheusGolden pins the exact text exposition output for a small
+// registry: type headers, sorted families, labeled series, and the histogram's
+// cumulative buckets.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry("w")
+	r.Counter("b_total").Add(3)
+	r.Counter(Name("a_total", "stream", "S1")).Add(1)
+	r.Counter(Name("a_total", "stream", "S2")).Add(2)
+	r.Gauge("depth").Set(-4)
+	h := r.Histogram("lat_ns", []int64{1000, 2000})
+	h.Record(1000) // le=1000
+	h.Record(1500) // le=2000
+	h.Record(9999) // +Inf
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE w_a_total counter
+w_a_total{stream="S1"} 1
+w_a_total{stream="S2"} 2
+# TYPE w_b_total counter
+w_b_total 3
+# TYPE w_depth gauge
+w_depth -4
+# TYPE w_lat_ns histogram
+w_lat_ns_bucket{le="1000"} 1
+w_lat_ns_bucket{le="2000"} 2
+w_lat_ns_bucket{le="+Inf"} 3
+w_lat_ns_sum 12499
+w_lat_ns_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("Prometheus output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	r := NewRegistry("w")
+	r.Counter("x_total").Add(7)
+	r.Histogram("lat_ns", nil).Record(5000)
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"w_x_total"`, `"value": 7`, `"w_lat_ns"`, `"count": 1`, `"p50"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s in:\n%s", want, s)
+		}
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry("w")
+	r.Counter("hits_total").Add(2)
+	mux := NewHTTPMux(r)
+
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path, accept string) (string, string) {
+		req := httptest.NewRequest("GET", path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		return rec.Body.String(), rec.Header().Get("Content-Type")
+	}
+
+	body, ct := get("/metrics", "")
+	if !strings.Contains(body, "w_hits_total 2") {
+		t.Errorf("text /metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(ct, "text/plain") {
+		t.Errorf("text content type = %q", ct)
+	}
+
+	body, ct = get("/metrics?format=json", "")
+	if !strings.Contains(body, `"value": 2`) || !strings.Contains(ct, "application/json") {
+		t.Errorf("json /metrics = %q (%s)", body, ct)
+	}
+
+	body, _ = get("/debug/pprof/", "")
+	if !strings.Contains(body, "profile") {
+		t.Errorf("pprof index unexpected:\n%.200s", body)
+	}
+}
+
+func TestNameEscaping(t *testing.T) {
+	got := Name("x_total", "q", `a"b\c`)
+	want := `x_total{q="a\"b\\c"}`
+	if got != want {
+		t.Errorf("Name = %s, want %s", got, want)
+	}
+	if Name("plain") != "plain" {
+		t.Error("unlabeled Name altered the base")
+	}
+}

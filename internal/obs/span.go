@@ -1,0 +1,39 @@
+package obs
+
+import "time"
+
+// ActiveSpan measures one pass of a pipeline stage. Obtain one with Span (or
+// Registry.Span), do the work, and call End: the elapsed wall time lands in
+// the stage's latency histogram (stage_<name>_latency_ns). The zero value is
+// a no-op, which is what a nil or disabled registry hands out — so
+// instrumented code needs no branches of its own:
+//
+//	sp := obs.Span("inject")
+//	... do the stage's work ...
+//	sp.End()
+type ActiveSpan struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Span starts a stage span on the registry. On a nil or disabled registry the
+// returned span is a no-op (and takes no clock reading).
+func (r *Registry) Span(stage string) ActiveSpan {
+	if r == nil || !r.enabled.Load() {
+		return ActiveSpan{}
+	}
+	return ActiveSpan{h: r.Stage(stage), start: time.Now()}
+}
+
+// Span starts a stage span on the Default registry.
+func Span(stage string) ActiveSpan { return Default.Span(stage) }
+
+// End records the span's elapsed time and returns it (0 for a no-op span).
+func (s ActiveSpan) End() time.Duration {
+	if s.h == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.h.Record(int64(d))
+	return d
+}

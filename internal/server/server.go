@@ -16,6 +16,7 @@
 //	REGISTER                                       then C-SPARQL text, "." → +OK <name>
 //	POLL <name>                                    buffered results → rows, "."
 //	STATS                                          engine counters
+//	METRICS                                        Prometheus text dump, "."
 //	QUIT
 //
 // The server is deliberately simple — its purpose is to make the engine a
@@ -35,16 +36,21 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/stream"
 )
 
 // pollBuf buffers one continuous query's rows between POLLs. When full, the
 // oldest rows are dropped (the client is lagging; fresh results matter more)
-// and the loss is counted so POLL can report it.
+// and the loss is counted so POLL can report it. dropped resets on every POLL
+// (the delta the client acts on); cumDropped and cumRows never reset — they
+// feed STATS and /metrics, where drop totals must survive polling.
 type pollBuf struct {
-	rows    []string
-	dropped int
+	rows       []string
+	dropped    int
+	cumDropped int64
+	cumRows    int64
 }
 
 // Server wraps an engine with the TCP front end.
@@ -68,16 +74,80 @@ type Server struct {
 	conns   map[net.Conn]struct{}
 	wg      sync.WaitGroup
 	closed  bool
+
+	connsTotal    int64 // connections ever accepted
+	commandsTotal int64 // commands dispatched across all connections
 }
 
 // New wraps an engine (which the caller keeps owning).
 func New(eng *core.Engine) *Server {
-	return &Server{
+	s := &Server{
 		eng:     eng,
 		sources: make(map[string]*stream.Source),
 		results: make(map[string]*pollBuf),
 		conns:   make(map[net.Conn]struct{}),
 	}
+	r := eng.Metrics()
+	r.GaugeFunc("server_active_connections", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.conns))
+	})
+	r.GaugeFunc("server_connections_total", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.connsTotal
+	})
+	r.GaugeFunc("server_commands_total", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.commandsTotal
+	})
+	r.GaugeFunc("server_poll_rows_total", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var n int64
+		for _, buf := range s.results {
+			n += buf.cumRows
+		}
+		return n
+	})
+	r.GaugeFunc("server_poll_dropped_rows_total", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.droppedTotalLocked()
+	})
+	r.GaugeFunc("server_poll_buffered_rows", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var n int64
+		for _, buf := range s.results {
+			n += int64(len(buf.rows))
+		}
+		return n
+	})
+	return s
+}
+
+// droppedTotalLocked sums cumulative dropped rows across all poll buffers.
+// Caller holds s.mu.
+func (s *Server) droppedTotalLocked() int64 {
+	var n int64
+	for _, buf := range s.results {
+		n += buf.cumDropped
+	}
+	return n
+}
+
+// DroppedRows returns the cumulative dropped-row count for one continuous
+// query and across all queries — unlike POLL's delta, these never reset.
+func (s *Server) DroppedRows(name string) (query, total int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if buf := s.results[name]; buf != nil {
+		query = buf.cumDropped
+	}
+	return query, s.droppedTotalLocked()
 }
 
 // Serve accepts connections until Close.
@@ -103,6 +173,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			return nil
 		}
 		s.conns[conn] = struct{}{}
+		s.connsTotal++
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
@@ -198,6 +269,9 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		fields := strings.Fields(line)
 		cmd := strings.ToUpper(fields[0])
+		s.mu.Lock()
+		s.commandsTotal++
+		s.mu.Unlock()
 		var err error
 		switch cmd {
 		case "QUIT":
@@ -222,6 +296,8 @@ func (s *Server) handle(conn net.Conn) {
 			err = s.cmdPoll(w, fields[1:])
 		case "STATS":
 			err = s.cmdStats(w)
+		case "METRICS":
+			err = s.cmdMetrics(w)
 		default:
 			err = fmt.Errorf("unknown command %q", cmd)
 		}
@@ -426,10 +502,18 @@ func (s *Server) BufferResult(name string, res *core.Result, f core.FireInfo) {
 	if buf == nil {
 		buf = &pollBuf{}
 		s.results[name] = buf
+		// Per-query cumulative drop series, labeled by query name.
+		s.eng.Metrics().GaugeFunc(obs.Name("server_poll_dropped_rows", "query", name),
+			func() int64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return buf.cumDropped
+			})
 	}
 	for _, row := range rows {
 		buf.rows = append(buf.rows, fmt.Sprintf("@%d %s", f.At, row))
 	}
+	buf.cumRows += int64(len(rows))
 	limit := s.PollBuffer
 	if limit <= 0 {
 		limit = defaultPollBuffer
@@ -439,6 +523,7 @@ func (s *Server) BufferResult(name string, res *core.Result, f core.FireInfo) {
 	if over := len(buf.rows) - limit; over > 0 {
 		buf.rows = append(buf.rows[:0:0], buf.rows[over:]...)
 		buf.dropped += over
+		buf.cumDropped += int64(over)
 	}
 }
 
@@ -464,7 +549,26 @@ func (s *Server) cmdPoll(w *bufio.Writer, args []string) error {
 
 func (s *Server) cmdStats(w *bufio.Writer) error {
 	mem := s.eng.Store().Memory()
-	fmt.Fprintf(w, "+OK now=%d stable_sn=%d entries=%d values=%d\n",
-		s.eng.Now(), s.eng.Coordinator().StableSN(), mem.Entries, mem.Values)
+	s.mu.Lock()
+	dropped := s.droppedTotalLocked()
+	var polled int64
+	for _, buf := range s.results {
+		polled += buf.cumRows
+	}
+	conns := int64(len(s.conns))
+	s.mu.Unlock()
+	// One line, no "." terminator: clients read exactly one status line.
+	fmt.Fprintf(w, "+OK now=%d stable_sn=%d entries=%d values=%d rows=%d dropped=%d conns=%d\n",
+		s.eng.Now(), s.eng.Coordinator().StableSN(), mem.Entries, mem.Values,
+		polled, dropped, conns)
+	return nil
+}
+
+// cmdMetrics dumps the engine's registry in the Prometheus text format,
+// terminated by "." like other multi-line responses.
+func (s *Server) cmdMetrics(w *bufio.Writer) error {
+	fmt.Fprintf(w, "+OK metrics\n")
+	s.eng.Metrics().WritePrometheus(w)
+	fmt.Fprintf(w, ".\n")
 	return nil
 }

@@ -421,3 +421,100 @@ func TestRecoveredStreamsReachableAfterRestart(t *testing.T) {
 		t.Fatalf("rows = %v, want both emitted tuples", rows)
 	}
 }
+
+// TestStatsAndMetricsRoundTrip drives a workload through the wire protocol
+// and checks STATS reports cumulative drops (surviving POLL's delta reset)
+// and METRICS dumps the Prometheus registry.
+func TestStatsAndMetricsRoundTrip(t *testing.T) {
+	eng, err := core.New(core.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	srv := New(eng)
+	srv.PollBuffer = 3
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	c := dial(t, ln.Addr().String())
+	c.send("STREAM S 100")
+	expectOK(t, c.status())
+	c.send("REGISTER",
+		"REGISTER QUERY QM AS",
+		"SELECT ?X ?Z",
+		"FROM S [RANGE 100ms STEP 100ms]",
+		"WHERE { GRAPH S { ?X po ?Z } }",
+		".")
+	expectOK(t, c.status())
+	c.send("EMIT S",
+		"<u1> <po> <t1> . @10",
+		"<u1> <po> <t2> . @110",
+		"<u1> <po> <t3> . @210",
+		"<u1> <po> <t4> . @310",
+		"<u1> <po> <t5> . @410",
+		".")
+	expectOK(t, c.status())
+	for ts := 100; ts <= 600; ts += 100 {
+		c.send(fmt.Sprintf("ADVANCE %d", ts))
+		expectOK(t, c.status())
+	}
+
+	// POLL resets the delta counter; the cumulative accounting must survive.
+	c.send("POLL QM")
+	expectOK(t, c.status())
+	c.rows()
+	c.send("POLL QM")
+	st := c.status()
+	expectOK(t, st)
+	if !strings.Contains(st, "dropped 0") {
+		t.Errorf("second poll should report a zero delta: %q", st)
+	}
+	c.rows()
+
+	if q, total := srv.DroppedRows("QM"); q != 2 || total != 2 {
+		t.Errorf("DroppedRows = (%d, %d), want (2, 2)", q, total)
+	}
+
+	c.send("STATS")
+	st = c.status()
+	expectOK(t, st)
+	for _, want := range []string{"stable_sn=", "dropped=2", "rows=5", "conns=1"} {
+		if !strings.Contains(st, want) {
+			t.Errorf("STATS %q missing %q", st, want)
+		}
+	}
+
+	c.send("METRICS")
+	expectOK(t, c.status())
+	lines := c.rows()
+	text := strings.Join(lines, "\n")
+	for _, want := range []string{
+		"wukongs_server_poll_dropped_rows_total 2",
+		`wukongs_server_poll_dropped_rows{query="QM"} 2`,
+		"wukongs_vts_stable_sn",
+		"wukongs_stage_inject_latency_ns_bucket",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("METRICS output missing %q", want)
+		}
+	}
+	// The dump must stay parseable as "name value" / comment lines.
+	for _, l := range lines {
+		if l == "" || strings.HasPrefix(l, "# ") {
+			continue
+		}
+		if f := strings.Fields(l); len(f) != 2 {
+			t.Errorf("malformed metrics line %q", l)
+		}
+	}
+}

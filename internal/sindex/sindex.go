@@ -18,6 +18,7 @@ package sindex
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fabric"
 	"repro/internal/rdf"
@@ -59,7 +60,12 @@ type Index struct {
 	replicaMu sync.RWMutex
 	replicas  map[fabric.NodeID]bool
 
-	gcRuns int64
+	gcRuns    int64
+	gcBatches int64 // batch indexes freed by GC
+	gcBytes   int64 // resident bytes reclaimed by GC
+
+	lookups  atomic.Int64 // Lookup calls (span fetches)
+	vertices atomic.Int64 // Vertices calls (candidate enumerations)
 }
 
 // New creates an empty stream index homed on the given node.
@@ -111,6 +117,7 @@ func (ix *Index) AddBatch(batch tstore.BatchID, spans []store.KeySpan) {
 // Vertices returns the distinct vertices with a (pid,dir) edge inside
 // batches [from, to] — the window candidates for unbound stream patterns.
 func (ix *Index) Vertices(pid rdf.ID, d store.Dir, from, to tstore.BatchID) []rdf.ID {
+	ix.vertices.Add(1)
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	seen := make(map[rdf.ID]bool)
@@ -136,6 +143,7 @@ func (ix *Index) Vertices(pid rdf.ID, d store.Dir, from, to tstore.BatchID) []rd
 // Lookup returns the spans for key across batches in [from, to], in time
 // order. The slice is freshly allocated.
 func (ix *Index) Lookup(key store.Key, from, to tstore.BatchID) []store.Span {
+	ix.lookups.Add(1)
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	var out []store.Span
@@ -215,6 +223,8 @@ func (ix *Index) GC(before tstore.BatchID) {
 	defer ix.mu.Unlock()
 	freed := false
 	for len(ix.batches) > 0 && ix.batches[0].batch < before {
+		ix.gcBatches++
+		ix.gcBytes += ix.batches[0].bytes
 		ix.batches[0] = nil
 		ix.batches = ix.batches[1:]
 		freed = true
@@ -267,4 +277,26 @@ func (ix *Index) GCRuns() int64 {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.gcRuns
+}
+
+// Counters summarizes the index's operation and reclaim totals.
+type Counters struct {
+	Lookups   int64 // span fetches (Lookup)
+	Vertices  int64 // candidate enumerations (Vertices)
+	GCRuns    int64
+	GCBatches int64 // batch indexes freed
+	GCBytes   int64 // resident bytes reclaimed
+}
+
+// Counters returns a snapshot of the index's operation counters.
+func (ix *Index) Counters() Counters {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return Counters{
+		Lookups:   ix.lookups.Load(),
+		Vertices:  ix.vertices.Load(),
+		GCRuns:    ix.gcRuns,
+		GCBatches: ix.gcBatches,
+		GCBytes:   ix.gcBytes,
+	}
 }

@@ -25,6 +25,12 @@ type Sharded struct {
 
 	statMu    sync.RWMutex
 	predStats map[rdf.ID]*PredStat
+
+	// Operation counters for the observability layer.
+	reads      atomic.Int64 // snapshot key reads (Read)
+	spanReads  atomic.Int64 // stream-index span reads (ReadSpan)
+	indexReads atomic.Int64 // index-vertex gathers (ReadIndex)
+	prunes     atomic.Int64 // PruneSnapshots invocations
 }
 
 // PredStat is the planner-facing statistics for one predicate.
@@ -151,6 +157,7 @@ func (g *Sharded) LoadBase(triples []strserver.EncodedTriple) {
 // the key's home node surfaces as an error: the data is unreachable, not
 // silently empty.
 func (g *Sharded) Read(from fabric.NodeID, key Key, sn uint32) ([]rdf.ID, error) {
+	g.reads.Add(1)
 	home := g.HomeOf(key.Vid)
 	if home != from {
 		if err := g.fab.ReadRemote(from, home, 16); err != nil { // key lookup
@@ -170,6 +177,7 @@ func (g *Sharded) Read(from fabric.NodeID, key Key, sn uint32) ([]rdf.ID, error)
 // one-sided read: the replicated stream index made the fat pointer locally
 // available, so no lookup round is needed (§5).
 func (g *Sharded) ReadSpan(from fabric.NodeID, key Key, sp Span) ([]rdf.ID, error) {
+	g.spanReads.Add(1)
 	home := g.HomeOf(key.Vid)
 	if home != from {
 		if err := g.fab.Reachable(from, home); err != nil {
@@ -190,6 +198,7 @@ func (g *Sharded) ReadSpan(from fabric.NodeID, key Key, sp Span) ([]rdf.ID, erro
 // first unreachable partition aborts the gather — a partial candidate set
 // would silently produce wrong query results.
 func (g *Sharded) ReadIndex(from fabric.NodeID, pid rdf.ID, d Dir, sn uint32) ([]rdf.ID, error) {
+	g.indexReads.Add(1)
 	var out []rdf.ID
 	for n := 0; n < g.fab.Nodes(); n++ {
 		vals := g.shards[n].Get(IndexKey(pid, d), sn)
@@ -215,8 +224,27 @@ func (g *Sharded) ReadLocalIndex(n fabric.NodeID, pid rdf.ID, d Dir, sn uint32) 
 
 // PruneSnapshots collapses snapshot metadata below minSN on every shard.
 func (g *Sharded) PruneSnapshots(minSN uint32) {
+	g.prunes.Add(1)
 	for _, s := range g.shards {
 		s.PruneSnapshots(minSN)
+	}
+}
+
+// OpStats summarizes the cluster store's operation counters.
+type OpStats struct {
+	Reads      int64 // snapshot key reads
+	SpanReads  int64 // stream-index span reads
+	IndexReads int64 // index-vertex gathers
+	Prunes     int64 // snapshot-metadata prune passes
+}
+
+// OpStats returns a snapshot of the operation counters.
+func (g *Sharded) OpStats() OpStats {
+	return OpStats{
+		Reads:      g.reads.Load(),
+		SpanReads:  g.spanReads.Load(),
+		IndexReads: g.indexReads.Load(),
+		Prunes:     g.prunes.Load(),
 	}
 }
 

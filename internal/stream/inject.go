@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/sindex"
 	"repro/internal/store"
@@ -57,6 +58,35 @@ type InjectTarget struct {
 	Store     *store.Sharded
 	Index     *sindex.Index // the stream's index (shared; replicas charged separately)
 	Transient *tstore.Store // this node's transient store for this stream
+	// Obs, when non-nil, receives the injection's stage latencies and tuple
+	// counters (nil records nothing).
+	Obs *InjectObs
+}
+
+// InjectObs holds pre-resolved injection metrics so the per-node inject hot
+// path pays no registry lookups — only an atomic add per record (and a single
+// atomic load when the registry is disabled). Safe to share across nodes and
+// streams.
+type InjectObs struct {
+	Inject   *obs.Histogram // stage_inject_latency_ns
+	Index    *obs.Histogram // stage_index_latency_ns
+	Timeless *obs.Counter
+	Timing   *obs.Counter
+	Spans    *obs.Counter
+	Dropped  *obs.Counter
+}
+
+// NewInjectObs resolves the injection metrics against r (nil r → metrics that
+// record nothing).
+func NewInjectObs(r *obs.Registry) *InjectObs {
+	return &InjectObs{
+		Inject:   r.Stage("inject"),
+		Index:    r.Stage("index"),
+		Timeless: r.Counter("stream_timeless_tuples_total"),
+		Timing:   r.Counter("stream_timing_tuples_total"),
+		Spans:    r.Counter("stream_index_spans_total"),
+		Dropped:  r.Counter("stream_dropped_shipments_total"),
+	}
 }
 
 // InjectStats reports one injection's cost split for Table 6.
@@ -149,5 +179,16 @@ func InjectNode(n fabric.NodeID, w NodeWork, batch tstore.BatchID, sn uint32, tg
 		tgt.Index.AddBatch(batch, nil)
 	}
 	st.IndexTime = time.Since(idxStart)
+
+	if o := tgt.Obs; o != nil {
+		o.Inject.Observe(st.InjectTime)
+		o.Index.Observe(st.IndexTime)
+		o.Timeless.Add(int64(st.TimelessTuples))
+		o.Timing.Add(int64(st.TimingTuples))
+		o.Spans.Add(int64(st.Spans))
+		if st.Dropped > 0 {
+			o.Dropped.Add(int64(st.Dropped))
+		}
+	}
 	return st
 }

@@ -10,6 +10,7 @@ package tstore
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fabric"
 	"repro/internal/rdf"
@@ -39,6 +40,10 @@ type Store struct {
 	gcRuns      int64
 	forcedGCs   int64
 	dropped     int64 // batches freed by forced GC before natural expiry
+	appends     int64 // Append calls that stored data
+	reclaimed   int64 // bytes freed by GC (natural or forced)
+
+	gets atomic.Int64 // Get calls (atomic: bumped under the read lock)
 }
 
 // DefaultBudget is the default per-stream transient-store budget.
@@ -84,6 +89,7 @@ func (s *Store) Append(batch BatchID, key store.Key, vals []rdf.ID) {
 	sl.data[key] = append(prev, vals...)
 	sl.bytes += delta
 	s.curBytes += delta
+	s.appends++
 	// Ring buffer full: force GC from the earlier side, never touching the
 	// newest slice (it is still being written).
 	for s.curBytes > s.budgetBytes && len(s.slices) > 1 {
@@ -95,6 +101,7 @@ func (s *Store) Append(batch BatchID, key store.Key, vals []rdf.ID) {
 // Get returns the values recorded for key across batches in [from, to],
 // concatenated in time order. The result is freshly allocated.
 func (s *Store) Get(key store.Key, from, to BatchID) []rdf.ID {
+	s.gets.Add(1)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []rdf.ID
@@ -176,6 +183,7 @@ func (s *Store) GC(before BatchID) {
 func (s *Store) dropOldestLocked() {
 	sl := s.slices[0]
 	s.curBytes -= sl.bytes
+	s.reclaimed += sl.bytes
 	s.slices[0] = nil
 	s.slices = s.slices[1:]
 	s.dropped++
@@ -212,6 +220,9 @@ type Stats struct {
 	GCRuns    int64
 	ForcedGCs int64
 	Dropped   int64
+	Appends   int64 // Append calls that stored data
+	Gets      int64 // Get calls
+	Reclaimed int64 // bytes freed by GC (natural or forced)
 }
 
 // Stats returns a snapshot of occupancy counters.
@@ -225,5 +236,8 @@ func (s *Store) Stats() Stats {
 		GCRuns:    s.gcRuns,
 		ForcedGCs: s.forcedGCs,
 		Dropped:   s.dropped,
+		Appends:   s.appends,
+		Gets:      s.gets.Load(),
+		Reclaimed: s.reclaimed,
 	}
 }

@@ -93,6 +93,7 @@ type Coordinator struct {
 	plans      []Plan // ascending SN; plans[0] is the oldest retained
 	nextSN     uint32
 	stallWaits int64 // injector arrivals that outran the published plans
+	published  int64 // total plans ever published (monotonic; plans is pruned)
 }
 
 // DefaultInterval is the default number of batches per stream covered by one
@@ -186,6 +187,7 @@ func (c *Coordinator) publishLocked() Plan {
 	p := Plan{SN: c.nextSN, Target: c.targetForLocked(c.nextSN)}
 	c.nextSN++
 	c.plans = append(c.plans, p)
+	c.published++
 	// Publishing a plan is a broadcast to all other nodes.
 	if c.fab != nil {
 		for n := 1; n < c.nodes; n++ {
@@ -315,4 +317,27 @@ func (c *Coordinator) StallWaits() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stallWaits
+}
+
+// PlansPublished returns the total number of SN–VTS plans ever published
+// (monotonic, unlike len(RetainedPlans()) which shrinks as plans are pruned).
+func (c *Coordinator) PlansPublished() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.published
+}
+
+// StableLag returns, for stream s, how many batches the stable VTS trails the
+// newest locally inserted batch across nodes — the stable-VTS lag the
+// observability layer exports per stream.
+func (c *Coordinator) StableLag(s StreamID) tstore.BatchID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var newest tstore.BatchID
+	for n := 0; n < c.nodes; n++ {
+		if c.local[n][s] > newest {
+			newest = c.local[n][s]
+		}
+	}
+	return newest - c.stable[s]
 }
