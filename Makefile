@@ -2,14 +2,15 @@ GO ?= go
 
 # Packages whose concurrency matters most; `make race` keeps them honest.
 RACE_PKGS := ./internal/core/... ./internal/fabric/... ./internal/server/... \
-             ./internal/client/... ./internal/chaos/... ./internal/obs/...
+             ./internal/client/... ./internal/chaos/... ./internal/obs/... \
+             ./internal/flow/... ./internal/stream/... ./internal/soak/...
 
-.PHONY: all ci vet build build-cmds test race smoke bench bench-smoke clean
+.PHONY: all ci vet build build-cmds test race smoke soak soak-short bench bench-smoke bench-overload clean
 
 all: ci
 
 # The full gate: what CI runs, in order.
-ci: vet build build-cmds test race
+ci: vet build build-cmds test race soak-short
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +34,15 @@ race:
 smoke:
 	$(GO) test -short ./...
 
+# Overload/degradation soak (DESIGN.md §10): three-phase pressure run under
+# the race detector, asserting the degradation contract. soak-short is the
+# ci-sized variant.
+soak:
+	$(GO) test -race -count=1 ./internal/soak/...
+
+soak-short:
+	$(GO) test -race -short -count=1 ./internal/soak/...
+
 bench:
 	$(GO) test -bench . -benchtime 20x -run '^$$' .
 
@@ -42,6 +52,11 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/wsbench -exp table2 -runs 3 -latency off -obs-json BENCH_PR2.json
 
+# Overload soak through the wsbench binary: prints the degradation report and
+# writes BENCH_PR4.json (stage latencies + full metric registry).
+bench-overload:
+	$(GO) run ./cmd/wsbench -overload -obs-json BENCH_PR4.json
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_PR2.json
+	rm -f BENCH_PR2.json BENCH_PR4.json

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -36,14 +37,38 @@ func main() {
 		load        = flag.String("load", "", "N-Triples file to preload")
 		ftDir       = flag.String("ft", "", "enable fault tolerance in this directory")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text or ?format=json) and /debug/pprof/ on this address (empty = disabled)")
+
+		// Overload-protection knobs (DESIGN.md §10).
+		emitRate    = flag.Float64("emit-rate", 0, "rate-limit EMIT to this many tuples/second (0 = unlimited)")
+		emitBurst   = flag.Float64("emit-burst", 0, "EMIT token-bucket burst (0 = one second at -emit-rate)")
+		emitWait    = flag.Duration("emit-wait", 0, "how long an EMIT may wait for rate tokens before shedding (0 = shed immediately)")
+		pollMax     = flag.Int("poll-max", 0, "cap rows returned per POLL; the rest stays buffered (0 = unlimited)")
+		maxPending  = flag.Int("max-pending", 0, "per-stream admission buffer bound in tuples (0 = unbounded)")
+		shedPolicy  = flag.String("shed", "drop-newest", "admission shed policy: drop-newest|drop-oldest|block")
+		queryDL     = flag.Duration("query-deadline", 0, "per-one-shot-query execution deadline (0 = none)")
+		cqDL        = flag.Duration("cq-deadline", 0, "per-continuous-query-firing execution deadline (0 = none)")
+		sendRetries = flag.Int("send-retries", 0, "retry budget for transient fabric sends (0 = default 3, negative = none)")
 	)
 	flag.Parse()
 
-	cfg := core.Config{Nodes: *nodes, WorkersPerNode: *workers}
+	shed, err := flow.ParsePolicy(*shedPolicy)
+	if err != nil {
+		log.Fatalf("-shed: %v", err)
+	}
+	cfg := core.Config{
+		Nodes:          *nodes,
+		WorkersPerNode: *workers,
+		Flow: core.FlowConfig{
+			MaxPending:    *maxPending,
+			Shed:          shed,
+			QueryDeadline: *queryDL,
+			CQDeadline:    *cqDL,
+			SendRetries:   *sendRetries,
+		},
+	}
 	ftCfg := core.FTConfig{Dir: *ftDir, CheckpointEveryBatches: 100}
 	var srvp atomic.Pointer[server.Server]
 	var eng *core.Engine
-	var err error
 	if *ftDir != "" {
 		// A directory with prior state means this is a restart: recover the
 		// replayed store, streams, and logged queries instead of starting
@@ -88,6 +113,10 @@ func main() {
 		fmt.Printf("loaded %d triples from %s\n", n, *load)
 	}
 	srv := server.New(eng)
+	srv.EmitRate = *emitRate
+	srv.EmitBurst = *emitBurst
+	srv.EmitWait = *emitWait
+	srv.MaxPollRows = *pollMax
 	srvp.Store(srv)
 	if *metricsAddr != "" {
 		mux := obs.NewHTTPMux(eng.Metrics())

@@ -19,6 +19,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/flow"
 	"repro/internal/rdf"
 	"repro/internal/stream"
 )
@@ -69,6 +71,22 @@ type Config struct {
 	// FaultSeed, when nonzero, installs a fabric FaultPlan with latency
 	// spikes for the whole run — faults that must not change any result.
 	FaultSeed int64
+	// Flow is the engine's overload-protection config, applied identically
+	// to the first life, the recovered life, and the fault-free twin so
+	// admission bounds and breaker settings survive recovery.
+	Flow core.FlowConfig
+	// OverEmitFactor multiplies the scripted density past TuplesPerBatch;
+	// with Flow.MaxPending below the inflated rate, emits shed
+	// deterministically (counted in Report.Shed, never fatal). 0 or 1
+	// means no overload.
+	OverEmitFactor int
+	// FabricCrashAtBatch, when nonzero, crashes fabric node
+	// FabricCrashNode after that batch's boundary — shipments then fail
+	// persistently, the destination's breaker trips, and lost replica
+	// shipments take vts holds until recovery replays them on the fresh
+	// fabric.
+	FabricCrashAtBatch int
+	FabricCrashNode    int
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +118,13 @@ type Report struct {
 	Recovered bool
 	// FailedExecs counts window executions abandoned on injected faults.
 	FailedExecs int64
+	// Shed counts emits refused by admission control (OverEmitFactor runs).
+	Shed int64
+	// BreakerOpenAtKill records whether the crashed destination's circuit
+	// breaker was open at the moment the engine was killed — the combined
+	// fault+overload scenario asserts recovery holds from exactly that
+	// state.
+	BreakerOpenAtKill bool
 }
 
 // Dedup collapses the report to one row set per window boundary. It errors
@@ -145,6 +170,16 @@ func (c *collector) cb(r *core.Result, f core.FireInfo) {
 	c.firings = append(c.firings, fi)
 }
 
+// detach drops the killed life's query handle so firings during recovery
+// queue as pending instead of probing the dead engine's coordinator — which
+// would report windows held at the kill (e.g. behind an open breaker's lost
+// shipments) as never stable.
+func (c *collector) detach() {
+	c.mu.Lock()
+	c.cq = nil
+	c.mu.Unlock()
+}
+
 // attach hands the collector its query handle and resolves pending checks.
 func (c *collector) attach(cq *core.ContinuousQuery) {
 	c.mu.Lock()
@@ -172,46 +207,63 @@ func scriptBatch(seed int64, b, n int) []rdf.Tuple {
 	return out
 }
 
-// installFaults seeds a latency-spike fault plan on the engine's fabric.
-func installFaults(e *core.Engine, seed int64) {
+// installFaults seeds a fault plan on the engine's fabric: latency spikes
+// when spikes is set, otherwise a pass-through plan that exists only so the
+// harness can crash nodes on it. Returns the plan handle.
+func installFaults(e *core.Engine, seed int64, spikes bool) *fabric.FaultPlan {
 	plan := fabric.NewFaultPlan(seed)
-	plan.SetSpike(0.05, 100*time.Microsecond)
+	if spikes {
+		plan.SetSpike(0.05, 100*time.Microsecond)
+	}
 	e.Fabric().SetFaultPlan(plan)
+	return plan
+}
+
+// needsPlan reports whether the run needs a fault-plan handle on the first
+// life's fabric (spikes or a scripted crash).
+func (c Config) needsPlan() bool {
+	return c.FaultSeed != 0 || c.FabricCrashAtBatch > 0
 }
 
 // start builds the first life: engine + FT + stream + query.
-func start(cfg Config, col *collector) (*core.Engine, *stream.Source, error) {
-	e, err := core.New(core.Config{Nodes: cfg.Nodes, WorkersPerNode: 2})
+func start(cfg Config, col *collector) (*core.Engine, *stream.Source, *fabric.FaultPlan, error) {
+	e, err := core.New(core.Config{Nodes: cfg.Nodes, WorkersPerNode: 2, Flow: cfg.Flow})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	if cfg.FaultSeed != 0 {
-		installFaults(e, cfg.FaultSeed)
+	var plan *fabric.FaultPlan
+	if cfg.needsPlan() {
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		plan = installFaults(e, seed, cfg.FaultSeed != 0)
 	}
 	if err := e.EnableFT(core.FTConfig{Dir: cfg.Dir, CheckpointEveryBatches: cfg.CheckpointEvery}); err != nil {
 		e.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	src, err := e.RegisterStream(stream.Config{Name: StreamName, BatchInterval: batchMS * time.Millisecond})
 	if err != nil {
 		e.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	cq, err := e.RegisterContinuous(queryText, col.cb)
 	if err != nil {
 		e.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	col.attach(cq)
-	return e, src, nil
+	return e, src, plan, nil
 }
 
 // recoverEngine builds the second life from the FT directory. Recovered
 // windows re-fire inside core.Recover (at-least-once); the collector's
 // pending machinery covers their prefix checks.
 func recoverEngine(cfg Config, col *collector) (*core.Engine, *stream.Source, error) {
+	col.detach()
 	e, err := core.Recover(
-		core.Config{Nodes: cfg.Nodes, WorkersPerNode: 2},
+		core.Config{Nodes: cfg.Nodes, WorkersPerNode: 2, Flow: cfg.Flow},
 		core.FTConfig{Dir: cfg.Dir, CheckpointEveryBatches: cfg.CheckpointEvery},
 		nil,
 		func(name string) func(*core.Result, core.FireInfo) {
@@ -223,8 +275,10 @@ func recoverEngine(cfg Config, col *collector) (*core.Engine, *stream.Source, er
 	if err != nil {
 		return nil, nil, err
 	}
+	// The recovered life's fabric is fresh and healthy (a crashed node
+	// comes back as part of recovery); only latency spikes carry over.
 	if cfg.FaultSeed != 0 {
-		installFaults(e, cfg.FaultSeed+1)
+		installFaults(e, cfg.FaultSeed+1, true)
 	}
 	for _, cq := range e.ContinuousQueries() {
 		if cq.Name == QueryName {
@@ -245,24 +299,41 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("chaos: Config.Dir is required")
 	}
-	if cfg.TuplesPerBatch >= batchMS-1 {
-		return nil, fmt.Errorf("chaos: TuplesPerBatch must be < %d", batchMS-1)
+	density := cfg.TuplesPerBatch
+	if cfg.OverEmitFactor > 1 {
+		density *= cfg.OverEmitFactor
+	}
+	if density >= batchMS-1 {
+		return nil, fmt.Errorf("chaos: %d tuples per batch must be < %d", density, batchMS-1)
 	}
 	col := &collector{}
 	rep := &Report{}
-	e, src, err := start(cfg, col)
+	e, src, plan, err := start(cfg, col)
 	if err != nil {
 		return nil, err
 	}
 	for b := 1; b <= cfg.Batches; b++ {
-		for _, tu := range scriptBatch(cfg.Seed, b, cfg.TuplesPerBatch) {
-			if err := src.Emit(tu); err != nil {
+		for _, tu := range scriptBatch(cfg.Seed, b, density) {
+			err := src.Emit(tu)
+			switch {
+			case err == nil:
+			case errors.Is(err, flow.ErrShed):
+				// Admission control refusing over-emitted tuples is the
+				// scripted overload working, not a harness failure.
+				rep.Shed++
+			default:
 				e.Close()
 				return nil, err
 			}
 		}
 		e.AdvanceTo(rdf.Timestamp(b * batchMS))
+		if b == cfg.FabricCrashAtBatch && plan != nil {
+			plan.Crash(fabric.NodeID(cfg.FabricCrashNode))
+		}
 		if b == cfg.KillAtBatch {
+			if snd := e.Sender(); snd != nil && cfg.FabricCrashAtBatch > 0 {
+				rep.BreakerOpenAtKill = snd.Breaker(fabric.NodeID(cfg.FabricCrashNode)).State() == flow.Open
+			}
 			e.Kill()
 			e, src, err = recoverEngine(cfg, col)
 			if err != nil {

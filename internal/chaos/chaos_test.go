@@ -130,6 +130,54 @@ func TestChaosDeterminism(t *testing.T) {
 	}
 }
 
+// TestChaosCrashWhileBreakerOpen is the PR 4 combined fault+overload
+// scenario: the stream is over-emitted past its admission bound for the
+// whole run, a fabric node crashes mid-run so the breaker to it trips and
+// its replica shipments take vts holds, and then the engine itself is
+// killed while that breaker is still open. Recovery must hold the full §5
+// contract against a fault-free twin running under the same overload — and
+// admission must shed identically in both runs (overload accounting is
+// part of the deterministic state, not collateral of the crash).
+func TestChaosCrashWhileBreakerOpen(t *testing.T) {
+	cfg := Config{
+		Seed: 19, Nodes: 2, Batches: 8, TuplesPerBatch: 6,
+		OverEmitFactor: 4, // 24 emits per batch against MaxPending 8
+		Flow: core.FlowConfig{
+			MaxPending:       8,
+			BreakerThreshold: 2,
+			BreakerCooldown:  time.Hour, // stays open through the kill
+		},
+		Dir: t.TempDir(),
+	}
+	faultFree, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faultFree.Shed == 0 {
+		t.Fatal("fault-free twin shed nothing; the overload did not bind")
+	}
+	if faultFree.BreakerOpenAtKill {
+		t.Fatal("fault-free twin reports an open breaker")
+	}
+
+	cfg.Dir = t.TempDir()
+	cfg.CheckpointEvery = 3
+	cfg.FabricCrashAtBatch = 4 // last checkpoint (batch 3) precedes the crash
+	cfg.FabricCrashNode = 1
+	cfg.KillAtBatch = 5 // killed with batch-5 shipments held and breaker open
+	faulty, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faulty.BreakerOpenAtKill {
+		t.Fatal("breaker to the crashed node was not open at the kill — the scenario did not exercise the combined state")
+	}
+	if faulty.Shed != faultFree.Shed {
+		t.Errorf("crash changed admission accounting: shed %d vs fault-free %d", faulty.Shed, faultFree.Shed)
+	}
+	checkInvariants(t, faultFree, faulty)
+}
+
 // TestChaosLongerRun exercises a longer script with a late kill; skipped in
 // short mode.
 func TestChaosLongerRun(t *testing.T) {
@@ -187,9 +235,13 @@ func TestCrashedNodeSurfacesErrors(t *testing.T) {
 	}
 }
 
-// TestCrashedNodeFailsContinuousWindowsWithoutPanic: a continuous query
-// whose window data became unreachable counts a failed execution and keeps
-// the engine alive.
+// TestCrashedNodeFailsContinuousWindowsWithoutPanic: fabric crashes around a
+// continuous query never panic the engine. Windows over data that was stable
+// before the crash still fire and fail observably (their remote fetches hit
+// the dead node); data whose replica shipments are lost while the node is
+// down takes vts holds instead — the stable VTS stalls, nothing fires over
+// the incomplete prefix, and firing resumes once the node restarts and the
+// engine re-ships.
 func TestCrashedNodeFailsContinuousWindowsWithoutPanic(t *testing.T) {
 	e, err := core.New(core.Config{Nodes: 2, WorkersPerNode: 2})
 	if err != nil {
@@ -206,31 +258,55 @@ func TestCrashedNodeFailsContinuousWindowsWithoutPanic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, tu := range scriptBatch(5, 1, 20) {
-		if err := src.Emit(tu); err != nil {
-			t.Fatal(err)
+	emit := func(b int) {
+		t.Helper()
+		for _, tu := range scriptBatch(5, b, 20) {
+			if err := src.Emit(tu); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
-	e.AdvanceTo(batchMS) // healthy window
+	emit(1)
+	e.AdvanceTo(batchMS)
+	emit(2)
+	e.AdvanceTo(2 * batchMS) // healthy windows
+	healthy := cq.Stats()
+	if healthy.Executions == 0 || healthy.FailedExecutions != 0 {
+		t.Fatalf("healthy stats = %+v", healthy)
+	}
+
 	plan.Crash(1)
-	for _, tu := range scriptBatch(5, 2, 20) {
-		if err := src.Emit(tu); err != nil {
-			t.Fatal(err)
-		}
-	}
-	e.AdvanceTo(2 * batchMS) // window over unreachable data: must not panic
+	// An empty batch ships nothing, so the stable VTS still advances and the
+	// due window (RANGE 300ms: it covers the healthy batches) fires — and
+	// must fail observably, not panic, when its fetches hit the dead node.
+	e.AdvanceTo(3 * batchMS)
 	st := cq.Stats()
 	if st.FailedExecutions == 0 {
 		t.Errorf("stats = %+v, want a failed execution while node 1 was down", st)
 	}
-	plan.Restart(1)
-	for _, tu := range scriptBatch(5, 3, 20) {
-		if err := src.Emit(tu); err != nil {
-			t.Fatal(err)
-		}
+
+	// A batch with data while the node is down: its replica shipments are
+	// lost and held, the stable VTS stalls, and no window fires over the
+	// incomplete prefix.
+	emit(4)
+	e.AdvanceTo(4 * batchMS)
+	held := cq.Stats()
+	if held.Executions != st.Executions {
+		t.Errorf("fired %d windows over an incomplete replica prefix",
+			held.Executions-st.Executions)
 	}
-	e.AdvanceTo(3 * batchMS)
-	if after := cq.Stats(); after.Executions <= st.Executions {
+	if e.Coordinator().Unshipped(0) == 0 {
+		t.Error("no vts hold for the lost replica shipments")
+	}
+
+	// Restart: the next tick re-ships, clears the holds, and firing resumes.
+	plan.Restart(1)
+	emit(5)
+	e.AdvanceTo(5 * batchMS)
+	if after := cq.Stats(); after.Executions <= held.Executions {
 		t.Errorf("no executions after restart: %+v", after)
+	}
+	if n := e.Coordinator().Unshipped(0); n != 0 {
+		t.Errorf("%d vts holds remain after restart and re-ship", n)
 	}
 }

@@ -41,6 +41,11 @@ type Options struct {
 	MaxBackoff  time.Duration
 	// JitterSeed makes the backoff jitter deterministic when nonzero.
 	JitterSeed int64
+	// OverloadRetries is how many times a request shed by the server's
+	// admission control ("-ERR overload retry-after=...") is retried after
+	// honoring the server's retry-after hint (default 2; negative disables —
+	// the caller gets the typed OverloadError immediately).
+	OverloadRetries int
 }
 
 func (o Options) withDefaults() Options {
@@ -59,6 +64,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxBackoff == 0 {
 		o.MaxBackoff = time.Second
 	}
+	if o.OverloadRetries == 0 {
+		o.OverloadRetries = 2
+	}
 	return o
 }
 
@@ -67,6 +75,46 @@ func (o Options) withDefaults() Options {
 type ServerError struct{ Msg string }
 
 func (e *ServerError) Error() string { return "client: server: " + e.Msg }
+
+// ErrOverload is the base error for requests the server's admission control
+// shed. Callers distinguish "the server is protecting itself" (back off and
+// retry later) from a rejected request with errors.Is(err, ErrOverload).
+var ErrOverload = errors.New("server overloaded")
+
+// OverloadError carries the server's shed response and its backoff hint.
+// Reconnecting would not help (the server is healthy, just saturated), so
+// the client sleeps RetryAfter and retries on the same connection, up to
+// Options.OverloadRetries times, before surfacing this error.
+type OverloadError struct {
+	// RetryAfter is the server's hint: retrying sooner will almost certainly
+	// be shed again.
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("client: %v: retry after %v: %s", ErrOverload, e.RetryAfter, e.Msg)
+}
+
+// Unwrap lets errors.Is(err, ErrOverload) see through the error.
+func (e *OverloadError) Unwrap() error { return ErrOverload }
+
+// overloadPrefix is the machine-readable shed response the server writes.
+const overloadPrefix = "-ERR overload retry-after="
+
+// parseOverload decodes "-ERR overload retry-after=<duration>: <reason>".
+func parseOverload(line string) (*OverloadError, bool) {
+	if !strings.HasPrefix(line, overloadPrefix) {
+		return nil, false
+	}
+	rest := strings.TrimPrefix(line, overloadPrefix)
+	durStr, msg, _ := strings.Cut(rest, ":")
+	d, err := time.ParseDuration(strings.TrimSpace(durStr))
+	if err != nil {
+		return nil, false
+	}
+	return &OverloadError{RetryAfter: d, Msg: strings.TrimSpace(msg)}, true
+}
 
 var errClosed = errors.New("client: connection closed")
 
@@ -138,9 +186,35 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// do runs one request exchange, reconnecting and retrying on connection
-// failures (server "-ERR" responses are not connection failures).
+// do runs one request exchange: overload sheds back off per the server's
+// retry-after hint and retry on the same connection; connection failures
+// reconnect and retry (server "-ERR" responses are neither).
 func (c *Client) do(fn func() error) error {
+	for try := 0; ; try++ {
+		err := c.doConn(fn)
+		var oe *OverloadError
+		if err == nil || !errors.As(err, &oe) {
+			return err
+		}
+		if c.closed || c.opts.OverloadRetries < 0 || try >= c.opts.OverloadRetries {
+			return err
+		}
+		// Honor the hint, jittered upward so synchronized producers do not
+		// all retry at the same instant, capped at MaxBackoff.
+		d := oe.RetryAfter
+		if d <= 0 {
+			d = c.opts.BaseBackoff
+		}
+		if d > c.opts.MaxBackoff {
+			d = c.opts.MaxBackoff
+		}
+		time.Sleep(d + time.Duration(c.rng.Int63n(int64(d/4)+1)))
+	}
+}
+
+// doConn runs one request exchange, reconnecting and retrying on connection
+// failures.
+func (c *Client) doConn(fn func() error) error {
 	err := c.attempt(fn)
 	if err == nil || !c.retryable(err) {
 		return err
@@ -173,6 +247,12 @@ func (c *Client) applyDeadline() {
 
 func (c *Client) retryable(err error) bool {
 	if c.closed || c.opts.MaxRetries < 0 {
+		return false
+	}
+	// A shed request reached a healthy server: reconnecting would not help.
+	// do's outer loop handles the backoff instead.
+	var oe *OverloadError
+	if errors.As(err, &oe) {
 		return false
 	}
 	var se *ServerError
@@ -258,6 +338,9 @@ func (c *Client) status() (string, error) {
 		return "", errClosed
 	}
 	line := c.r.Text()
+	if oe, ok := parseOverload(line); ok {
+		return "", oe
+	}
 	if strings.HasPrefix(line, "-ERR ") {
 		return "", &ServerError{Msg: strings.TrimPrefix(line, "-ERR ")}
 	}

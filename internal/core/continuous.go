@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -54,6 +55,11 @@ type CQStats struct {
 	// FailedExecutions counts window firings abandoned because an injected
 	// fabric fault made their data unreachable mid-execution.
 	FailedExecutions int64
+	// DeadlineExceeded counts window firings abandoned because they ran past
+	// the engine's Flow.CQDeadline. The window is not delivered; the step
+	// scheduler moves on (shedding work under overload rather than queueing
+	// ever-later firings).
+	DeadlineExceeded int64
 	TotalRows        int64
 	MedianLat        time.Duration
 	P99Lat           time.Duration
@@ -78,6 +84,7 @@ type ContinuousQuery struct {
 	planTick    int64 // engine tick the plan was compiled at
 	execs       int64
 	failedExecs int64
+	deadlineEx  int64
 	totalRows   int64
 	lats        []time.Duration
 	waitSince   time.Time // wall time a due firing first found its windows unstable
@@ -289,6 +296,12 @@ func (cq *ContinuousQuery) ReadyAt(at rdf.Timestamp) bool {
 func (cq *ContinuousQuery) execute(at rdf.Timestamp) {
 	e := cq.engine
 	emitted := e.obs.Span("cq_trigger_to_emit") // trigger → emit, incl. planning
+	ctx := context.Background()
+	if dl := e.cfg.Flow.CQDeadline; dl > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, dl)
+		defer cancel()
+	}
 	p := cq.replan()
 	prov := e.providerFor(cq.query, at)
 	mode := e.modeFor(p)
@@ -299,9 +312,20 @@ func (cq *ContinuousQuery) execute(at rdf.Timestamp) {
 		Resolver:         e.ss,
 		ForkThreshold:    e.cfg.ForkThreshold,
 		SimulateParallel: true,
+		Ctx:              ctx,
 	}, p)
 	lat := trace.Total
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// The firing ran past its deadline: shed it. The window is NOT
+			// delivered (no callback); under sustained overload the step
+			// scheduler keeps moving instead of queueing ever-later firings.
+			cq.mu.Lock()
+			cq.deadlineEx++
+			cq.mu.Unlock()
+			e.cCQDL.Inc()
+			return
+		}
 		if errors.Is(err, fabric.ErrInjected) {
 			// An injected network fault made window data unreachable. The
 			// window is NOT delivered (a partial answer would be wrong);
@@ -388,7 +412,12 @@ func (cq *ContinuousQuery) ExecuteNowTraced() (*Result, *exec.Trace, error) {
 func (cq *ContinuousQuery) Stats() CQStats {
 	cq.mu.Lock()
 	defer cq.mu.Unlock()
-	st := CQStats{Executions: cq.execs, FailedExecutions: cq.failedExecs, TotalRows: cq.totalRows}
+	st := CQStats{
+		Executions:       cq.execs,
+		FailedExecutions: cq.failedExecs,
+		DeadlineExceeded: cq.deadlineEx,
+		TotalRows:        cq.totalRows,
+	}
 	if len(cq.lats) == 0 {
 		return st
 	}

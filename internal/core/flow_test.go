@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/obs"
+	"repro/internal/rdf"
+	"repro/internal/stream"
+)
+
+// flowTestQuery is a 1-batch-window continuous query over the flow tests'
+// scripted stream (its registration also makes the query's home node an
+// index replica, so injections ship replica updates across the fabric).
+const flowTestQuery = `
+REGISTER QUERY QF AS
+SELECT ?X ?Y FROM F [RANGE 100ms STEP 100ms]
+WHERE { GRAPH F { ?X po ?Y } }`
+
+// flowTestTuples builds batch b's tuples for the scripted stream F.
+func flowTestTuples(b int) []rdf.Tuple {
+	base := rdf.Timestamp((b - 1) * 100)
+	out := make([]rdf.Tuple, 0, 8)
+	for i := 0; i < 8; i++ {
+		out = append(out, rdf.Tuple{
+			Triple: rdf.T(
+				string(rune('a'+i))+"s",
+				"po",
+				string(rune('a'+i))+"o",
+			),
+			TS: base + rdf.Timestamp(i),
+		})
+	}
+	return out
+}
+
+// TestLostReplicaShipmentHoldsStableVTS is the PR 4 satellite-1 regression
+// test: a dropped index-replica shipment must mark the stream's VTS so the
+// stable timestamps never advance past un-shipped data — the pre-fix code
+// counted the drop and advanced anyway, silently serving remote readers from
+// an incomplete replica. Once the path heals, the engine re-ships, clears
+// the hold, and the stable VTS catches up.
+func TestLostReplicaShipmentHoldsStableVTS(t *testing.T) {
+	e, err := New(Config{
+		Nodes:   2,
+		Metrics: obs.NewRegistry("test"),
+		// No transient-fault retries and an instant breaker cooldown: every
+		// injected drop is a hard loss, and the healed path is probed on the
+		// first re-ship attempt.
+		Flow: FlowConfig{SendRetries: -1, BreakerCooldown: time.Nanosecond, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	plan := fabric.NewFaultPlan(3)
+	e.Fabric().SetFaultPlan(plan)
+
+	src, err := e.RegisterStream(stream.Config{Name: "F", BatchInterval: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired atomic.Int64
+	cq, err := e.RegisterContinuous(flowTestQuery, func(r *Result, f FireInfo) { fired.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cq
+
+	// Batch 1 injects healthily: replica shipments land, stable advances.
+	for _, tu := range flowTestTuples(1) {
+		if err := src.Emit(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.AdvanceTo(100)
+	if got := e.Coordinator().StableVTS()[0]; got != 1 {
+		t.Fatalf("healthy stable VTS = %d, want 1", got)
+	}
+	firedHealthy := fired.Load()
+
+	// Batch 2 injects with every one-way message dropped: the replica
+	// shipment is lost, the stream takes a vts hold, and the stable VTS must
+	// NOT advance to batch 2 even though every node reported its insertion.
+	plan.SetDrop(1.0)
+	for _, tu := range flowTestTuples(2) {
+		if err := src.Emit(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.AdvanceTo(200)
+	if got := e.Coordinator().StableVTS()[0]; got != 1 {
+		t.Fatalf("stable VTS advanced to %d past un-shipped replica data", got)
+	}
+	if e.Coordinator().Unshipped(0) == 0 {
+		t.Fatal("dropped replica shipment took no vts hold")
+	}
+	if fired.Load() != firedHealthy {
+		t.Fatalf("continuous query fired over the un-shipped batch (%d firings)", fired.Load()-firedHealthy)
+	}
+
+	// Heal. The next tick re-ships the lost replica update, clears the hold,
+	// and the stable VTS catches up through the held batch; the stalled
+	// window firings are delivered.
+	plan.SetDrop(0)
+	for _, tu := range flowTestTuples(3) {
+		if err := src.Emit(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.AdvanceTo(300)
+	if got := e.Coordinator().StableVTS()[0]; got < 2 {
+		t.Fatalf("stable VTS = %d after heal, want >= 2", got)
+	}
+	if n := e.Coordinator().Unshipped(0); n != 0 {
+		t.Fatalf("%d vts holds remain after re-ship", n)
+	}
+	if fired.Load() <= firedHealthy {
+		t.Fatal("continuous query did not resume after the re-ship")
+	}
+}

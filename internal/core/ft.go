@@ -509,7 +509,10 @@ func replayBatchLog(e *Engine, sources map[string]*stream.Source, path string) (
 	remaining := 0
 	flush := func() error {
 		for _, tu := range pending {
-			if err := cur.Emit(tu); err != nil {
+			// Replay bypasses admission control: every logged tuple was
+			// admitted before the crash, and shedding it here would lose
+			// durable data.
+			if err := cur.EmitReplayed(tu); err != nil {
 				return err
 			}
 		}

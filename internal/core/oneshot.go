@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -17,6 +19,14 @@ import (
 // queries as read-only transactions and stream insertion as append-only
 // transactions, which never conflict).
 func (e *Engine) Query(text string) (*Result, error) {
+	return e.QueryCtx(context.Background(), text)
+}
+
+// QueryCtx is Query bounded by a context: a deadline or cancellation aborts
+// the execution between plan steps (and inside row loops) and returns the
+// context's error. With no context deadline, the engine's Flow.QueryDeadline
+// applies.
+func (e *Engine) QueryCtx(ctx context.Context, text string) (*Result, error) {
 	q, err := sparql.Parse(text)
 	if err != nil {
 		return nil, err
@@ -24,19 +34,31 @@ func (e *Engine) Query(text string) (*Result, error) {
 	if q.Continuous {
 		return nil, fmt.Errorf("core: continuous queries must be registered, not executed one-shot")
 	}
-	return e.executeOneShot(q)
+	return e.executeOneShot(ctx, q)
 }
 
 // QueryParsed is Query for a pre-parsed query (benchmark hot path: clients
 // parse once and submit many times).
 func (e *Engine) QueryParsed(q *sparql.Query) (*Result, error) {
+	return e.QueryParsedCtx(context.Background(), q)
+}
+
+// QueryParsedCtx is QueryParsed bounded by a context (see QueryCtx).
+func (e *Engine) QueryParsedCtx(ctx context.Context, q *sparql.Query) (*Result, error) {
 	if q.Continuous {
 		return nil, fmt.Errorf("core: continuous queries must be registered, not executed one-shot")
 	}
-	return e.executeOneShot(q)
+	return e.executeOneShot(ctx, q)
 }
 
-func (e *Engine) executeOneShot(q *sparql.Query) (*Result, error) {
+func (e *Engine) executeOneShot(ctx context.Context, q *sparql.Query) (*Result, error) {
+	if dl := e.cfg.Flow.QueryDeadline; dl > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, dl)
+			defer cancel()
+		}
+	}
 	p, err := plan.Compile(q, e.ss, e.statsFor(q))
 	if err != nil {
 		return nil, err
@@ -52,8 +74,12 @@ func (e *Engine) executeOneShot(q *sparql.Query) (*Result, error) {
 		Resolver:         e.ss,
 		ForkThreshold:    e.cfg.ForkThreshold,
 		SimulateParallel: true,
+		Ctx:              ctx,
 	}, p)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			e.cOneshotDL.Inc()
+		}
 		return nil, err
 	}
 	e.hOneshot.Observe(trace.Total)

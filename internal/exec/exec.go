@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,12 @@ type Request struct {
 	Mode     Mode
 	Access   Provider
 	Resolver TermResolver
+	// Ctx, when non-nil, bounds the execution: deadlines and cancellations
+	// are polled between steps and inside row loops, so an overloaded engine
+	// can abandon a query instead of holding a worker indefinitely. The
+	// execution returns the context's error (context.DeadlineExceeded or
+	// context.Canceled).
+	Ctx context.Context
 	// ForkThreshold is the minimum table size that triggers scatter/gather
 	// in ForkJoin mode (default 32).
 	ForkThreshold int
@@ -74,6 +81,19 @@ type Trace struct {
 	Wall time.Duration
 }
 
+// ctxStride is how many rows a traversal processes between context polls:
+// frequent enough that a deadline cuts a runaway expansion off quickly, rare
+// enough that the check is free on the sub-millisecond fast path.
+const ctxStride = 1024
+
+// ctxErr returns the request context's error, if any.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // Executor runs compiled plans on a cluster.
 type Executor struct {
 	cluster *fabric.Cluster
@@ -103,6 +123,9 @@ func (ex *Executor) Execute(req Request, p *plan.Plan) (*ResultSet, *Trace, erro
 	}
 	tbl := &Table{Rows: [][]rdf.ID{{}}} // one empty row: the unit seed
 	for _, st := range p.Steps {
+		if err := ctxErr(req.Ctx); err != nil {
+			return nil, trace, err
+		}
 		stepStart := time.Now()
 		var err error
 		tbl, err = ex.applyStep(req, st, tbl)
@@ -123,6 +146,9 @@ func (ex *Executor) Execute(req Request, p *plan.Plan) (*ResultSet, *Trace, erro
 		}
 	}
 	for _, og := range p.Optionals {
+		if err := ctxErr(req.Ctx); err != nil {
+			return nil, trace, err
+		}
 		var err error
 		tbl, err = ex.applyOptional(req, og, tbl)
 		if err != nil {
@@ -154,6 +180,9 @@ func (ex *Executor) executeUnion(req Request, p *plan.Plan, start time.Time, tra
 		seen = make(map[string]bool)
 	}
 	for _, bp := range p.Unions {
+		if err := ctxErr(req.Ctx); err != nil {
+			return nil, trace, err
+		}
 		rs, btr, err := ex.Execute(req, bp)
 		if err != nil {
 			return nil, trace, err
@@ -260,6 +289,9 @@ func (ex *Executor) ApplySteps(req Request, steps []plan.Step, tbl *Table) (*Tab
 		req.ForkThreshold = 32
 	}
 	for _, st := range steps {
+		if err := ctxErr(req.Ctx); err != nil {
+			return nil, err
+		}
 		var err error
 		tbl, err = ex.applyStep(req, st, tbl)
 		if err != nil {
@@ -459,13 +491,13 @@ func (ex *Executor) applyTraversal(req Request, acc Access, st plan.Step, tbl *T
 	if req.Mode == ForkJoin && len(tbl.Rows) >= req.ForkThreshold && st.From.IsVar() {
 		return ex.forkJoinTraversal(req, acc, st, tbl)
 	}
-	return traverse(acc, req.Node, st, tbl)
+	return traverse(req.Ctx, acc, req.Node, st, tbl)
 }
 
 // traverse applies an Expand/Check step to the whole table on one node.
-func traverse(acc Access, node fabric.NodeID, st plan.Step, tbl *Table) (*Table, error) {
+func traverse(ctx context.Context, acc Access, node fabric.NodeID, st plan.Step, tbl *Table) (*Table, error) {
 	if st.PVar != "" {
-		return traverseVarPred(acc, node, st, tbl)
+		return traverseVarPred(ctx, acc, node, st, tbl)
 	}
 	fromCol := -1
 	if st.From.IsVar() {
@@ -484,7 +516,12 @@ func traverse(acc Access, node fabric.NodeID, st plan.Step, tbl *Table) (*Table,
 	if newVar {
 		out.Vars = append(append([]string(nil), tbl.Vars...), st.To.Var)
 	}
-	for _, row := range tbl.Rows {
+	for i, row := range tbl.Rows {
+		if i%ctxStride == ctxStride-1 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		from := st.From.Const
 		if fromCol >= 0 {
 			from = row[fromCol]
@@ -521,7 +558,7 @@ func traverse(acc Access, node fabric.NodeID, st plan.Step, tbl *Table) (*Table,
 // the origin's predicate index ([vid|0|dir], Wukong's per-vertex predicate
 // list), then expands each predicate, binding the predicate variable to a
 // tagged predicate ID.
-func traverseVarPred(acc Access, node fabric.NodeID, st plan.Step, tbl *Table) (*Table, error) {
+func traverseVarPred(ctx context.Context, acc Access, node fabric.NodeID, st plan.Step, tbl *Table) (*Table, error) {
 	fromCol := -1
 	if st.From.IsVar() {
 		fromCol = tbl.Col(st.From.Var)
@@ -548,7 +585,12 @@ func traverseVarPred(acc Access, node fabric.NodeID, st plan.Step, tbl *Table) (
 		outToCol = len(out.Vars)
 		out.Vars = append(out.Vars, st.To.Var)
 	}
-	for _, row := range tbl.Rows {
+	for i, row := range tbl.Rows {
+		if i%ctxStride == ctxStride-1 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		from := st.From.Const
 		if fromCol >= 0 {
 			from = row[fromCol]
@@ -622,7 +664,7 @@ func (ex *Executor) forkJoinTraversal(req Request, acc Access, st plan.Step, tbl
 		func(i int) bool { return len(parts[i].Rows) > 0 },
 		func(i int) {
 			n := fabric.NodeID(i)
-			res, err := traverse(acc, n, st, parts[n])
+			res, err := traverse(req.Ctx, acc, n, st, parts[n])
 			results[n], errs[n] = res, err
 			// Scatter (rows out) and gather (rows back) messages.
 			if err == nil {

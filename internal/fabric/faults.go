@@ -66,6 +66,15 @@ func (e *FaultError) Error() string {
 // Unwrap lets errors.Is(err, ErrInjected) see through a FaultError.
 func (e *FaultError) Unwrap() error { return ErrInjected }
 
+// Transient reports whether err is a retryable injected fault: a
+// probabilistic one-way message drop, where resending re-draws the loss
+// decision. Crash and partition faults are persistent — retrying against
+// them burns work until the topology changes — and report false.
+func Transient(err error) bool {
+	var fe *FaultError
+	return errors.As(err, &fe) && fe.Kind == FaultDropped
+}
+
 // FaultStats counts injected faults by kind plus latency spikes.
 type FaultStats struct {
 	NodeDown    int64

@@ -1,0 +1,155 @@
+package flow
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's state.
+type BreakerState int
+
+const (
+	// Closed: the path is healthy; operations proceed.
+	Closed BreakerState = iota
+	// Open: the path failed persistently; operations fail fast until the
+	// cooldown elapses.
+	Open
+	// HalfOpen: the cooldown elapsed and one probe operation is in flight;
+	// its outcome closes or re-opens the breaker.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker: Threshold persistent
+// failures trip it Open; after Cooldown one probe is admitted (HalfOpen);
+// the probe's success closes it, its failure re-opens it for another
+// cooldown. A nil *Breaker admits everything. Safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    BreakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+
+	opens int64 // times tripped open
+}
+
+// NewBreaker creates a breaker that trips after threshold consecutive
+// failures (minimum 1) and probes again after cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 50 * time.Millisecond
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock replaces the breaker's time source (tests).
+func (b *Breaker) SetClock(now func() time.Time) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
+// Allow reports whether an operation may proceed. In Open state it flips to
+// HalfOpen once the cooldown elapses, admitting exactly one probe; further
+// calls fail fast until the probe resolves via Success or Failure.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = HalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	default: // HalfOpen
+		if !b.probing {
+			b.probing = true
+			return true
+		}
+		return false
+	}
+}
+
+// Success records a successful operation, closing the breaker.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure records a persistent failure, tripping the breaker when the
+// consecutive-failure threshold is reached (immediately in HalfOpen).
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == HalfOpen || b.fails >= b.threshold {
+		if b.state != Open {
+			b.opens++
+		}
+		b.state = Open
+		b.openedAt = b.now()
+		b.probing = false
+		b.fails = 0
+	}
+}
+
+// State returns the breaker's current state (Closed for nil). Open flips to
+// HalfOpen lazily in Allow, so State may report Open after the cooldown.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped open.
+func (b *Breaker) Opens() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

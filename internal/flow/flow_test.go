@@ -1,0 +1,327 @@
+package flow
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/obs"
+)
+
+// fakeClock is a manually advanced time source whose sleep advances it.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(0, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{"": DropNewest, "drop-newest": DropNewest, "drop-oldest": DropOldest, "block": Block} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("ParsePolicy(bogus) succeeded")
+	}
+}
+
+func TestShedErrorUnwraps(t *testing.T) {
+	err := Shed("test queue", 5*time.Millisecond)
+	if !errors.Is(err, ErrShed) {
+		t.Fatal("ShedError does not unwrap to ErrShed")
+	}
+	var se *ShedError
+	if !errors.As(err, &se) || se.RetryAfter != 5*time.Millisecond {
+		t.Fatalf("ShedError lost its hint: %v", err)
+	}
+}
+
+func TestLimiterTokenBucket(t *testing.T) {
+	var nl *Limiter
+	if !nl.Allow(100) || nl.RetryAfter(1) != 0 || !nl.WaitMax(1, time.Second) {
+		t.Fatal("nil limiter must admit everything")
+	}
+	if NewLimiter(0, 10) != nil {
+		t.Fatal("rate <= 0 must return the nil (unlimited) limiter")
+	}
+
+	clk := newFakeClock()
+	l := NewLimiter(10, 5) // 10 tokens/s, burst 5
+	l.SetClock(clk.now, func(d time.Duration) { clk.advance(d) })
+
+	for i := 0; i < 5; i++ {
+		if !l.Allow(1) {
+			t.Fatalf("burst admit %d refused", i)
+		}
+	}
+	if l.Allow(1) {
+		t.Fatal("admitted past burst without refill")
+	}
+	if ra := l.RetryAfter(1); ra <= 0 || ra > 100*time.Millisecond {
+		t.Fatalf("RetryAfter(1) = %v; want (0, 100ms]", ra)
+	}
+	clk.advance(100 * time.Millisecond) // refills exactly 1 token
+	if !l.Allow(1) {
+		t.Fatal("refilled token refused")
+	}
+	adm, rej := l.Stats()
+	if adm != 6 || rej != 1 {
+		t.Fatalf("stats = (%d, %d); want (6, 1)", adm, rej)
+	}
+
+	// WaitMax with the fake sleep advancing the clock: the wait succeeds.
+	if !l.WaitMax(2, time.Second) {
+		t.Fatal("WaitMax(2, 1s) should succeed after sleeping for refill")
+	}
+	// An impossible wait (needs 500ms of refill, only 10ms allowed) sheds.
+	if l.WaitMax(5, 10*time.Millisecond) {
+		t.Fatal("WaitMax beyond the deadline should refuse")
+	}
+}
+
+func TestQueueDropNewest(t *testing.T) {
+	q := NewQueue[int](2, DropNewest)
+	if err := q.Push(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := q.Push(3, 0)
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("full push = %v; want ErrShed", err)
+	}
+	if v, ok := q.Pop(); !ok || v != 1 {
+		t.Fatalf("Pop = %d, %v; want 1", v, ok)
+	}
+	st := q.Stats()
+	if st.Admitted() != 2 || st.ShedNewest() != 1 || st.Watermark() != 2 {
+		t.Fatalf("stats admitted=%d shedNewest=%d watermark=%d", st.Admitted(), st.ShedNewest(), st.Watermark())
+	}
+}
+
+func TestQueueDropOldest(t *testing.T) {
+	q := NewQueue[int](2, DropOldest)
+	for i := 1; i <= 3; i++ {
+		if err := q.Push(i, 0); err != nil {
+			t.Fatalf("Push(%d) = %v", i, err)
+		}
+	}
+	if v, _ := q.Pop(); v != 2 {
+		t.Fatalf("head = %d; want 2 (1 evicted)", v)
+	}
+	if v, _ := q.Pop(); v != 3 {
+		t.Fatalf("second = %d; want 3", v)
+	}
+	if q.Stats().ShedOldest() != 1 {
+		t.Fatalf("shedOldest = %d; want 1", q.Stats().ShedOldest())
+	}
+}
+
+func TestQueueBlock(t *testing.T) {
+	q := NewQueue[int](1, Block)
+	if err := q.Push(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// No wait budget: sheds immediately.
+	if err := q.Push(2, 0); !errors.Is(err, ErrShed) {
+		t.Fatalf("blocked push with no budget = %v; want ErrShed", err)
+	}
+	// Tiny wait budget with no consumer: times out into a shed.
+	if err := q.Push(2, time.Millisecond); !errors.Is(err, ErrShed) {
+		t.Fatalf("timed-out push = %v; want ErrShed", err)
+	}
+	if q.Stats().Timeouts() != 1 {
+		t.Fatalf("timeouts = %d; want 1", q.Stats().Timeouts())
+	}
+	// With a consumer draining, the blocked push succeeds.
+	done := make(chan error, 1)
+	go func() { done <- q.Push(3, time.Second) }()
+	time.Sleep(5 * time.Millisecond)
+	if v, ok := q.Pop(); !ok || v != 1 {
+		t.Fatalf("Pop = %d, %v; want 1", v, ok)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("blocked push after drain = %v; want nil", err)
+	}
+	if v, ok := q.PopWait(time.Second); !ok || v != 3 {
+		t.Fatalf("PopWait = %d, %v; want 3", v, ok)
+	}
+}
+
+func TestQueueStatsInstrument(t *testing.T) {
+	r := obs.NewRegistry("test")
+	q := NewQueue[int](4, DropNewest)
+	q.Stats().Instrument(r, "test")
+	_ = q.Push(1, 0)
+	got := make(map[string]int64)
+	r.Each(func(name string, m obs.Metric) {
+		if v, ok := m.(interface{ Value() int64 }); ok {
+			got[name] = v.Value()
+		}
+	})
+	want := map[string]int64{
+		obs.Name("flow_queue_capacity", "queue", "test"):       4,
+		obs.Name("flow_queue_depth", "queue", "test"):          1,
+		obs.Name("flow_queue_admitted_total", "queue", "test"): 1,
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Fatalf("gauge %s = %d; want %d", name, got[name], v)
+		}
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	var nb *Breaker
+	if !nb.Allow() || nb.State() != Closed {
+		t.Fatal("nil breaker must admit everything")
+	}
+
+	clk := newFakeClock()
+	b := NewBreaker(2, 50*time.Millisecond)
+	b.SetClock(clk.now)
+
+	if !b.Allow() {
+		t.Fatal("closed breaker refused")
+	}
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("tripped below threshold")
+	}
+	b.Failure() // second consecutive failure: trips
+	if b.State() != Open || b.Opens() != 1 {
+		t.Fatalf("state = %v opens = %d; want open/1", b.State(), b.Opens())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	clk.advance(60 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the probe after cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("breaker admitted a second concurrent probe")
+	}
+	b.Failure() // probe fails: re-open immediately
+	if b.State() != Open || b.Opens() != 2 {
+		t.Fatalf("after failed probe: state = %v opens = %d", b.State(), b.Opens())
+	}
+	clk.advance(60 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Success()
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	// A success also resets the consecutive-failure count.
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("single failure after reset tripped the breaker")
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	drop := &fabric.FaultError{Kind: fabric.FaultDropped, Op: "send"}
+	down := &fabric.FaultError{Kind: fabric.FaultNodeDown, Op: "send"}
+	part := &fabric.FaultError{Kind: fabric.FaultPartitioned, Op: "send"}
+	if !fabric.Transient(drop) {
+		t.Fatal("dropped message should be transient")
+	}
+	if fabric.Transient(down) || fabric.Transient(part) || fabric.Transient(errors.New("other")) {
+		t.Fatal("crash/partition/other errors must not be transient")
+	}
+}
+
+func TestSenderRecoversTransientDrops(t *testing.T) {
+	fab := fabric.New(fabric.Config{Nodes: 2, Latency: fabric.DefaultLatency()})
+	plan := fabric.NewFaultPlan(7)
+	plan.SetDrop(0.3)
+	fab.SetFaultPlan(plan)
+
+	s := NewSender(fab, SenderConfig{Retries: 12, RetryBase: time.Microsecond, RetryCap: 10 * time.Microsecond, Seed: 11}, nil)
+	const sends = 200
+	for i := 0; i < sends; i++ {
+		if err := s.Send(0, 1, 64); err != nil {
+			t.Fatalf("send %d failed despite retry budget: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Sent != sends || st.Failed != 0 {
+		t.Fatalf("stats = %+v; want all %d sent", st, sends)
+	}
+	if st.Recovered == 0 || st.Retries == 0 {
+		t.Fatalf("stats = %+v; expected retries to have recovered drops", st)
+	}
+	if s.Breaker(1).State() != Closed {
+		t.Fatal("breaker tripped on transient drops")
+	}
+	// Local delivery never touches the fabric.
+	if err := s.Send(0, 0, 64); err != nil {
+		t.Fatalf("local send = %v", err)
+	}
+}
+
+func TestSenderBreakerFastFailsAndRecovers(t *testing.T) {
+	fab := fabric.New(fabric.Config{Nodes: 2, Latency: fabric.DefaultLatency()})
+	plan := fabric.NewFaultPlan(1)
+	fab.SetFaultPlan(plan)
+	s := NewSender(fab, SenderConfig{Retries: 3, BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond, Seed: 1}, obs.NewRegistry("test"))
+	clk := newFakeClock()
+	s.Breaker(1).SetClock(clk.now)
+
+	plan.Crash(1)
+	for i := 0; i < 2; i++ {
+		err := s.Send(0, 1, 64)
+		if !errors.Is(err, fabric.ErrInjected) {
+			t.Fatalf("send to crashed node = %v; want injected fault", err)
+		}
+	}
+	// Persistent faults must not burn the retry budget.
+	if st := s.Stats(); st.Retries != 0 || st.Failed != 2 {
+		t.Fatalf("stats after crashes = %+v; want 0 retries, 2 failed", st)
+	}
+	if s.Breaker(1).State() != Open {
+		t.Fatal("breaker did not trip after threshold persistent failures")
+	}
+	err := s.Send(0, 1, 64)
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("send with open breaker = %v; want ErrBreakerOpen", err)
+	}
+	var boe *BreakerOpenError
+	if !errors.As(err, &boe) || boe.To != 1 {
+		t.Fatalf("breaker error lost its destination: %v", err)
+	}
+	if st := s.Stats(); st.FastFails != 1 {
+		t.Fatalf("fastFails = %d; want 1", st.FastFails)
+	}
+
+	// Node restarts; after the cooldown the half-open probe succeeds and the
+	// breaker closes.
+	plan.Restart(1)
+	clk.advance(60 * time.Millisecond)
+	if err := s.Send(0, 1, 64); err != nil {
+		t.Fatalf("probe send after restart = %v", err)
+	}
+	if s.Breaker(1).State() != Closed {
+		t.Fatal("breaker did not close after successful probe")
+	}
+}

@@ -1,0 +1,148 @@
+package flow
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a token-bucket rate limiter: capacity `burst` tokens, refilled
+// at `rate` tokens per second. A nil *Limiter admits everything (rate
+// limiting disabled). All methods are safe for concurrent use.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+	sleep  func(time.Duration)
+
+	admitted int64
+	rejected int64
+}
+
+// NewLimiter creates a token-bucket limiter. rate <= 0 returns nil (the
+// unlimited limiter); burst <= 0 defaults to rate (a one-second bucket).
+func NewLimiter(rate, burst float64) *Limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = rate
+	}
+	l := &Limiter{rate: rate, burst: burst, tokens: burst, now: time.Now, sleep: time.Sleep}
+	l.last = l.now()
+	return l
+}
+
+// SetClock replaces the limiter's time source and sleep function (tests).
+// Pass nil to keep the current value.
+func (l *Limiter) SetClock(now func() time.Time, sleep func(time.Duration)) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if now != nil {
+		l.last = now()
+		l.now = now
+	}
+	if sleep != nil {
+		l.sleep = sleep
+	}
+}
+
+// refillLocked credits tokens for the time elapsed since the last refill.
+func (l *Limiter) refillLocked() {
+	now := l.now()
+	if dt := now.Sub(l.last).Seconds(); dt > 0 {
+		l.tokens += dt * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = now
+}
+
+// Allow takes n tokens if available, reporting whether it did. A nil limiter
+// always allows.
+func (l *Limiter) Allow(n float64) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked()
+	if l.tokens >= n {
+		l.tokens -= n
+		l.admitted++
+		return true
+	}
+	l.rejected++
+	return false
+}
+
+// RetryAfter returns how long until n tokens will be available (0 when they
+// already are). It does not take tokens.
+func (l *Limiter) RetryAfter(n float64) time.Duration {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked()
+	if l.tokens >= n {
+		return 0
+	}
+	need := n - l.tokens
+	return time.Duration(need / l.rate * float64(time.Second))
+}
+
+// WaitMax blocks until n tokens are taken or `max` has elapsed, reporting
+// whether admission succeeded (the Block policy's primitive: overload becomes
+// latency before it becomes loss). max <= 0 degenerates to Allow.
+func (l *Limiter) WaitMax(n float64, max time.Duration) bool {
+	if l == nil {
+		return true
+	}
+	if max <= 0 {
+		return l.Allow(n)
+	}
+	deadline := l.nowf()().Add(max)
+	for {
+		if l.Allow(n) {
+			return true
+		}
+		wait := l.RetryAfter(n)
+		remaining := deadline.Sub(l.nowf()())
+		if remaining <= 0 || wait > remaining {
+			return false
+		}
+		if wait <= 0 {
+			wait = time.Millisecond
+		}
+		l.sleepf()(wait)
+	}
+}
+
+func (l *Limiter) nowf() func() time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.now
+}
+
+func (l *Limiter) sleepf() func(time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sleep
+}
+
+// Stats returns the admitted/rejected decision counts (0, 0 for nil).
+func (l *Limiter) Stats() (admitted, rejected int64) {
+	if l == nil {
+		return 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.admitted, l.rejected
+}

@@ -1,0 +1,264 @@
+package flow
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// QueueStats is the shared accounting every bounded admission point reports
+// through: depth, high-watermark, and per-policy shed counts. It exists as a
+// standalone type so components with bespoke buffers (the stream adaptor's
+// pending buffer, the server's poll buffers) surface the same series as
+// flow.Queue without adopting its storage. All methods are nil-safe.
+type QueueStats struct {
+	capacity   int64
+	depth      atomic.Int64
+	watermark  atomic.Int64
+	admitted   atomic.Int64
+	shedNewest atomic.Int64
+	shedOldest atomic.Int64
+	timeouts   atomic.Int64 // Block-policy waits that expired
+}
+
+// NewQueueStats creates accounting for a queue bounded at capacity.
+func NewQueueStats(capacity int) *QueueStats {
+	return &QueueStats{capacity: int64(capacity)}
+}
+
+// Observe records the queue's current depth, raising the high-watermark.
+func (s *QueueStats) Observe(depth int) {
+	if s == nil {
+		return
+	}
+	d := int64(depth)
+	s.depth.Store(d)
+	for {
+		w := s.watermark.Load()
+		if d <= w || s.watermark.CompareAndSwap(w, d) {
+			return
+		}
+	}
+}
+
+// OnAdmit counts one admitted item.
+func (s *QueueStats) OnAdmit() {
+	if s != nil {
+		s.admitted.Add(1)
+	}
+}
+
+// OnShedNewest counts one incoming item rejected.
+func (s *QueueStats) OnShedNewest() {
+	if s != nil {
+		s.shedNewest.Add(1)
+	}
+}
+
+// OnShedOldest counts one queued item evicted for a newer one.
+func (s *QueueStats) OnShedOldest() {
+	if s != nil {
+		s.shedOldest.Add(1)
+	}
+}
+
+// OnTimeout counts one Block-policy wait that expired into a shed.
+func (s *QueueStats) OnTimeout() {
+	if s != nil {
+		s.timeouts.Add(1)
+	}
+}
+
+// Capacity returns the configured bound (0 for nil).
+func (s *QueueStats) Capacity() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.capacity
+}
+
+// Depth returns the last observed depth.
+func (s *QueueStats) Depth() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.depth.Load()
+}
+
+// Watermark returns the highest depth ever observed.
+func (s *QueueStats) Watermark() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.watermark.Load()
+}
+
+// Admitted returns the admitted-item count.
+func (s *QueueStats) Admitted() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.admitted.Load()
+}
+
+// Shed returns the total shed count across policies (newest + oldest).
+func (s *QueueStats) Shed() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.shedNewest.Load() + s.shedOldest.Load()
+}
+
+// ShedNewest returns the rejected-incoming count.
+func (s *QueueStats) ShedNewest() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.shedNewest.Load()
+}
+
+// ShedOldest returns the evicted-oldest count.
+func (s *QueueStats) ShedOldest() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.shedOldest.Load()
+}
+
+// Timeouts returns the expired Block-policy wait count.
+func (s *QueueStats) Timeouts() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.timeouts.Load()
+}
+
+// Instrument registers the queue's series on r, labeled queue=<name>:
+// flow_queue_capacity/depth/watermark gauges and admitted/shed counters.
+func (s *QueueStats) Instrument(r *obs.Registry, name string) {
+	if s == nil || r == nil {
+		return
+	}
+	lbl := func(base string) string { return obs.Name(base, "queue", name) }
+	r.GaugeFunc(lbl("flow_queue_capacity"), s.Capacity)
+	r.GaugeFunc(lbl("flow_queue_depth"), s.Depth)
+	r.GaugeFunc(lbl("flow_queue_watermark"), s.Watermark)
+	r.GaugeFunc(lbl("flow_queue_admitted_total"), s.Admitted)
+	r.GaugeFunc(lbl("flow_queue_shed_newest_total"), s.ShedNewest)
+	r.GaugeFunc(lbl("flow_queue_shed_oldest_total"), s.ShedOldest)
+	r.GaugeFunc(lbl("flow_queue_block_timeouts_total"), s.Timeouts)
+}
+
+// Queue is a bounded FIFO with a shed policy, built on a buffered channel so
+// Block-policy pushes and blocking pops need no condition variables. Safe for
+// concurrent producers and consumers.
+type Queue[T any] struct {
+	ch     chan T
+	policy Policy
+	stats  *QueueStats
+}
+
+// NewQueue creates a queue bounded at capacity (minimum 1) with the given
+// shed policy.
+func NewQueue[T any](capacity int, policy Policy) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue[T]{
+		ch:     make(chan T, capacity),
+		policy: policy,
+		stats:  NewQueueStats(capacity),
+	}
+}
+
+// Stats returns the queue's accounting.
+func (q *Queue[T]) Stats() *QueueStats { return q.stats }
+
+// Len returns the current queue depth.
+func (q *Queue[T]) Len() int { return len(q.ch) }
+
+// Push offers v under the queue's policy. DropNewest returns a ShedError when
+// full; DropOldest evicts until v fits (evictions are counted); Block waits
+// up to wait for space, then sheds. The wait argument is ignored by the drop
+// policies.
+func (q *Queue[T]) Push(v T, wait time.Duration) error {
+	switch q.policy {
+	case DropOldest:
+		for {
+			select {
+			case q.ch <- v:
+				q.stats.OnAdmit()
+				q.stats.Observe(len(q.ch))
+				return nil
+			default:
+			}
+			select {
+			case <-q.ch:
+				q.stats.OnShedOldest()
+			default:
+			}
+		}
+	case Block:
+		select {
+		case q.ch <- v:
+			q.stats.OnAdmit()
+			q.stats.Observe(len(q.ch))
+			return nil
+		default:
+		}
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			defer t.Stop()
+			select {
+			case q.ch <- v:
+				q.stats.OnAdmit()
+				q.stats.Observe(len(q.ch))
+				return nil
+			case <-t.C:
+				q.stats.OnTimeout()
+			}
+		}
+		q.stats.OnShedNewest()
+		return Shed("queue full", wait)
+	default: // DropNewest
+		select {
+		case q.ch <- v:
+			q.stats.OnAdmit()
+			q.stats.Observe(len(q.ch))
+			return nil
+		default:
+			q.stats.OnShedNewest()
+			return Shed("queue full", 0)
+		}
+	}
+}
+
+// Pop removes the oldest item without blocking.
+func (q *Queue[T]) Pop() (T, bool) {
+	select {
+	case v := <-q.ch:
+		q.stats.Observe(len(q.ch))
+		return v, true
+	default:
+		var zero T
+		return zero, false
+	}
+}
+
+// PopWait removes the oldest item, waiting up to d for one to arrive.
+func (q *Queue[T]) PopWait(d time.Duration) (T, bool) {
+	if v, ok := q.Pop(); ok {
+		return v, true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case v := <-q.ch:
+		q.stats.Observe(len(q.ch))
+		return v, true
+	case <-t.C:
+		var zero T
+		return zero, false
+	}
+}

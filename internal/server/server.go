@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/stream"
@@ -66,6 +67,22 @@ type Server struct {
 	// PollBuffer bounds the rows buffered per continuous query between
 	// POLLs (default 10000). Set before Serve.
 	PollBuffer int
+	// EmitRate, when > 0, rate-limits EMIT admission to this many tuples per
+	// second (token bucket of EmitBurst tuples, default one second's worth).
+	// A shed EMIT gets "-ERR overload retry-after=<duration>: ..." and no
+	// tuple of it is admitted. Set before Serve.
+	EmitRate  float64
+	EmitBurst float64
+	// EmitWait is how long an EMIT may wait for rate-limiter tokens before
+	// shedding (0 = shed immediately). Set before Serve.
+	EmitWait time.Duration
+	// MaxPollRows caps the rows one POLL returns (0 = unlimited); the
+	// remainder stays buffered for the next POLL.
+	MaxPollRows int
+
+	emitLim   *flow.Limiter
+	cEmitShed *obs.Counter // server_emit_shed_total
+	cPollTrim *obs.Counter // server_poll_truncated_total
 
 	mu      sync.Mutex
 	sources map[string]*stream.Source
@@ -126,7 +143,44 @@ func New(eng *core.Engine) *Server {
 		}
 		return n
 	})
+	s.cEmitShed = r.Counter("server_emit_shed_total")
+	s.cPollTrim = r.Counter("server_poll_truncated_total")
 	return s
+}
+
+// emitLimiter lazily builds the EMIT token bucket from the rate fields (they
+// are set between New and Serve).
+func (s *Server) emitLimiter() *flow.Limiter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.emitLim == nil && s.EmitRate > 0 {
+		s.emitLim = flow.NewLimiter(s.EmitRate, s.EmitBurst)
+	}
+	return s.emitLim
+}
+
+// overloadError renders a shed decision in the protocol's machine-readable
+// overload form: clients parse "overload retry-after=<duration>" and back
+// off instead of tight-looping.
+func overloadError(retryAfter time.Duration, reason string) error {
+	if retryAfter <= 0 {
+		retryAfter = time.Millisecond
+	}
+	return fmt.Errorf("overload retry-after=%s: %s", retryAfter, reason)
+}
+
+// mapShed translates an admission-control rejection (the stream's bounded
+// buffer, typically) into the protocol's overload error; other errors pass
+// through.
+func mapShed(err error) error {
+	var se *flow.ShedError
+	if errors.As(err, &se) {
+		return overloadError(se.RetryAfter, se.Reason)
+	}
+	if errors.Is(err, flow.ErrShed) {
+		return overloadError(time.Millisecond, err.Error())
+	}
+	return err
 }
 
 // droppedTotalLocked sums cumulative dropped rows across all poll buffers.
@@ -400,7 +454,7 @@ func (s *Server) cmdEmit(w *bufio.Writer, r *bufio.Scanner, args []string) error
 		s.mu.Unlock()
 	}
 	rd := rdf.NewReader(strings.NewReader(block))
-	n := 0
+	var tuples []rdf.Tuple
 	for {
 		tu, err := rd.ReadTuple()
 		if err == io.EOF {
@@ -409,8 +463,25 @@ func (s *Server) cmdEmit(w *bufio.Writer, r *bufio.Scanner, args []string) error
 		if err != nil {
 			return err
 		}
+		tuples = append(tuples, tu)
+	}
+	// Admission control at the ingest edge: the whole EMIT is admitted or
+	// shed atomically (a half-admitted EMIT would make the client's retry
+	// duplicate the admitted half).
+	if lim := s.emitLimiter(); lim != nil && len(tuples) > 0 {
+		if !lim.WaitMax(float64(len(tuples)), s.EmitWait) {
+			s.cEmitShed.Inc()
+			return overloadError(lim.RetryAfter(float64(len(tuples))),
+				fmt.Sprintf("EMIT rate limit (%d tuples)", len(tuples)))
+		}
+	}
+	n := 0
+	for _, tu := range tuples {
 		if err := src.Emit(tu); err != nil {
-			return err
+			if errors.Is(err, flow.ErrShed) {
+				s.cEmitShed.Inc()
+			}
+			return mapShed(err)
 		}
 		n++
 	}
@@ -534,11 +605,22 @@ func (s *Server) cmdPoll(w *bufio.Writer, args []string) error {
 	s.mu.Lock()
 	var rows []string
 	dropped := 0
+	truncated := false
 	if buf := s.results[args[0]]; buf != nil {
 		rows, dropped = buf.rows, buf.dropped
 		buf.rows, buf.dropped = nil, 0
+		// A bounded POLL keeps the remainder buffered for the next POLL
+		// (never dropped: truncation is pacing, not loss).
+		if max := s.MaxPollRows; max > 0 && len(rows) > max {
+			buf.rows = append(buf.rows[:0:0], rows[max:]...)
+			rows = rows[:max]
+			truncated = true
+		}
 	}
 	s.mu.Unlock()
+	if truncated {
+		s.cPollTrim.Inc()
+	}
 	fmt.Fprintf(w, "+OK %d rows dropped %d\n", len(rows), dropped)
 	for _, row := range rows {
 		fmt.Fprintf(w, "%s\n", row)

@@ -1,0 +1,130 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/rdf"
+	"repro/internal/strserver"
+)
+
+// admissionSource builds a 100ms-batch source bounded at maxPending.
+func admissionSource(t *testing.T, maxPending int, shed flow.Policy, wait time.Duration) *Source {
+	t.Helper()
+	src, err := NewSource(Config{
+		Name:          "S",
+		BatchInterval: 100 * time.Millisecond,
+		MaxPending:    maxPending,
+		Shed:          shed,
+		ShedWait:      wait,
+	}, strserver.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func emitAt(t *testing.T, src *Source, ts rdf.Timestamp) error {
+	t.Helper()
+	return src.Emit(rdf.Tuple{Triple: rdf.T("s", "p", "o"), TS: ts})
+}
+
+func TestAdmissionDropNewest(t *testing.T) {
+	src := admissionSource(t, 3, flow.DropNewest, 0)
+	for i := 0; i < 3; i++ {
+		if err := emitAt(t, src, rdf.Timestamp(i)); err != nil {
+			t.Fatalf("emit %d: %v", i, err)
+		}
+	}
+	err := emitAt(t, src, 3)
+	if !errors.Is(err, flow.ErrShed) {
+		t.Fatalf("emit past the bound = %v, want ErrShed", err)
+	}
+	var se *flow.ShedError
+	if !errors.As(err, &se) || se.RetryAfter <= 0 {
+		t.Fatalf("shed error carries no retry-after hint: %v", err)
+	}
+	st := src.QueueStats()
+	if st.Admitted() != 3 || st.ShedNewest() != 1 || st.Watermark() != 3 {
+		t.Fatalf("stats admitted=%d shedNewest=%d watermark=%d", st.Admitted(), st.ShedNewest(), st.Watermark())
+	}
+	// Sealing drains the buffer; admission reopens.
+	batches := src.SealUpTo(100)
+	if len(batches) != 1 || len(batches[0].Tuples) != 3 {
+		t.Fatalf("sealed %v", batches)
+	}
+	if err := emitAt(t, src, 100); err != nil {
+		t.Fatalf("emit after drain: %v", err)
+	}
+}
+
+func TestAdmissionDropOldest(t *testing.T) {
+	src := admissionSource(t, 3, flow.DropOldest, 0)
+	for i := 0; i < 5; i++ {
+		if err := emitAt(t, src, rdf.Timestamp(i)); err != nil {
+			t.Fatalf("emit %d: %v", i, err)
+		}
+	}
+	st := src.QueueStats()
+	if st.ShedOldest() != 2 || st.Depth() != 3 {
+		t.Fatalf("stats shedOldest=%d depth=%d, want 2/3", st.ShedOldest(), st.Depth())
+	}
+	// The freshest tuples survive: timestamps 2, 3, 4.
+	batches := src.SealUpTo(100)
+	if len(batches) != 1 || len(batches[0].Tuples) != 3 {
+		t.Fatalf("sealed %v", batches)
+	}
+	if got := batches[0].Tuples[0].TS; got != 2 {
+		t.Fatalf("oldest surviving tuple at %d, want 2", got)
+	}
+}
+
+func TestAdmissionBlockTimesOutThenSheds(t *testing.T) {
+	src := admissionSource(t, 2, flow.Block, time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if err := emitAt(t, src, rdf.Timestamp(i)); err != nil {
+			t.Fatalf("emit %d: %v", i, err)
+		}
+	}
+	// No consumer drains the buffer: the block expires into a shed.
+	if err := emitAt(t, src, 2); !errors.Is(err, flow.ErrShed) {
+		t.Fatalf("blocked emit = %v, want ErrShed", err)
+	}
+	if src.QueueStats().Timeouts() != 1 {
+		t.Fatalf("timeouts = %d, want 1", src.QueueStats().Timeouts())
+	}
+	// With a concurrent sealer draining, the blocked emit is admitted.
+	src2 := admissionSource(t, 2, flow.Block, time.Second)
+	for i := 0; i < 2; i++ {
+		if err := emitAt(t, src2, rdf.Timestamp(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- emitAt(t, src2, 150) }()
+	time.Sleep(5 * time.Millisecond)
+	if got := len(src2.SealUpTo(100)); got != 1 {
+		t.Fatalf("sealed %d batches, want 1", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("blocked emit after drain = %v", err)
+	}
+}
+
+func TestAdmissionUnboundedByDefault(t *testing.T) {
+	src := admissionSource(t, 0, flow.DropNewest, 0)
+	for i := 0; i < 1000; i++ {
+		if err := emitAt(t, src, rdf.Timestamp(i/20)); err != nil {
+			t.Fatalf("emit %d: %v", i, err)
+		}
+	}
+	st := src.QueueStats()
+	if st.Shed() != 0 || st.Capacity() != 0 {
+		t.Fatalf("unbounded source shed %d (capacity %d)", st.Shed(), st.Capacity())
+	}
+	if st.Watermark() != 1000 {
+		t.Fatalf("watermark = %d, want 1000", st.Watermark())
+	}
+}

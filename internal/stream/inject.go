@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/flow"
 	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/sindex"
@@ -27,13 +28,24 @@ func (w NodeWork) Empty() bool { return len(w.SubjectSide) == 0 && len(w.ObjectS
 // bytes approximates the wire size of the work (32 bytes per tuple side).
 func (w NodeWork) bytes() int { return 32 * (len(w.SubjectSide) + len(w.ObjectSide)) }
 
+// sendVia ships one one-way message, through the retrying sender when one is
+// configured (nil snd = the raw, lose-on-any-fault fabric path).
+func sendVia(fab *fabric.Fabric, snd *flow.Sender, from, to fabric.NodeID, n int) error {
+	if snd != nil {
+		return snd.Send(from, to, n)
+	}
+	return fab.SendAsync(from, to, n)
+}
+
 // Dispatch partitions a batch across nodes and charges the dispatcher's
 // network traffic: the stream arrives at one node (its adaptor home) and
-// tuple shares are shipped to their owners. A share whose one-way shipment
-// the fabric faults (drop, partition, crashed receiver) is lost — its node
-// receives empty work — and counted in the second return value; the upstream
-// backup (§5) is the recovery path for lost shares.
-func Dispatch(fab *fabric.Fabric, adaptorHome fabric.NodeID, b Batch) (work []NodeWork, lost int) {
+// tuple shares are shipped to their owners. When snd is non-nil, shipments
+// retry transient faults and fail fast against destinations whose breaker is
+// open. A share whose shipment still fails (persistent fault, exhausted
+// retries) is lost — its node receives empty work — and counted in the second
+// return value; the upstream backup (§5) is the recovery path for lost
+// shares.
+func Dispatch(fab *fabric.Fabric, snd *flow.Sender, adaptorHome fabric.NodeID, b Batch) (work []NodeWork, lost int) {
 	work = make([]NodeWork, fab.Nodes())
 	for _, t := range b.Tuples {
 		sHome := fab.HomeOf(uint64(t.S))
@@ -44,7 +56,7 @@ func Dispatch(fab *fabric.Fabric, adaptorHome fabric.NodeID, b Batch) (work []No
 	for n := range work {
 		if fabric.NodeID(n) != adaptorHome && !work[n].Empty() {
 			// One-way shipment: the dispatcher does not block on delivery.
-			if err := fab.SendAsync(adaptorHome, fabric.NodeID(n), work[n].bytes()); err != nil {
+			if err := sendVia(fab, snd, adaptorHome, fabric.NodeID(n), work[n].bytes()); err != nil {
 				lost += len(work[n].SubjectSide) + len(work[n].ObjectSide)
 				work[n] = NodeWork{}
 			}
@@ -61,6 +73,15 @@ type InjectTarget struct {
 	// Obs, when non-nil, receives the injection's stage latencies and tuple
 	// counters (nil records nothing).
 	Obs *InjectObs
+	// Sender, when non-nil, ships index-replica updates with retry and
+	// circuit breaking instead of raw fire-and-forget.
+	Sender *flow.Sender
+	// Unshipped, when non-nil, is called for each replica shipment that
+	// still failed after retry: the caller must hold the stable VTS below
+	// this batch (vts.MarkUnshipped) until the replica is re-delivered, or
+	// remote index reads may silently miss data the timestamps claim is
+	// visible.
+	Unshipped func(from, to fabric.NodeID, bytes int)
 }
 
 // InjectObs holds pre-resolved injection metrics so the per-node inject hot
@@ -168,8 +189,11 @@ func InjectNode(n fabric.NodeID, w NodeWork, batch tstore.BatchID, sn uint32, tg
 		fab := tgt.Store.Fabric()
 		for _, r := range tgt.Index.Replicas() {
 			if r != n {
-				if err := fab.SendAsync(n, r, 32*len(spans)); err != nil {
+				if err := sendVia(fab, tgt.Sender, n, r, 32*len(spans)); err != nil {
 					st.Dropped++
+					if tgt.Unshipped != nil {
+						tgt.Unshipped(n, r, 32*len(spans))
+					}
 				}
 			}
 		}

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/flow"
 	"repro/internal/rdf"
 	"repro/internal/strserver"
 	"repro/internal/tstore"
@@ -64,6 +65,16 @@ type Config struct {
 	// downstream the stream is monotonic again. Batches can only seal up to
 	// the watermark, adding MaxDelay of latency — the classic trade-off.
 	MaxDelay time.Duration
+	// MaxPending bounds the adaptor's admission buffer (pending + reorder
+	// tuples). 0 = unbounded: the pre-overload-protection behavior, where a
+	// producer outrunning the injector grows memory without limit.
+	MaxPending int
+	// Shed selects what happens to an emitted tuple when the admission
+	// buffer is full (only meaningful with MaxPending > 0).
+	Shed flow.Policy
+	// ShedWait is the Block policy's wait budget before a full buffer sheds
+	// anyway (default: BatchInterval).
+	ShedWait time.Duration
 }
 
 // DefaultBackupBatches is the default upstream-backup retention.
@@ -93,6 +104,12 @@ type Source struct {
 
 	backup       []Batch // upstream backup, ascending batch
 	backupBudget int
+
+	maxPending int
+	shed       flow.Policy
+	shedWait   time.Duration
+	qstats     *flow.QueueStats
+	space      chan struct{} // signaled when SealUpTo drains the buffer
 }
 
 // NewSource creates a stream source. The string server is shared with the
@@ -111,9 +128,19 @@ func NewSource(cfg Config, ss *strserver.Server) (*Source, error) {
 		timing:       make(map[rdf.ID]bool),
 		backupBudget: cfg.BackupBudget,
 		maxDelay:     rdf.Timestamp(cfg.MaxDelay.Milliseconds()),
+		maxPending:   cfg.MaxPending,
+		shed:         cfg.Shed,
+		shedWait:     cfg.ShedWait,
+		qstats:       flow.NewQueueStats(cfg.MaxPending),
 	}
 	if s.backupBudget <= 0 {
 		s.backupBudget = DefaultBackupBatches
+	}
+	if s.shedWait <= 0 {
+		s.shedWait = cfg.BatchInterval
+	}
+	if s.maxPending > 0 && s.shed == flow.Block {
+		s.space = make(chan struct{}, 1)
 	}
 	for _, p := range cfg.TimingPredicates {
 		s.timing[ss.InternPredicate(p)] = true
@@ -172,9 +199,102 @@ func (s *Source) EmitEncoded(enc strserver.EncodedTuple) error {
 		s.discarded++
 		return nil
 	}
+	if err := s.admitLocked(); err != nil {
+		return err
+	}
+	// The Block policy released the lock while waiting; a concurrent seal
+	// may have closed this tuple's batch in the meantime.
+	if b := s.BatchOf(enc.TS); b <= s.sealedTo {
+		s.qstats.OnShedNewest()
+		return flow.Shed(fmt.Sprintf("stream %s: batch %d sealed while blocked", s.name, b), 0)
+	}
 	s.pending = append(s.pending, Tuple{EncodedTuple: enc, Timing: s.timing[enc.P]})
+	s.qstats.OnAdmit()
+	s.qstats.Observe(len(s.pending) + len(s.reorder))
 	return nil
 }
+
+// EmitReplayed is Emit minus admission control, for fault-tolerance replay:
+// a durably-logged tuple was admitted before the crash, and shedding it now
+// would silently turn at-least-once recovery into at-most-once. Ordering and
+// sealed-batch checks still apply, and the tuple still counts in the queue's
+// admit/depth accounting. Logs are written in seal order, so the reorder
+// buffer is bypassed too.
+func (s *Source) EmitReplayed(t rdf.Tuple) error {
+	enc := s.ss.EncodeTuple(t)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if enc.TS < s.lastTS {
+		return fmt.Errorf("stream %s: timestamp regression %d after %d", s.name, enc.TS, s.lastTS)
+	}
+	if b := s.BatchOf(enc.TS); b <= s.sealedTo {
+		return fmt.Errorf("stream %s: tuple at %d arrived after batch %d was sealed", s.name, enc.TS, b)
+	}
+	s.lastTS = enc.TS
+	if enc.TS > s.maxSeen {
+		s.maxSeen = enc.TS
+	}
+	if s.keep != nil && !s.keep[enc.P] {
+		s.discarded++
+		return nil
+	}
+	s.pending = append(s.pending, Tuple{EncodedTuple: enc, Timing: s.timing[enc.P]})
+	s.qstats.OnAdmit()
+	s.qstats.Observe(len(s.pending) + len(s.reorder))
+	return nil
+}
+
+// depthLocked is the admission buffer's occupancy: tuples accepted but not
+// yet sealed into a batch, whether released (pending) or held back (reorder).
+func (s *Source) depthLocked() int { return len(s.pending) + len(s.reorder) }
+
+// admitLocked applies the shed policy when the admission buffer is full.
+// Called with s.mu held; the Block policy temporarily releases it to wait
+// for SealUpTo to drain the buffer. A nil return means the tuple may be
+// appended.
+func (s *Source) admitLocked() error {
+	if s.maxPending <= 0 || s.depthLocked() < s.maxPending {
+		return nil
+	}
+	switch s.shed {
+	case flow.DropOldest:
+		for s.depthLocked() >= s.maxPending {
+			if len(s.pending) > 0 {
+				s.pending = s.pending[1:]
+			} else {
+				s.reorder = s.reorder[1:]
+			}
+			s.qstats.OnShedOldest()
+		}
+		return nil
+	case flow.Block:
+		deadline := time.Now().Add(s.shedWait)
+		for s.depthLocked() >= s.maxPending {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				s.qstats.OnTimeout()
+				s.qstats.OnShedNewest()
+				return flow.Shed("stream "+s.name+": admission buffer full", s.interval)
+			}
+			s.mu.Unlock()
+			t := time.NewTimer(remaining)
+			select {
+			case <-s.space:
+			case <-t.C:
+			}
+			t.Stop()
+			s.mu.Lock()
+		}
+		return nil
+	default: // DropNewest
+		s.qstats.OnShedNewest()
+		return flow.Shed("stream "+s.name+": admission buffer full", s.interval)
+	}
+}
+
+// QueueStats returns the adaptor's admission accounting (capacity 0 when
+// the source is unbounded; depth and watermark are tracked either way).
+func (s *Source) QueueStats() *flow.QueueStats { return s.qstats }
 
 // emitReorderedLocked accepts a possibly-late tuple into the reorder buffer
 // and releases everything at or below the watermark into pending, sorted.
@@ -197,8 +317,22 @@ func (s *Source) emitReorderedLocked(enc strserver.EncodedTuple) error {
 		s.discarded++
 		return nil
 	}
+	if err := s.admitLocked(); err != nil {
+		return err
+	}
+	if b := s.BatchOf(enc.TS); b <= s.sealedTo {
+		s.qstats.OnShedNewest()
+		return flow.Shed(fmt.Sprintf("stream %s: batch %d sealed while blocked", s.name, b), 0)
+	}
+	if wm := s.maxSeen - s.maxDelay; enc.TS < wm {
+		// The watermark passed this tuple while a Block wait held it.
+		s.qstats.OnShedNewest()
+		return flow.Shed(fmt.Sprintf("stream %s: watermark passed %d while blocked", s.name, enc.TS), 0)
+	}
 	s.reorder = append(s.reorder, Tuple{EncodedTuple: enc, Timing: s.timing[enc.P]})
+	s.qstats.OnAdmit()
 	s.releaseLocked()
+	s.qstats.Observe(len(s.pending) + len(s.reorder))
 	return nil
 }
 
@@ -270,6 +404,13 @@ func (s *Source) SealUpTo(ts rdf.Timestamp) []Batch {
 	for len(s.backup) > s.backupBudget {
 		s.backup[0] = Batch{}
 		s.backup = s.backup[1:]
+	}
+	s.qstats.Observe(len(s.pending) + len(s.reorder))
+	if s.space != nil {
+		select {
+		case s.space <- struct{}{}:
+		default:
+		}
 	}
 	return out
 }

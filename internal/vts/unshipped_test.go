@@ -1,0 +1,84 @@
+package vts
+
+import (
+	"testing"
+
+	"repro/internal/tstore"
+)
+
+// TestUnshippedHoldsClampStable: while a batch has a lost shipment marked,
+// the stable VTS stays below it and the stable SN below any plan that needs
+// it — even though every node reported the insertion — and both catch up
+// once the mark is cleared.
+func TestUnshippedHoldsClampStable(t *testing.T) {
+	c := NewCoordinator(nil, 2, 1, 1)
+	s := StreamID(0)
+	insert := func(b tstore.BatchID) {
+		_ = c.SNForBatch(s, b)
+		c.OnBatchInserted(0, s, b)
+		c.OnBatchInserted(1, s, b)
+	}
+
+	insert(1)
+	if c.StableVTS()[0] != 1 || c.StableSN() != 1 {
+		t.Fatalf("healthy: stable=%v sn=%d", c.StableVTS(), c.StableSN())
+	}
+
+	c.MarkUnshipped(s, 2)
+	insert(2)
+	insert(3)
+	if got := c.StableVTS()[0]; got != 1 {
+		t.Fatalf("stable VTS = %d with batch 2 un-shipped, want 1", got)
+	}
+	if got := c.StableSN(); got != 1 {
+		t.Fatalf("stable SN = %d with batch 2 un-shipped, want 1", got)
+	}
+	if c.Unshipped(s) != 1 || c.Holds() != 1 {
+		t.Fatalf("unshipped=%d holds=%d", c.Unshipped(s), c.Holds())
+	}
+
+	// Stacked marks on the same batch must all be balanced before release.
+	c.MarkUnshipped(s, 2)
+	c.ClearUnshipped(s, 2)
+	if got := c.StableVTS()[0]; got != 1 {
+		t.Fatalf("stable VTS = %d with one of two marks cleared, want 1", got)
+	}
+	c.ClearUnshipped(s, 2)
+	if got := c.StableVTS()[0]; got != 3 {
+		t.Fatalf("stable VTS = %d after release, want 3", got)
+	}
+	if got := c.StableSN(); got != 3 {
+		t.Fatalf("stable SN = %d after release, want 3", got)
+	}
+	if c.Unshipped(s) != 0 {
+		t.Fatalf("unshipped = %d after release", c.Unshipped(s))
+	}
+}
+
+// TestUnshippedHoldBlocksWindowReady: continuous-query triggering must not
+// see held batches as stable.
+func TestUnshippedHoldBlocksWindowReady(t *testing.T) {
+	c := NewCoordinator(nil, 1, 1, 1)
+	s := StreamID(0)
+	c.MarkUnshipped(s, 1)
+	_ = c.SNForBatch(s, 1)
+	c.OnBatchInserted(0, s, 1)
+	if c.WindowReady([]StreamID{s}, []tstore.BatchID{1}) {
+		t.Fatal("window over an un-shipped batch reported ready")
+	}
+	c.ClearUnshipped(s, 1)
+	if !c.WindowReady([]StreamID{s}, []tstore.BatchID{1}) {
+		t.Fatal("window not ready after the hold cleared")
+	}
+}
+
+// TestClearWithoutMarkPanics: unbalanced clears are programming errors.
+func TestClearWithoutMarkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ClearUnshipped without a mark did not panic")
+		}
+	}()
+	c := NewCoordinator(nil, 1, 1, 1)
+	c.ClearUnshipped(0, 1)
+}
