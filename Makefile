@@ -3,14 +3,15 @@ GO ?= go
 # Packages whose concurrency matters most; `make race` keeps them honest.
 RACE_PKGS := ./internal/core/... ./internal/fabric/... ./internal/server/... \
              ./internal/client/... ./internal/chaos/... ./internal/obs/... \
-             ./internal/flow/... ./internal/stream/... ./internal/soak/...
+             ./internal/flow/... ./internal/stream/... ./internal/soak/... \
+             ./internal/member/...
 
-.PHONY: all ci vet build build-cmds test race smoke soak soak-short bench bench-smoke bench-overload clean
+.PHONY: all ci vet build build-cmds test race smoke soak soak-short chaos bench bench-smoke bench-overload bench-failover clean
 
 all: ci
 
 # The full gate: what CI runs, in order.
-ci: vet build build-cmds test race soak-short
+ci: vet build build-cmds test race soak-short chaos
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +44,11 @@ soak:
 soak-short:
 	$(GO) test -race -short -count=1 ./internal/soak/...
 
+# Node-kill chaos suite (DESIGN.md §11) under the race detector: live-failover
+# contract across three seeds, failover under overload, and determinism.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaosNodeKill' ./internal/chaos/...
+
 bench:
 	$(GO) test -bench . -benchtime 20x -run '^$$' .
 
@@ -57,6 +63,12 @@ bench-smoke:
 bench-overload:
 	$(GO) run ./cmd/wsbench -overload -obs-json BENCH_PR4.json
 
+# Node-kill failover benchmark: survivor one-shot latency before/during/after
+# an outage, typed dead-partition errors, and CQ re-fires after rejoin; writes
+# BENCH_PR5.json and fails unless the failover contract holds.
+bench-failover:
+	$(GO) run ./cmd/wsbench -node-kill -obs-json BENCH_PR5.json
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_PR2.json BENCH_PR4.json
+	rm -f BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json

@@ -1,0 +1,289 @@
+// Node-kill failover benchmark (-node-kill): drives a 3-node engine with the
+// membership subsystem enabled through a scripted kill/restart timeline and
+// measures the degraded-mode query contract from DESIGN.md §11 — survivor
+// one-shot latency before/during/after the outage, fail-fast typed errors on
+// the dead partition, and continuous-query re-fires after the node rejoins.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/member"
+	"repro/internal/obs"
+	"repro/internal/rdf"
+	"repro/internal/stream"
+)
+
+// phaseLatency aggregates one-shot latencies measured during one phase of the
+// node-kill timeline.
+type phaseLatency struct {
+	Queries  int   `json:"queries"`
+	Failures int   `json:"failures"`
+	P50ns    int64 `json:"p50_ns"`
+	P99ns    int64 `json:"p99_ns"`
+	MaxNs    int64 `json:"max_ns"`
+
+	lat []time.Duration
+}
+
+func (p *phaseLatency) record(d time.Duration) { p.lat = append(p.lat, d) }
+
+func (p *phaseLatency) finish() {
+	p.Queries = len(p.lat)
+	if len(p.lat) == 0 {
+		return
+	}
+	sort.Slice(p.lat, func(i, j int) bool { return p.lat[i] < p.lat[j] })
+	pct := func(q float64) int64 {
+		i := int(q * float64(len(p.lat)-1))
+		return p.lat[i].Nanoseconds()
+	}
+	p.P50ns = pct(0.50)
+	p.P99ns = pct(0.99)
+	p.MaxNs = p.lat[len(p.lat)-1].Nanoseconds()
+}
+
+// nodeKillReport is the JSON document written to -obs-json for the node-kill
+// scenario (BENCH_PR5.json in the Makefile).
+type nodeKillReport struct {
+	Scenario string `json:"scenario"`
+	Nodes    int    `json:"nodes"`
+	Victim   int    `json:"victim"`
+
+	Healthy   phaseLatency `json:"healthy"`
+	Outage    phaseLatency `json:"outage"`
+	Recovered phaseLatency `json:"recovered"`
+
+	DeadProbes      int   `json:"dead_probes"`
+	DeadTyped       int   `json:"dead_typed"`
+	DeadFailFastMax int64 `json:"dead_fail_fast_max_ns"`
+
+	RefiresExecuted int64 `json:"refires_executed"`
+	MaxRefireLagMS  int64 `json:"max_refire_lag_ms"`
+	Deaths          int64 `json:"deaths"`
+
+	Stages   map[string]obs.HistogramSnapshot `json:"stages"`
+	Registry json.RawMessage                  `json:"registry"`
+}
+
+// runNodeKill benchmarks live failover: a 100 ms-batch stream and a 200 ms
+// continuous query run across a 3-node cluster while node 1 is crashed at
+// t=1000 ms, declared dead by the detector at t=1200 ms, and restarted at
+// t=2000 ms. Per batch it runs one-shot queries against survivor partitions
+// (recording simulated latency) and, during the outage, probes the dead
+// partition expecting a fast typed ErrPartitionDown. It fails unless the
+// degraded-mode contract holds: zero survivor failures, every dead-partition
+// probe typed and fail-fast, and the withheld window boundaries re-fired
+// after rejoin.
+func runNodeKill(obsPath string, mode fabric.LatencyMode) error {
+	const (
+		batchMS   = 100
+		killAt    = rdf.Timestamp(1000)
+		restartAt = rdf.Timestamp(2000)
+		endAt     = rdf.Timestamp(3000)
+		victim    = fabric.NodeID(1)
+	)
+	start := time.Now()
+	e, err := core.New(core.Config{
+		Nodes:          3,
+		WorkersPerNode: 4,
+		Fabric:         fabric.Config{Mode: mode, RDMA: true},
+		Membership: core.MembershipConfig{
+			Enable:              true,
+			HeartbeatIntervalMS: batchMS,
+			SuspectAfter:        1,
+			DeadAfter:           2,
+		},
+		Metrics: obs.Default,
+	})
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+
+	var base []rdf.Triple
+	for i := 0; i < 64; i++ {
+		base = append(base, rdf.T(fmt.Sprintf("u%d", i), "po", fmt.Sprintf("v%d", i)))
+	}
+	e.LoadTriples(base)
+	plan := fabric.NewFaultPlan(1)
+	e.Fabric().SetFaultPlan(plan)
+	src, err := e.RegisterStream(stream.Config{Name: "S", BatchInterval: batchMS * time.Millisecond})
+	if err != nil {
+		return err
+	}
+
+	// Classify the loaded subjects by home node: queries on survivors must
+	// keep succeeding through the outage, queries needing the victim's
+	// partition must fail fast with the typed error.
+	var survivors, victims []string
+	for i := 0; i < 64; i++ {
+		name := fmt.Sprintf("u%d", i)
+		id, ok := e.StringServer().LookupEntity(rdf.T(name, "po", "x").S)
+		if !ok {
+			continue
+		}
+		if e.Fabric().HomeOf(uint64(id)) == victim {
+			victims = append(victims, name)
+		} else {
+			survivors = append(survivors, name)
+		}
+	}
+	if len(survivors) == 0 || len(victims) == 0 {
+		return fmt.Errorf("degenerate key placement: %d survivor / %d victim subjects", len(survivors), len(victims))
+	}
+
+	// The continuous query's callback tracks how far behind the logical
+	// clock each delivery is: boundaries withheld during the outage re-fire
+	// late, everything else fires at its boundary.
+	var mu sync.Mutex
+	var maxLagMS int64
+	_, err = e.RegisterContinuous(`
+REGISTER QUERY QK AS
+SELECT ?S ?O
+FROM S [RANGE 200ms STEP 200ms]
+WHERE { GRAPH S { ?S po ?O } }`, func(_ *core.Result, f core.FireInfo) {
+		lag := int64(e.Now() - f.At)
+		mu.Lock()
+		if lag > maxLagMS {
+			maxLagMS = lag
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		return err
+	}
+
+	rep := nodeKillReport{Scenario: "node-kill", Nodes: 3, Victim: int(victim)}
+	const queriesPerBatch = 4
+	for ts := rdf.Timestamp(batchMS); ts <= endAt; ts += batchMS {
+		if ts == killAt {
+			plan.Crash(victim)
+		}
+		if ts == restartAt {
+			plan.Restart(victim)
+		}
+		emit := func(s string) error {
+			return src.Emit(rdf.Tuple{Triple: rdf.T(s, "po", fmt.Sprintf("w%d", ts)), TS: ts - batchMS/2})
+		}
+		// One tuple homed on the victim per batch makes every outage window
+		// provably partial without its share; the emit itself may shed while
+		// the node is down — that is the at-least-once path under test.
+		_ = emit(victims[0])
+		if err := emit(survivors[0]); err != nil {
+			return fmt.Errorf("survivor emit at %d: %v", ts, err)
+		}
+		e.AdvanceTo(ts)
+
+		// Classify the batch into a phase; transition batches (crashed but
+		// not yet declared dead, or restarted but not yet rejoined) are not
+		// measured — the contract only constrains the steady states.
+		var phase *phaseLatency
+		outage := e.Detector().State(victim) == member.Dead && plan.Crashed(victim)
+		switch {
+		case ts < killAt:
+			phase = &rep.Healthy
+		case outage:
+			phase = &rep.Outage
+		case ts > restartAt && e.Detector().State(victim) == member.Alive:
+			phase = &rep.Recovered
+		}
+		if phase != nil {
+			for i := 0; i < queriesPerBatch; i++ {
+				s := survivors[(int(ts)/batchMS+i)%len(survivors)]
+				res, err := e.Query(fmt.Sprintf("SELECT ?Y WHERE { %s po ?Y }", s))
+				if err != nil {
+					phase.Failures++
+					continue
+				}
+				phase.record(res.Latency)
+			}
+		}
+		if outage {
+			rep.DeadProbes++
+			wall := time.Now()
+			_, err := e.Query(fmt.Sprintf("SELECT ?Y WHERE { %s po ?Y }", victims[0]))
+			if elapsed := time.Since(wall).Nanoseconds(); elapsed > rep.DeadFailFastMax {
+				rep.DeadFailFastMax = elapsed
+			}
+			if errors.Is(err, core.ErrPartitionDown) {
+				rep.DeadTyped++
+			}
+		}
+	}
+	// Extra ticks so withheld boundaries re-fire and trailing windows close.
+	e.AdvanceTo(endAt + batchMS)
+	e.AdvanceTo(endAt + 2*batchMS)
+
+	rep.Healthy.finish()
+	rep.Outage.finish()
+	rep.Recovered.finish()
+	mu.Lock()
+	rep.MaxRefireLagMS = maxLagMS
+	mu.Unlock()
+	reg := e.Metrics()
+	rep.RefiresExecuted = reg.Counter("failover_refires_executed_total").Value()
+	rep.Deaths = reg.Counter("member_deaths_total").Value()
+
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	fmt.Printf("node-kill failover bench (3 nodes, victim %d, latency %v):\n", victim, mode)
+	fmt.Printf("%-10s %8s %9s %9s %9s %9s\n", "phase", "queries", "failures", "p50(us)", "p99(us)", "max(us)")
+	for _, row := range []struct {
+		name string
+		p    *phaseLatency
+	}{{"healthy", &rep.Healthy}, {"outage", &rep.Outage}, {"recovered", &rep.Recovered}} {
+		fmt.Printf("%-10s %8d %9d %9.1f %9.1f %9.1f\n", row.name,
+			row.p.Queries, row.p.Failures, us(row.p.P50ns), us(row.p.P99ns), us(row.p.MaxNs))
+	}
+	fmt.Printf("dead-partition probes: %d (%d typed ErrPartitionDown), fail-fast max %.1f us\n",
+		rep.DeadProbes, rep.DeadTyped, us(rep.DeadFailFastMax))
+	fmt.Printf("re-fires executed: %d, max boundary lag %d ms (logical); deaths: %d\n",
+		rep.RefiresExecuted, rep.MaxRefireLagMS, rep.Deaths)
+
+	switch {
+	case rep.Healthy.Queries == 0 || rep.Outage.Queries == 0 || rep.Recovered.Queries == 0:
+		return fmt.Errorf("a phase measured zero queries (healthy %d, outage %d, recovered %d)",
+			rep.Healthy.Queries, rep.Outage.Queries, rep.Recovered.Queries)
+	case rep.Healthy.Failures+rep.Outage.Failures+rep.Recovered.Failures > 0:
+		return fmt.Errorf("survivor-partition queries failed (healthy %d, outage %d, recovered %d)",
+			rep.Healthy.Failures, rep.Outage.Failures, rep.Recovered.Failures)
+	case rep.DeadProbes == 0 || rep.DeadTyped != rep.DeadProbes:
+		return fmt.Errorf("dead-partition probes not all typed: %d/%d", rep.DeadTyped, rep.DeadProbes)
+	case rep.DeadFailFastMax > time.Second.Nanoseconds():
+		return fmt.Errorf("dead-partition fail-fast took %v, want < 1s", time.Duration(rep.DeadFailFastMax))
+	case rep.RefiresExecuted == 0:
+		return fmt.Errorf("no withheld boundary re-fired after rejoin")
+	case rep.Deaths != 1:
+		return fmt.Errorf("member_deaths_total = %d, want 1", rep.Deaths)
+	case e.Detector().State(victim) != member.Alive:
+		return fmt.Errorf("victim did not rejoin: state %v", e.Detector().State(victim))
+	}
+	fmt.Printf("failover contract: PASS (completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+
+	if obsPath == "" {
+		return nil
+	}
+	rep.Stages = obs.Default.StageSnapshots()
+	registry, err := obs.Default.JSON()
+	if err != nil {
+		return err
+	}
+	rep.Registry = registry
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(obsPath, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", obsPath)
+	return nil
+}

@@ -43,6 +43,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
 		obsJSON  = flag.String("obs-json", "", "after all experiments, print per-stage latency percentiles and write the full metric registry to this JSON file")
 		overload = flag.Bool("overload", false, "run the overload/degradation soak (internal/soak) and check its contract instead of a paper experiment")
+		nodeKill = flag.Bool("node-kill", false, "run the node-kill failover benchmark (survivor latency, typed dead-partition errors, CQ re-fires) instead of a paper experiment")
 	)
 	flag.Parse()
 
@@ -51,17 +52,6 @@ func main() {
 			fmt.Println(id)
 		}
 		return
-	}
-	if *overload {
-		if err := runOverload(*obsJSON); err != nil {
-			fmt.Fprintf(os.Stderr, "wsbench: overload: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "wsbench: -exp required (or -list or -overload); e.g. -exp table2 or -exp all")
-		os.Exit(2)
 	}
 
 	var mode fabric.LatencyMode
@@ -74,6 +64,25 @@ func main() {
 		mode = fabric.Sleep
 	default:
 		fmt.Fprintf(os.Stderr, "wsbench: unknown latency mode %q\n", *latency)
+		os.Exit(2)
+	}
+
+	if *overload {
+		if err := runOverload(*obsJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "wsbench: overload: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *nodeKill {
+		if err := runNodeKill(*obsJSON, mode); err != nil {
+			fmt.Fprintf(os.Stderr, "wsbench: node-kill: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "wsbench: -exp required (or -list, -overload, or -node-kill); e.g. -exp table2 or -exp all")
 		os.Exit(2)
 	}
 	opts := experiments.Options{

@@ -48,6 +48,11 @@ func main() {
 		queryDL     = flag.Duration("query-deadline", 0, "per-one-shot-query execution deadline (0 = none)")
 		cqDL        = flag.Duration("cq-deadline", 0, "per-continuous-query-firing execution deadline (0 = none)")
 		sendRetries = flag.Int("send-retries", 0, "retry budget for transient fabric sends (0 = default 3, negative = none)")
+
+		// Membership / failure-detector knobs (DESIGN.md §11).
+		hbEvery      = flag.Duration("heartbeat-interval", 0, "enable node failure detection and live failover with this probe-round period (0 = disabled)")
+		suspectAfter = flag.Int("suspect-after", 0, "consecutive missed probe rounds before a node is marked suspect (0 = default 2)")
+		deadAfter    = flag.Int("dead-after", 0, "consecutive missed probe rounds before a node is declared dead and the repair pipeline runs (0 = default 5)")
 	)
 	flag.Parse()
 
@@ -64,6 +69,12 @@ func main() {
 			QueryDeadline: *queryDL,
 			CQDeadline:    *cqDL,
 			SendRetries:   *sendRetries,
+		},
+		Membership: core.MembershipConfig{
+			Enable:              *hbEvery > 0,
+			HeartbeatIntervalMS: hbEvery.Milliseconds(),
+			SuspectAfter:        *suspectAfter,
+			DeadAfter:           *deadAfter,
 		},
 	}
 	ftCfg := core.FTConfig{Dir: *ftDir, CheckpointEveryBatches: 100}

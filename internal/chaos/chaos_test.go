@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 	"time"
@@ -176,6 +177,158 @@ func TestChaosCrashWhileBreakerOpen(t *testing.T) {
 		t.Errorf("crash changed admission accounting: shed %d vs fault-free %d", faulty.Shed, faultFree.Shed)
 	}
 	checkInvariants(t, faultFree, faulty)
+}
+
+// checkNodeKillContract asserts the DESIGN.md §11 live-failover contract for
+// a node-kill run against its fault-free twin: the detector saw the death and
+// the rejoin, survivors answered every probe, dead-partition probes all
+// failed fast with the typed error, withheld boundaries re-fired, and the
+// deduplicated result stream (plus shed accounting) is identical to the twin.
+func checkNodeKillContract(t *testing.T, twin, faulted *Report) {
+	t.Helper()
+	if !faulted.NodeDeclaredDead {
+		t.Fatal("detector never declared the killed node dead")
+	}
+	if !faulted.NodeRejoined {
+		t.Fatal("killed node did not rejoin after restart")
+	}
+	if faulted.SurvivorQueries == 0 {
+		t.Error("no survivor-partition probes ran during the outage")
+	}
+	if faulted.SurvivorFailures != 0 {
+		t.Errorf("%d/%d survivor-partition probes failed during the outage",
+			faulted.SurvivorFailures, faulted.SurvivorQueries)
+	}
+	if faulted.DeadProbes == 0 {
+		t.Error("no dead-partition probes ran during the outage")
+	}
+	if faulted.DeadTyped != faulted.DeadProbes {
+		t.Errorf("%d/%d dead-partition probes returned ErrPartitionDown",
+			faulted.DeadTyped, faulted.DeadProbes)
+	}
+	if faulted.DeadProbeMaxMS > 1000 {
+		t.Errorf("slowest dead-partition probe took %dms; the contract is fail-fast", faulted.DeadProbeMaxMS)
+	}
+	if faulted.Refires == 0 {
+		t.Error("no withheld boundaries were re-fired after the rejoin repair")
+	}
+	for _, f := range faulted.Firings {
+		if !f.Ready {
+			t.Errorf("window %d delivered before its VTS prefix was stable", f.At)
+		}
+	}
+	base, err := twin.Dedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := faulted.Dedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, got) {
+		for at, rows := range base {
+			if !reflect.DeepEqual(rows, got[at]) {
+				t.Errorf("window %d diverged from the fault-free twin:\n%v\nvs\n%v", at, rows, got[at])
+			}
+		}
+		for at := range got {
+			if _, ok := base[at]; !ok {
+				t.Errorf("window %d fired only in the node-kill run", at)
+			}
+		}
+	}
+	if faulted.Shed != twin.Shed {
+		t.Errorf("node kill changed admission accounting: shed %d vs fault-free %d", faulted.Shed, twin.Shed)
+	}
+}
+
+// TestChaosNodeKillLiveFailover is the PR 5 tentpole scenario across three
+// seeds: one node dies mid-run and restarts later, the engine never stops,
+// and the run must be indistinguishable from its fault-free twin after
+// window-granularity dedup.
+func TestChaosNodeKillLiveFailover(t *testing.T) {
+	for _, seed := range []int64{3, 17, 23} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			base := Config{
+				Seed: seed, Nodes: 3, Batches: 12, TuplesPerBatch: 6,
+				Membership: true, Dir: t.TempDir(),
+			}
+			twin, err := Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if twin.NodeDeclaredDead || len(twin.Firings) == 0 {
+				t.Fatalf("twin: dead=%v firings=%d", twin.NodeDeclaredDead, len(twin.Firings))
+			}
+			cfg := base
+			cfg.Dir = t.TempDir()
+			cfg.NodeKillAtBatch = 4
+			cfg.NodeKillNode = 1
+			cfg.NodeRestartAtBatch = 8
+			faulted, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkNodeKillContract(t, twin, faulted)
+		})
+	}
+}
+
+// TestChaosNodeKillUnderOverload combines the node kill with sustained
+// over-emission: admission control must shed identically in both runs (the
+// outage cannot change what gets admitted), and the failover contract holds.
+func TestChaosNodeKillUnderOverload(t *testing.T) {
+	base := Config{
+		Seed: 29, Nodes: 3, Batches: 12, TuplesPerBatch: 6,
+		OverEmitFactor: 4,
+		Flow:           core.FlowConfig{MaxPending: 8},
+		Membership:     true, Dir: t.TempDir(),
+	}
+	twin, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twin.Shed == 0 {
+		t.Fatal("fault-free twin shed nothing; the overload did not bind")
+	}
+	cfg := base
+	cfg.Dir = t.TempDir()
+	cfg.NodeKillAtBatch = 5
+	cfg.NodeKillNode = 2
+	cfg.NodeRestartAtBatch = 9
+	faulted, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNodeKillContract(t, twin, faulted)
+}
+
+// TestChaosNodeKillDeterminism: a node-kill run is reproducible from its
+// seed, including detector transitions and probe outcomes.
+func TestChaosNodeKillDeterminism(t *testing.T) {
+	cfg := Config{
+		Seed: 31, Nodes: 3, Batches: 12, TuplesPerBatch: 6,
+		Membership:      true,
+		NodeKillAtBatch: 4, NodeKillNode: 1, NodeRestartAtBatch: 8,
+	}
+	cfg.Dir = t.TempDir()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Dir = t.TempDir()
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Firings, b.Firings) {
+		t.Errorf("same seed diverged:\n%v\nvs\n%v", a.Firings, b.Firings)
+	}
+	if a.NodeDeclaredDead != b.NodeDeclaredDead || a.NodeRejoined != b.NodeRejoined ||
+		a.DeadProbes != b.DeadProbes || a.Refires != b.Refires {
+		t.Errorf("failover bookkeeping diverged: %+v vs %+v", a, b)
+	}
 }
 
 // TestChaosLongerRun exercises a longer script with a late kill; skipped in

@@ -143,7 +143,7 @@ func (e *Engine) RegisterContinuous(text string, cb func(*Result, FireInfo)) (*C
 		Text:   text,
 		engine: e,
 		query:  q,
-		home:   fabric.NodeID(e.nextHome % e.cfg.Nodes),
+		home:   e.liveNodeFor(fabric.NodeID(e.nextHome % e.cfg.Nodes)),
 		cb:     cb,
 	}
 	e.nextHome++
@@ -243,6 +243,16 @@ func (e *Engine) fireDueQueries(ts rdf.Timestamp) {
 		cq.mu.Lock()
 		fired := false
 		for cq.nextFire <= ts && cq.windowsReady(cq.nextFire) {
+			if e.windowBlocked(cq, cq.nextFire) {
+				// The window covers a dead node's missed batches: executing
+				// it would silently return partial results. Withhold it,
+				// queue a re-fire for after the rejoin repair, and keep the
+				// step scheduler moving.
+				e.noteRefire(cq, cq.nextFire)
+				cq.nextFire += rdf.Timestamp(cq.stepMS)
+				fired = true
+				continue
+			}
 			due = append(due, firing{cq: cq, at: cq.nextFire})
 			cq.nextFire += rdf.Timestamp(cq.stepMS)
 			fired = true
@@ -263,10 +273,22 @@ func (e *Engine) fireDueQueries(ts rdf.Timestamp) {
 	for _, f := range due {
 		f := f
 		wg.Add(1)
-		e.cluster.Submit(f.cq.home, func() {
+		err := e.cluster.Submit(f.cq.Home(), func() {
 			defer wg.Done()
 			f.cq.execute(f.at)
 		})
+		if err != nil {
+			// The home node refused the firing (marked dead mid-repair or the
+			// cluster is shutting down). Treat it like a failed execution; if
+			// membership is active the firing is queued for re-fire so the
+			// at-least-once contract survives the refusal.
+			wg.Done()
+			f.cq.mu.Lock()
+			f.cq.failedExecs++
+			f.cq.mu.Unlock()
+			e.cFailedExecs.Inc()
+			e.noteRefire(f.cq, f.at)
+		}
 	}
 	wg.Wait()
 }
@@ -306,7 +328,7 @@ func (cq *ContinuousQuery) execute(at rdf.Timestamp) {
 	prov := e.providerFor(cq.query, at)
 	mode := e.modeFor(p)
 	rs, trace, err := e.ex.Execute(exec.Request{
-		Node:             cq.home,
+		Node:             cq.Home(),
 		Mode:             mode,
 		Access:           prov,
 		Resolver:         e.ss,
@@ -330,10 +352,13 @@ func (cq *ContinuousQuery) execute(at rdf.Timestamp) {
 			// An injected network fault made window data unreachable. The
 			// window is NOT delivered (a partial answer would be wrong);
 			// recovery re-fires it over replayed data (§5 at-least-once).
+			// With membership enabled the firing is queued for re-execution
+			// after the repair pipeline runs.
 			cq.mu.Lock()
 			cq.failedExecs++
 			cq.mu.Unlock()
 			e.cFailedExecs.Inc()
+			e.noteRefire(cq, at)
 			return
 		}
 		// Other execution errors indicate planner/executor bugs; surface
@@ -370,7 +395,7 @@ func (cq *ContinuousQuery) ExecuteNow() (*Result, time.Duration, error) {
 	p := cq.replan()
 	prov := e.providerFor(cq.query, at)
 	rs, trace, err := e.ex.Execute(exec.Request{
-		Node:             cq.home,
+		Node:             cq.Home(),
 		Mode:             e.modeFor(p),
 		Access:           prov,
 		Resolver:         e.ss,
@@ -395,7 +420,7 @@ func (cq *ContinuousQuery) ExecuteNowTraced() (*Result, *exec.Trace, error) {
 	p := cq.replan()
 	prov := e.providerFor(cq.query, at)
 	rs, trace, err := e.ex.Execute(exec.Request{
-		Node:             cq.home,
+		Node:             cq.Home(),
 		Mode:             e.modeFor(p),
 		Access:           prov,
 		Resolver:         e.ss,
@@ -440,5 +465,17 @@ func (cq *ContinuousQuery) Latencies() []time.Duration {
 	return append([]time.Duration(nil), cq.lats...)
 }
 
-// Home returns the node the query executes on.
-func (cq *ContinuousQuery) Home() fabric.NodeID { return cq.home }
+// Home returns the node the query executes on (failover may re-home it).
+func (cq *ContinuousQuery) Home() fabric.NodeID {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return cq.home
+}
+
+// setHome moves the query to a new execution node (the failover repair
+// pipeline re-homes queries off a dead node).
+func (cq *ContinuousQuery) setHome(n fabric.NodeID) {
+	cq.mu.Lock()
+	cq.home = n
+	cq.mu.Unlock()
+}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
-
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -105,7 +107,50 @@ const (
 	ftStreamsFile = "streams.json"
 	ftVTSFile     = "vts.json"
 	ftQuerySep    = "\x1e" // record separator between query texts
+
+	// ftQuarantineCounter counts durable records dropped because their CRC32C
+	// frame did not match — bit rot or a torn write that still parsed.
+	ftQuarantineCounter = "ft_quarantined_records_total"
 )
+
+// Durable records are CRC32C-framed (Castagnoli, the polynomial storage
+// systems use for exactly this): every batch-log record and checkpoint
+// metadata file ends with a trailer line "C <8 hex digits>" whose checksum
+// covers all preceding record bytes. Replay verifies the frame before
+// emitting anything from a record; a mismatch quarantines the record — it is
+// dropped and counted, and replay stops there, since later records may depend
+// on the lost tuples — instead of silently absorbing corrupted data.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptRecord reports a durable record whose CRC32C frame does not match
+// its contents.
+var ErrCorruptRecord = errors.New("core: corrupt durable record (CRC32C mismatch)")
+
+// withCRCTrailer frames data with its checksum trailer.
+func withCRCTrailer(data []byte) []byte {
+	return append(data, fmt.Sprintf("\nC %08x\n", crc32.Checksum(data, crcTable))...)
+}
+
+// readCheckedFile reads a CRC-framed metadata file, verifies the frame, and
+// returns the payload with the trailer stripped.
+func readCheckedFile(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	i := bytes.LastIndex(raw, []byte("\nC "))
+	if i < 0 {
+		return nil, fmt.Errorf("%w: %s has no checksum trailer", ErrCorruptRecord, filepath.Base(path))
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(raw[i+1:]), "C %x", &sum); err != nil {
+		return nil, fmt.Errorf("%w: %s trailer unreadable", ErrCorruptRecord, filepath.Base(path))
+	}
+	if payload := raw[:i]; crc32.Checksum(payload, crcTable) == sum {
+		return payload, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrCorruptRecord, filepath.Base(path))
+}
 
 // writeFileAtomic durably replaces path: the data is written to a temporary
 // file in the same directory, fsynced, and renamed over the target, so a
@@ -249,11 +294,12 @@ func (e *Engine) ftWriteStreamConfigs() error {
 	if err != nil {
 		return err
 	}
-	if err := writeFileAtomic(filepath.Join(e.ft.cfg.Dir, ftStreamsFile), data); err != nil {
+	framed := withCRCTrailer(data)
+	if err := writeFileAtomic(filepath.Join(e.ft.cfg.Dir, ftStreamsFile), framed); err != nil {
 		return err
 	}
 	if e.ft.cfg.MirrorDir != "" {
-		return writeFileAtomic(filepath.Join(e.ft.cfg.MirrorDir, ftStreamsFile), data)
+		return writeFileAtomic(filepath.Join(e.ft.cfg.MirrorDir, ftStreamsFile), framed)
 	}
 	return nil
 }
@@ -278,20 +324,22 @@ func (e *Engine) ftLogQuery(text string) {
 func (e *Engine) ftLogBatch(sst *streamState, b stream.Batch) {
 	st := e.ft
 	start := time.Now()
-	st.mu.Lock()
-	for _, w := range st.sinks() {
-		fmt.Fprintf(w, "B %s %d %d\n", sst.src.Name(), b.ID, len(b.Tuples))
-	}
+	// Assemble the whole record first so its CRC32C frame covers exactly the
+	// bytes that hit the disk, then append it to every sink in one write.
+	var rec bytes.Buffer
+	fmt.Fprintf(&rec, "B %s %d %d\n", sst.src.Name(), b.ID, len(b.Tuples))
 	for _, t := range b.Tuples {
 		tr, err := e.ss.DecodeTriple(t.EncodedTriple)
 		if err != nil {
 			continue // undecodable tuples cannot occur for tuples we encoded
 		}
-		for _, w := range st.sinks() {
-			fmt.Fprintf(w, "%s . @%d\n", tr, int64(t.TS))
-		}
+		fmt.Fprintf(&rec, "%s . @%d\n", tr, int64(t.TS))
 	}
+	sum := crc32.Checksum(rec.Bytes(), crcTable)
+	fmt.Fprintf(&rec, "C %08x\n", sum)
+	st.mu.Lock()
 	for _, w := range st.sinks() {
+		w.Write(rec.Bytes())
 		w.Flush()
 	}
 	st.stats.LoggedBatches++
@@ -331,7 +379,14 @@ func (e *Engine) Checkpoint() error {
 	for name, sst := range e.streams {
 		b := stable[sst.id]
 		meta.StableVTS[name] = int64(b)
-		trims = append(trims, trim{src: sst.src, before: b + 1})
+		before := b + 1
+		// Never trim past batches a dead (or silently crashed) node still
+		// needs replayed from upstream backup — the rejoin repair's only
+		// data source (DESIGN.md §11).
+		if oldest, ok := e.oldestMissedBatch(sst); ok && oldest < before {
+			before = oldest
+		}
+		trims = append(trims, trim{src: sst.src, before: before})
 	}
 	e.mu.Unlock()
 
@@ -356,11 +411,12 @@ func (e *Engine) Checkpoint() error {
 	if err != nil {
 		return err
 	}
-	if err := writeFileAtomic(filepath.Join(st.cfg.Dir, ftVTSFile), data); err != nil {
+	framed := withCRCTrailer(data)
+	if err := writeFileAtomic(filepath.Join(st.cfg.Dir, ftVTSFile), framed); err != nil {
 		return err
 	}
 	if st.cfg.MirrorDir != "" {
-		if err := writeFileAtomic(filepath.Join(st.cfg.MirrorDir, ftVTSFile), data); err != nil {
+		if err := writeFileAtomic(filepath.Join(st.cfg.MirrorDir, ftVTSFile), framed); err != nil {
 			return err
 		}
 	}
@@ -396,9 +452,14 @@ func Recover(cfg Config, ftCfg FTConfig, initial []rdf.Triple, callbacks func(na
 	}
 	e.LoadTriples(initial)
 
-	// Streams.
-	data, err := os.ReadFile(filepath.Join(ftCfg.Dir, ftStreamsFile))
+	// Streams. The stream metadata is the root of the recovery: without it
+	// nothing else can replay, so a corrupt frame here is a hard error (after
+	// counting the quarantined record) rather than a silent stop.
+	data, err := readCheckedFile(filepath.Join(ftCfg.Dir, ftStreamsFile))
 	if err != nil {
+		if errors.Is(err, ErrCorruptRecord) {
+			e.obs.Counter(ftQuarantineCounter).Inc()
+		}
 		e.Close()
 		return nil, fmt.Errorf("core: recover: %w", err)
 	}
@@ -491,9 +552,10 @@ func Recover(cfg Config, ftCfg FTConfig, initial []rdf.Triple, callbacks func(na
 
 // replayBatchLog replays one durable batch log and returns the highest batch
 // end timestamp it covered. Records are buffered per batch and emitted only
-// once the batch is complete, so a truncated or corrupt tail (a crash mid-
-// append) loses at most the damaged batch: replay stops at the last complete
-// record and reports complete=false instead of failing.
+// after their CRC32C trailer verifies, so a truncated tail (a crash mid-
+// append) loses at most the damaged batch — replay stops at the last complete
+// record and reports complete=false — and a bit-flipped record is quarantined
+// (dropped + counted via ft_quarantined_records_total) instead of replayed.
 func replayBatchLog(e *Engine, sources map[string]*stream.Source, path string) (rdf.Timestamp, bool, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -505,10 +567,18 @@ func replayBatchLog(e *Engine, sources map[string]*stream.Source, path string) (
 	var maxTS rdf.Timestamp
 	var cur *stream.Source
 	var curEnd rdf.Timestamp
-	var pending []rdf.Tuple
+	var pending []string // raw tuple lines, parsed only after the CRC verifies
+	var crcSum uint32
 	remaining := 0
+	inRec := false
 	flush := func() error {
-		for _, tu := range pending {
+		for _, ln := range pending {
+			tu, err := rdf.ParseTuple(ln)
+			if err != nil {
+				// The frame verified, so the record holds exactly the bytes we
+				// wrote; an unparseable line is a logger bug, not corruption.
+				return fmt.Errorf("verified record does not parse: %w", err)
+			}
 			// Replay bypasses admission control: every logged tuple was
 			// admitted before the crash, and shedding it here would lose
 			// durable data.
@@ -524,11 +594,27 @@ func replayBatchLog(e *Engine, sources map[string]*stream.Source, path string) (
 	}
 	for sc.Scan() {
 		line := sc.Text()
-		if strings.HasPrefix(line, "B ") {
-			if remaining > 0 {
+		switch {
+		case inRec && remaining == 0:
+			// The only legal line here is the record's checksum trailer.
+			var want uint32
+			if !strings.HasPrefix(line, "C ") {
+				return maxTS, false, nil // trailer lost: truncated tail
+			}
+			if _, err := fmt.Sscanf(line, "C %x", &want); err != nil || want != crcSum {
+				// Quarantine: the record's bytes do not match the frame. Drop
+				// it, count it, and stop — later records may depend on it.
+				e.obs.Counter(ftQuarantineCounter).Inc()
+				return maxTS, false, nil
+			}
+			if err := flush(); err != nil {
+				return maxTS, false, err
+			}
+			inRec = false
+		case strings.HasPrefix(line, "B "):
+			if inRec {
 				// A new header inside an unfinished batch: the previous
-				// batch's tail was lost. Discard it and stop — later records
-				// may depend on the lost tuples.
+				// batch's tail was lost. Discard it and stop.
 				return maxTS, false, nil
 			}
 			var name string
@@ -544,32 +630,20 @@ func replayBatchLog(e *Engine, sources map[string]*stream.Source, path string) (
 			remaining = int(n)
 			curEnd = src.BatchEnd(tstore.BatchID(batch))
 			pending = pending[:0]
-			if remaining == 0 {
-				if err := flush(); err != nil {
-					return maxTS, false, err
-				}
-			}
-			continue
-		}
-		if cur == nil || remaining <= 0 {
+			inRec = true
+			crcSum = crc32.Update(0, crcTable, append([]byte(line), '\n'))
+		case !inRec:
 			return maxTS, false, nil // stray tuple line: corrupt tail
-		}
-		tu, err := rdf.ParseTuple(line)
-		if err != nil {
-			return maxTS, false, nil // corrupt record: stop at last complete batch
-		}
-		pending = append(pending, tu)
-		remaining--
-		if remaining == 0 {
-			if err := flush(); err != nil {
-				return maxTS, false, err
-			}
+		default:
+			crcSum = crc32.Update(crcSum, crcTable, append([]byte(line), '\n'))
+			pending = append(pending, line)
+			remaining--
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return maxTS, false, err
 	}
-	// A batch still open at EOF is a truncated tail: its buffered tuples are
+	// A record still open at EOF is a truncated tail: its buffered tuples are
 	// dropped, everything before it was already emitted.
-	return maxTS, remaining == 0, nil
+	return maxTS, !inRec, nil
 }

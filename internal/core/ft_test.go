@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/stream"
 )
@@ -196,6 +198,85 @@ func TestFTRecoveryTruncatedTail(t *testing.T) {
 	}
 	if !found {
 		t.Error("post-recovery data not absorbed")
+	}
+}
+
+// TestFTQuarantinesBitFlippedRecord flips one bit inside a durably logged
+// record. The CRC32C frame must catch it: recovery quarantines the damaged
+// record (counted, not replayed — neither the original nor the flipped value
+// appears) while every record before it is recovered intact.
+func TestFTQuarantinesBitFlippedRecord(t *testing.T) {
+	dir := t.TempDir()
+	e, tweets, _ := figure1Engine(t, 2)
+	if err := e.EnableFT(FTConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	emit(t, tweets, 110, "Logan", "po", "T-90")
+	e.AdvanceTo(200)
+	emit(t, tweets, 250, "Logan", "po", "T-91")
+	e.AdvanceTo(300)
+	e.Kill()
+
+	logPath := filepath.Join(dir, "batches.000000.log")
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := strings.Index(string(data), "T-91")
+	if idx < 0 {
+		t.Fatalf("log does not mention T-91:\n%s", data)
+	}
+	data[idx] ^= 0x02 // "T-91" becomes "V-91": still parseable, wrong bytes
+	if err := os.WriteFile(logPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry("ftcrc_test")
+	re, err := Recover(Config{Nodes: 2, Metrics: reg}, FTConfig{Dir: dir}, xlab(), nil)
+	if err != nil {
+		t.Fatalf("recovery from bit-flipped log failed: %v", err)
+	}
+	defer re.Close()
+	res, err := re.Query(`SELECT ?P WHERE { Logan po ?P }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, s := range res.Strings() {
+		got[s] = true
+	}
+	if !got["T-90"] {
+		t.Errorf("intact record lost: %v", got)
+	}
+	if got["T-91"] || got["V-91"] {
+		t.Errorf("corrupted record replayed: %v", got)
+	}
+	if n := reg.Counter(ftQuarantineCounter).Value(); n != 1 {
+		t.Errorf("quarantined records = %d, want 1", n)
+	}
+}
+
+// TestFTDetectsCorruptStreamMetadata flips a bit in streams.json: the
+// recovery root must refuse to proceed with a typed error.
+func TestFTDetectsCorruptStreamMetadata(t *testing.T) {
+	dir := t.TempDir()
+	e, _, _ := figure1Engine(t, 2)
+	if err := e.EnableFT(FTConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	e.Kill()
+	path := filepath.Join(dir, ftStreamsFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Recover(Config{Nodes: 2}, FTConfig{Dir: dir}, xlab(), nil)
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Errorf("recover err = %v, want ErrCorruptRecord", err)
 	}
 }
 

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/member"
+	"repro/internal/obs"
+	"repro/internal/rdf"
+	"repro/internal/stream"
+)
+
+// failoverEngine builds a 3-node engine with membership enabled (fast
+// detector: suspect after 1 missed round, dead after 2), a seeded fault plan
+// installed, a base dataset of 32 subjects spread across the nodes, and one
+// 100 ms stream.
+func failoverEngine(t testing.TB, seed int64) (*Engine, *stream.Source, *fabric.FaultPlan) {
+	t.Helper()
+	e, err := New(Config{
+		Nodes:          3,
+		WorkersPerNode: 2,
+		Membership: MembershipConfig{
+			Enable:              true,
+			HeartbeatIntervalMS: 100,
+			SuspectAfter:        1,
+			DeadAfter:           2,
+		},
+		Metrics: obs.NewRegistry("failover_test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	var base []rdf.Triple
+	for i := 0; i < 32; i++ {
+		base = append(base, rdf.T(fmt.Sprintf("u%d", i), "po", fmt.Sprintf("v%d", i)))
+	}
+	e.LoadTriples(base)
+	plan := fabric.NewFaultPlan(seed)
+	e.Fabric().SetFaultPlan(plan)
+	src, err := e.RegisterStream(stream.Config{Name: "S", BatchInterval: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, src, plan
+}
+
+// subjectOn returns a loaded subject whose key is homed on the given node.
+func subjectOn(t testing.TB, e *Engine, n fabric.NodeID) string {
+	t.Helper()
+	for i := 0; i < 32; i++ {
+		name := fmt.Sprintf("u%d", i)
+		id, ok := e.StringServer().LookupEntity(rdf.T(name, "po", "x").S)
+		if !ok {
+			continue
+		}
+		if e.Fabric().HomeOf(uint64(id)) == n {
+			return name
+		}
+	}
+	t.Fatalf("no loaded subject homed on node %d", n)
+	return ""
+}
+
+func TestFailoverOneShotContractDuringOutage(t *testing.T) {
+	e, src, plan := failoverEngine(t, 1)
+	// Warmup on a subject outside the base set: injected stream tuples are
+	// persistent, so reusing u0 would inflate its one-shot row count below.
+	for ts := rdf.Timestamp(100); ts <= 500; ts += 100 {
+		emit(t, src, ts-50, "warm", "po", fmt.Sprintf("w%d", ts))
+		e.AdvanceTo(ts)
+	}
+	if got := e.Detector().State(2); got != member.Alive {
+		t.Fatalf("pre-crash state = %v", got)
+	}
+
+	plan.Crash(2)
+	e.AdvanceTo(600) // 1 missed round: suspect
+	if got := e.Detector().State(2); got != member.Suspect {
+		t.Fatalf("state after 1 miss = %v, want suspect", got)
+	}
+	e.AdvanceTo(700) // 2 missed rounds: dead, repair pipeline runs
+	if got := e.Detector().State(2); got != member.Dead {
+		t.Fatalf("state after 2 misses = %v, want dead", got)
+	}
+	if !e.Coordinator().Excluded(2) {
+		t.Error("dead node not excluded from VTS stability")
+	}
+	if e.Coordinator().Epoch() == 0 {
+		t.Error("exclusion did not bump the epoch")
+	}
+
+	// One-shot queries on live partitions keep succeeding: the round-robin
+	// placement skips the dead node, so every attempt lands on a survivor.
+	live := subjectOn(t, e, 0)
+	for i := 0; i < 6; i++ {
+		res, err := e.Query(fmt.Sprintf("SELECT ?O FROM X-Lab WHERE { %s po ?O }", live))
+		if err != nil {
+			t.Fatalf("survivor-partition query %d failed: %v", i, err)
+		}
+		if res.Len() != 1 {
+			t.Fatalf("survivor-partition query %d rows = %d, want 1", i, res.Len())
+		}
+	}
+
+	// A query needing the dead partition fails fast with the typed error.
+	deadSub := subjectOn(t, e, 2)
+	start := time.Now()
+	_, err := e.Query(fmt.Sprintf("SELECT ?O FROM X-Lab WHERE { %s po ?O }", deadSub))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dead-partition query succeeded, want ErrPartitionDown")
+	}
+	if !errors.Is(err, ErrPartitionDown) {
+		t.Errorf("err = %v, want errors.Is ErrPartitionDown", err)
+	}
+	if !errors.Is(err, fabric.ErrInjected) {
+		t.Errorf("err = %v, want errors.Is fabric.ErrInjected through the wrapper", err)
+	}
+	var pde *PartitionDownError
+	if !errors.As(err, &pde) {
+		t.Fatalf("err = %T, want *PartitionDownError", err)
+	}
+	if pde.Node != 2 {
+		t.Errorf("PartitionDownError.Node = %d, want 2", pde.Node)
+	}
+	if elapsed > time.Second {
+		t.Errorf("dead-partition query took %v, want fail-fast", elapsed)
+	}
+
+	// Restart: the next probe round triggers rejoin + repair.
+	plan.Restart(2)
+	e.AdvanceTo(800)
+	if got := e.Detector().State(2); got != member.Alive {
+		t.Fatalf("state after restart = %v, want alive", got)
+	}
+	if e.Coordinator().Excluded(2) {
+		t.Error("rejoined node still excluded")
+	}
+	res, err := e.Query(fmt.Sprintf("SELECT ?O FROM X-Lab WHERE { %s po ?O }", deadSub))
+	if err != nil {
+		t.Fatalf("post-rejoin query on rebuilt partition: %v", err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("post-rejoin rows = %d, want 1", res.Len())
+	}
+}
+
+// runFailoverTimeline drives an identical 1.7 s workload with and without a
+// node-1 outage from t=600 to t=1200, collecting the per-boundary CQ rows.
+func runFailoverTimeline(t *testing.T, kill bool) (map[rdf.Timestamp][]string, *Engine) { //nolint:thelper
+	t.Helper()
+	e, src, plan := failoverEngine(t, 7)
+	u0 := subjectOn(t, e, 0)
+	u1 := subjectOn(t, e, 1)
+	var mu sync.Mutex
+	fires := map[rdf.Timestamp][]string{}
+	_, err := e.RegisterContinuous(`
+REGISTER QUERY QF AS
+SELECT ?S ?O
+FROM S [RANGE 200ms STEP 200ms]
+WHERE { GRAPH S { ?S po ?O } }`, func(r *Result, f FireInfo) {
+		rows := r.Strings()
+		sort.Strings(rows)
+		mu.Lock()
+		defer mu.Unlock()
+		if prev, ok := fires[f.At]; ok {
+			t.Errorf("boundary %d delivered twice: %v then %v", f.At, prev, rows)
+		}
+		fires[f.At] = rows
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := rdf.Timestamp(100); ts <= 1500; ts += 100 {
+		if kill && ts == 600 {
+			plan.Crash(1)
+		}
+		if kill && ts == 1200 {
+			plan.Restart(1)
+		}
+		// One tuple homed on the (to-be-killed) node 1 per batch makes every
+		// outage window provably partial without its share.
+		emit(t, src, ts-50, u1, "po", fmt.Sprintf("a%d", ts))
+		emit(t, src, ts-50, u0, "po", fmt.Sprintf("b%d", ts))
+		e.AdvanceTo(ts)
+	}
+	// Extra ticks so withheld boundaries re-fire and trailing windows close.
+	e.AdvanceTo(1600)
+	e.AdvanceTo(1700)
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[rdf.Timestamp][]string, len(fires))
+	for at, rows := range fires {
+		out[at] = rows
+	}
+	return out, e
+}
+
+func TestFailoverCQMatchesFaultFreeTwin(t *testing.T) {
+	faulted, fe := runFailoverTimeline(t, true)
+	clean, _ := runFailoverTimeline(t, false)
+	if len(faulted) == 0 {
+		t.Fatal("no firings observed")
+	}
+	if !reflect.DeepEqual(faulted, clean) {
+		for at, rows := range clean {
+			if !reflect.DeepEqual(faulted[at], rows) {
+				t.Errorf("boundary %d: faulted rows %v != fault-free %v", at, faulted[at], rows)
+			}
+		}
+		for at := range faulted {
+			if _, ok := clean[at]; !ok {
+				t.Errorf("boundary %d fired only in the faulted run", at)
+			}
+		}
+	}
+	// The outage actually happened and was repaired.
+	if fe.Detector().State(1) != member.Alive {
+		t.Errorf("node 1 final state = %v, want alive", fe.Detector().State(1))
+	}
+	r := fe.Metrics()
+	if n := r.Counter("member_deaths_total").Value(); n != 1 {
+		t.Errorf("deaths = %d, want 1", n)
+	}
+	if n := r.Counter("failover_refires_executed_total").Value(); n == 0 {
+		t.Error("no withheld firings were re-executed")
+	}
+	if n := r.Counter("failover_replayed_batches_total").Value(); n == 0 {
+		t.Error("no batches replayed from upstream backup")
+	}
+}
+
+func TestFailoverStableVTSCatchesUpAfterRejoin(t *testing.T) {
+	_, fe := runFailoverTimeline(t, true)
+	_, ce := runFailoverTimeline(t, false)
+	// The rejoined node must not pin stability below the fault-free twin.
+	got, want := fe.Coordinator().StableVTS(), ce.Coordinator().StableVTS()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("stable VTS after repair = %v, fault-free twin = %v", got, want)
+	}
+}
+
+func TestMembershipFaultFreeSoakStaysQuiet(t *testing.T) {
+	e, src, plan := failoverEngine(t, 5)
+	plan.SetDrop(0.5) // heavy message-level noise; liveness must not trip
+	var col collector
+	if _, err := e.RegisterContinuous(`
+REGISTER QUERY QN AS
+SELECT ?S ?O
+FROM S [RANGE 200ms STEP 200ms]
+WHERE { GRAPH S { ?S po ?O } }`, col.cb); err != nil {
+		t.Fatal(err)
+	}
+	for ts := rdf.Timestamp(100); ts <= 3000; ts += 100 {
+		emit(t, src, ts-50, "u0", "po", fmt.Sprintf("x%d", ts))
+		e.AdvanceTo(ts)
+	}
+	for n, s := range e.Detector().States() {
+		if s != member.Alive {
+			t.Errorf("node %d = %v after fault-free soak, want alive", n, s)
+		}
+	}
+	r := e.Metrics()
+	if n := r.Counter("member_deaths_total").Value(); n != 0 {
+		t.Errorf("deaths = %d in a crash-free run", n)
+	}
+	if e.Coordinator().Epoch() != 0 {
+		t.Errorf("epoch = %d, want 0 (no exclusions)", e.Coordinator().Epoch())
+	}
+}
+
+// TestDeathAbandonsReshipsAndReleasesHolds plants a lost index-replica
+// shipment destined for a node, then kills that node: the queued re-ship can
+// never succeed, so the death repair must drop it and release its VTS
+// stability hold — otherwise the hold pins the stable snapshot forever.
+func TestDeathAbandonsReshipsAndReleasesHolds(t *testing.T) {
+	e, src, plan := failoverEngine(t, 11)
+	for ts := rdf.Timestamp(100); ts <= 500; ts += 100 {
+		emit(t, src, ts-50, "warm", "po", fmt.Sprintf("w%d", ts))
+		e.AdvanceTo(ts)
+	}
+	st, ok := e.streamOf("S")
+	if !ok {
+		t.Fatal("stream S missing")
+	}
+	// A replica shipment from node 0 to node 2 was lost: hold + queued reship,
+	// exactly what the injection path does on a failed ship.
+	e.coord.MarkUnshipped(st.id, 6)
+	e.enqueueReship(reship{st: st, batch: 6, from: 0, to: 2, bytes: 64})
+
+	plan.Crash(2)
+	e.AdvanceTo(600) // suspect; retry against the crashed node keeps failing
+	if n := e.coord.Unshipped(st.id); n != 1 {
+		t.Fatalf("holds while destination suspect = %d, want 1", n)
+	}
+	e.AdvanceTo(700) // dead: the reship is abandoned, its hold released
+	if n := e.coord.Unshipped(st.id); n != 0 {
+		t.Errorf("holds after destination death = %d, want 0", n)
+	}
+	e.reshipMu.Lock()
+	depth := len(e.reships)
+	e.reshipMu.Unlock()
+	if depth != 0 {
+		t.Errorf("reship queue depth after death = %d, want 0", depth)
+	}
+	if n := e.Metrics().Counter("failover_reships_abandoned_total").Value(); n != 1 {
+		t.Errorf("abandoned reships = %d, want 1", n)
+	}
+	// With the hold gone, stability keeps advancing past the held batch.
+	for ts := rdf.Timestamp(800); ts <= 1200; ts += 100 {
+		e.AdvanceTo(ts)
+	}
+	if got := e.Coordinator().StableVTS()[st.id]; got < 7 {
+		t.Errorf("stable VTS stuck at %d despite released hold", got)
+	}
+}
+
+func TestMembershipDisabledIsInert(t *testing.T) {
+	e, _, _ := figure1Engine(t, 2)
+	if e.Detector() != nil {
+		t.Error("Detector non-nil without membership")
+	}
+	if e.skipDead() != nil {
+		t.Error("skipDead non-nil without membership")
+	}
+	if e.nodeDown(0) {
+		t.Error("nodeDown true without membership")
+	}
+	if e.windowBlocked(nil, 0) {
+		t.Error("windowBlocked true without membership")
+	}
+	// Journals and refires are no-ops, not panics.
+	e.journalLost(nil, 0, 1, 1)
+	e.journalMissed(nil, 0, 1, 1, 1)
+	e.noteRefire(nil, 0)
+}

@@ -123,6 +123,7 @@ type Fabric struct {
 	tcpRounds   atomic.Int64
 	bytesRead   atomic.Int64
 	bytesRPC    atomic.Int64
+	heartbeats  atomic.Int64
 	chargedNano atomic.Int64
 
 	// Per node-pair traffic, indexed from*Nodes+to (remote ops only). The
@@ -211,6 +212,29 @@ func (f *Fabric) Reachable(from, to NodeID) error {
 	}
 	return nil
 }
+
+// Heartbeat probes the from->to path with a tiny liveness message. It fails
+// exactly when Reachable fails (crashed endpoint or partition) and never
+// consumes a probabilistic fault decision, so a seeded run behaves
+// identically with or without a failure detector attached. Probe traffic is
+// counted separately from data traffic (Heartbeats accessor) but still shows
+// up in per-pair link accounting.
+func (f *Fabric) Heartbeat(from, to NodeID) error {
+	if err := f.Reachable(from, to); err != nil {
+		return err
+	}
+	f.heartbeats.Add(1)
+	if from != to {
+		f.addPair(from, to, heartbeatBytes)
+	}
+	return nil
+}
+
+// heartbeatBytes is the nominal wire size of one liveness probe.
+const heartbeatBytes = 8
+
+// Heartbeats returns the number of successful liveness probes issued.
+func (f *Fabric) Heartbeats() int64 { return f.heartbeats.Load() }
 
 // charge injects d of latency according to the configured mode and records it.
 func (f *Fabric) charge(d time.Duration) {
@@ -354,6 +378,7 @@ func (f *Fabric) ResetStats() {
 	f.tcpRounds.Store(0)
 	f.bytesRead.Store(0)
 	f.bytesRPC.Store(0)
+	f.heartbeats.Store(0)
 	f.chargedNano.Store(0)
 }
 

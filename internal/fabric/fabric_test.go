@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -249,17 +250,186 @@ func TestClusterForkJoin(t *testing.T) {
 	}
 }
 
-func TestClusterSubmitAfterClosePanics(t *testing.T) {
+func TestClusterSubmitAfterCloseReturnsTypedError(t *testing.T) {
 	f := New(DefaultConfig(1))
 	c := NewCluster(f, 1)
 	c.Close()
 	c.Close() // idempotent
-	defer func() {
-		if recover() == nil {
-			t.Error("Submit after Close did not panic")
+	err := c.Submit(0, func() { t.Error("task ran on closed cluster") })
+	if !errors.Is(err, ErrClusterClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClusterClosed", err)
+	}
+	if err := c.Call(0, 0, 8, func() int { return 8 }); !errors.Is(err, ErrClusterClosed) {
+		t.Errorf("Call after Close = %v, want ErrClusterClosed", err)
+	}
+	if err := c.ForkJoin(0, 8, func(NodeID) int { return 8 }); !errors.Is(err, ErrClusterClosed) {
+		t.Errorf("ForkJoin after Close = %v, want ErrClusterClosed", err)
+	}
+}
+
+func TestClusterSubmitCloseRace(t *testing.T) {
+	// Before the typed-error fix, Submit checked closed and then sent on a
+	// possibly-closed channel: a shutdown race panicked. Now the check and
+	// send share a lock, so every Submit either runs its task or returns
+	// ErrClusterClosed. Hammer the race under -race.
+	for iter := 0; iter < 50; iter++ {
+		f := New(DefaultConfig(4))
+		c := NewCluster(f, 2)
+		var ran, refused atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 50; i++ {
+					if err := c.Submit(NodeID((g+i)%4), func() { ran.Add(1) }); err != nil {
+						if !errors.Is(err, ErrClusterClosed) {
+							t.Errorf("Submit error = %v, want ErrClusterClosed", err)
+						}
+						refused.Add(1)
+					}
+				}
+			}(g)
 		}
-	}()
-	c.Submit(0, func() {})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			c.Close()
+		}()
+		close(start)
+		wg.Wait()
+		if ran.Load()+refused.Load() != 8*50 {
+			t.Fatalf("tasks unaccounted: ran=%d refused=%d", ran.Load(), refused.Load())
+		}
+	}
+}
+
+func TestClusterMarkDeadRefusesNewWorkAndDrainsQueued(t *testing.T) {
+	f := New(DefaultConfig(2))
+	c := NewCluster(f, 1)
+	defer c.Close()
+
+	// Stall node 1's single worker so tasks queue up behind it, then mark
+	// the node dead: the queued tasks must still drain (they were accepted
+	// while the node was alive), while new submissions are refused.
+	release := make(chan struct{})
+	var drained atomic.Int64
+	if err := c.Submit(1, func() { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Submit(1, func() { drained.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.MarkDead(1)
+	if !c.Dead(1) {
+		t.Error("Dead(1) = false after MarkDead")
+	}
+	if err := c.Submit(1, func() { t.Error("task ran on dead node") }); !errors.Is(err, ErrNodeDead) {
+		t.Errorf("Submit to dead node = %v, want ErrNodeDead", err)
+	}
+	if err := c.Call(0, 1, 8, func() int { return 8 }); !errors.Is(err, ErrNodeDead) {
+		t.Errorf("Call to dead node = %v, want ErrNodeDead", err)
+	}
+	// ForkJoin must skip the dead node but still run live branches, and
+	// return the dead-node error after all branches complete.
+	var live atomic.Int64
+	if err := c.ForkJoin(0, 8, func(n NodeID) int {
+		if n == 1 {
+			t.Error("fork-join branch ran on dead node")
+		}
+		live.Add(1)
+		return 8
+	}); !errors.Is(err, ErrNodeDead) {
+		t.Errorf("ForkJoin with dead node = %v, want ErrNodeDead", err)
+	}
+	if live.Load() != 1 {
+		t.Errorf("fork-join ran %d live branches, want 1", live.Load())
+	}
+	close(release)
+	c.Quiesce()
+	if drained.Load() != 10 {
+		t.Errorf("drained %d queued tasks, want 10 (dead mark must not strand queued work)", drained.Load())
+	}
+
+	// Rejoin: the node accepts work again.
+	c.MarkLive(1)
+	if c.Dead(1) {
+		t.Error("Dead(1) = true after MarkLive")
+	}
+	var after atomic.Int64
+	if err := c.Submit(1, func() { after.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce()
+	if after.Load() != 1 {
+		t.Error("task did not run after MarkLive")
+	}
+}
+
+func TestHeartbeatFollowsReachability(t *testing.T) {
+	f := New(DefaultConfig(3))
+	if err := f.Heartbeat(0, 1); err != nil {
+		t.Fatalf("healthy heartbeat failed: %v", err)
+	}
+	if f.Heartbeats() != 1 {
+		t.Errorf("Heartbeats = %d, want 1", f.Heartbeats())
+	}
+	plan := NewFaultPlan(1)
+	f.SetFaultPlan(plan)
+	plan.Crash(2)
+	if err := f.Heartbeat(0, 2); err == nil {
+		t.Error("heartbeat to crashed node succeeded")
+	} else if !errors.Is(err, ErrInjected) {
+		t.Errorf("heartbeat error = %v, want ErrInjected chain", err)
+	}
+	if err := f.Heartbeat(0, 1); err != nil {
+		t.Errorf("heartbeat between live nodes failed: %v", err)
+	}
+	plan.Restart(2)
+	if err := f.Heartbeat(0, 2); err != nil {
+		t.Errorf("heartbeat after restart failed: %v", err)
+	}
+	// Partition: probes across groups fail, within a group succeed.
+	plan.Partition([]NodeID{0, 1}, []NodeID{2})
+	if err := f.Heartbeat(0, 2); err == nil {
+		t.Error("heartbeat across partition succeeded")
+	}
+	if err := f.Heartbeat(0, 1); err != nil {
+		t.Errorf("heartbeat within partition group failed: %v", err)
+	}
+}
+
+func TestHeartbeatDrawsNoRandomness(t *testing.T) {
+	// Reachability probes must not consume fault-plan RNG: a run with a
+	// failure detector attached must shed/drop identically to one without.
+	draw := func(probes int) []bool {
+		f := New(DefaultConfig(2))
+		plan := NewFaultPlan(42)
+		plan.SetDrop(0.5)
+		f.SetFaultPlan(plan)
+		var outcomes []bool
+		for i := 0; i < 20; i++ {
+			for p := 0; p < probes; p++ {
+				if err := f.Heartbeat(0, 1); err != nil {
+					t.Fatalf("heartbeat failed under drop plan: %v", err)
+				}
+			}
+			outcomes = append(outcomes, f.SendAsync(0, 1, 8) == nil)
+		}
+		return outcomes
+	}
+	without := draw(0)
+	with := draw(7)
+	for i := range without {
+		if without[i] != with[i] {
+			t.Fatalf("send %d diverged when heartbeats interleaved: %v vs %v", i, without, with)
+		}
+	}
 }
 
 func TestClusterWorkerValidation(t *testing.T) {

@@ -325,3 +325,59 @@ func TestSenderBreakerFastFailsAndRecovers(t *testing.T) {
 		t.Fatal("breaker did not close after successful probe")
 	}
 }
+
+// TestBreakerHalfOpenSingleProbeUnderConcurrency hammers a tripped breaker
+// with racing Allow calls right after the cooldown: per half-open episode
+// exactly one caller may be admitted as the probe, no matter how many race
+// across the Open→HalfOpen flip, and the probe's outcome decides the next
+// episode for everyone.
+func TestBreakerHalfOpenSingleProbeUnderConcurrency(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, 50*time.Millisecond)
+	b.SetClock(clk.now)
+	for round := 0; round < 20; round++ {
+		b.Failure() // trip (threshold 1); also re-arms after a closed round
+		if b.State() != Open {
+			t.Fatalf("round %d: state = %v, want open", round, b.State())
+		}
+		clk.advance(60 * time.Millisecond)
+		const workers = 16
+		var mu sync.Mutex
+		admitted := 0
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if b.Allow() {
+					mu.Lock()
+					admitted++
+					mu.Unlock()
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if admitted != 1 {
+			t.Fatalf("round %d: %d concurrent probes admitted, want exactly 1", round, admitted)
+		}
+		if round%2 == 0 {
+			// Probe fails: straight back to Open, nobody else slips in.
+			b.Failure()
+			if b.State() != Open {
+				t.Fatalf("round %d: failed probe left state %v", round, b.State())
+			}
+			if b.Allow() {
+				t.Fatalf("round %d: re-opened breaker admitted before cooldown", round)
+			}
+		} else {
+			// Probe succeeds: closed for everyone.
+			b.Success()
+			if b.State() != Closed || !b.Allow() {
+				t.Fatalf("round %d: successful probe did not close the breaker", round)
+			}
+		}
+	}
+}

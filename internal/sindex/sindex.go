@@ -17,6 +17,7 @@
 package sindex
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -55,7 +56,7 @@ type Index struct {
 	mu      sync.RWMutex
 	batches []*batchIndex // ascending batch order
 
-	home fabric.NodeID // the stream's arrival node; always a replica
+	home fabric.NodeID // guarded by replicaMu; changes only via PromoteHome
 
 	replicaMu sync.RWMutex
 	replicas  map[fabric.NodeID]bool
@@ -73,12 +74,19 @@ func New(home fabric.NodeID) *Index {
 	return &Index{home: home, replicas: map[fabric.NodeID]bool{home: true}}
 }
 
-// Home returns the node the index is homed on (the stream's adaptor home).
-func (ix *Index) Home() fabric.NodeID { return ix.home }
+// Home returns the node the index is homed on (the stream's adaptor home
+// unless a failover promoted a replica).
+func (ix *Index) Home() fabric.NodeID {
+	ix.replicaMu.RLock()
+	defer ix.replicaMu.RUnlock()
+	return ix.home
+}
 
 // AddBatch records the key spans appended by one batch's injection. Adjacent
 // spans for the same key merge into one (injection within a batch is
-// consecutive per key, §4.3). Batches must arrive in non-decreasing order.
+// consecutive per key, §4.3). Batches normally arrive in ascending order; an
+// older batch (a rejoining node's upstream-backup backfill) is merged into
+// place by sorted insertion instead.
 func (ix *Index) AddBatch(batch tstore.BatchID, spans []store.KeySpan) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -88,7 +96,20 @@ func (ix *Index) AddBatch(batch tstore.BatchID, spans []store.KeySpan) {
 	case n > 0 && ix.batches[n-1].batch == batch:
 		bi = ix.batches[n-1]
 	case n > 0 && ix.batches[n-1].batch > batch:
-		panic("sindex: batch regression on AddBatch")
+		// Out-of-order backfill: find (or make room at) batch's slot.
+		i := sort.Search(n, func(i int) bool { return ix.batches[i].batch >= batch })
+		if i < n && ix.batches[i].batch == batch {
+			bi = ix.batches[i]
+		} else {
+			bi = &batchIndex{
+				batch:   batch,
+				entries: make(map[store.Key][]store.Span),
+				byPred:  make(map[pidDir][]rdf.ID),
+			}
+			ix.batches = append(ix.batches, nil)
+			copy(ix.batches[i+1:], ix.batches[i:])
+			ix.batches[i] = bi
+		}
 	default:
 		bi = &batchIndex{
 			batch:   batch,
@@ -165,22 +186,31 @@ func (ix *Index) Lookup(key store.Key, from, to tstore.BatchID) []store.Span {
 // the index home — and inherits that path's faults. The key's spans come back
 // like Lookup's.
 func (ix *Index) LookupFrom(fab *fabric.Fabric, from fabric.NodeID, key store.Key, lo, hi tstore.BatchID) ([]store.Span, error) {
-	if !ix.ReplicatedOn(from) && ix.home != from {
-		if err := fab.ReadRemote(from, ix.home, 16); err != nil {
-			return nil, err
-		}
+	if err := ix.chargeRemote(fab, from); err != nil {
+		return nil, err
 	}
 	return ix.Lookup(key, lo, hi), nil
+}
+
+// chargeRemote charges (and may fail) the one-sided read a replica-less node
+// pays against the index home.
+func (ix *Index) chargeRemote(fab *fabric.Fabric, from fabric.NodeID) error {
+	ix.replicaMu.RLock()
+	local := ix.replicas[from] || ix.home == from
+	home := ix.home
+	ix.replicaMu.RUnlock()
+	if local {
+		return nil
+	}
+	return fab.ReadRemote(from, home, 16)
 }
 
 // VerticesFrom is Vertices on behalf of a worker on node `from`: a node
 // without a replica pays (and may fail) one remote lookup read against the
 // index home before scanning.
 func (ix *Index) VerticesFrom(fab *fabric.Fabric, from fabric.NodeID, pid rdf.ID, d store.Dir, lo, hi tstore.BatchID) ([]rdf.ID, error) {
-	if !ix.ReplicatedOn(from) && ix.home != from {
-		if err := fab.ReadRemote(from, ix.home, 16); err != nil {
-			return nil, err
-		}
+	if err := ix.chargeRemote(fab, from); err != nil {
+		return nil, err
 	}
 	return ix.Vertices(pid, d, lo, hi), nil
 }
@@ -241,6 +271,30 @@ func (ix *Index) Replicate(n fabric.NodeID) {
 	ix.replicaMu.Lock()
 	defer ix.replicaMu.Unlock()
 	ix.replicas[n] = true
+}
+
+// PromoteHome moves the index home to node n (which must then hold a
+// replica, so it is added to the replica set). The failover pipeline
+// promotes a locality replica when the original home node dies, keeping
+// windows answerable — replica-less readers then pay their one-sided read
+// against the promoted home instead of the dead node.
+func (ix *Index) PromoteHome(n fabric.NodeID) {
+	ix.replicaMu.Lock()
+	defer ix.replicaMu.Unlock()
+	ix.home = n
+	ix.replicas[n] = true
+}
+
+// Unreplicate drops node n from the replica set, so injection stops shipping
+// replica updates to it. Dropping the home is refused — the home copy is the
+// one replica that must always exist; promote a different home first.
+func (ix *Index) Unreplicate(n fabric.NodeID) {
+	ix.replicaMu.Lock()
+	defer ix.replicaMu.Unlock()
+	if n == ix.home {
+		return
+	}
+	delete(ix.replicas, n)
 }
 
 // ReplicatedOn reports whether node n holds a replica.

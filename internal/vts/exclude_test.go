@@ -1,0 +1,167 @@
+package vts
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/tstore"
+)
+
+// insertAll reports batch b of stream s inserted on every node of c.
+func insertAll(c *Coordinator, nodes int, s StreamID, b tstore.BatchID) {
+	c.SNForBatch(s, b)
+	for n := 0; n < nodes; n++ {
+		c.OnBatchInserted(fabric.NodeID(n), s, b)
+	}
+}
+
+func TestExcludeNodeUnsticksStability(t *testing.T) {
+	const nodes = 3
+	c := NewCoordinator(nil, nodes, 1, 1)
+	insertAll(c, nodes, 0, 1)
+	if c.StableVTS()[0] != 1 || c.StableSN() != 1 {
+		t.Fatalf("baseline stable = %v sn=%d", c.StableVTS(), c.StableSN())
+	}
+	// Node 2 goes silent: batches 2 and 3 land only on nodes 0 and 1, so
+	// stability stalls at the dead node's last report.
+	for b := tstore.BatchID(2); b <= 3; b++ {
+		c.SNForBatch(0, b)
+		c.OnBatchInserted(0, 0, b)
+		c.OnBatchInserted(1, 0, b)
+	}
+	if c.StableVTS()[0] != 1 {
+		t.Fatalf("stable moved despite silent node: %v", c.StableVTS())
+	}
+	c.ExcludeNode(2)
+	if !c.Excluded(2) {
+		t.Error("Excluded(2) = false")
+	}
+	if c.Epoch() != 1 {
+		t.Errorf("epoch = %d, want 1", c.Epoch())
+	}
+	if got := c.StableVTS()[0]; got != 3 {
+		t.Errorf("stable after exclusion = %d, want 3 (survivors' min)", got)
+	}
+	if got := c.StableSN(); got != 3 {
+		t.Errorf("stable SN after exclusion = %d, want 3", got)
+	}
+	// Window trigger condition follows.
+	if !c.WindowReady([]StreamID{0}, []tstore.BatchID{3}) {
+		t.Error("WindowReady(3) = false after exclusion")
+	}
+	// Idempotent: no extra epoch.
+	c.ExcludeNode(2)
+	if c.Epoch() != 1 {
+		t.Errorf("epoch after repeat exclude = %d, want 1", c.Epoch())
+	}
+}
+
+func TestIncludeNodeAfterReplayRestoresStability(t *testing.T) {
+	const nodes = 3
+	c := NewCoordinator(nil, nodes, 1, 1)
+	insertAll(c, nodes, 0, 1)
+	c.ExcludeNode(2)
+	// Survivors advance far enough that the plans node 2 would need are
+	// pruned (plans below Stable_SN are dropped, keeping one).
+	for b := tstore.BatchID(2); b <= 8; b++ {
+		c.SNForBatch(0, b)
+		c.OnBatchInserted(0, 0, b)
+		c.OnBatchInserted(1, 0, b)
+	}
+	if got := c.StableSN(); got != 8 {
+		t.Fatalf("survivor stable SN = %d, want 8", got)
+	}
+	// Rejoin replay: node 2 re-inserts its missed batches in order while
+	// still excluded — stability must not wobble during the rebuild.
+	for b := tstore.BatchID(2); b <= 8; b++ {
+		c.OnBatchInserted(2, 0, b)
+		if got := c.StableSN(); got != 8 {
+			t.Fatalf("stable SN moved during excluded replay: %d", got)
+		}
+	}
+	c.IncludeNode(2)
+	if c.Excluded(2) || c.Epoch() != 2 {
+		t.Fatalf("excluded=%v epoch=%d after include", c.Excluded(2), c.Epoch())
+	}
+	// The node's Local_SN was recomputed arithmetically (the satisfied plans
+	// are long pruned), so stability holds at the survivors' level.
+	if got := c.StableSN(); got != 8 {
+		t.Errorf("stable SN after include = %d, want 8", got)
+	}
+	if got := c.StableVTS()[0]; got != 8 {
+		t.Errorf("stable VTS after include = %d, want 8", got)
+	}
+	// New batches require all three nodes again.
+	c.SNForBatch(0, 9)
+	c.OnBatchInserted(0, 0, 9)
+	c.OnBatchInserted(1, 0, 9)
+	if got := c.StableVTS()[0]; got != 8 {
+		t.Errorf("stable advanced without the rejoined node: %d", got)
+	}
+	c.OnBatchInserted(2, 0, 9)
+	if got := c.StableVTS()[0]; got != 9 {
+		t.Errorf("stable after full insert = %d, want 9", got)
+	}
+}
+
+func TestIncludeNodeWithoutReplayDropsStability(t *testing.T) {
+	// Re-including a node that was NOT repaired pulls stability back to its
+	// true (stale) position — the coordinator never lies about coverage.
+	const nodes = 2
+	c := NewCoordinator(nil, nodes, 1, 1)
+	insertAll(c, nodes, 0, 1)
+	c.ExcludeNode(1)
+	for b := tstore.BatchID(2); b <= 4; b++ {
+		c.SNForBatch(0, b)
+		c.OnBatchInserted(0, 0, b)
+	}
+	if got := c.StableSN(); got != 4 {
+		t.Fatalf("stable SN = %d, want 4", got)
+	}
+	c.IncludeNode(1)
+	if got := c.StableVTS()[0]; got != 1 {
+		t.Errorf("stable after unrepaired include = %d, want 1", got)
+	}
+}
+
+func TestAllNodesExcludedFallsBackToAll(t *testing.T) {
+	const nodes = 2
+	c := NewCoordinator(nil, nodes, 1, 1)
+	insertAll(c, nodes, 0, 1)
+	c.ExcludeNode(0)
+	c.ExcludeNode(1)
+	// Degenerate: everyone excluded → treated as everyone live.
+	if got := c.StableVTS()[0]; got != 1 {
+		t.Errorf("stable with all excluded = %d, want 1", got)
+	}
+	c.IncludeNode(0)
+	c.IncludeNode(1)
+	if got := c.StableVTS()[0]; got != 1 {
+		t.Errorf("stable after re-include = %d, want 1", got)
+	}
+	if c.Epoch() != 4 {
+		t.Errorf("epoch = %d, want 4", c.Epoch())
+	}
+}
+
+func TestExclusionRespectsUnshippedHolds(t *testing.T) {
+	// An excluded node must not bypass replica-shipment holds: the hold
+	// clamps stability regardless of membership.
+	const nodes = 3
+	c := NewCoordinator(nil, nodes, 1, 1)
+	insertAll(c, nodes, 0, 1)
+	c.MarkUnshipped(0, 2)
+	for b := tstore.BatchID(2); b <= 3; b++ {
+		c.SNForBatch(0, b)
+		c.OnBatchInserted(0, 0, b)
+		c.OnBatchInserted(1, 0, b)
+	}
+	c.ExcludeNode(2)
+	if got := c.StableVTS()[0]; got != 1 {
+		t.Errorf("stable = %d, want 1 (clamped below unshipped batch 2)", got)
+	}
+	c.ClearUnshipped(0, 2)
+	if got := c.StableVTS()[0]; got != 3 {
+		t.Errorf("stable after hold release = %d, want 3", got)
+	}
+}
