@@ -4,14 +4,14 @@ GO ?= go
 RACE_PKGS := ./internal/core/... ./internal/fabric/... ./internal/server/... \
              ./internal/client/... ./internal/chaos/... ./internal/obs/... \
              ./internal/flow/... ./internal/stream/... ./internal/soak/... \
-             ./internal/member/...
+             ./internal/member/... ./internal/wire/... ./internal/cluster/...
 
-.PHONY: all ci vet build build-cmds test race smoke soak soak-short chaos bench bench-smoke bench-overload bench-failover clean
+.PHONY: all ci vet build build-cmds test race smoke soak soak-short chaos chaos-proc bench bench-smoke bench-overload bench-failover clean
 
 all: ci
 
 # The full gate: what CI runs, in order.
-ci: vet build build-cmds test race soak-short chaos
+ci: vet build build-cmds test race soak-short chaos chaos-proc
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +48,13 @@ soak-short:
 # contract across three seeds, failover under overload, and determinism.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaosNodeKill' ./internal/chaos/...
+
+# Process-level chaos (DESIGN.md §12): build the real wukongsd, form a
+# 3-daemon TCP cluster, kill -9 one mid-load, assert the failover contract
+# (survivor sub-ms path, typed dead-partition errors, rejoin + twin-equal
+# dedup). The scenario IS the short configuration, so -short changes nothing.
+chaos-proc:
+	$(GO) test -short -count=1 -run 'TestProcClusterKillDashNine' ./internal/chaos/...
 
 bench:
 	$(GO) test -bench . -benchtime 20x -run '^$$' .

@@ -96,6 +96,9 @@ func runNodeKill(obsPath string, mode fabric.LatencyMode) error {
 		Nodes:          3,
 		WorkersPerNode: 4,
 		Fabric:         fabric.Config{Mode: mode, RDMA: true},
+		// Clamp retry jitter to the fault plan's seed: the benchmark's
+		// failure report must replay with the same retry schedule.
+		Flow: core.FlowConfig{Seed: 1},
 		Membership: core.MembershipConfig{
 			Enable:              true,
 			HeartbeatIntervalMS: batchMS,

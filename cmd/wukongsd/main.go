@@ -4,6 +4,15 @@
 //	wukongsd -addr :7690 -nodes 8 -workers 4
 //	wukongsd -addr :7690 -load data.nt -ft /var/lib/wukongs
 //
+// With -listen it becomes one daemon of a real multi-process cluster
+// (DESIGN.md §12): the first daemon is the seed, later daemons -join it.
+// Every daemon keeps a full replica; writes replicate through the seed's op
+// log and one-shot queries route to the rank owning their partition.
+//
+//	wukongsd -addr :7690 -nodes 3 -listen 127.0.0.1:7800
+//	wukongsd -addr :7691 -nodes 3 -listen 127.0.0.1:7801 -join 127.0.0.1:7800
+//	wukongsd -addr :7692 -nodes 3 -listen 127.0.0.1:7802 -join 127.0.0.1:7800
+//
 // Try it with netcat:
 //
 //	$ nc localhost 7690
@@ -19,14 +28,19 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/flow"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -53,8 +67,25 @@ func main() {
 		hbEvery      = flag.Duration("heartbeat-interval", 0, "enable node failure detection and live failover with this probe-round period (0 = disabled)")
 		suspectAfter = flag.Int("suspect-after", 0, "consecutive missed probe rounds before a node is marked suspect (0 = default 2)")
 		deadAfter    = flag.Int("dead-after", 0, "consecutive missed probe rounds before a node is declared dead and the repair pipeline runs (0 = default 5)")
+
+		// Real-cluster knobs (DESIGN.md §12).
+		listen    = flag.String("listen", "", "cluster wire listen address (host:port); enables multi-process cluster mode — this daemon is the seed unless -join is set")
+		joinAddr  = flag.String("join", "", "seed daemon's -listen address to join (requires -listen)")
+		advertise = flag.String("advertise", "", "dialable address peers use to reach this daemon's -listen socket (default: the -listen address)")
+		clusterHB = flag.Duration("cluster-heartbeat", 0, "cluster peer-liveness probe period (0 = default 100ms)")
+		flowSeed  = flag.Int64("flow-seed", 0, "seed for retry-jitter RNGs (engine sends and cluster replication); 0 = nondeterministic")
 	)
 	flag.Parse()
+
+	if *joinAddr != "" && *listen == "" {
+		log.Fatal("-join requires -listen")
+	}
+	if *listen != "" && *ftDir != "" {
+		log.Fatal("-ft cannot be combined with cluster mode (replication is the durability story there)")
+	}
+	if *listen != "" && *hbEvery > 0 {
+		log.Fatal("-heartbeat-interval is the single-process simulated detector; cluster mode has its own (-cluster-heartbeat)")
+	}
 
 	shed, err := flow.ParsePolicy(*shedPolicy)
 	if err != nil {
@@ -69,6 +100,7 @@ func main() {
 			QueryDeadline: *queryDL,
 			CQDeadline:    *cqDL,
 			SendRetries:   *sendRetries,
+			Seed:          *flowSeed,
 		},
 		Membership: core.MembershipConfig{
 			Enable:              *hbEvery > 0,
@@ -111,6 +143,12 @@ func main() {
 	}
 	defer eng.Close()
 
+	if *load != "" && *listen != "" {
+		// A -load preload would live only in this daemon's replica: it never
+		// enters the seed's op log, so peers would silently diverge. Load
+		// through a client instead (LOAD replicates).
+		log.Fatal("-load cannot be combined with cluster mode; LOAD via a client so the data replicates")
+	}
 	if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
@@ -129,6 +167,68 @@ func main() {
 	srv.EmitWait = *emitWait
 	srv.MaxPollRows = *pollMax
 	srvp.Store(srv)
+
+	if *listen != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = *listen
+		}
+		ccfg := cluster.Config{
+			Engine:   eng,
+			SelfAddr: adv,
+			OnFire: func(name string, res *core.Result, fi core.FireInfo) {
+				if s := srvp.Load(); s != nil {
+					s.BufferResult(name, res, fi)
+				}
+			},
+			HeartbeatInterval: *clusterHB,
+			FlowSeed:          *flowSeed,
+			Metrics:           eng.Metrics(),
+			Logf:              log.Printf,
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatalf("cluster -listen %s: %v", *listen, err)
+		}
+		rank := cluster.SeedRank
+		if *joinAddr != "" {
+			// Joiner: ask the seed for a rank before the wire transport comes
+			// up (the transport needs to know which rank it speaks for).
+			r, n, err := cluster.Discover(*joinAddr, adv, 10*time.Second)
+			if err != nil {
+				log.Fatalf("cluster discover via %s: %v", *joinAddr, err)
+			}
+			if n != *nodes {
+				log.Fatalf("cluster size mismatch: seed runs %d nodes, this daemon was started with -nodes %d", n, *nodes)
+			}
+			rank = fabric.NodeID(r)
+			ccfg.Self = rank
+			ccfg.SeedAddr = *joinAddr
+		}
+		tr, err := wire.NewTCP(ln, wire.TCPConfig{Self: rank, Nodes: *nodes}, eng.Metrics())
+		if err != nil {
+			log.Fatalf("cluster transport: %v", err)
+		}
+		defer tr.Close()
+		ccfg.Transport = tr
+		var node *cluster.Node
+		if *joinAddr == "" {
+			node, err = cluster.NewSeed(ccfg)
+		} else {
+			node, err = cluster.Join(ccfg)
+		}
+		if err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+		defer node.Close()
+		srv.SetCluster(node)
+		if *joinAddr == "" {
+			fmt.Printf("wukongsd: cluster seed, rank 0 of %d, wire on %s\n", *nodes, adv)
+		} else {
+			fmt.Printf("wukongsd: joined cluster as rank %d of %d via %s, wire on %s\n", int(rank), *nodes, *joinAddr, adv)
+		}
+	}
+
 	if *metricsAddr != "" {
 		mux := obs.NewHTTPMux(eng.Metrics())
 		go func() {

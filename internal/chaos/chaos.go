@@ -117,6 +117,11 @@ func (c Config) withDefaults() Config {
 	if c.TuplesPerBatch <= 0 {
 		c.TuplesPerBatch = 6
 	}
+	// Clamp the flow sender's retry jitter to the run seed: a failing chaos
+	// run must replay with the same retry schedule, not a wall-clock one.
+	if c.Flow.Seed == 0 {
+		c.Flow.Seed = c.Seed
+	}
 	return c
 }
 

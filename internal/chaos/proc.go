@@ -1,0 +1,611 @@
+// Process-level chaos: where chaos.Run kills a simulated node inside one
+// process, RunProc spawns real wukongsd daemons connected over the TCP wire
+// transport, kill -9s one mid-load, and asserts the same failover contract
+// across actual process boundaries:
+//
+//	(a) survivors keep answering one-shot queries on live partitions with
+//	    sub-millisecond engine latency;
+//	(b) queries needing the dead rank's partition fail fast with the typed
+//	    partition-down error (never a socket error or a hang);
+//	(c) the restarted daemon rejoins under its old rank, replays the op
+//	    log, and its re-fired windows dedup — per window timestamp — to
+//	    exactly the rows of an in-process fault-free twin run.
+//
+// The stream script is the same seed-deterministic scriptBatch the
+// in-process harness uses, so the twin run needs no coordination: both
+// sides regenerate the identical workload from Config.Seed.
+package chaos
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/rdf"
+	"repro/internal/stream"
+)
+
+// ProcConfig scripts one process-level chaos run.
+type ProcConfig struct {
+	// Seed drives the scripted stream and every retry-jitter RNG in the
+	// daemons (passed through as -flow-seed), so a failing run replays with
+	// the same workload and the same retry schedules.
+	Seed int64
+	// Nodes is the cluster size = daemon count (default 3; minimum 3 so a
+	// single kill leaves a quorum of live probe vantages).
+	Nodes int
+	// Batches is the stream length in mini-batches (default 8).
+	Batches int
+	// TuplesPerBatch is the scripted density (default 6).
+	TuplesPerBatch int
+	// KillRank is the daemon to kill -9 (default Nodes-1; must not be the
+	// seed — killing rank 0 is a different scenario, the op log has no
+	// authority to fail over to).
+	KillRank int
+	// KillAtBatch / RestartAtBatch bound the outage window in batches
+	// (defaults 3 and 6; restart must come after the kill).
+	KillAtBatch    int
+	RestartAtBatch int
+	// WorkDir holds the built binary and per-daemon logs (required).
+	WorkDir string
+	// Bin is a prebuilt wukongsd binary ("" = go build one into WorkDir).
+	Bin string
+	// Heartbeat is the daemons' cluster probe period (default 25ms — fast
+	// enough that death detection fits inside one harness-driven batch).
+	Heartbeat time.Duration
+	// Timeout bounds each individual wait (readiness, death detection,
+	// rejoin, convergence; default 20s).
+	Timeout time.Duration
+	// Logf may be nil.
+	Logf func(format string, args ...any)
+}
+
+func (c ProcConfig) procDefaults() ProcConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Batches <= 0 {
+		c.Batches = 8
+	}
+	if c.TuplesPerBatch <= 0 {
+		c.TuplesPerBatch = 6
+	}
+	if c.KillRank == 0 {
+		c.KillRank = c.Nodes - 1
+	}
+	if c.KillAtBatch == 0 {
+		c.KillAtBatch = 3
+	}
+	if c.RestartAtBatch == 0 {
+		c.RestartAtBatch = 6
+	}
+	if c.Heartbeat == 0 {
+		c.Heartbeat = 25 * time.Millisecond
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 20 * time.Second
+	}
+	return c
+}
+
+// ProcReport is the outcome of one process-level run.
+type ProcReport struct {
+	NodeDeclaredDead bool // a survivor's detector reached Dead for the victim
+	NodeRejoined     bool // ... and saw it Alive again after the restart
+
+	// Outage probes, all issued against a surviving member daemon.
+	SurvivorQueries  int           // probes answered by live partitions
+	SurvivorFailures int           // ... that failed (contract: 0)
+	SurvivorLatMax   time.Duration // slowest server-reported engine latency
+	ScatterOK        bool          // an unanchored scatter query succeeded during the outage
+	DeadProbes       int           // probes needing the dead partition
+	DeadTyped        int           // ... that failed typed (client.ErrPartitionDown)
+	DeadProbeMax     time.Duration // slowest dead probe (fail-fast bound)
+
+	// Windows are the survivor's polled deliveries, deduped per window
+	// timestamp; RejoinWindows the restarted daemon's (its op-log replay
+	// re-fires every window); TwinWindows the in-process fault-free twin's.
+	Windows       map[rdf.Timestamp][]string
+	RejoinWindows map[rdf.Timestamp][]string
+	TwinWindows   map[rdf.Timestamp][]string
+}
+
+// procDaemon is one spawned wukongsd process.
+type procDaemon struct {
+	rank     int
+	addr     string // line-protocol address
+	wireAddr string // cluster transport address
+	cmd      *exec.Cmd
+	waited   chan error
+}
+
+func (d *procDaemon) kill9() {
+	if d.cmd != nil && d.cmd.Process != nil {
+		d.cmd.Process.Kill()
+		<-d.waited
+	}
+	d.cmd = nil
+}
+
+// lineConn is a minimal raw protocol connection for the commands the Go
+// client does not expose (CLUSTER, HOME) and for reading the server's
+// engine-latency report verbatim off the QUERY status line.
+type lineConn struct {
+	c net.Conn
+	r *bufio.Scanner
+	w *bufio.Writer
+}
+
+func dialLine(addr string, timeout time.Duration) (*lineConn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c.SetDeadline(time.Now().Add(timeout))
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &lineConn{c: c, r: sc, w: bufio.NewWriter(c)}, nil
+}
+
+func (l *lineConn) close() { l.c.Close() }
+
+// cmd sends the given lines and returns the next status line.
+func (l *lineConn) cmd(lines ...string) (string, error) {
+	for _, s := range lines {
+		fmt.Fprintf(l.w, "%s\n", s)
+	}
+	if err := l.w.Flush(); err != nil {
+		return "", err
+	}
+	if !l.r.Scan() {
+		if err := l.r.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("chaos: connection closed mid-response")
+	}
+	return l.r.Text(), nil
+}
+
+// block reads data lines until the "." terminator.
+func (l *lineConn) block() ([]string, error) {
+	var out []string
+	for l.r.Scan() {
+		if l.r.Text() == "." {
+			return out, nil
+		}
+		out = append(out, l.r.Text())
+	}
+	return nil, fmt.Errorf("chaos: missing block terminator")
+}
+
+// freePorts reserves n distinct loopback ports by listening and closing.
+func freePorts(n int) ([]int, error) {
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	ports := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		ports = append(ports, ln.Addr().(*net.TCPAddr).Port)
+	}
+	return ports, nil
+}
+
+// waitFor polls cond until it reports done or the deadline passes.
+func waitFor(what string, timeout time.Duration, cond func() (bool, error)) error {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		done, err := cond()
+		if done {
+			return nil
+		}
+		lastErr = err
+		time.Sleep(20 * time.Millisecond)
+	}
+	if lastErr != nil {
+		return fmt.Errorf("chaos: timeout waiting for %s: %v", what, lastErr)
+	}
+	return fmt.Errorf("chaos: timeout waiting for %s", what)
+}
+
+// clusterView parses one daemon's CLUSTER response.
+type clusterView struct {
+	seq    uint64
+	states map[int]string // rank → "self" | "alive" | "suspect" | "dead" | "unknown"
+}
+
+func readClusterView(addr string, timeout time.Duration) (*clusterView, error) {
+	l, err := dialLine(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer l.close()
+	st, err := l.cmd("CLUSTER")
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(st, "+OK") {
+		return nil, fmt.Errorf("CLUSTER: %s", st)
+	}
+	lines, err := l.block()
+	if err != nil {
+		return nil, err
+	}
+	v := &clusterView{states: map[int]string{}}
+	for _, line := range lines {
+		f := strings.Fields(line)
+		if len(f) == 2 && f[0] == "SEQ" {
+			v.seq, _ = strconv.ParseUint(f[1], 10, 64)
+			continue
+		}
+		if len(f) == 3 {
+			if r, err := strconv.Atoi(f[0]); err == nil {
+				v.states[r] = f[2]
+			}
+		}
+	}
+	return v, nil
+}
+
+// spawn launches one wukongsd daemon and waits until its protocol port
+// answers STATS.
+func (cfg ProcConfig) spawn(bin string, d *procDaemon, seedWire string) error {
+	args := []string{
+		"-addr", d.addr,
+		"-nodes", strconv.Itoa(cfg.Nodes),
+		"-listen", d.wireAddr,
+		"-cluster-heartbeat", cfg.Heartbeat.String(),
+		"-flow-seed", strconv.FormatInt(cfg.Seed, 10),
+	}
+	if d.rank != 0 {
+		args = append(args, "-join", seedWire)
+	}
+	logPath := filepath.Join(cfg.WorkDir, fmt.Sprintf("daemon-%d.log", d.rank))
+	logFile, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		return err
+	}
+	d.cmd = cmd
+	d.waited = make(chan error, 1)
+	go func() {
+		d.waited <- cmd.Wait()
+		logFile.Close()
+	}()
+	return waitFor(fmt.Sprintf("daemon %d ready", d.rank), cfg.Timeout, func() (bool, error) {
+		select {
+		case werr := <-d.waited:
+			return false, fmt.Errorf("daemon %d exited: %v (see %s)", d.rank, werr, logPath)
+		default:
+		}
+		l, err := dialLine(d.addr, 250*time.Millisecond)
+		if err != nil {
+			return false, err
+		}
+		defer l.close()
+		st, err := l.cmd("STATS")
+		return err == nil && strings.HasPrefix(st, "+OK"), err
+	})
+}
+
+// queryLatency runs one anchored query on a raw connection and returns the
+// server-reported engine latency from the "+OK <n> rows in <lat>" status.
+func queryLatency(l *lineConn, subject string) (time.Duration, error) {
+	st, err := l.cmd("QUERY", fmt.Sprintf("SELECT ?Y WHERE { %s po ?Y }", subject), ".")
+	if err != nil {
+		return 0, err
+	}
+	if !strings.HasPrefix(st, "+OK") {
+		return 0, errors.New(st)
+	}
+	if _, err := l.block(); err != nil {
+		return 0, err
+	}
+	f := strings.Fields(st)
+	if len(f) != 5 {
+		return 0, fmt.Errorf("chaos: unexpected query status %q", st)
+	}
+	return time.ParseDuration(f[4])
+}
+
+// probeProcOutage classifies scripted subjects via HOME on a survivor and
+// probes both sides of the contract: live partitions answer sub-ms, the
+// dead partition fails typed.
+func probeProcOutage(cfg ProcConfig, survivor *procDaemon, rep *ProcReport) error {
+	l, err := dialLine(survivor.addr, cfg.Timeout)
+	if err != nil {
+		return err
+	}
+	defer l.close()
+	cl, err := client.DialOptions(survivor.addr, client.Options{JitterSeed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	for i := 0; i < 24 && (rep.SurvivorQueries < 3 || rep.DeadProbes < 3); i++ {
+		name := fmt.Sprintf("u%d", i)
+		st, err := l.cmd("HOME " + name)
+		if err != nil {
+			return err
+		}
+		switch {
+		case strings.Contains(st, "known=false"):
+			continue
+		case strings.Contains(st, "state=dead"):
+			if rep.DeadProbes >= 3 {
+				continue
+			}
+			rep.DeadProbes++
+			start := time.Now()
+			_, qerr := cl.Query(fmt.Sprintf("SELECT ?Y WHERE { %s po ?Y }", name))
+			if elapsed := time.Since(start); elapsed > rep.DeadProbeMax {
+				rep.DeadProbeMax = elapsed
+			}
+			if errors.Is(qerr, client.ErrPartitionDown) {
+				rep.DeadTyped++
+			}
+		case strings.Contains(st, "state=alive"):
+			if rep.SurvivorQueries >= 3 {
+				continue
+			}
+			rep.SurvivorQueries++
+			lat, qerr := queryLatency(l, name)
+			if qerr != nil {
+				rep.SurvivorFailures++
+			} else if lat > rep.SurvivorLatMax {
+				rep.SurvivorLatMax = lat
+			}
+		}
+	}
+	// Unanchored queries scatter across all live shards, reassigning the
+	// dead rank's shard locally — they must keep answering mid-outage.
+	if rows, err := cl.Query("SELECT ?X ?Y WHERE { ?X po ?Y }"); err == nil && len(rows) > 0 {
+		rep.ScatterOK = true
+	}
+	return nil
+}
+
+// dedupWindows collapses polled fire rows ("@<ts> <row>") to one sorted row
+// set per window, erroring on divergent repeats.
+func dedupWindows(fires []client.FireRow) (map[rdf.Timestamp][]string, error) {
+	byAt := map[rdf.Timestamp][]string{}
+	for _, f := range fires {
+		byAt[f.At] = append(byAt[f.At], f.Row)
+	}
+	for at, rows := range byAt {
+		sort.Strings(rows)
+		uniq := rows[:0]
+		for i, r := range rows {
+			if i == 0 || rows[i-1] != r {
+				uniq = append(uniq, r)
+			}
+		}
+		byAt[at] = uniq
+	}
+	return byAt, nil
+}
+
+// runTwin replays the identical script on an in-process fault-free engine
+// and returns its windows.
+func runTwin(cfg ProcConfig) (map[rdf.Timestamp][]string, error) {
+	e, err := core.New(core.Config{
+		Nodes:          cfg.Nodes,
+		WorkersPerNode: 2,
+		Metrics:        obs.NewRegistry("chaos_twin"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	src, err := e.RegisterStream(stream.Config{Name: StreamName, BatchInterval: batchMS * time.Millisecond})
+	if err != nil {
+		return nil, err
+	}
+	windows := map[rdf.Timestamp][]string{}
+	if _, err := e.RegisterContinuous(queryText, func(r *core.Result, f core.FireInfo) {
+		rows := append([]string(nil), r.Strings()...)
+		sort.Strings(rows)
+		windows[f.At] = rows
+	}); err != nil {
+		return nil, err
+	}
+	for b := 1; b <= cfg.Batches; b++ {
+		for _, tu := range scriptBatch(cfg.Seed, b, cfg.TuplesPerBatch) {
+			if err := src.Emit(tu); err != nil {
+				return nil, err
+			}
+		}
+		e.AdvanceTo(rdf.Timestamp(b * batchMS))
+	}
+	e.AdvanceTo(rdf.Timestamp((cfg.Batches + 1) * batchMS))
+	e.AdvanceTo(rdf.Timestamp((cfg.Batches + 2) * batchMS))
+	return windows, nil
+}
+
+// RunProc executes one process-level chaos run: build, spawn, load, kill -9,
+// probe, restart, converge, poll, and compare against the fault-free twin.
+func RunProc(cfg ProcConfig) (*ProcReport, error) {
+	cfg = cfg.procDefaults()
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.WorkDir == "" {
+		return nil, fmt.Errorf("chaos: ProcConfig.WorkDir is required")
+	}
+	if cfg.Nodes < 3 {
+		return nil, fmt.Errorf("chaos: process-level kill needs at least 3 daemons, got %d", cfg.Nodes)
+	}
+	if cfg.KillRank <= 0 || cfg.KillRank >= cfg.Nodes {
+		return nil, fmt.Errorf("chaos: KillRank %d must be a non-seed rank", cfg.KillRank)
+	}
+	if cfg.RestartAtBatch <= cfg.KillAtBatch || cfg.RestartAtBatch > cfg.Batches {
+		return nil, fmt.Errorf("chaos: RestartAtBatch %d must be inside (KillAtBatch, Batches]", cfg.RestartAtBatch)
+	}
+
+	bin := cfg.Bin
+	if bin == "" {
+		bin = filepath.Join(cfg.WorkDir, "wukongsd")
+		build := exec.Command("go", "build", "-o", bin, "repro/cmd/wukongsd")
+		if out, err := build.CombinedOutput(); err != nil {
+			return nil, fmt.Errorf("chaos: building wukongsd: %v\n%s", err, out)
+		}
+	}
+
+	ports, err := freePorts(2 * cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	daemons := make([]*procDaemon, cfg.Nodes)
+	for r := 0; r < cfg.Nodes; r++ {
+		daemons[r] = &procDaemon{
+			rank:     r,
+			addr:     fmt.Sprintf("127.0.0.1:%d", ports[2*r]),
+			wireAddr: fmt.Sprintf("127.0.0.1:%d", ports[2*r+1]),
+		}
+	}
+	defer func() {
+		for _, d := range daemons {
+			d.kill9()
+		}
+	}()
+	for r := 0; r < cfg.Nodes; r++ {
+		if err := cfg.spawn(bin, daemons[r], daemons[0].wireAddr); err != nil {
+			return nil, err
+		}
+	}
+	logf("chaos: %d daemons up", cfg.Nodes)
+
+	// Drive the whole script through a surviving member — the relay path
+	// (member → seed → replicas) is the one under test.
+	survivor := daemons[1]
+	victim := daemons[cfg.KillRank]
+	cl, err := client.DialOptions(survivor.addr, client.Options{JitterSeed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	if err := cl.Stream(StreamName, batchMS*time.Millisecond); err != nil {
+		return nil, err
+	}
+	qname, err := cl.Register(queryText)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ProcReport{}
+	for b := 1; b <= cfg.Batches; b++ {
+		if err := cl.Emit(StreamName, scriptBatch(cfg.Seed, b, cfg.TuplesPerBatch)...); err != nil {
+			return nil, fmt.Errorf("chaos: emit batch %d: %w", b, err)
+		}
+		if _, err := cl.Advance(rdf.Timestamp(b * batchMS)); err != nil {
+			return nil, fmt.Errorf("chaos: advance batch %d: %w", b, err)
+		}
+		if b == cfg.KillAtBatch {
+			victim.kill9()
+			logf("chaos: kill -9 rank %d at batch %d", cfg.KillRank, b)
+			if err := waitFor("victim declared dead", cfg.Timeout, func() (bool, error) {
+				v, err := readClusterView(survivor.addr, time.Second)
+				if err != nil {
+					return false, err
+				}
+				return v.states[cfg.KillRank] == "dead", nil
+			}); err != nil {
+				return nil, err
+			}
+			rep.NodeDeclaredDead = true
+			if err := probeProcOutage(cfg, survivor, rep); err != nil {
+				return nil, err
+			}
+		}
+		if b == cfg.RestartAtBatch {
+			if err := cfg.spawn(bin, victim, daemons[0].wireAddr); err != nil {
+				return nil, fmt.Errorf("chaos: restarting rank %d: %w", cfg.KillRank, err)
+			}
+			logf("chaos: rank %d restarted at batch %d", cfg.KillRank, b)
+			if err := waitFor("victim rejoined", cfg.Timeout, func() (bool, error) {
+				v, err := readClusterView(survivor.addr, time.Second)
+				if err != nil {
+					return false, err
+				}
+				return v.states[cfg.KillRank] == "alive", nil
+			}); err != nil {
+				return nil, err
+			}
+			rep.NodeRejoined = true
+		}
+	}
+	// Trailing boundaries flush the last windows, then every daemon must
+	// converge on the seed's op log before the final polls.
+	if _, err := cl.Advance(rdf.Timestamp((cfg.Batches + 1) * batchMS)); err != nil {
+		return nil, err
+	}
+	if _, err := cl.Advance(rdf.Timestamp((cfg.Batches + 2) * batchMS)); err != nil {
+		return nil, err
+	}
+	seedView, err := readClusterView(daemons[0].addr, cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range daemons {
+		d := d
+		if err := waitFor(fmt.Sprintf("daemon %d converged", d.rank), cfg.Timeout, func() (bool, error) {
+			v, err := readClusterView(d.addr, time.Second)
+			if err != nil {
+				return false, err
+			}
+			return v.seq >= seedView.seq, nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	fires, err := cl.Poll(qname)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Windows, err = dedupWindows(fires); err != nil {
+		return nil, err
+	}
+	clV, err := client.DialOptions(victim.addr, client.Options{JitterSeed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	vfires, err := clV.Poll(qname)
+	clV.Close()
+	if err != nil {
+		return nil, err
+	}
+	if rep.RejoinWindows, err = dedupWindows(vfires); err != nil {
+		return nil, err
+	}
+	if rep.TwinWindows, err = runTwin(cfg); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+// TestProcClusterKillDashNine is the PR-5 failover contract asserted across
+// real process boundaries: three wukongsd daemons form a TCP cluster, one
+// is kill -9ed mid-load, and the survivors must keep the sub-millisecond
+// path while the dead partition fails typed; after a restart the victim
+// must rejoin, replay, and dedup to the fault-free twin. Runs in -short
+// mode too (make chaos-proc): the scenario IS the short configuration.
+func TestProcClusterKillDashNine(t *testing.T) {
+	rep, err := RunProc(ProcConfig{
+		Seed:    7,
+		WorkDir: t.TempDir(),
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !rep.NodeDeclaredDead {
+		t.Error("victim was never declared dead by a survivor's detector")
+	}
+	if !rep.NodeRejoined {
+		t.Error("victim never rejoined after restart")
+	}
+
+	// (a) survivors keep the sub-millisecond path.
+	if rep.SurvivorQueries == 0 {
+		t.Error("no survivor-partition probes ran during the outage")
+	}
+	if rep.SurvivorFailures != 0 {
+		t.Errorf("%d of %d survivor probes failed during the outage", rep.SurvivorFailures, rep.SurvivorQueries)
+	}
+	if rep.SurvivorLatMax >= time.Millisecond {
+		t.Errorf("survivor engine latency %v breaches the sub-millisecond path", rep.SurvivorLatMax)
+	}
+	if !rep.ScatterOK {
+		t.Error("unanchored scatter query failed during the outage")
+	}
+
+	// (b) dead-partition probes fail fast and typed.
+	if rep.DeadProbes == 0 {
+		t.Error("no dead-partition probes ran during the outage")
+	}
+	if rep.DeadTyped != rep.DeadProbes {
+		t.Errorf("%d of %d dead-partition probes were not typed client.ErrPartitionDown", rep.DeadProbes-rep.DeadTyped, rep.DeadProbes)
+	}
+	if rep.DeadProbeMax >= time.Second {
+		t.Errorf("dead-partition probe took %v; the contract is fail-fast", rep.DeadProbeMax)
+	}
+
+	// (c) both the survivor's deliveries and the victim's post-rejoin
+	// replay dedup to exactly the fault-free twin.
+	if len(rep.TwinWindows) == 0 {
+		t.Fatal("fault-free twin produced no windows")
+	}
+	assertWindowsEqual(t, "survivor", rep.Windows, rep.TwinWindows)
+	assertWindowsEqual(t, "rejoined victim", rep.RejoinWindows, rep.TwinWindows)
+}
+
+func assertWindowsEqual(t *testing.T, who string, got, want map[rdf.Timestamp][]string) {
+	t.Helper()
+	for at, rows := range want {
+		g, ok := got[at]
+		if !ok {
+			t.Errorf("%s: window %d missing (twin has %d rows)", who, at, len(rows))
+			continue
+		}
+		if fmt.Sprint(g) != fmt.Sprint(rows) {
+			t.Errorf("%s: window %d diverges:\n got %v\nwant %v", who, at, g, rows)
+		}
+	}
+	for at := range got {
+		if _, ok := want[at]; !ok {
+			t.Errorf("%s: window %d delivered but absent from the twin", who, at)
+		}
+	}
+}

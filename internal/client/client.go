@@ -102,6 +102,71 @@ func (e *OverloadError) Unwrap() error { return ErrOverload }
 // overloadPrefix is the machine-readable shed response the server writes.
 const overloadPrefix = "-ERR overload retry-after="
 
+// ErrPartitionDown is the base error for queries that needed a partition
+// whose owning cluster rank is dead. The data is temporarily gone, not the
+// connection: reconnecting (or retrying elsewhere) will not help until the
+// rank rejoins, so the client never retries these.
+var ErrPartitionDown = errors.New("partition down")
+
+// PartitionDownError carries the server's typed partition-down response.
+type PartitionDownError struct {
+	// Node is the dead rank as reported by the server (-1 if the server
+	// could not attribute the failure to a specific rank).
+	Node int
+	Msg  string
+}
+
+func (e *PartitionDownError) Error() string {
+	return fmt.Sprintf("client: %v: node %d: %s", ErrPartitionDown, e.Node, e.Msg)
+}
+
+// Unwrap lets errors.Is(err, ErrPartitionDown) see through the error.
+func (e *PartitionDownError) Unwrap() error { return ErrPartitionDown }
+
+// partitionDownPrefix is the server's typed partition-down response.
+const partitionDownPrefix = "-ERR partition-down node="
+
+// parsePartitionDown decodes "-ERR partition-down node=<n>: <reason>".
+func parsePartitionDown(line string) (*PartitionDownError, bool) {
+	if !strings.HasPrefix(line, partitionDownPrefix) {
+		return nil, false
+	}
+	rest := strings.TrimPrefix(line, partitionDownPrefix)
+	nodeStr, msg, _ := strings.Cut(rest, ":")
+	n, err := strconv.Atoi(strings.TrimSpace(nodeStr))
+	if err != nil {
+		return nil, false
+	}
+	return &PartitionDownError{Node: n, Msg: strings.TrimSpace(msg)}, true
+}
+
+// ErrUnavailable is the base error for requests that could not complete
+// because the server (or, in cluster mode, one of its peers) was
+// unreachable. Callers match with errors.Is(err, ErrUnavailable) instead of
+// inspecting net.OpError / timeout internals.
+var ErrUnavailable = errors.New("server unavailable")
+
+// UnavailableError wraps a transport-level failure — a failed dial, a dead
+// connection that exhausted the reconnect budget, or a server-reported
+// "unavailable" (a cluster peer was unreachable). The underlying cause is
+// preserved in Err for errors.Is/As, but callers should branch on
+// ErrUnavailable rather than the raw network error.
+type UnavailableError struct {
+	Addr string
+	Op   string // the protocol command, or "remote" for server-reported peer failures
+	Err  error
+}
+
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("client: %v: %s %s: %v", ErrUnavailable, e.Op, e.Addr, e.Err)
+}
+
+// Unwrap exposes both the ErrUnavailable sentinel and the underlying cause.
+func (e *UnavailableError) Unwrap() []error { return []error{ErrUnavailable, e.Err} }
+
+// unavailablePrefix is the server's typed peer-unreachable response.
+const unavailablePrefix = "-ERR unavailable: "
+
 // parseOverload decodes "-ERR overload retry-after=<duration>: <reason>".
 func parseOverload(line string) (*OverloadError, bool) {
 	if !strings.HasPrefix(line, overloadPrefix) {
@@ -188,13 +253,15 @@ func (c *Client) Close() error {
 
 // do runs one request exchange: overload sheds back off per the server's
 // retry-after hint and retry on the same connection; connection failures
-// reconnect and retry (server "-ERR" responses are neither).
-func (c *Client) do(fn func() error) error {
+// reconnect and retry (server "-ERR" responses are neither). Whatever
+// transport-level failure survives the retry budget is wrapped in a typed
+// UnavailableError so callers never see a raw net.OpError.
+func (c *Client) do(op string, fn func() error) error {
 	for try := 0; ; try++ {
 		err := c.doConn(fn)
 		var oe *OverloadError
 		if err == nil || !errors.As(err, &oe) {
-			return err
+			return c.typed(op, err)
 		}
 		if c.closed || c.opts.OverloadRetries < 0 || try >= c.opts.OverloadRetries {
 			return err
@@ -210,6 +277,27 @@ func (c *Client) do(fn func() error) error {
 		}
 		time.Sleep(d + time.Duration(c.rng.Int63n(int64(d/4)+1)))
 	}
+}
+
+// typed wraps raw transport failures in UnavailableError at the client
+// boundary. Application-level errors (server rejections, overload sheds,
+// partition-down, already-typed unavailability) and a deliberate Close pass
+// through unchanged.
+func (c *Client) typed(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *ServerError
+	var oe *OverloadError
+	var pd *PartitionDownError
+	var ue *UnavailableError
+	if errors.As(err, &se) || errors.As(err, &oe) || errors.As(err, &pd) || errors.As(err, &ue) {
+		return err
+	}
+	if c.closed && errors.Is(err, errClosed) {
+		return err
+	}
+	return &UnavailableError{Addr: c.addr, Op: op, Err: err}
 }
 
 // doConn runs one request exchange, reconnecting and retrying on connection
@@ -253,6 +341,16 @@ func (c *Client) retryable(err error) bool {
 	// do's outer loop handles the backoff instead.
 	var oe *OverloadError
 	if errors.As(err, &oe) {
+		return false
+	}
+	// Partition-down and server-reported peer unavailability also reached a
+	// healthy server; reconnecting to it cannot revive the dead rank.
+	var pd *PartitionDownError
+	if errors.As(err, &pd) {
+		return false
+	}
+	var ue *UnavailableError
+	if errors.As(err, &ue) && ue.Op == "remote" {
 		return false
 	}
 	var se *ServerError
@@ -341,6 +439,13 @@ func (c *Client) status() (string, error) {
 	if oe, ok := parseOverload(line); ok {
 		return "", oe
 	}
+	if pd, ok := parsePartitionDown(line); ok {
+		return "", pd
+	}
+	if strings.HasPrefix(line, unavailablePrefix) {
+		return "", &UnavailableError{Addr: c.addr, Op: "remote",
+			Err: errors.New(strings.TrimPrefix(line, unavailablePrefix))}
+	}
 	if strings.HasPrefix(line, "-ERR ") {
 		return "", &ServerError{Msg: strings.TrimPrefix(line, "-ERR ")}
 	}
@@ -389,7 +494,7 @@ func (c *Client) Load(ntriples string) (int, error) {
 		return 0, err
 	}
 	var n int
-	err := c.do(func() error {
+	err := c.do("LOAD", func() error {
 		if err := c.send("LOAD"); err != nil {
 			return err
 		}
@@ -414,7 +519,7 @@ func (c *Client) Stream(name string, interval time.Duration, timingPreds ...stri
 	if len(timingPreds) > 0 {
 		cmd += " " + strings.Join(timingPreds, " ")
 	}
-	err := c.do(func() error {
+	err := c.do("STREAM", func() error {
 		if err := c.send(cmd); err != nil {
 			return err
 		}
@@ -440,7 +545,7 @@ func (c *Client) Emit(stream string, tuples ...rdf.Tuple) error {
 	if err := checkBlock(b.String()); err != nil {
 		return err
 	}
-	return c.do(func() error {
+	return c.do("EMIT", func() error {
 		if err := c.send("EMIT " + stream); err != nil {
 			return err
 		}
@@ -455,7 +560,7 @@ func (c *Client) Emit(stream string, tuples ...rdf.Tuple) error {
 // Advance drives the server's logical clock and returns the new time.
 func (c *Client) Advance(ts rdf.Timestamp) (rdf.Timestamp, error) {
 	var now int64
-	err := c.do(func() error {
+	err := c.do("ADVANCE", func() error {
 		if err := c.send(fmt.Sprintf("ADVANCE %d", int64(ts))); err != nil {
 			return err
 		}
@@ -485,7 +590,7 @@ func (c *Client) block(cmd, text string) ([]string, error) {
 		return nil, err
 	}
 	var out []string
-	err := c.do(func() error {
+	err := c.do(cmd, func() error {
 		if err := c.send(cmd); err != nil {
 			return err
 		}
@@ -510,7 +615,7 @@ func (c *Client) Register(text string) (string, error) {
 		return "", err
 	}
 	var name string
-	err := c.do(func() error {
+	err := c.do("REGISTER", func() error {
 		if err := c.send("REGISTER"); err != nil {
 			return err
 		}
@@ -551,7 +656,7 @@ func (c *Client) Poll(name string) ([]FireRow, error) {
 		}
 	}
 	var raw []string
-	err := c.do(func() error {
+	err := c.do("POLL", func() error {
 		if err := c.send("POLL " + cur); err != nil {
 			return err
 		}
@@ -584,7 +689,7 @@ func (c *Client) Poll(name string) ([]FireRow, error) {
 // Stats returns the server's one-line status summary.
 func (c *Client) Stats() (string, error) {
 	var st string
-	err := c.do(func() error {
+	err := c.do("STATS", func() error {
 		if err := c.send("STATS"); err != nil {
 			return err
 		}
@@ -598,7 +703,7 @@ func (c *Client) Stats() (string, error) {
 // Metrics returns the server's metric registry as Prometheus text lines.
 func (c *Client) Metrics() ([]string, error) {
 	var out []string
-	err := c.do(func() error {
+	err := c.do("METRICS", func() error {
 		if err := c.send("METRICS"); err != nil {
 			return err
 		}

@@ -1,0 +1,980 @@
+// Package cluster turns independent wukongsd processes into one multi-process
+// Wukong+S cluster over a fabric.Transport. The design is replicated
+// deterministic engines with partition authority:
+//
+//   - Every daemon runs a full simulated engine (all N fabric nodes). All
+//     state-mutating operations — LOAD, STREAM, REGISTER, EMIT, ADVANCE —
+//     are forwarded to the seed (rank 0), which assigns each a sequence
+//     number, applies it locally, appends it to a bounded oplog, and
+//     replicates it one-way to every member. The engine is deterministic in
+//     the op order, so replicas converge to identical stores, stream
+//     indexes, VTS state, and continuous-query firings.
+//
+//   - Query authority is partitioned: a one-shot query anchored at a
+//     constant subject belongs to the rank that HomeOf assigns the subject's
+//     entity id. The owner answers locally (the sub-millisecond path); other
+//     daemons forward over the wire; a dead owner fails fast with a typed
+//     partition-down error. Queries with no anchor fork-join: the
+//     coordinator scatters row-disjoint shards to the live members and
+//     merges their responses.
+//
+//   - Membership is per-daemon: each daemon runs a member.Detector whose
+//     probes are real wire heartbeats from its own vantage (a daemon can
+//     only observe paths that start at itself). A member that misses enough
+//     rounds is declared dead locally — queries for its partitions fail
+//     fast — and a restarted daemon re-joins, replays the full oplog into a
+//     fresh engine, and re-fires every window exactly once (the dedup
+//     contract: fresh POLL buffers, deterministic replay).
+//
+// Replication losses self-heal two ways: the seed's broadcast retries
+// transient drops through flow.Sender, and a member that observes a sequence
+// gap fetches the missing range from the seed before applying (SYNC).
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/flow"
+	"repro/internal/member"
+	"repro/internal/obs"
+	"repro/internal/rdf"
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+// SeedRank is the sequencing daemon's rank. The seed is the daemon started
+// with -listen and no -join; everything else joins through it.
+const SeedRank fabric.NodeID = 0
+
+// maxOplog bounds the replication log. A joiner that needs ops older than
+// the window cannot be brought up by replay and is refused (it must restart
+// from scratch once log compaction exists; see DESIGN.md §12).
+const maxOplog = 65536
+
+// ErrUnavailable is the base error for cluster operations that failed
+// because a required peer (usually the seed) is unreachable.
+var ErrUnavailable = errors.New("cluster: unavailable")
+
+// UnavailableError reports which peer an operation needed and why it failed.
+type UnavailableError struct {
+	Node fabric.NodeID
+	Op   string
+	Err  error
+}
+
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("cluster: %s needs node %d: %v: %v", e.Op, e.Node, e.Err, ErrUnavailable)
+}
+
+// Unwrap exposes the sentinel and the transport cause.
+func (e *UnavailableError) Unwrap() []error { return []error{ErrUnavailable, e.Err} }
+
+// PartitionDownError reports a query that needed a partition whose owning
+// daemon is dead or unreachable. It unwraps to core.ErrPartitionDown so
+// callers use one sentinel for both the in-engine and the cross-process
+// failover contract.
+type PartitionDownError struct {
+	Node fabric.NodeID
+	Err  error // transport evidence; nil when the local detector said dead
+}
+
+func (e *PartitionDownError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("cluster: partition owner %d is declared dead: %v", e.Node, core.ErrPartitionDown)
+	}
+	return fmt.Sprintf("cluster: partition owner %d unreachable: %v: %v", e.Node, e.Err, core.ErrPartitionDown)
+}
+
+// Unwrap exposes the shared partition-down sentinel (and the transport
+// cause, when there is one).
+func (e *PartitionDownError) Unwrap() []error {
+	if e.Err == nil {
+		return []error{core.ErrPartitionDown}
+	}
+	return []error{core.ErrPartitionDown, e.Err}
+}
+
+// DownNode returns the dead partition's rank (shared accessor with
+// core.PartitionDownError for protocol rendering).
+func (e *PartitionDownError) DownNode() fabric.NodeID { return e.Node }
+
+// Config parameterizes one cluster daemon.
+type Config struct {
+	// Transport is the message plane (wire.TCP in a real cluster, fabric.Mem
+	// in tests). Required.
+	Transport fabric.Transport
+	// Self is this daemon's rank; the engine node ids double as daemon
+	// ranks, so Self must be < Engine nodes. Required (0 = seed).
+	Self fabric.NodeID
+	// Engine is the local replica. Its simulated-node count must equal the
+	// transport's. Required.
+	Engine *core.Engine
+	// SelfAddr is this daemon's dialable wire address, advertised to peers.
+	SelfAddr string
+	// SeedAddr is the seed's wire address (joiners only).
+	SeedAddr string
+	// OnFire receives every continuous-query firing applied by replication
+	// (for routing into the server's POLL buffers). May be nil.
+	OnFire func(name string, res *core.Result, fi core.FireInfo)
+	// HeartbeatInterval is the wall-clock probe-round period (default
+	// 100ms). Negative disables the ticker goroutine (tests drive Tick).
+	HeartbeatInterval time.Duration
+	// SuspectAfter / DeadAfter are consecutive missed probe rounds before a
+	// member is suspected (default 2) / declared dead (default 3).
+	SuspectAfter int
+	DeadAfter    int
+	// FlowSeed, when nonzero, seeds the replication sender's retry jitter
+	// (reproducible chaos runs).
+	FlowSeed int64
+	// Metrics may be nil.
+	Metrics *obs.Registry
+	// Logf may be nil.
+	Logf func(format string, args ...any)
+}
+
+// Node is one daemon's cluster brain: the transport handler, the replication
+// log (seed), the replica applier (members), the query router, and the
+// membership detector.
+type Node struct {
+	cfg   Config
+	t     fabric.Transport
+	self  fabric.NodeID
+	nodes int
+	eng   *core.Engine
+	det   *member.Detector
+	snd   *flow.Sender
+
+	// applyMu serializes op application (and, on the seed, sequencing +
+	// broadcast, so members observe ops in sequence order per connection).
+	applyMu sync.Mutex
+
+	// mu guards the replicated bookkeeping below. Never held across engine
+	// or transport calls.
+	mu       sync.Mutex
+	oplog    [][]byte // encoded ops; oplog[i] has seq base+i
+	base     uint64   // seq of oplog[0] (1 when nothing discarded)
+	nextSeq  uint64   // seed: next seq to assign
+	applied  uint64   // highest seq applied locally
+	members  []string // rank → advertised addr ("" unknown)
+	reserved []string // seed: rank → addr promised by Discover, not yet joined
+
+	// outbox holds the payload the retrying sender's attempt closure ships;
+	// written under applyMu immediately before each Send.
+	outbox [][]byte
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	start    time.Time
+	aeBusy   atomic.Bool // one anti-entropy pull in flight at a time
+
+	cApplied   *obs.Counter
+	cForwarded *obs.Counter
+	cSynced    *obs.Counter
+	cDupOps    *obs.Counter
+	cLocalQ    *obs.Counter
+	cRemoteQ   *obs.Counter
+	cScatterQ  *obs.Counter
+	cPartDown  *obs.Counter
+}
+
+func (c Config) heartbeat() time.Duration {
+	if c.HeartbeatInterval == 0 {
+		return 100 * time.Millisecond
+	}
+	return c.HeartbeatInterval
+}
+
+func newNode(cfg Config) (*Node, error) {
+	if cfg.Transport == nil || cfg.Engine == nil {
+		return nil, fmt.Errorf("cluster: Transport and Engine are required")
+	}
+	nodes := cfg.Transport.Nodes()
+	if int(cfg.Self) < 0 || int(cfg.Self) >= nodes {
+		return nil, fmt.Errorf("cluster: rank %d out of range [0,%d)", cfg.Self, nodes)
+	}
+	r := cfg.Metrics
+	n := &Node{
+		cfg:     cfg,
+		t:       cfg.Transport,
+		self:    cfg.Self,
+		nodes:   nodes,
+		eng:     cfg.Engine,
+		base:    1,
+		nextSeq: 1,
+		members:  make([]string, nodes),
+		reserved: make([]string, nodes),
+		outbox:   make([][]byte, nodes),
+		stop:    make(chan struct{}),
+		start:   time.Now(),
+
+		cApplied:   r.Counter("cluster_ops_applied_total"),
+		cForwarded: r.Counter("cluster_ops_forwarded_total"),
+		cSynced:    r.Counter("cluster_ops_synced_total"),
+		cDupOps:    r.Counter("cluster_ops_duplicate_total"),
+		cLocalQ:    r.Counter("cluster_queries_local_total"),
+		cRemoteQ:   r.Counter("cluster_queries_forwarded_total"),
+		cScatterQ:  r.Counter("cluster_queries_scattered_total"),
+		cPartDown:  r.Counter("cluster_queries_partition_down_total"),
+	}
+	n.snd = flow.NewSenderOver(nodes, n.attemptSend, flow.SenderConfig{Seed: cfg.FlowSeed}, r)
+	sa := cfg.SuspectAfter
+	if sa <= 0 {
+		sa = 2
+	}
+	da := cfg.DeadAfter
+	if da <= 0 {
+		da = 3
+	}
+	n.det = member.NewOver(vantage{n}, member.Config{
+		HeartbeatIntervalMS: n.cfg.heartbeat().Milliseconds(),
+		SuspectAfter:        sa,
+		DeadAfter:           da,
+		HasSelf:             true,
+		Self:                n.self,
+	}, member.Hooks{
+		OnDead:   func(m fabric.NodeID) { n.logf("member %d declared dead", m) },
+		OnRejoin: func(m fabric.NodeID) { n.logf("member %d rejoined", m) },
+	}, r)
+	cfg.Transport.SetHandler(cfg.Self, n)
+	return n, nil
+}
+
+// NewSeed starts the sequencing daemon (rank 0). Its own address becomes
+// oplog op 1, so every joiner learns it by replay.
+func NewSeed(cfg Config) (*Node, error) {
+	cfg.Self = SeedRank
+	n, err := newNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.members[SeedRank] = cfg.SelfAddr
+	n.mu.Unlock()
+	if _, err := n.sequence("MEMBER", []string{"0", cfg.SelfAddr}, ""); err != nil {
+		return nil, err
+	}
+	n.startTicker()
+	return n, nil
+}
+
+// Join starts a member daemon: it registers with the seed under cfg.Self
+// (the rank Discover assigned) and replays the oplog into its fresh engine.
+func Join(cfg Config) (*Node, error) {
+	if cfg.Self == SeedRank {
+		return nil, fmt.Errorf("cluster: rank 0 is the seed; use NewSeed")
+	}
+	if cfg.SeedAddr == "" {
+		if _, ok := cfg.Transport.(*wire.TCP); ok {
+			return nil, fmt.Errorf("cluster: SeedAddr is required to join over TCP")
+		}
+	}
+	n, err := newNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if tcp, ok := cfg.Transport.(*wire.TCP); ok {
+		tcp.SetPeer(SeedRank, cfg.SeedAddr)
+	}
+	// JOIN and SYNC are idempotent (the seed reuses the rank for a known
+	// address; replay skips applied ops), so a lossy wire just means retry.
+	var joinErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			time.Sleep(100 * time.Millisecond)
+		}
+		resp, err := n.call(SeedRank, fmt.Sprintf("JOIN %d %s", cfg.Self, cfg.SelfAddr), "", "join")
+		if err != nil {
+			joinErr = err
+			if errors.Is(err, ErrUnavailable) {
+				continue
+			}
+			return nil, err
+		}
+		var rank, nodes int
+		var latest uint64
+		if _, err := fmt.Sscanf(firstLine(resp), "RANK %d NODES %d SEQ %d", &rank, &nodes, &latest); err != nil {
+			return nil, fmt.Errorf("cluster: bad join response %q: %w", firstLine(resp), err)
+		}
+		if rank != int(cfg.Self) || nodes != n.nodes {
+			return nil, fmt.Errorf("cluster: seed assigned rank %d/%d nodes, we are %d/%d", rank, nodes, cfg.Self, n.nodes)
+		}
+		if err := n.syncRange(1, latest); err != nil {
+			joinErr = err
+			if errors.Is(err, ErrUnavailable) {
+				continue
+			}
+			return nil, err
+		}
+		joinErr = nil
+		break
+	}
+	if joinErr != nil {
+		return nil, joinErr
+	}
+	n.startTicker()
+	n.logf("joined as rank %d, replayed %d ops", int(cfg.Self), n.Applied())
+	return n, nil
+}
+
+// Discover asks the seed at seedAddr for a rank assignment before the
+// transport exists (the rank is needed to construct it): a rank whose
+// recorded address equals advertise is reused — the restart path — else the
+// lowest unclaimed rank is assigned.
+func Discover(seedAddr, advertise string, timeout time.Duration) (rank, nodes int, err error) {
+	// The bootstrap frame needs a from-rank before one is assigned; 0 is a
+	// white lie that only labels the handshake (JOIN carries the real
+	// identity in its payload). Reservation is idempotent per address, so a
+	// lossy wire just means retry.
+	var resp []byte
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			time.Sleep(100 * time.Millisecond)
+		}
+		resp, err = wire.RawCall(seedAddr, 0, 0, []byte("JOIN -1 "+advertise), timeout)
+		if err == nil {
+			break
+		}
+		if wire.RemoteError(err) {
+			return 0, 0, fmt.Errorf("cluster: discover: %w", err)
+		}
+	}
+	if err != nil {
+		return 0, 0, &UnavailableError{Node: SeedRank, Op: "discover", Err: err}
+	}
+	var latest uint64
+	if _, err := fmt.Sscanf(firstLine(string(resp)), "RANK %d NODES %d SEQ %d", &rank, &nodes, &latest); err != nil {
+		return 0, 0, fmt.Errorf("cluster: bad discover response %q: %w", firstLine(string(resp)), err)
+	}
+	return rank, nodes, nil
+}
+
+// Close stops the ticker. The transport and engine belong to the caller.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stop) })
+}
+
+// Self returns this daemon's rank.
+func (n *Node) Self() fabric.NodeID { return n.self }
+
+// Detector exposes the membership detector (tests, CLUSTER command).
+func (n *Node) Detector() *member.Detector { return n.det }
+
+// Applied returns the highest op sequence applied locally.
+func (n *Node) Applied() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.applied
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf("cluster[%d]: "+format, append([]any{int(n.self)}, args...)...)
+	}
+}
+
+// startTicker drives the membership detector on wall-clock time.
+func (n *Node) startTicker() {
+	iv := n.cfg.heartbeat()
+	if iv < 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(iv)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-t.C:
+				n.det.Tick(time.Since(n.start).Milliseconds())
+				if n.self != SeedRank {
+					go n.antiEntropy()
+				}
+			}
+		}
+	}()
+}
+
+// antiEntropy is a member's periodic pull against the seed's op log. The
+// broadcast path is one-way: an op the seed ships while this member's wire
+// path is still healing (right after a restart, say) is retried a few times
+// and then gone, and gap repair only triggers on RECEIPT of a later op — a
+// finite op stream can strand a member one broadcast behind forever. The
+// fix is to make the member ask: each detector tick it fetches the seed's
+// applied sequence (the MEMBERS reply leads with "SEQ <n>") and SYNCs any
+// shortfall. Seed rank never pulls (it is the log).
+func (n *Node) antiEntropy() {
+	if !n.aeBusy.CompareAndSwap(false, true) {
+		return
+	}
+	defer n.aeBusy.Store(false)
+	resp, err := n.call(SeedRank, "MEMBERS", "", "anti-entropy")
+	if err != nil {
+		return // seed unreachable: the detector is already tracking that
+	}
+	head, _ := splitLine(resp)
+	f := strings.Fields(head)
+	if len(f) != 2 || f[0] != "SEQ" {
+		return
+	}
+	latest, err := strconv.ParseUint(f[1], 10, 64)
+	if err != nil {
+		return
+	}
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	n.mu.Lock()
+	applied := n.applied
+	n.mu.Unlock()
+	if latest > applied {
+		if err := n.syncRangeLocked(applied+1, latest); err != nil {
+			n.logf("anti-entropy [%d,%d]: %v", applied+1, latest, err)
+		}
+	}
+}
+
+// vantage adapts this daemon's wire view to the member.Prober contract: a
+// daemon trusts itself unconditionally and can only probe paths that start
+// at itself — there is no global observer on a real network.
+type vantage struct{ n *Node }
+
+var errNoVantage = errors.New("cluster: cannot probe a path not starting here")
+
+func (v vantage) Nodes() int { return v.n.nodes }
+
+func (v vantage) Heartbeat(from, to fabric.NodeID) error {
+	if to == v.n.self {
+		return nil
+	}
+	if from != v.n.self {
+		return errNoVantage
+	}
+	return v.n.t.Heartbeat(from, to)
+}
+
+// ---------------------------------------------------------------------------
+// Op encoding. One op is a text header line "OP <seq> <KIND> [args...]"
+// followed by the raw body (N-Triples, tuple lines, or query text).
+
+func encodeOp(seq uint64, kind string, args []string, body string) []byte {
+	var b bytes.Buffer
+	b.WriteString("OP ")
+	b.WriteString(strconv.FormatUint(seq, 10))
+	b.WriteByte(' ')
+	b.WriteString(kind)
+	for _, a := range args {
+		b.WriteByte(' ')
+		b.WriteString(a)
+	}
+	b.WriteByte('\n')
+	b.WriteString(body)
+	return b.Bytes()
+}
+
+func decodeOp(p []byte) (seq uint64, kind string, args []string, body string, err error) {
+	head, rest := splitLine(string(p))
+	f := strings.Fields(head)
+	if len(f) < 3 || f[0] != "OP" {
+		return 0, "", nil, "", fmt.Errorf("cluster: malformed op header %q", head)
+	}
+	seq, err = strconv.ParseUint(f[1], 10, 64)
+	if err != nil {
+		return 0, "", nil, "", fmt.Errorf("cluster: bad op seq %q", f[1])
+	}
+	return seq, f[2], f[3:], rest, nil
+}
+
+func splitLine(s string) (first, rest string) {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return s, ""
+}
+
+func firstLine(s string) string {
+	first, _ := splitLine(s)
+	return first
+}
+
+// ---------------------------------------------------------------------------
+// Seed: sequencing + broadcast.
+
+// Forward executes one state-mutating op cluster-wide: the seed sequences
+// and applies it; members relay to the seed and return its reply. This is
+// the single write path — the server's LOAD/STREAM/EMIT/ADVANCE/REGISTER
+// commands all land here in cluster mode.
+func (n *Node) Forward(kind string, args []string, body string) (string, error) {
+	if n.self == SeedRank {
+		return n.sequence(kind, args, body)
+	}
+	n.cForwarded.Inc()
+	req := "FWD " + kind
+	if len(args) > 0 {
+		req += " " + strings.Join(args, " ")
+	}
+	return n.call(SeedRank, req, body, "forward "+kind)
+}
+
+// sequence assigns the next op sequence number, applies the op locally, logs
+// it, and replicates it to every member — all under applyMu, so the op order
+// members observe is the apply order.
+func (n *Node) sequence(kind string, args []string, body string) (string, error) {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	n.mu.Lock()
+	seq := n.nextSeq
+	n.mu.Unlock()
+	reply, err := n.applyLocked(seq, kind, args, body)
+	if err != nil {
+		// The op never happened: no seq consumed, nothing replicated.
+		return "", err
+	}
+	enc := encodeOp(seq, kind, args, body)
+	n.mu.Lock()
+	n.nextSeq = seq + 1
+	n.oplog = append(n.oplog, enc)
+	if len(n.oplog) > maxOplog {
+		drop := len(n.oplog) - maxOplog
+		n.oplog = append(n.oplog[:0:0], n.oplog[drop:]...)
+		n.base += uint64(drop)
+	}
+	targets := make([]fabric.NodeID, 0, n.nodes)
+	for r := 0; r < n.nodes; r++ {
+		if fabric.NodeID(r) != n.self && n.members[r] != "" {
+			targets = append(targets, fabric.NodeID(r))
+		}
+	}
+	n.mu.Unlock()
+	for _, to := range targets {
+		n.outbox[to] = enc
+		// Transient drops retry inside the sender; persistent failures trip
+		// the per-member breaker and are dropped here — the member's gap
+		// SYNC (or its rejoin replay) repairs the hole when it returns.
+		_ = n.snd.Send(n.self, to, len(enc))
+	}
+	return reply, nil
+}
+
+// attemptSend is the flow.Sender delivery attempt: ship the current outbox
+// payload for the destination. outbox writes are serialized by applyMu,
+// which is held across the Send that triggers this.
+func (n *Node) attemptSend(from, to fabric.NodeID, _ int) error {
+	return n.t.Send(from, to, n.outbox[to])
+}
+
+// handleJoin serves JOIN <rank|-1> <addr> on the seed. Rank -1 is the
+// bootstrap form (Discover): it only reserves a rank — the joiner has no
+// transport yet, so nothing may be replicated toward it. The real join
+// (rank >= 0, sent once the joiner's listener serves frames) commits the
+// membership as a replicated MEMBER op.
+func (n *Node) handleJoin(args []string) (string, error) {
+	if n.self != SeedRank {
+		return "", fmt.Errorf("cluster: JOIN sent to non-seed rank %d", n.self)
+	}
+	if len(args) != 2 {
+		return "", fmt.Errorf("cluster: usage JOIN <rank|-1> <addr>")
+	}
+	want, err := strconv.Atoi(args[0])
+	if err != nil {
+		return "", fmt.Errorf("cluster: bad rank %q", args[0])
+	}
+	addr := args[1]
+	n.mu.Lock()
+	rank := -1
+	commit := false
+	switch {
+	case want >= 0 && want < n.nodes:
+		if n.members[want] == "" || n.members[want] == addr || n.reserved[want] == addr {
+			rank = want
+			commit = n.members[want] != addr
+			n.reserved[want] = ""
+		}
+	case want == -1:
+		// Prefer the rank that already owns this address (a restarted daemon
+		// reclaiming its partitions), else the lowest unclaimed rank.
+		for r := 1; r < n.nodes; r++ {
+			if n.members[r] == addr || n.reserved[r] == addr {
+				rank = r
+				break
+			}
+		}
+		if rank < 0 {
+			for r := 1; r < n.nodes; r++ {
+				if n.members[r] == "" && n.reserved[r] == "" {
+					rank = r
+					break
+				}
+			}
+		}
+		if rank >= 0 {
+			n.reserved[rank] = addr
+		}
+	}
+	latest := n.nextSeq - 1
+	n.mu.Unlock()
+	if rank < 0 {
+		return "", fmt.Errorf("cluster: no rank available for %s (cluster of %d full or rank taken)", addr, n.nodes)
+	}
+	if commit {
+		if _, err := n.sequence("MEMBER", []string{strconv.Itoa(rank), addr}, ""); err != nil {
+			return "", err
+		}
+		n.mu.Lock()
+		latest = n.nextSeq - 1
+		n.mu.Unlock()
+	}
+	return fmt.Sprintf("RANK %d NODES %d SEQ %d", rank, n.nodes, latest), nil
+}
+
+func (n *Node) memberAddr(r fabric.NodeID) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.members[r]
+}
+
+// handleSync serves SYNC <from> <to>: the requested oplog range, each op
+// length-prefixed ("<len>\n<bytes>").
+func (n *Node) handleSync(args []string) (string, error) {
+	if len(args) != 2 {
+		return "", fmt.Errorf("cluster: usage SYNC <from> <to>")
+	}
+	lo, err1 := strconv.ParseUint(args[0], 10, 64)
+	hi, err2 := strconv.ParseUint(args[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		return "", fmt.Errorf("cluster: bad SYNC range %v", args)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if lo < n.base {
+		return "", fmt.Errorf("cluster: ops before %d were compacted away (asked for %d); full restart required", n.base, lo)
+	}
+	if hi >= n.base+uint64(len(n.oplog)) {
+		hi = n.base + uint64(len(n.oplog)) - 1
+	}
+	var b bytes.Buffer
+	for s := lo; s <= hi; s++ {
+		enc := n.oplog[s-n.base]
+		fmt.Fprintf(&b, "%d\n", len(enc))
+		b.Write(enc)
+	}
+	return b.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Members: replication receive + gap repair.
+
+// HandleSend consumes one replicated op (fabric.Handler).
+func (n *Node) HandleSend(from fabric.NodeID, payload []byte) {
+	seq, kind, args, body, err := decodeOp(payload)
+	if err != nil {
+		n.logf("dropping malformed op from %d: %v", from, err)
+		return
+	}
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	n.ingestLocked(seq, kind, args, body)
+}
+
+// ingestLocked applies one op in sequence order, fetching any gap from the
+// seed first. Duplicates (sequence already applied) are dropped — this plus
+// the deterministic engine is what makes replication idempotent.
+func (n *Node) ingestLocked(seq uint64, kind string, args []string, body string) {
+	n.mu.Lock()
+	applied := n.applied
+	n.mu.Unlock()
+	if seq <= applied {
+		n.cDupOps.Inc()
+		return
+	}
+	if seq > applied+1 {
+		if err := n.syncRangeLocked(applied+1, seq-1); err != nil {
+			n.logf("gap [%d,%d] unrepaired: %v", applied+1, seq-1, err)
+			// Leave the gap; the op cannot be applied out of order. The next
+			// broadcast (or the member's restart) retries the repair.
+			return
+		}
+	}
+	if _, err := n.applyLocked(seq, kind, args, body); err != nil {
+		n.logf("op %d %s failed: %v", seq, kind, err)
+	}
+}
+
+// syncRange fetches and applies the op range [lo,hi] from the seed.
+func (n *Node) syncRange(lo, hi uint64) error {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	return n.syncRangeLocked(lo, hi)
+}
+
+func (n *Node) syncRangeLocked(lo, hi uint64) error {
+	if hi < lo {
+		return nil
+	}
+	// SYNC is idempotent; a lossy wire (a dropped or quarantined response)
+	// deserves a couple of fresh round trips before the gap is left for the
+	// next broadcast to re-trigger.
+	var resp string
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		resp, err = n.call(SeedRank, fmt.Sprintf("SYNC %d %d", lo, hi), "", "sync")
+		if err == nil || !errors.Is(err, ErrUnavailable) {
+			break
+		}
+	}
+	if err != nil {
+		return err
+	}
+	rest := resp
+	for rest != "" {
+		head, tail := splitLine(rest)
+		size, err := strconv.Atoi(strings.TrimSpace(head))
+		if err != nil || size < 0 || size > len(tail) {
+			return fmt.Errorf("cluster: malformed SYNC chunk header %q", head)
+		}
+		seq, kind, args, body, err := decodeOp([]byte(tail[:size]))
+		if err != nil {
+			return err
+		}
+		n.mu.Lock()
+		applied := n.applied
+		n.mu.Unlock()
+		if seq > applied {
+			if _, err := n.applyLocked(seq, kind, args, body); err != nil {
+				return fmt.Errorf("cluster: replaying op %d %s: %w", seq, kind, err)
+			}
+			n.cSynced.Inc()
+		}
+		rest = tail[size:]
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Apply: the deterministic state machine every replica runs.
+
+// applyLocked applies one op to the local engine. Caller holds applyMu.
+// Every replica applies the same ops in the same order; anything this
+// touches must be deterministic in that order.
+func (n *Node) applyLocked(seq uint64, kind string, args []string, body string) (string, error) {
+	reply, err := n.applyOp(kind, args, body)
+	if err != nil {
+		return "", err
+	}
+	n.cApplied.Inc()
+	n.mu.Lock()
+	if seq > n.applied {
+		n.applied = seq
+	}
+	n.mu.Unlock()
+	return reply, nil
+}
+
+func (n *Node) applyOp(kind string, args []string, body string) (string, error) {
+	switch kind {
+	case "MEMBER":
+		if len(args) != 2 {
+			return "", fmt.Errorf("cluster: usage MEMBER <rank> <addr>")
+		}
+		rank, err := strconv.Atoi(args[0])
+		if err != nil || rank < 0 || rank >= n.nodes {
+			return "", fmt.Errorf("cluster: bad member rank %q", args[0])
+		}
+		n.mu.Lock()
+		n.members[rank] = args[1]
+		n.mu.Unlock()
+		if tcp, ok := n.t.(*wire.TCP); ok && fabric.NodeID(rank) != n.self {
+			tcp.SetPeer(fabric.NodeID(rank), args[1])
+		}
+		return fmt.Sprintf("member %d %s", rank, args[1]), nil
+
+	case "LOAD":
+		count, err := n.eng.LoadReader(strings.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("loaded %d", count), nil
+
+	case "STREAM":
+		if len(args) < 2 {
+			return "", fmt.Errorf("cluster: usage STREAM <name> <interval_ms> [preds...]")
+		}
+		ms, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil || ms <= 0 {
+			return "", fmt.Errorf("cluster: bad interval %q", args[1])
+		}
+		_, err = n.eng.RegisterStream(stream.Config{
+			Name:             args[0],
+			BatchInterval:    time.Duration(ms) * time.Millisecond,
+			TimingPredicates: args[2:],
+		})
+		if err != nil {
+			// Idempotent re-registration (client replay after reconnect).
+			if _, ok := n.eng.SourceOf(args[0]); !ok {
+				return "", err
+			}
+		}
+		return "stream " + args[0], nil
+
+	case "EMIT":
+		if len(args) != 1 {
+			return "", fmt.Errorf("cluster: usage EMIT <stream>")
+		}
+		src, ok := n.eng.SourceOf(args[0])
+		if !ok {
+			return "", fmt.Errorf("cluster: unknown stream %q", args[0])
+		}
+		rd := rdf.NewReader(strings.NewReader(body))
+		admitted := 0
+		for {
+			tu, err := rd.ReadTuple()
+			if err != nil {
+				break
+			}
+			if err := src.Emit(tu); err != nil {
+				if errors.Is(err, flow.ErrShed) {
+					// Admission control refused the tail. The queue state is
+					// op-order-deterministic, so every replica sheds the same
+					// tuples; report the overload to the writer.
+					return "", err
+				}
+				return "", err
+			}
+			admitted++
+		}
+		return fmt.Sprintf("emitted %d", admitted), nil
+
+	case "ADVANCE":
+		if len(args) != 1 {
+			return "", fmt.Errorf("cluster: usage ADVANCE <ts_ms>")
+		}
+		ts, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("cluster: bad timestamp %q", args[0])
+		}
+		n.eng.AdvanceTo(rdf.Timestamp(ts))
+		return fmt.Sprintf("now %d", int64(n.eng.Now())), nil
+
+	case "REGISTER":
+		// The engine assigns the name; the firing callback needs it, so it
+		// blocks on ready until registration returns (a query cannot fire
+		// before the next ADVANCE op anyway).
+		ready := make(chan struct{})
+		name := ""
+		cb := func(res *core.Result, fi core.FireInfo) {
+			<-ready
+			if n.cfg.OnFire != nil {
+				n.cfg.OnFire(name, res, fi)
+			}
+		}
+		cq, err := n.eng.RegisterContinuous(body, cb)
+		if err != nil {
+			close(ready)
+			return "", err
+		}
+		name = cq.Name
+		close(ready)
+		return "registered " + cq.Name, nil
+
+	default:
+		return "", fmt.Errorf("cluster: unknown op kind %q", kind)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Calls.
+
+// call performs one request/response verb against a peer, mapping transport
+// failures to UnavailableError and remote application errors to plain errors
+// carrying the remote text. An injected drop of the request frame is
+// transient AND provably never reached the peer, so it is always safe to
+// retry — even for non-idempotent FWD ops.
+func (n *Node) call(to fabric.NodeID, head, body, op string) (string, error) {
+	payload := head + "\n" + body
+	var err error
+	for attempt := 0; attempt < 8; attempt++ {
+		var resp []byte
+		resp, err = n.t.Call(n.self, to, []byte(payload))
+		if err == nil {
+			return string(resp), nil
+		}
+		if fabric.Transient(err) {
+			continue
+		}
+		break
+	}
+	if msg, ok := wire.RemoteText(err); ok {
+		return "", errors.New(msg)
+	}
+	return "", &UnavailableError{Node: to, Op: op, Err: err}
+}
+
+// HandleCall serves the cluster verbs (fabric.Handler).
+func (n *Node) HandleCall(from fabric.NodeID, req []byte) ([]byte, error) {
+	head, body := splitLine(string(req))
+	f := strings.Fields(head)
+	if len(f) == 0 {
+		return nil, fmt.Errorf("cluster: empty request")
+	}
+	switch f[0] {
+	case "JOIN":
+		resp, err := n.handleJoin(f[1:])
+		return []byte(resp), err
+	case "SYNC":
+		resp, err := n.handleSync(f[1:])
+		return []byte(resp), err
+	case "FWD":
+		if n.self != SeedRank {
+			return nil, fmt.Errorf("cluster: FWD sent to non-seed rank %d", n.self)
+		}
+		if len(f) < 2 {
+			return nil, fmt.Errorf("cluster: usage FWD <kind> [args...]")
+		}
+		resp, err := n.sequence(f[1], f[2:], body)
+		return []byte(resp), err
+	case "QUERY":
+		return n.serveQuery(body)
+	case "SCATTER":
+		return n.serveScatter(f[1:], body)
+	case "MEMBERS":
+		return []byte(n.membersReply()), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown verb %q", f[0])
+	}
+}
+
+// membersReply renders "SEQ <applied>" plus one "<rank> <addr> <state>" line
+// per rank, from this daemon's local view.
+func (n *Node) membersReply() string {
+	states := n.det.States()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "SEQ %d\n", n.applied)
+	for r := 0; r < n.nodes; r++ {
+		addr := n.members[r]
+		if addr == "" {
+			addr = "-"
+		}
+		st := states[r].String()
+		if fabric.NodeID(r) == n.self {
+			st = "self"
+		}
+		fmt.Fprintf(&b, "%d %s %s\n", r, addr, st)
+	}
+	return b.String()
+}
+
+// Info returns the CLUSTER command's lines: this daemon's view of every
+// member.
+func (n *Node) Info() []string {
+	return strings.Split(strings.TrimRight(n.membersReply(), "\n"), "\n")
+}

@@ -1,0 +1,514 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/member"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+const clusterNodes = 3
+
+// daemon is one in-process stand-in for a wukongsd process: its own engine
+// replica, its own TCP transport, its own cluster node.
+type daemon struct {
+	eng  *core.Engine
+	tr   *wire.TCP
+	node *Node
+
+	mu    sync.Mutex
+	fires map[string][][]string // cq name → firing row sets, in order
+}
+
+func (d *daemon) onFire(name string, res *core.Result, _ core.FireInfo) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.fires == nil {
+		d.fires = make(map[string][][]string)
+	}
+	d.fires[name] = append(d.fires[name], res.Strings())
+}
+
+func (d *daemon) close() {
+	if d.node != nil {
+		d.node.Close()
+	}
+	if d.tr != nil {
+		d.tr.Close()
+	}
+	if d.eng != nil {
+		d.eng.Close()
+	}
+}
+
+func newEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	eng, err := core.New(core.Config{
+		Nodes:          clusterNodes,
+		WorkersPerNode: 2,
+		Metrics:        obs.NewRegistry(""),
+	})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	return eng
+}
+
+func tcpConfig(self fabric.NodeID, faults *wire.Faults) wire.TCPConfig {
+	return wire.TCPConfig{
+		Self:             self,
+		Nodes:            clusterNodes,
+		DialTimeout:      time.Second,
+		CallTimeout:      500 * time.Millisecond,
+		HeartbeatTimeout: 200 * time.Millisecond,
+		ReconnectBase:    5 * time.Millisecond,
+		ReconnectCap:     50 * time.Millisecond,
+		BreakerCooldown:  30 * time.Millisecond,
+		Faults:           faults,
+	}
+}
+
+func clusterConfig(tr fabric.Transport, self fabric.NodeID, eng *core.Engine, d *daemon) Config {
+	return Config{
+		Transport:         tr,
+		Self:              self,
+		Engine:            eng,
+		OnFire:            d.onFire,
+		HeartbeatInterval: 20 * time.Millisecond,
+		SuspectAfter:      2,
+		DeadAfter:         3,
+		FlowSeed:          1,
+		Metrics:           obs.NewRegistry(""),
+	}
+}
+
+// startSeed brings up the rank-0 daemon.
+func startSeed(t *testing.T, faults *wire.Faults) *daemon {
+	t.Helper()
+	d := &daemon{eng: newEngine(t)}
+	tr, err := wire.ListenTCP("127.0.0.1:0", tcpConfig(SeedRank, faults), obs.NewRegistry(""))
+	if err != nil {
+		t.Fatalf("seed listen: %v", err)
+	}
+	d.tr = tr
+	cfg := clusterConfig(tr, SeedRank, d.eng, d)
+	cfg.SelfAddr = tr.Addr()
+	node, err := NewSeed(cfg)
+	if err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	d.node = node
+	return d
+}
+
+// joinDaemon brings up a member via the real bootstrap path: listen first,
+// Discover a rank, wrap the listener in a transport, Join and replay.
+// listenAddr "" picks an ephemeral port; a concrete address re-binds it (the
+// restart path).
+func joinDaemon(t *testing.T, seedAddr, listenAddr string) *daemon {
+	t.Helper()
+	if listenAddr == "" {
+		listenAddr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	var err error
+	for i := 0; i < 50; i++ { // a just-killed daemon's port can linger briefly
+		ln, err = net.Listen("tcp", listenAddr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("member listen %s: %v", listenAddr, err)
+	}
+	advertise := ln.Addr().String()
+	rank, nodes, err := Discover(seedAddr, advertise, time.Second)
+	if err != nil {
+		ln.Close()
+		t.Fatalf("discover: %v", err)
+	}
+	if nodes != clusterNodes {
+		ln.Close()
+		t.Fatalf("discover: nodes = %d, want %d", nodes, clusterNodes)
+	}
+	d := &daemon{eng: newEngine(t)}
+	tr, err := wire.NewTCP(ln, tcpConfig(fabric.NodeID(rank), nil), obs.NewRegistry(""))
+	if err != nil {
+		t.Fatalf("member transport: %v", err)
+	}
+	d.tr = tr
+	cfg := clusterConfig(tr, fabric.NodeID(rank), d.eng, d)
+	cfg.SelfAddr = advertise
+	cfg.SeedAddr = seedAddr
+	node, err := Join(cfg)
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	d.node = node
+	return d
+}
+
+// seedData pushes a base graph, a stream, tuples, and a window advance
+// through the cluster write path from the given daemon.
+func seedData(t *testing.T, via *daemon) {
+	t.Helper()
+	if _, err := via.node.Forward("STREAM", []string{"S", "100"}, ""); err != nil {
+		t.Fatalf("STREAM: %v", err)
+	}
+	var triples strings.Builder
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&triples, "<u%d> <knows> <u%d> .\n", i, (i+1)%12)
+	}
+	reply, err := via.node.Forward("LOAD", nil, triples.String())
+	if err != nil {
+		t.Fatalf("LOAD: %v", err)
+	}
+	if reply != "loaded 12" {
+		t.Fatalf("LOAD reply = %q", reply)
+	}
+	var tuples strings.Builder
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&tuples, "<u%d> <po> <t%d> . @%d\n", i, i%5, 10+i)
+	}
+	if _, err := via.node.Forward("EMIT", []string{"S"}, tuples.String()); err != nil {
+		t.Fatalf("EMIT: %v", err)
+	}
+	if reply, err := via.node.Forward("ADVANCE", []string{"400"}, ""); err != nil || reply != "now 400" {
+		t.Fatalf("ADVANCE = %q, %v", reply, err)
+	}
+}
+
+// waitConverged blocks until every daemon has applied the seed's latest op.
+func waitConverged(t *testing.T, ds ...*daemon) {
+	t.Helper()
+	want := ds[0].node.Applied()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		all := true
+		for _, d := range ds {
+			if d.node.Applied() < want {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		if time.Now().After(deadline) {
+			state := make([]uint64, len(ds))
+			for i, d := range ds {
+				state[i] = d.node.Applied()
+			}
+			t.Fatalf("replicas did not converge to op %d: %v", want, state)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// entityHomedOn finds a loaded entity whose partition authority is rank.
+func entityHomedOn(t *testing.T, d *daemon, rank fabric.NodeID) string {
+	t.Helper()
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("u%d", i)
+		if home, _, known := d.node.Home(name); known && home == rank {
+			return name
+		}
+	}
+	t.Fatalf("no test entity homed on rank %d", rank)
+	return ""
+}
+
+func TestClusterTCPReplicationAndRouting(t *testing.T) {
+	seed := startSeed(t, nil)
+	defer seed.close()
+	d1 := joinDaemon(t, seed.tr.Addr(), "")
+	defer d1.close()
+	d2 := joinDaemon(t, seed.tr.Addr(), "")
+	defer d2.close()
+
+	// All writes enter through a member: they must relay to the seed and
+	// replicate to everyone.
+	seedData(t, d1)
+	waitConverged(t, seed, d1, d2)
+
+	// Every replica's engine answers identically.
+	const scatter = `SELECT ?X ?Y WHERE { ?X po ?Y }`
+	var want []string
+	for i, d := range []*daemon{seed, d1, d2} {
+		res, err := d.eng.Query(scatter)
+		if err != nil {
+			t.Fatalf("replica %d query: %v", i, err)
+		}
+		res.Sort()
+		if i == 0 {
+			want = res.Strings()
+			if len(want) == 0 {
+				t.Fatal("no rows on seed replica")
+			}
+		} else if !reflect.DeepEqual(res.Strings(), want) {
+			t.Fatalf("replica %d diverged: %v vs %v", i, res.Strings(), want)
+		}
+	}
+
+	// Routed queries agree with each other no matter where they enter:
+	// local on the owner, one forwarded hop elsewhere.
+	for rank := fabric.NodeID(0); rank < clusterNodes; rank++ {
+		entity := entityHomedOn(t, seed, rank)
+		q := fmt.Sprintf("SELECT ?Y WHERE { %s po ?Y }", entity)
+		var first []string
+		for i, d := range []*daemon{seed, d1, d2} {
+			rows, lat, err := d.node.Query(q)
+			if err != nil {
+				t.Fatalf("query %q via daemon %d: %v", q, i, err)
+			}
+			if lat <= 0 {
+				t.Fatalf("query %q via daemon %d: zero latency", q, i)
+			}
+			if i == 0 {
+				first = rows
+				if len(rows) != 1 {
+					t.Fatalf("query %q: rows = %v", q, rows)
+				}
+			} else if !reflect.DeepEqual(rows, first) {
+				t.Fatalf("query %q diverged via daemon %d: %v vs %v", q, i, rows, first)
+			}
+		}
+	}
+
+	// Scatter: no anchor, every daemon coordinates the same merged answer
+	// (merged rows come back lexicographically sorted).
+	wantSorted := append([]string(nil), want...)
+	sort.Strings(wantSorted)
+	for i, d := range []*daemon{seed, d1, d2} {
+		rows, _, err := d.node.Query(scatter)
+		if err != nil {
+			t.Fatalf("scatter via daemon %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(rows, wantSorted) {
+			t.Fatalf("scatter via daemon %d: %v, want %v", i, rows, wantSorted)
+		}
+	}
+
+	// Continuous queries fire on every replica with identical rows.
+	if reply, err := d2.node.Forward("REGISTER", nil,
+		`REGISTER QUERY QC AS SELECT ?X ?Y FROM S [RANGE 300ms STEP 100ms] WHERE { GRAPH S { ?X po ?Y } }`); err != nil || reply != "registered QC" {
+		t.Fatalf("REGISTER = %q, %v", reply, err)
+	}
+	if _, err := d2.node.Forward("ADVANCE", []string{"800"}, ""); err != nil {
+		t.Fatalf("ADVANCE: %v", err)
+	}
+	waitConverged(t, seed, d1, d2)
+	var base [][]string
+	for i, d := range []*daemon{seed, d1, d2} {
+		d.mu.Lock()
+		fires := d.fires["QC"]
+		d.mu.Unlock()
+		if len(fires) == 0 {
+			t.Fatalf("daemon %d: QC never fired", i)
+		}
+		if i == 0 {
+			base = fires
+		} else if !reflect.DeepEqual(fires, base) {
+			t.Fatalf("daemon %d fired differently: %v vs %v", i, fires, base)
+		}
+	}
+}
+
+func TestClusterTCPKillAndRejoin(t *testing.T) {
+	seed := startSeed(t, nil)
+	defer seed.close()
+	d1 := joinDaemon(t, seed.tr.Addr(), "")
+	defer d1.close()
+	d2 := joinDaemon(t, seed.tr.Addr(), "")
+	seedData(t, seed)
+	waitConverged(t, seed, d1, d2)
+
+	victim := d2.node.Self()
+	victimAddr := d2.tr.Addr()
+	deadEntity := entityHomedOn(t, seed, victim)
+	liveEntity := entityHomedOn(t, seed, d1.node.Self())
+
+	// Kill the daemon (transport torn down = sockets reset, like kill -9).
+	d2.close()
+
+	// Survivors declare it dead on their own heartbeats.
+	deadline := time.Now().Add(5 * time.Second)
+	for seed.node.Detector().State(victim) != member.Dead ||
+		d1.node.Detector().State(victim) != member.Dead {
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never declared dead: seed=%v d1=%v",
+				seed.node.Detector().State(victim), d1.node.Detector().State(victim))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Survivor-owned partitions keep answering.
+	q := fmt.Sprintf("SELECT ?Y WHERE { %s po ?Y }", liveEntity)
+	if rows, _, err := seed.node.Query(q); err != nil || len(rows) != 1 {
+		t.Fatalf("survivor query = %v, %v", rows, err)
+	}
+	// Dead-owned partitions fail fast and typed — never a raw socket error.
+	q = fmt.Sprintf("SELECT ?Y WHERE { %s po ?Y }", deadEntity)
+	start := time.Now()
+	_, _, err := d1.node.Query(q)
+	elapsed := time.Since(start)
+	if !errors.Is(err, core.ErrPartitionDown) {
+		t.Fatalf("dead-partition query error = %v, want ErrPartitionDown", err)
+	}
+	var pd *PartitionDownError
+	if !errors.As(err, &pd) || pd.Node != victim {
+		t.Fatalf("partition-down detail = %v", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("dead-partition query took %v, want fast typed failure", elapsed)
+	}
+	// Scatter queries degrade gracefully (dead shard reassigned locally).
+	if rows, _, err := d1.node.Query(`SELECT ?X ?Y WHERE { ?X po ?Y }`); err != nil || len(rows) == 0 {
+		t.Fatalf("scatter during outage = %v, %v", rows, err)
+	}
+
+	// Restart on the same address: Discover must hand back the same rank,
+	// Join must replay the full oplog into the fresh engine.
+	d2b := joinDaemon(t, seed.tr.Addr(), victimAddr)
+	defer d2b.close()
+	if d2b.node.Self() != victim {
+		t.Fatalf("restart got rank %d, want %d", d2b.node.Self(), victim)
+	}
+	waitConverged(t, seed, d1, d2b)
+	if got, want := d2b.node.Applied(), seed.node.Applied(); got != want {
+		t.Fatalf("rejoined replica applied %d, seed at %d", got, want)
+	}
+	// Survivors see it alive again and route to it.
+	deadline = time.Now().Add(5 * time.Second)
+	for d1.node.Detector().State(victim) == member.Dead {
+		if time.Now().After(deadline) {
+			t.Fatal("victim never rejoined in survivor's view")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rows, _, err := d1.node.Query(q); err != nil || len(rows) != 1 {
+		t.Fatalf("post-rejoin query = %v, %v", rows, err)
+	}
+}
+
+// Replication must converge even when the seed's outbound wire injects
+// drops, duplicates, and corruption: drops retry through flow.Sender, dups
+// quarantine at the receiver, corruption quarantines and the resulting gap
+// is repaired by a SYNC fetch.
+func TestClusterTCPReplicationUnderWireFaults(t *testing.T) {
+	faults := wire.NewFaults(42, wire.FaultsConfig{
+		DropProb:    0.15,
+		DupProb:     0.10,
+		CorruptProb: 0.05,
+	})
+	seed := startSeed(t, faults)
+	defer seed.close()
+	d1 := joinDaemon(t, seed.tr.Addr(), "")
+	defer d1.close()
+	d2 := joinDaemon(t, seed.tr.Addr(), "")
+	defer d2.close()
+
+	if _, err := seed.node.Forward("STREAM", []string{"S", "100"}, ""); err != nil {
+		t.Fatalf("STREAM: %v", err)
+	}
+	ts := int64(100)
+	for op := 0; op < 30; op++ {
+		tuple := fmt.Sprintf("<u%d> <po> <t%d> . @%d\n", op%8, op%4, ts+int64(op))
+		if _, err := seed.node.Forward("EMIT", []string{"S"}, tuple); err != nil {
+			t.Fatalf("EMIT %d: %v", op, err)
+		}
+	}
+	// Converge: keep advancing (new ops also trigger gap repair for any op
+	// whose broadcast was lost outright). Gap repair can burn whole call
+	// timeouts when the response path flaps, so the budget is generous.
+	deadline := time.Now().Add(30 * time.Second)
+	for d1.node.Applied() < seed.node.Applied() || d2.node.Applied() < seed.node.Applied() {
+		if time.Now().After(deadline) {
+			t.Fatalf("no convergence under faults: seed=%d d1=%d d2=%d (injected %+v)",
+				seed.node.Applied(), d1.node.Applied(), d2.node.Applied(), faults.Stats())
+		}
+		ts += 100
+		if _, err := seed.node.Forward("ADVANCE", []string{fmt.Sprint(ts)}, ""); err != nil {
+			t.Fatalf("ADVANCE: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	st := faults.Stats()
+	if st.Dropped+st.Dupped+st.Corrupted == 0 {
+		t.Fatalf("injector idle (%+v); test proved nothing", st)
+	}
+	for i, d := range []*daemon{d1, d2} {
+		res, err := d.eng.Query(`SELECT ?X ?Y WHERE { ?X po ?Y }`)
+		if err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+		seedRes, _ := seed.eng.Query(`SELECT ?X ?Y WHERE { ?X po ?Y }`)
+		res.Sort()
+		seedRes.Sort()
+		if !reflect.DeepEqual(res.Strings(), seedRes.Strings()) {
+			t.Fatalf("replica %d diverged under faults", i)
+		}
+	}
+}
+
+// The cluster must also run over the in-memory transport: same brain, no
+// sockets — this is what keeps the single-process deployment first-class.
+func TestClusterMemTransport(t *testing.T) {
+	fab := fabric.New(fabric.DefaultConfig(clusterNodes))
+	mem := fabric.NewMem(fab)
+
+	mk := func(self fabric.NodeID) *daemon {
+		d := &daemon{eng: newEngine(t)}
+		cfg := clusterConfig(mem, self, d.eng, d)
+		cfg.HeartbeatInterval = -1 // no wall-clock ticker needed here
+		cfg.SelfAddr = fmt.Sprintf("mem-%d", self)
+		var err error
+		if self == SeedRank {
+			d.node, err = NewSeed(cfg)
+		} else {
+			d.node, err = Join(cfg)
+		}
+		if err != nil {
+			t.Fatalf("node %d: %v", self, err)
+		}
+		return d
+	}
+	seed := mk(0)
+	defer seed.eng.Close()
+	d1 := mk(1)
+	defer d1.eng.Close()
+	d2 := mk(2)
+	defer d2.eng.Close()
+
+	seedData(t, d1)
+	waitConverged(t, seed, d1, d2)
+
+	entity := entityHomedOn(t, seed, d2.node.Self())
+	q := fmt.Sprintf("SELECT ?Y WHERE { %s po ?Y }", entity)
+	var first []string
+	for i, d := range []*daemon{seed, d1, d2} {
+		rows, _, err := d.node.Query(q)
+		if err != nil {
+			t.Fatalf("mem query via %d: %v", i, err)
+		}
+		if i == 0 {
+			first = rows
+		} else if !reflect.DeepEqual(rows, first) {
+			t.Fatalf("mem query diverged via %d", i)
+		}
+	}
+	if len(first) != 1 {
+		t.Fatalf("mem query rows = %v", first)
+	}
+}

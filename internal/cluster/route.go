@@ -1,0 +1,265 @@
+// Query routing: partition authority for one-shot queries.
+//
+// A query anchored at a constant subject is owned by the rank HomeOf assigns
+// the subject's entity id — the same placement the engine uses for the
+// vertex itself, so the owner's answer is the one the paper's RDMA one-sided
+// fetch would produce without leaving the node. The owner serves it from its
+// local replica (the sub-millisecond path); any other daemon forwards one
+// Call; a dead owner is a typed partition-down failure, never a hang.
+//
+// A query with no constant-subject anchor has no single owner: the
+// coordinator forks it to every live member as row-disjoint shards (each
+// member filters its full-replica answer by a row hash) and joins the
+// pieces. Shards of dead members are reassigned to the coordinator, so
+// scatter queries degrade gracefully instead of failing.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/member"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/wire"
+)
+
+// Query routes one one-shot query: local on the owning rank, one forwarded
+// Call otherwise, scatter/merge when nothing anchors it.
+func (n *Node) Query(text string) ([]string, time.Duration, error) {
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return nil, 0, err
+	}
+	if q.Continuous {
+		return nil, 0, fmt.Errorf("cluster: continuous queries go through REGISTER")
+	}
+	owner, anchored := n.owner(q)
+	if !anchored {
+		n.cScatterQ.Inc()
+		return n.scatterQuery(text)
+	}
+	if owner == n.self {
+		n.cLocalQ.Inc()
+		return n.localQuery(text)
+	}
+	if n.det.State(owner) == member.Dead {
+		n.cPartDown.Inc()
+		return nil, 0, &PartitionDownError{Node: owner}
+	}
+	n.cRemoteQ.Inc()
+	rows, lat, err := n.remoteQuery(owner, text)
+	if err != nil {
+		if _, remote := wire.RemoteText(err); !remote {
+			// Transport-level failure: the owner's partitions are unreachable
+			// right now even if the detector has not declared it yet.
+			n.cPartDown.Inc()
+			return nil, 0, &PartitionDownError{Node: owner, Err: err}
+		}
+		return nil, 0, err
+	}
+	return rows, lat, nil
+}
+
+// Home classifies an entity for the HOME command: its owning rank, whether
+// that rank is alive in this daemon's view, and whether the entity is known.
+func (n *Node) Home(entity string) (rank fabric.NodeID, alive, known bool) {
+	id, ok := n.eng.StringServer().LookupEntity(rdf.NewIRI(entity))
+	if !ok {
+		return 0, false, false
+	}
+	rank = n.eng.Fabric().HomeOf(uint64(id))
+	return rank, n.det.State(rank) != member.Dead, true
+}
+
+// owner resolves the query's partition authority: the home of the first
+// constant subject that names a known entity. Queries whose constants are
+// all unknown (the answer is empty everywhere) and queries with only
+// variable subjects have no owner.
+func (n *Node) owner(q *sparql.Query) (fabric.NodeID, bool) {
+	scan := func(ps []sparql.Pattern) (fabric.NodeID, bool) {
+		for _, p := range ps {
+			if p.S.IsVar {
+				continue
+			}
+			if id, ok := n.eng.StringServer().LookupEntity(p.S.Term); ok {
+				return n.eng.Fabric().HomeOf(uint64(id)), true
+			}
+		}
+		return 0, false
+	}
+	if o, ok := scan(q.Patterns); ok {
+		return o, true
+	}
+	for _, br := range q.Unions {
+		if o, ok := scan(br.Patterns); ok {
+			return o, true
+		}
+	}
+	for _, g := range q.Optionals {
+		if o, ok := scan(g.Patterns); ok {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+func (n *Node) localQuery(text string) ([]string, time.Duration, error) {
+	res, err := n.eng.Query(text)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Strings(), res.Latency, nil
+}
+
+// remoteQuery forwards the full query to its owner and decodes the reply.
+func (n *Node) remoteQuery(owner fabric.NodeID, text string) ([]string, time.Duration, error) {
+	resp, err := n.call(owner, "QUERY", text, "query")
+	if err != nil {
+		return nil, 0, err
+	}
+	return decodeRows(resp)
+}
+
+// serveQuery answers a forwarded QUERY call from the local replica.
+func (n *Node) serveQuery(text string) ([]byte, error) {
+	rows, lat, err := n.localQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	return encodeRows(rows, lat), nil
+}
+
+// serveScatter answers SCATTER <shard> <of>: the local replica's rows,
+// filtered down to this shard's hash class.
+func (n *Node) serveScatter(args []string, text string) ([]byte, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("cluster: usage SCATTER <shard> <of>")
+	}
+	shard, err1 := strconv.Atoi(args[0])
+	of, err2 := strconv.Atoi(args[1])
+	if err1 != nil || err2 != nil || of <= 0 || shard < 0 || shard >= of {
+		return nil, fmt.Errorf("cluster: bad scatter shard %v", args)
+	}
+	rows, lat, err := n.localQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	return encodeRows(filterShard(rows, shard, of), lat), nil
+}
+
+// scatterQuery forks an unanchored query across the live members as
+// row-disjoint shards and joins the pieces. Shards whose member is dead,
+// unknown, or fails mid-flight fall back to local execution, so the merged
+// answer is complete whenever the coordinator itself is healthy.
+func (n *Node) scatterQuery(text string) ([]string, time.Duration, error) {
+	type piece struct {
+		rows []string
+		lat  time.Duration
+		err  error
+	}
+	pieces := make([]piece, n.nodes)
+	var localOnce sync.Once
+	var localRows []string
+	var localLat time.Duration
+	var localErr error
+	local := func() ([]string, time.Duration, error) {
+		localOnce.Do(func() { localRows, localLat, localErr = n.localQuery(text) })
+		return localRows, localLat, localErr
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < n.nodes; s++ {
+		target := fabric.NodeID(s)
+		runLocal := target == n.self ||
+			n.memberAddr(target) == "" ||
+			n.det.State(target) == member.Dead
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			if !runLocal {
+				resp, err := n.call(target, fmt.Sprintf("SCATTER %d %d", s, n.nodes), text, "scatter")
+				if err == nil {
+					pieces[s].rows, pieces[s].lat, pieces[s].err = decodeRows(resp)
+					return
+				}
+				if _, remote := wire.RemoteText(err); remote {
+					pieces[s].err = err
+					return
+				}
+				// Transport failure: reassign the shard to ourselves.
+			}
+			rows, lat, err := local()
+			if err != nil {
+				pieces[s].err = err
+				return
+			}
+			pieces[s].rows, pieces[s].lat = filterShard(rows, s, n.nodes), lat
+		}(s)
+	}
+	wg.Wait()
+
+	var merged []string
+	var lat time.Duration
+	for _, p := range pieces {
+		if p.err != nil {
+			return nil, 0, p.err
+		}
+		merged = append(merged, p.rows...)
+		if p.lat > lat {
+			// Fork-join latency is the slowest shard, as in the engine's
+			// own fork-join executor.
+			lat = p.lat
+		}
+	}
+	sort.Strings(merged)
+	return merged, lat, nil
+}
+
+func filterShard(rows []string, shard, of int) []string {
+	out := make([]string, 0, len(rows)/of+1)
+	for _, r := range rows {
+		h := fnv.New32a()
+		h.Write([]byte(r))
+		if int(h.Sum32())%of == shard {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// encodeRows renders "ROWS <n> <latency_ns>" plus one row per line.
+func encodeRows(rows []string, lat time.Duration) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ROWS %d %d\n", len(rows), lat.Nanoseconds())
+	for _, r := range rows {
+		b.WriteString(r)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+func decodeRows(resp string) ([]string, time.Duration, error) {
+	head, rest := splitLine(resp)
+	var count int
+	var latNs int64
+	if _, err := fmt.Sscanf(head, "ROWS %d %d", &count, &latNs); err != nil {
+		return nil, 0, fmt.Errorf("cluster: bad query reply %q: %w", head, err)
+	}
+	rows := make([]string, 0, count)
+	for _, line := range strings.Split(rest, "\n") {
+		if line != "" {
+			rows = append(rows, line)
+		}
+	}
+	if len(rows) != count {
+		return nil, 0, fmt.Errorf("cluster: query reply declared %d rows, carried %d", count, len(rows))
+	}
+	return rows, time.Duration(latNs), nil
+}

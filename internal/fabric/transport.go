@@ -1,0 +1,138 @@
+// Transport abstracts the fabric's message plane so the same cluster code
+// runs over two substrates: the in-process simulated fabric (Mem, the
+// behavior every existing test and benchmark exercises) and a real TCP wire
+// (internal/wire.TCP), where frames cross process boundaries with
+// length-prefixed CRC32C framing. Everything distributed above this line —
+// membership heartbeats, op replication, query forwarding, scatter/gather —
+// is written against Transport and cannot tell the substrates apart except
+// by latency and by what can go wrong.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Handler consumes frames delivered to one node. Implementations must be
+// safe for concurrent use: a transport may deliver from multiple connections
+// at once.
+type Handler interface {
+	// HandleSend consumes a one-way frame. There is no reply path; losing the
+	// payload is the receiver's prerogative (and the sender's risk).
+	HandleSend(from NodeID, payload []byte)
+	// HandleCall serves a two-sided exchange and returns the response
+	// payload. A returned error travels back to the caller as an error.
+	HandleCall(from NodeID, req []byte) ([]byte, error)
+}
+
+// Transport is a cluster message plane: one-way sends, two-sided calls, and
+// liveness probes between logical nodes. Implementations are safe for
+// concurrent use.
+type Transport interface {
+	// Self returns the node (or, for the in-memory transport, the node count
+	// boundary) this transport instance speaks for; see each implementation.
+	Nodes() int
+	// SetHandler installs the frame consumer for node n. Must be called
+	// before traffic targets n; a node without a handler drops sends and
+	// fails calls.
+	SetHandler(n NodeID, h Handler)
+	// Send ships a one-way frame. Errors report delivery failure as far as
+	// the sender can know it; a nil error is not a delivery guarantee on a
+	// lossy substrate.
+	Send(from, to NodeID, payload []byte) error
+	// Call performs a two-sided exchange and returns the response payload.
+	Call(from, to NodeID, req []byte) ([]byte, error)
+	// Heartbeat probes the from→to path with a tiny liveness exchange.
+	Heartbeat(from, to NodeID) error
+	// Close releases the transport's resources.
+	Close() error
+}
+
+// ErrNoHandler is returned by calls (and counted against sends) that target
+// a node with no installed handler.
+var ErrNoHandler = errors.New("fabric: no handler installed for node")
+
+// Mem is the in-memory Transport: frames are delivered by direct function
+// call, and every operation charges the simulated fabric exactly as the
+// pre-Transport code did — SendAsync for one-way frames, RPC for calls,
+// Heartbeat for probes — so fault plans, latency models, and traffic
+// counters keep working unchanged underneath the interface. Delivery is
+// synchronous: Send returns after the handler ran, which keeps in-process
+// cluster tests deterministic.
+type Mem struct {
+	fab *Fabric
+
+	mu       sync.RWMutex
+	handlers []Handler
+}
+
+var _ Transport = (*Mem)(nil)
+
+// NewMem wraps a simulated fabric as a Transport.
+func NewMem(f *Fabric) *Mem {
+	return &Mem{fab: f, handlers: make([]Handler, f.Nodes())}
+}
+
+// Fabric returns the underlying simulated fabric (fault-plan installation).
+func (m *Mem) Fabric() *Fabric { return m.fab }
+
+// Nodes returns the simulated cluster size.
+func (m *Mem) Nodes() int { return m.fab.Nodes() }
+
+// SetHandler installs node n's frame consumer.
+func (m *Mem) SetHandler(n NodeID, h Handler) {
+	m.fab.checkNode(n)
+	m.mu.Lock()
+	m.handlers[n] = h
+	m.mu.Unlock()
+}
+
+func (m *Mem) handler(n NodeID) Handler {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.handlers[n]
+}
+
+// Send charges one one-way fabric message and delivers the payload to the
+// target's handler synchronously. Fault-plan losses (drops, crashes,
+// partitions) surface as errors and suppress delivery — exactly the
+// simulated substrate's semantics.
+func (m *Mem) Send(from, to NodeID, payload []byte) error {
+	if err := m.fab.SendAsync(from, to, len(payload)); err != nil {
+		return err
+	}
+	h := m.handler(to)
+	if h == nil {
+		return fmt.Errorf("%w: %d", ErrNoHandler, to)
+	}
+	h.HandleSend(from, payload)
+	return nil
+}
+
+// Call runs the target handler and charges one two-sided RPC for the
+// request/response sizes. The request is not delivered when the path is
+// faulted.
+func (m *Mem) Call(from, to NodeID, req []byte) ([]byte, error) {
+	if err := m.fab.Reachable(from, to); err != nil {
+		return nil, err
+	}
+	h := m.handler(to)
+	if h == nil {
+		return nil, fmt.Errorf("%w: %d", ErrNoHandler, to)
+	}
+	resp, err := h.HandleCall(from, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.fab.RPC(from, to, len(req), len(resp)); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Heartbeat probes via the fabric's deterministic liveness path.
+func (m *Mem) Heartbeat(from, to NodeID) error { return m.fab.Heartbeat(from, to) }
+
+// Close is a no-op: the simulated fabric owns no resources.
+func (m *Mem) Close() error { return nil }

@@ -69,7 +69,7 @@ type SenderStats struct {
 // — and makes truly-dead paths cheap (fail fast) instead of a retry storm.
 // Safe for concurrent use.
 type Sender struct {
-	fab      *fabric.Fabric
+	attempt  func(from, to fabric.NodeID, n int) error
 	cfg      SenderConfig
 	breakers []*Breaker
 
@@ -94,15 +94,24 @@ type Sender struct {
 // NewSender creates a sender over fab, recording outcome counters into r
 // (nil r records nothing).
 func NewSender(fab *fabric.Fabric, cfg SenderConfig, r *obs.Registry) *Sender {
+	return NewSenderOver(fab.Nodes(), fab.SendAsync, cfg, r)
+}
+
+// NewSenderOver creates a sender whose delivery attempt is an arbitrary
+// function — the same retry budget, jittered backoff, and per-destination
+// breakers, but over any substrate (the simulated fabric, or a TCP wire via
+// internal/wire). attempt is called with the message endpoints and size and
+// must classify its failures so fabric.Transient reports drops as retryable.
+func NewSenderOver(nodes int, attempt func(from, to fabric.NodeID, n int) error, cfg SenderConfig, r *obs.Registry) *Sender {
 	cfg = cfg.withDefaults()
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
 	s := &Sender{
-		fab:      fab,
+		attempt:  attempt,
 		cfg:      cfg,
-		breakers: make([]*Breaker, fab.Nodes()),
+		breakers: make([]*Breaker, nodes),
 		rng:      rand.New(rand.NewSource(seed)),
 
 		cSent:      r.Counter("flow_send_ok_total"),
@@ -115,7 +124,7 @@ func NewSender(fab *fabric.Fabric, cfg SenderConfig, r *obs.Registry) *Sender {
 	for i := range s.breakers {
 		s.breakers[i] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
-	if r != nil && fab.Nodes() <= 16 {
+	if r != nil && nodes <= 16 {
 		for i := range s.breakers {
 			br := s.breakers[i]
 			r.GaugeFunc(obs.Name("flow_breaker_state", "node", fmt.Sprint(i)),
@@ -167,7 +176,7 @@ func (s *Sender) Send(from, to fabric.NodeID, n int) error {
 	}
 	var err error
 	for attempt := 0; ; attempt++ {
-		err = s.fab.SendAsync(from, to, n)
+		err = s.attempt(from, to, n)
 		if err == nil {
 			br.Success()
 			s.cSent.Inc()

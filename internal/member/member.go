@@ -61,6 +61,15 @@ type Config struct {
 	// DeadAfter is the number of consecutive missed rounds before a node is
 	// declared Dead (default 5). Must be >= SuspectAfter.
 	DeadAfter int
+	// Self (guarded by HasSelf, since rank 0 is a valid self) is the node
+	// this detector runs inside: it is always considered reachable (a
+	// process observing its own liveness is alive) and so keeps serving as
+	// a probe vantage even when every peer is dead — without it, a
+	// fully-partitioned daemon would declare itself dead and then have no
+	// live prober left to ever see a peer rejoin. The single-process
+	// simulated detector is a global observer and leaves HasSelf false.
+	HasSelf bool
+	Self    fabric.NodeID
 }
 
 func (c Config) withDefaults() Config {
@@ -96,11 +105,21 @@ type Hooks struct {
 	OnAlive func(n fabric.NodeID)
 }
 
+// Prober is the detector's view of the substrate it probes: a cluster size
+// and a liveness check. *fabric.Fabric satisfies it directly (the simulated
+// cluster); a wire-backed cluster satisfies it with real socket heartbeats,
+// where only probes originating at the local daemon carry information (see
+// internal/cluster).
+type Prober interface {
+	Nodes() int
+	Heartbeat(from, to fabric.NodeID) error
+}
+
 // Detector tracks per-node liveness. All methods are safe for concurrent
 // use; Tick is typically called from the engine's AdvanceTo.
 type Detector struct {
 	cfg   Config
-	fab   *fabric.Fabric
+	fab   Prober
 	hooks Hooks
 
 	mu        sync.Mutex
@@ -117,6 +136,11 @@ type Detector struct {
 
 // New creates a detector over fab. r may be nil (no metrics).
 func New(fab *fabric.Fabric, cfg Config, hooks Hooks, r *obs.Registry) *Detector {
+	return NewOver(fab, cfg, hooks, r)
+}
+
+// NewOver creates a detector over any Prober. r may be nil (no metrics).
+func NewOver(fab Prober, cfg Config, hooks Hooks, r *obs.Registry) *Detector {
 	cfg.Nodes = fab.Nodes()
 	cfg = cfg.withDefaults()
 	d := &Detector{
@@ -228,8 +252,8 @@ func (d *Detector) probeRoundLocked() []transition {
 	var trans []transition
 	for n := 0; n < d.cfg.Nodes; n++ {
 		target := fabric.NodeID(n)
-		reachable := false
-		for m := 0; m < d.cfg.Nodes; m++ {
+		reachable := d.cfg.HasSelf && target == d.cfg.Self
+		for m := 0; !reachable && m < d.cfg.Nodes; m++ {
 			prober := fabric.NodeID(m)
 			if m == n || d.states[m] == Dead {
 				continue

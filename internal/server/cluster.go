@@ -1,0 +1,243 @@
+// Cluster mode: when a ClusterBackend is installed, every state-mutating
+// command (STREAM, LOAD, EMIT, ADVANCE, REGISTER) is forwarded through the
+// cluster's replicated op log instead of hitting the local engine directly,
+// and one-shot QUERYs are routed to the rank that owns their anchor
+// partition. Read-side commands (POLL, STATS, METRICS, EXPLAIN) stay local:
+// every daemon holds a full replica, and continuous-query firings are
+// buffered on whichever daemon the client polls.
+//
+// Failure rendering is typed at the protocol layer: a query that needed a
+// dead rank's partition answers "-ERR partition-down node=<n>: ..." and a
+// cluster operation that could not reach its peer answers
+// "-ERR unavailable: ..." — clients match the prefixes instead of parsing
+// socket errors.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/flow"
+	"repro/internal/rdf"
+	"repro/internal/wire"
+)
+
+// ClusterBackend is what the server needs from a cluster daemon.
+// cluster.Node implements it; the indirection keeps the server testable
+// with fakes and free of the cluster package's construction details.
+type ClusterBackend interface {
+	// Forward runs one replicated state-mutating op cluster-wide and
+	// returns the seed's apply reply (e.g. "loaded 42").
+	Forward(kind string, args []string, body string) (string, error)
+	// Query routes a one-shot query to its partition authority.
+	Query(text string) ([]string, time.Duration, error)
+	// Home classifies an entity: owning rank, owner liveness, and whether
+	// the entity is known at all.
+	Home(entity string) (rank fabric.NodeID, alive, known bool)
+	// Info renders this daemon's membership view, one line per rank.
+	Info() []string
+}
+
+// SetCluster installs the cluster backend. Call before Serve.
+func (s *Server) SetCluster(c ClusterBackend) {
+	s.mu.Lock()
+	s.cluster = c
+	s.mu.Unlock()
+}
+
+func (s *Server) clusterBackend() ClusterBackend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cluster
+}
+
+// renderError writes one "-ERR ..." line with the typed prefixes clients
+// parse: partition-down (with the dead rank) and unavailable (a cluster
+// peer could not be reached). Everything else renders as before.
+func renderError(w *bufio.Writer, err error) {
+	msg := strings.ReplaceAll(err.Error(), "\n", " ")
+	var down interface{ DownNode() fabric.NodeID }
+	switch {
+	case errors.As(err, &down):
+		fmt.Fprintf(w, "-ERR partition-down node=%d: %s\n", down.DownNode(), msg)
+	case errors.Is(err, core.ErrPartitionDown):
+		fmt.Fprintf(w, "-ERR partition-down node=-1: %s\n", msg)
+	case errors.Is(err, cluster.ErrUnavailable),
+		errors.Is(err, wire.ErrPeerDown),
+		errors.Is(err, flow.ErrBreakerOpen),
+		errors.Is(err, fabric.ErrClusterClosed):
+		fmt.Fprintf(w, "-ERR unavailable: %s\n", msg)
+	default:
+		fmt.Fprintf(w, "-ERR %s\n", msg)
+	}
+}
+
+// The cluster-mode twins of the write-path commands. Replies are printed
+// from the seed's apply result, which matches the local command output
+// formats exactly.
+
+func (s *Server) cmdStreamCluster(w *bufio.Writer, c ClusterBackend, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: STREAM <name> <interval_ms> [timingPred ...]")
+	}
+	if ms, err := strconv.ParseInt(args[1], 10, 64); err != nil || ms <= 0 {
+		return fmt.Errorf("bad interval %q", args[1])
+	}
+	reply, err := c.Forward("STREAM", args, "")
+	if err != nil {
+		return mapShed(err)
+	}
+	// Keep the local source map warm for EMIT fallbacks and tests: the op
+	// has been applied to the local replica by the time Forward returns on
+	// the seed; on members it lands asynchronously, so tolerate absence.
+	if src, ok := s.eng.SourceOf(args[0]); ok {
+		s.mu.Lock()
+		s.sources[args[0]] = src
+		s.mu.Unlock()
+	}
+	fmt.Fprintf(w, "+OK %s\n", reply)
+	return nil
+}
+
+func (s *Server) cmdLoadCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scanner) error {
+	block, err := readBlock(r)
+	if err != nil {
+		return err
+	}
+	reply, err := c.Forward("LOAD", nil, block)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "+OK %s\n", reply)
+	return nil
+}
+
+func (s *Server) cmdEmitCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scanner, args []string) error {
+	block, err := readBlock(r)
+	if err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: EMIT <stream>")
+	}
+	// Validate and count tuples here so the ingest-edge rate limiter keeps
+	// protecting the cluster write path exactly as it protects the local
+	// engine: the whole EMIT is admitted or shed before anything is
+	// replicated.
+	rd := rdf.NewReader(strings.NewReader(block))
+	n := 0
+	for {
+		if _, err := rd.ReadTuple(); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		n++
+	}
+	if lim := s.emitLimiter(); lim != nil && n > 0 {
+		if !lim.WaitMax(float64(n), s.EmitWait) {
+			s.cEmitShed.Inc()
+			return overloadError(lim.RetryAfter(float64(n)),
+				fmt.Sprintf("EMIT rate limit (%d tuples)", n))
+		}
+	}
+	reply, err := c.Forward("EMIT", args, block)
+	if err != nil {
+		if errors.Is(err, flow.ErrShed) || strings.HasPrefix(err.Error(), "flow: ") {
+			s.cEmitShed.Inc()
+		}
+		return mapShed(err)
+	}
+	fmt.Fprintf(w, "+OK %s\n", reply)
+	return nil
+}
+
+func (s *Server) cmdAdvanceCluster(w *bufio.Writer, c ClusterBackend, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: ADVANCE <ts_ms>")
+	}
+	if _, err := strconv.ParseInt(args[0], 10, 64); err != nil {
+		return fmt.Errorf("bad timestamp %q", args[0])
+	}
+	reply, err := c.Forward("ADVANCE", args, "")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "+OK %s\n", reply)
+	return nil
+}
+
+func (s *Server) cmdRegisterCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scanner) error {
+	text, err := readBlock(r)
+	if err != nil {
+		return err
+	}
+	reply, err := c.Forward("REGISTER", nil, text)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "+OK %s\n", reply)
+	return nil
+}
+
+func (s *Server) cmdQueryCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scanner) error {
+	text, err := readBlock(r)
+	if err != nil {
+		return err
+	}
+	rows, lat, err := c.Query(text)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "+OK %d rows in %v\n", len(rows), lat.Round(time.Microsecond))
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s\n", row)
+	}
+	fmt.Fprintf(w, ".\n")
+	return nil
+}
+
+// cmdCluster serves CLUSTER: this daemon's membership view.
+func (s *Server) cmdCluster(w *bufio.Writer) error {
+	c := s.clusterBackend()
+	if c == nil {
+		return fmt.Errorf("not clustered (single-process daemon)")
+	}
+	fmt.Fprintf(w, "+OK cluster\n")
+	for _, line := range c.Info() {
+		fmt.Fprintf(w, "%s\n", line)
+	}
+	fmt.Fprintf(w, ".\n")
+	return nil
+}
+
+// cmdHome serves HOME <entity>: which rank owns the entity's partition and
+// whether that rank is currently alive in this daemon's view.
+func (s *Server) cmdHome(w *bufio.Writer, args []string) error {
+	c := s.clusterBackend()
+	if c == nil {
+		return fmt.Errorf("not clustered (single-process daemon)")
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: HOME <entity>")
+	}
+	rank, alive, known := c.Home(args[0])
+	if !known {
+		fmt.Fprintf(w, "+OK home=-1 state=unknown known=false\n")
+		return nil
+	}
+	state := "alive"
+	if !alive {
+		state = "dead"
+	}
+	fmt.Fprintf(w, "+OK home=%d state=%s known=true\n", rank, state)
+	return nil
+}

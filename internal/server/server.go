@@ -85,6 +85,7 @@ type Server struct {
 	cPollTrim *obs.Counter // server_poll_truncated_total
 
 	mu      sync.Mutex
+	cluster ClusterBackend // nil = single-process daemon
 	sources map[string]*stream.Source
 	results map[string]*pollBuf // continuous query name → buffered rows
 	ln      net.Listener
@@ -326,6 +327,9 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Lock()
 		s.commandsTotal++
 		s.mu.Unlock()
+		// In cluster mode the write path and one-shot queries route through
+		// the replicated op log / partition authority; reads stay local.
+		cb := s.clusterBackend()
 		var err error
 		switch cmd {
 		case "QUIT":
@@ -333,30 +337,58 @@ func (s *Server) handle(conn net.Conn) {
 			w.Flush()
 			return
 		case "STREAM":
-			err = s.cmdStream(w, fields[1:])
+			if cb != nil {
+				err = s.cmdStreamCluster(w, cb, fields[1:])
+			} else {
+				err = s.cmdStream(w, fields[1:])
+			}
 		case "LOAD":
-			err = s.cmdLoad(w, r)
+			if cb != nil {
+				err = s.cmdLoadCluster(w, cb, r)
+			} else {
+				err = s.cmdLoad(w, r)
+			}
 		case "EMIT":
-			err = s.cmdEmit(w, r, fields[1:])
+			if cb != nil {
+				err = s.cmdEmitCluster(w, cb, r, fields[1:])
+			} else {
+				err = s.cmdEmit(w, r, fields[1:])
+			}
 		case "ADVANCE":
-			err = s.cmdAdvance(w, fields[1:])
+			if cb != nil {
+				err = s.cmdAdvanceCluster(w, cb, fields[1:])
+			} else {
+				err = s.cmdAdvance(w, fields[1:])
+			}
 		case "QUERY":
-			err = s.cmdQuery(w, r)
+			if cb != nil {
+				err = s.cmdQueryCluster(w, cb, r)
+			} else {
+				err = s.cmdQuery(w, r)
+			}
 		case "EXPLAIN":
 			err = s.cmdExplain(w, r)
 		case "REGISTER":
-			err = s.cmdRegister(w, r)
+			if cb != nil {
+				err = s.cmdRegisterCluster(w, cb, r)
+			} else {
+				err = s.cmdRegister(w, r)
+			}
 		case "POLL":
 			err = s.cmdPoll(w, fields[1:])
 		case "STATS":
 			err = s.cmdStats(w)
 		case "METRICS":
 			err = s.cmdMetrics(w)
+		case "CLUSTER":
+			err = s.cmdCluster(w)
+		case "HOME":
+			err = s.cmdHome(w, fields[1:])
 		default:
 			err = fmt.Errorf("unknown command %q", cmd)
 		}
 		if err != nil {
-			fmt.Fprintf(w, "-ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+			renderError(w, err)
 		}
 		w.Flush()
 	}

@@ -1,0 +1,725 @@
+// TCP is the socket-backed fabric.Transport. One instance speaks for one
+// node (one OS process); peers are reached over per-peer outbound
+// connections with a Hello handshake, write deadlines, bounded reconnect
+// backoff, and a flow.Breaker per destination, while a listener accepts
+// inbound connections from peers that dialed us. Calls are matched to
+// responses by sequence number; heartbeats are Ping/Pong with a short
+// deadline and bypass the breaker (the heartbeat IS the probe that lets a
+// breaker-opened path be rediscovered as healthy).
+//
+// Failure semantics at this layer: an injected frame drop is transient
+// (*fabric.FaultError, Kind FaultDropped — flow.Sender retries it); every
+// persistent failure (dial refused, write timeout, connection reset,
+// reconnect backoff in force) is a *PeerDownError wrapping ErrPeerDown; a
+// closed transport returns fabric.ErrClusterClosed. Callers never see a raw
+// *net.OpError.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/flow"
+	"repro/internal/obs"
+)
+
+// ErrPeerDown is the base error for persistent wire failures against a peer.
+var ErrPeerDown = errors.New("wire: peer down")
+
+// PeerDownError reports a persistent transport failure toward one peer.
+type PeerDownError struct {
+	To  fabric.NodeID
+	Op  string // "dial", "send", "call", "heartbeat"
+	Err error
+}
+
+func (e *PeerDownError) Error() string {
+	return fmt.Sprintf("wire: %s to node %d: %v: %v", e.Op, e.To, e.Err, ErrPeerDown)
+}
+
+// Unwrap lets errors.Is(err, ErrPeerDown) see through.
+func (e *PeerDownError) Unwrap() error { return ErrPeerDown }
+
+// TCPConfig parameterizes a TCP transport. Zero-valued fields take the
+// listed defaults.
+type TCPConfig struct {
+	// Self is this process's node id (required).
+	Self fabric.NodeID
+	// Nodes is the cluster capacity (required).
+	Nodes int
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds one frame write (default 2s).
+	WriteTimeout time.Duration
+	// CallTimeout bounds a Call round trip (default 5s).
+	CallTimeout time.Duration
+	// HeartbeatTimeout bounds a Ping/Pong round trip (default 500ms).
+	HeartbeatTimeout time.Duration
+	// ReconnectBase/ReconnectCap bound the per-peer redial backoff: after a
+	// failed dial the next attempt is refused (fast PeerDownError) until
+	// base<<failures elapses, capped (defaults 50ms and 2s).
+	ReconnectBase time.Duration
+	ReconnectCap  time.Duration
+	// BreakerThreshold/BreakerCooldown configure the per-peer breaker
+	// (defaults 5 and 250ms).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Faults, when non-nil, mangles outgoing frames (seeded injection).
+	Faults *Faults
+}
+
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 2 * time.Second
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 5 * time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 500 * time.Millisecond
+	}
+	if c.ReconnectBase <= 0 {
+		c.ReconnectBase = 50 * time.Millisecond
+	}
+	if c.ReconnectCap <= 0 {
+		c.ReconnectCap = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 250 * time.Millisecond
+	}
+	return c
+}
+
+// call is one in-flight Call or Ping awaiting its response frame.
+type call struct {
+	done    chan struct{}
+	payload []byte
+	err     error
+}
+
+// wconn wraps one socket shared by a reader goroutine and concurrent
+// writers.
+type wconn struct {
+	c       net.Conn
+	wmu     sync.Mutex // serializes writes (frames must not interleave)
+	lastSeq atomic.Uint64
+	closed  atomic.Bool
+}
+
+func (w *wconn) close() {
+	if w.closed.CompareAndSwap(false, true) {
+		w.c.Close()
+	}
+}
+
+// peer is this transport's view of one remote node's outbound path.
+type peer struct {
+	mu       sync.Mutex
+	addr     string
+	conn     *wconn
+	failures int       // consecutive dial failures
+	nextDial time.Time // redial refused before this instant
+}
+
+// TCP implements fabric.Transport over real sockets.
+type TCP struct {
+	cfg   TCPConfig
+	ln    net.Listener
+	peers []*peer
+	brs   []*flow.Breaker
+
+	hmu     sync.RWMutex
+	handler fabric.Handler
+
+	pmu     sync.Mutex
+	pending map[uint64]*call
+	seq     atomic.Uint64
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	// accepted tracks inbound sockets so Close can kill their readers.
+	amu      sync.Mutex
+	accepted map[*wconn]struct{}
+
+	cSent        *obs.Counter
+	cReceived    *obs.Counter
+	cQuarantined *obs.Counter
+	cFTQuar      *obs.Counter
+	cResets      *obs.Counter
+	cDials       *obs.Counter
+	cDialFails   *obs.Counter
+	cAccepts     *obs.Counter
+	cHeartbeats  *obs.Counter
+}
+
+var _ fabric.Transport = (*TCP)(nil)
+
+// ListenTCP binds addr (e.g. "127.0.0.1:0") and returns a transport
+// speaking for cfg.Self. r may be nil (no metrics).
+func ListenTCP(addr string, cfg TCPConfig, r *obs.Registry) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	t, err := NewTCP(ln, cfg, r)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// NewTCP wraps an already-bound listener (a joining daemon must listen —
+// and advertise the address — before the cluster assigns it the rank that
+// cfg.Self needs). r may be nil (no metrics).
+func NewTCP(ln net.Listener, cfg TCPConfig, r *obs.Registry) (*TCP, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("wire: TCPConfig.Nodes must be positive")
+	}
+	if int(cfg.Self) < 0 || int(cfg.Self) >= cfg.Nodes {
+		return nil, fmt.Errorf("wire: self node %d out of range [0,%d)", cfg.Self, cfg.Nodes)
+	}
+	t := &TCP{
+		cfg:      cfg,
+		ln:       ln,
+		peers:    make([]*peer, cfg.Nodes),
+		brs:      make([]*flow.Breaker, cfg.Nodes),
+		pending:  make(map[uint64]*call),
+		accepted: make(map[*wconn]struct{}),
+
+		cSent:        r.Counter("wire_frames_sent_total"),
+		cReceived:    r.Counter("wire_frames_received_total"),
+		cQuarantined: r.Counter("wire_frames_quarantined_total"),
+		cFTQuar:      r.Counter("ft_quarantined_records_total"),
+		cResets:      r.Counter("wire_conn_resets_total"),
+		cDials:       r.Counter("wire_dials_total"),
+		cDialFails:   r.Counter("wire_dial_failures_total"),
+		cAccepts:     r.Counter("wire_conns_accepted_total"),
+		cHeartbeats:  r.Counter("wire_heartbeats_total"),
+	}
+	for i := range t.peers {
+		t.peers[i] = &peer{}
+		t.brs[i] = flow.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound listen address (for advertising).
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Nodes returns the cluster capacity.
+func (t *TCP) Nodes() int { return t.cfg.Nodes }
+
+// Self returns the node this transport speaks for.
+func (t *TCP) Self() fabric.NodeID { return t.cfg.Self }
+
+// Breaker returns the outbound breaker toward node n (state probes).
+func (t *TCP) Breaker(n fabric.NodeID) *flow.Breaker { return t.brs[n] }
+
+// SetPeer records node n's dialable address. An existing connection to a
+// different address is dropped so the next operation redials; the redial
+// backoff is cleared (a fresh address deserves a fresh chance).
+func (t *TCP) SetPeer(n fabric.NodeID, addr string) {
+	p := t.peers[n]
+	p.mu.Lock()
+	if p.addr != addr {
+		p.addr = addr
+		p.failures = 0
+		p.nextDial = time.Time{}
+		if p.conn != nil {
+			p.conn.close()
+			p.conn = nil
+		}
+	}
+	p.mu.Unlock()
+}
+
+// PeerAddr returns node n's recorded address ("" if unknown).
+func (t *TCP) PeerAddr(n fabric.NodeID) string {
+	p := t.peers[n]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.addr
+}
+
+// SetHandler installs the local frame consumer. Only this node's handler is
+// meaningful — each process speaks for exactly one node — so handlers set
+// for other ids are ignored.
+func (t *TCP) SetHandler(n fabric.NodeID, h fabric.Handler) {
+	if n != t.cfg.Self {
+		return
+	}
+	t.hmu.Lock()
+	t.handler = h
+	t.hmu.Unlock()
+}
+
+func (t *TCP) getHandler() fabric.Handler {
+	t.hmu.RLock()
+	defer t.hmu.RUnlock()
+	return t.handler
+}
+
+// Close shuts the listener and every connection and fails pending calls.
+func (t *TCP) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	t.ln.Close()
+	for _, p := range t.peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.close()
+			p.conn = nil
+		}
+		p.mu.Unlock()
+	}
+	t.amu.Lock()
+	for w := range t.accepted {
+		w.close()
+	}
+	t.amu.Unlock()
+	t.failPending(fabric.ErrClusterClosed)
+	t.wg.Wait()
+	return nil
+}
+
+func (t *TCP) failPending(err error) {
+	t.pmu.Lock()
+	for seq, c := range t.pending {
+		c.err = err
+		close(c.done)
+		delete(t.pending, seq)
+	}
+	t.pmu.Unlock()
+}
+
+// Send ships a one-way payload. Self-sends deliver directly to the local
+// handler (no socket, mirroring Mem's zero-cost local path).
+func (t *TCP) Send(from, to fabric.NodeID, payload []byte) error {
+	if t.closed.Load() {
+		return fabric.ErrClusterClosed
+	}
+	if to == t.cfg.Self {
+		h := t.getHandler()
+		if h == nil {
+			return fmt.Errorf("%w: %d", fabric.ErrNoHandler, to)
+		}
+		h.HandleSend(from, payload)
+		return nil
+	}
+	br := t.brs[to]
+	if !br.Allow() {
+		return &flow.BreakerOpenError{To: int(to)}
+	}
+	err := t.writeTo(to, &Frame{Type: TypeSend, From: t.cfg.Self, To: to, Seq: t.seq.Add(1), Payload: payload})
+	if err == nil {
+		br.Success()
+		return nil
+	}
+	if fabric.Transient(err) {
+		// An injected drop is the substrate's loss model, not path death:
+		// the retry layer above owns it.
+		return err
+	}
+	br.Failure()
+	return err
+}
+
+// Call performs a request/response exchange with the peer's handler.
+func (t *TCP) Call(from, to fabric.NodeID, req []byte) ([]byte, error) {
+	if t.closed.Load() {
+		return nil, fabric.ErrClusterClosed
+	}
+	if to == t.cfg.Self {
+		h := t.getHandler()
+		if h == nil {
+			return nil, fmt.Errorf("%w: %d", fabric.ErrNoHandler, to)
+		}
+		return h.HandleCall(from, req)
+	}
+	br := t.brs[to]
+	if !br.Allow() {
+		return nil, &flow.BreakerOpenError{To: int(to)}
+	}
+	resp, err := t.roundTrip(to, TypeCall, req, t.cfg.CallTimeout)
+	if err == nil {
+		br.Success()
+		return resp, nil
+	}
+	if errors.Is(err, errRemote) || fabric.Transient(err) {
+		// The peer answered with an application error (path healthy), or the
+		// request frame was an injected drop (transient).
+		if errors.Is(err, errRemote) {
+			br.Success()
+		}
+		return nil, err
+	}
+	br.Failure()
+	return nil, err
+}
+
+// Heartbeat probes the path to node to with a Ping/Pong round trip. It
+// deliberately bypasses the breaker: heartbeats are the evidence that
+// reopens a path, so they must be allowed to touch it.
+func (t *TCP) Heartbeat(from, to fabric.NodeID) error {
+	if t.closed.Load() {
+		return fabric.ErrClusterClosed
+	}
+	if to == t.cfg.Self {
+		return nil
+	}
+	t.cHeartbeats.Inc()
+	_, err := t.roundTrip(to, TypePing, nil, t.cfg.HeartbeatTimeout)
+	if err != nil {
+		return err
+	}
+	t.brs[to].Success()
+	return nil
+}
+
+// errRemote marks a call that failed inside the remote handler: the wire
+// worked, the application said no.
+var errRemote = errors.New("wire: remote handler error")
+
+// RemoteError reports whether err is an application-level failure returned
+// by the remote handler (as opposed to a transport failure).
+func RemoteError(err error) bool { return errors.Is(err, errRemote) }
+
+// roundTrip sends a request-direction frame and waits for its response.
+func (t *TCP) roundTrip(to fabric.NodeID, typ byte, req []byte, timeout time.Duration) ([]byte, error) {
+	seq := t.seq.Add(1)
+	c := &call{done: make(chan struct{})}
+	t.pmu.Lock()
+	t.pending[seq] = c
+	t.pmu.Unlock()
+	defer func() {
+		t.pmu.Lock()
+		delete(t.pending, seq)
+		t.pmu.Unlock()
+	}()
+
+	op := "call"
+	if typ == TypePing {
+		op = "heartbeat"
+	}
+	if err := t.writeTo(to, &Frame{Type: typ, From: t.cfg.Self, To: to, Seq: seq, Payload: req}); err != nil {
+		return nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-c.done:
+		return c.payload, c.err
+	case <-timer.C:
+		return nil, &PeerDownError{To: to, Op: op, Err: fmt.Errorf("timeout after %v", timeout)}
+	}
+}
+
+// writeTo frames and writes one request-direction frame on the outbound
+// connection to node to, dialing if necessary, with fault injection.
+func (t *TCP) writeTo(to fabric.NodeID, f *Frame) error {
+	w, err := t.outbound(to)
+	if err != nil {
+		return err
+	}
+	if err := t.writeFrame(w, f, "send"); err != nil {
+		if fabric.Transient(err) {
+			return err
+		}
+		// The socket is suspect; drop it so the next operation redials.
+		t.dropOutbound(to, w)
+		return &PeerDownError{To: to, Op: "send", Err: err}
+	}
+	return nil
+}
+
+// writeFrame encodes and writes f on w under the connection's write mutex,
+// applying the outbound fault injector.
+func (t *TCP) writeFrame(w *wconn, f *Frame, op string) error {
+	buf := Encode(f)
+	act, arg, delay := t.cfg.Faults.draw(len(buf))
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	switch act {
+	case ActDrop:
+		return &fabric.FaultError{Kind: fabric.FaultDropped, Op: "wire-" + op, From: f.From, To: f.To}
+	case ActCorrupt:
+		buf[arg/8] ^= 1 << (arg % 8)
+	}
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	if w.closed.Load() {
+		return fmt.Errorf("connection closed")
+	}
+	w.c.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+	switch act {
+	case ActTruncate:
+		w.c.Write(buf[:arg])
+		w.close()
+		return fmt.Errorf("injected truncation after %d/%d bytes", arg, len(buf))
+	case ActDup:
+		if _, err := w.c.Write(buf); err != nil {
+			w.close()
+			return err
+		}
+		t.cSent.Inc()
+	}
+	if _, err := w.c.Write(buf); err != nil {
+		w.close()
+		return err
+	}
+	t.cSent.Inc()
+	return nil
+}
+
+// outbound returns the live outbound connection to node to, dialing and
+// handshaking if needed, under the peer's reconnect backoff.
+func (t *TCP) outbound(to fabric.NodeID) (*wconn, error) {
+	p := t.peers[to]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil && !p.conn.closed.Load() {
+		return p.conn, nil
+	}
+	p.conn = nil
+	if p.addr == "" {
+		return nil, &PeerDownError{To: to, Op: "dial", Err: fmt.Errorf("no known address")}
+	}
+	if now := time.Now(); now.Before(p.nextDial) {
+		return nil, &PeerDownError{To: to, Op: "dial", Err: fmt.Errorf("reconnect backoff until %v", p.nextDial.Sub(now).Round(time.Millisecond))}
+	}
+	t.cDials.Inc()
+	w, err := t.dial(to, p.addr)
+	if err != nil {
+		t.cDialFails.Inc()
+		backoff := t.cfg.ReconnectBase << uint(p.failures)
+		if backoff > t.cfg.ReconnectCap || backoff <= 0 {
+			backoff = t.cfg.ReconnectCap
+		}
+		p.failures++
+		p.nextDial = time.Now().Add(backoff)
+		return nil, &PeerDownError{To: to, Op: "dial", Err: err}
+	}
+	p.failures = 0
+	p.nextDial = time.Time{}
+	p.conn = w
+	return w, nil
+}
+
+// dial connects to addr, performs the Hello handshake, and starts the
+// response reader.
+func (t *TCP) dial(to fabric.NodeID, addr string) (*wconn, error) {
+	c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	w := &wconn{c: c}
+	hello := &Frame{Type: TypeHello, From: t.cfg.Self, To: to, Seq: t.seq.Add(1)}
+	c.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+	if _, err := c.Write(Encode(hello)); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("hello: %w", err)
+	}
+	c.SetReadDeadline(time.Now().Add(t.cfg.DialTimeout))
+	ack, err := ReadFrame(c)
+	if err != nil || ack.Type != TypeHelloAck {
+		c.Close()
+		if err == nil {
+			err = fmt.Errorf("unexpected %s", typeName(ack.Type))
+		}
+		return nil, fmt.Errorf("handshake: %w", err)
+	}
+	c.SetReadDeadline(time.Time{})
+	t.wg.Add(1)
+	go t.readLoop(w, to, false)
+	return w, nil
+}
+
+// dropOutbound discards the outbound connection to node to if it is still w.
+func (t *TCP) dropOutbound(to fabric.NodeID, w *wconn) {
+	w.close()
+	p := t.peers[to]
+	p.mu.Lock()
+	if p.conn == w {
+		p.conn = nil
+	}
+	p.mu.Unlock()
+}
+
+// acceptLoop admits inbound connections and spawns their readers.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		t.cAccepts.Inc()
+		t.wg.Add(1)
+		go t.serveConn(c)
+	}
+}
+
+// serveConn handshakes one inbound connection and reads its frames.
+func (t *TCP) serveConn(c net.Conn) {
+	defer t.wg.Done()
+	c.SetReadDeadline(time.Now().Add(t.cfg.DialTimeout))
+	hello, err := ReadFrame(c)
+	if err != nil || hello.Type != TypeHello {
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	w := &wconn{c: c}
+	t.amu.Lock()
+	if t.closed.Load() {
+		t.amu.Unlock()
+		c.Close()
+		return
+	}
+	t.accepted[w] = struct{}{}
+	t.amu.Unlock()
+	defer func() {
+		t.amu.Lock()
+		delete(t.accepted, w)
+		t.amu.Unlock()
+	}()
+	ack := &Frame{Type: TypeHelloAck, From: t.cfg.Self, To: hello.From, Seq: hello.Seq}
+	if err := t.writeFrame(w, ack, "helloack"); err != nil {
+		w.close()
+		return
+	}
+	t.wg.Add(1)
+	t.readLoop(w, hello.From, true)
+}
+
+// readLoop consumes frames from one connection until it dies. Corrupt and
+// duplicate frames are quarantined without killing the connection; framing
+// damage (magic, truncation) resets it. inbound marks acceptor-side
+// connections, whose request-direction frames (Ping/Send/Call) we serve;
+// dialer-side connections receive only response-direction frames.
+func (t *TCP) readLoop(w *wconn, from fabric.NodeID, inbound bool) {
+	defer t.wg.Done()
+	defer w.close()
+	for {
+		f, err := ReadFrame(w.c)
+		if err != nil {
+			if Resyncable(err) {
+				t.quarantine()
+				continue
+			}
+			if !t.closed.Load() && !errors.Is(err, io.EOF) {
+				t.cResets.Inc()
+			}
+			return
+		}
+		t.cReceived.Inc()
+		switch f.Type {
+		case TypePing, TypeSend, TypeCall:
+			// Request-direction frames carry strictly increasing sequence
+			// numbers per connection; a replay (injected duplication) is
+			// quarantined here, which is what makes at-most-once delivery
+			// hold under ActDup.
+			last := w.lastSeq.Load()
+			if f.Seq <= last {
+				t.quarantine()
+				continue
+			}
+			w.lastSeq.Store(f.Seq)
+		}
+		switch f.Type {
+		case TypePing:
+			pong := &Frame{Type: TypePong, From: t.cfg.Self, To: f.From, Seq: f.Seq}
+			if err := t.writeFrame(w, pong, "pong"); err != nil && !fabric.Transient(err) {
+				return
+			}
+		case TypeSend:
+			if h := t.getHandler(); h != nil {
+				h.HandleSend(f.From, f.Payload)
+			}
+		case TypeCall:
+			// Serve calls off the read loop so a slow handler cannot delay
+			// pings (false suspicion) or subsequent sends on this socket.
+			go t.serveCall(w, f)
+		case TypePong, TypeResp, TypeRespErr:
+			t.resolve(f)
+		case TypeHello, TypeHelloAck:
+			// Unexpected mid-stream handshake frames: ignore.
+		}
+	}
+}
+
+// serveCall runs the local handler for one inbound call and writes the
+// response on the same connection.
+func (t *TCP) serveCall(w *wconn, f *Frame) {
+	resp := &Frame{From: t.cfg.Self, To: f.From, Seq: f.Seq}
+	h := t.getHandler()
+	if h == nil {
+		resp.Type = TypeRespErr
+		resp.Payload = []byte(fmt.Sprintf("%v: %d", fabric.ErrNoHandler, t.cfg.Self))
+	} else if out, err := h.HandleCall(f.From, f.Payload); err != nil {
+		resp.Type = TypeRespErr
+		resp.Payload = []byte(err.Error())
+	} else {
+		resp.Type = TypeResp
+		resp.Payload = out
+	}
+	if err := t.writeFrame(w, resp, "resp"); err != nil && !fabric.Transient(err) {
+		w.close()
+	}
+}
+
+// resolve completes the pending round trip matching a response frame. A
+// response with no waiter (duplicate, or the caller timed out) is
+// quarantined.
+func (t *TCP) resolve(f *Frame) {
+	t.pmu.Lock()
+	c, ok := t.pending[f.Seq]
+	if ok {
+		delete(t.pending, f.Seq)
+	}
+	t.pmu.Unlock()
+	if !ok {
+		t.quarantine()
+		return
+	}
+	if f.Type == TypeRespErr {
+		c.err = fmt.Errorf("%w: %s", errRemote, f.Payload)
+	} else {
+		c.payload = f.Payload
+	}
+	close(c.done)
+}
+
+// quarantine counts one untrustworthy frame dropped by the receive path. It
+// bumps both the wire counter and the cluster-wide quarantine counter that
+// core/ft.go uses for damaged durable records: "data failed its checksum
+// and was set aside" is one budget, wherever the bytes came from.
+func (t *TCP) quarantine() {
+	t.cQuarantined.Inc()
+	t.cFTQuar.Inc()
+}
