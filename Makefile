@@ -4,9 +4,10 @@ GO ?= go
 RACE_PKGS := ./internal/core/... ./internal/fabric/... ./internal/server/... \
              ./internal/client/... ./internal/chaos/... ./internal/obs/... \
              ./internal/flow/... ./internal/stream/... ./internal/soak/... \
-             ./internal/member/... ./internal/wire/... ./internal/cluster/...
+             ./internal/member/... ./internal/wire/... ./internal/cluster/... \
+             ./internal/trace/...
 
-.PHONY: all ci vet build build-cmds test race smoke soak soak-short chaos chaos-proc bench bench-smoke bench-overload bench-failover clean
+.PHONY: all ci vet build build-cmds test race smoke soak soak-short chaos chaos-proc bench bench-smoke bench-overload bench-failover bench-trace clean
 
 all: ci
 
@@ -76,6 +77,13 @@ bench-overload:
 bench-failover:
 	$(GO) run ./cmd/wsbench -node-kill -obs-json BENCH_PR5.json
 
+# Tracing overhead benchmark: the same forwarded query over real loopback TCP
+# with tracing off vs head-sampling every request, plus the per-hop span
+# breakdown (root → forward → serve → exec); writes BENCH_PR7.json. The
+# overhead is recorded against the 5% design budget, not enforced.
+bench-trace:
+	$(GO) run ./cmd/wsbench -trace -trace-out BENCH_PR7.json
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json
+	rm -f BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json BENCH_PR7.json

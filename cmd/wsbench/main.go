@@ -44,6 +44,8 @@ func main() {
 		obsJSON  = flag.String("obs-json", "", "after all experiments, print per-stage latency percentiles and write the full metric registry to this JSON file")
 		overload = flag.Bool("overload", false, "run the overload/degradation soak (internal/soak) and check its contract instead of a paper experiment")
 		nodeKill = flag.Bool("node-kill", false, "run the node-kill failover benchmark (survivor latency, typed dead-partition errors, CQ re-fires) instead of a paper experiment")
+		traceRun = flag.Bool("trace", false, "measure tracing on/off overhead and the per-hop latency breakdown of a forwarded query, writing -trace-out")
+		traceOut = flag.String("trace-out", "BENCH_PR7.json", "output path for the -trace report")
 	)
 	flag.Parse()
 
@@ -81,8 +83,15 @@ func main() {
 		}
 		return
 	}
+	if *traceRun {
+		if err := runTraceBench(*traceOut, *runs*20); err != nil {
+			fmt.Fprintf(os.Stderr, "wsbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "wsbench: -exp required (or -list, -overload, or -node-kill); e.g. -exp table2 or -exp all")
+		fmt.Fprintln(os.Stderr, "wsbench: -exp required (or -list, -overload, -node-kill, or -trace); e.g. -exp table2 or -exp all")
 		os.Exit(2)
 	}
 	opts := experiments.Options{

@@ -1,0 +1,329 @@
+// Tracing overhead and per-hop latency breakdown for the real wire path:
+// wsbench -trace brings up a three-node cluster over real loopback TCP
+// transports twice — tracing disabled, then head-sampling every request —
+// drives the same forwarded-query workload through a non-owner member both
+// times, and writes BENCH_PR7.json: end-to-end percentiles for both runs,
+// the relative overhead, and the traced run's span durations bucketed per
+// hop (root → forward → serve → exec). The overhead number is recorded as
+// the deliverable, not enforced as a gate; the printed summary flags it
+// against the 5% design budget.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+const traceBenchNodes = 3
+
+// benchNode is one in-process stand-in for a wukongsd daemon: its own engine
+// replica, TCP transport, and cluster node — the same wire path the real
+// deployment runs, minus the process boundary.
+type benchNode struct {
+	eng  *core.Engine
+	tr   *wire.TCP
+	node *cluster.Node
+}
+
+func (b *benchNode) close() {
+	if b.node != nil {
+		b.node.Close()
+	}
+	if b.tr != nil {
+		b.tr.Close()
+	}
+	if b.eng != nil {
+		b.eng.Close()
+	}
+}
+
+func traceBenchTCP(self fabric.NodeID) wire.TCPConfig {
+	return wire.TCPConfig{
+		Self:             self,
+		Nodes:            traceBenchNodes,
+		DialTimeout:      time.Second,
+		CallTimeout:      time.Second,
+		HeartbeatTimeout: 200 * time.Millisecond,
+		ReconnectBase:    5 * time.Millisecond,
+		ReconnectCap:     50 * time.Millisecond,
+		BreakerCooldown:  30 * time.Millisecond,
+	}
+}
+
+func traceBenchEngine() (*core.Engine, error) {
+	return core.New(core.Config{
+		Nodes:          traceBenchNodes,
+		WorkersPerNode: 2,
+		Metrics:        obs.NewRegistry(""),
+	})
+}
+
+// startTraceCluster brings up a seed plus two members over loopback TCP.
+// sample 0 leaves every node untraced; sample 1 head-samples every request.
+func startTraceCluster(sample int) ([]*benchNode, error) {
+	nodes := make([]*benchNode, 0, traceBenchNodes)
+	fail := func(err error) ([]*benchNode, error) {
+		for _, b := range nodes {
+			b.close()
+		}
+		return nil, err
+	}
+	tracer := func(self fabric.NodeID) *trace.Tracer {
+		if sample <= 0 {
+			return nil
+		}
+		return trace.New(trace.Config{SampleEvery: sample, Node: int(self)})
+	}
+	baseCfg := func(tr fabric.Transport, self fabric.NodeID, eng *core.Engine) cluster.Config {
+		return cluster.Config{
+			Transport:         tr,
+			Self:              self,
+			Engine:            eng,
+			OnFire:            func(string, *core.Result, core.FireInfo) {},
+			HeartbeatInterval: 50 * time.Millisecond,
+			SuspectAfter:      3,
+			DeadAfter:         5,
+			FlowSeed:          1,
+			Metrics:           obs.NewRegistry(""),
+			Tracer:            tracer(self),
+		}
+	}
+
+	seedEng, err := traceBenchEngine()
+	if err != nil {
+		return fail(err)
+	}
+	seed := &benchNode{eng: seedEng}
+	nodes = append(nodes, seed)
+	seedTr, err := wire.ListenTCP("127.0.0.1:0", traceBenchTCP(cluster.SeedRank), obs.NewRegistry(""))
+	if err != nil {
+		return fail(err)
+	}
+	seed.tr = seedTr
+	cfg := baseCfg(seedTr, cluster.SeedRank, seedEng)
+	cfg.SelfAddr = seedTr.Addr()
+	if seed.node, err = cluster.NewSeed(cfg); err != nil {
+		return fail(err)
+	}
+
+	for i := 1; i < traceBenchNodes; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		advertise := ln.Addr().String()
+		rank, _, err := cluster.Discover(seedTr.Addr(), advertise, time.Second)
+		if err != nil {
+			ln.Close()
+			return fail(err)
+		}
+		eng, err := traceBenchEngine()
+		if err != nil {
+			ln.Close()
+			return fail(err)
+		}
+		b := &benchNode{eng: eng}
+		nodes = append(nodes, b)
+		if b.tr, err = wire.NewTCP(ln, traceBenchTCP(fabric.NodeID(rank)), obs.NewRegistry("")); err != nil {
+			return fail(err)
+		}
+		mcfg := baseCfg(b.tr, fabric.NodeID(rank), eng)
+		mcfg.SelfAddr = advertise
+		mcfg.SeedAddr = seedTr.Addr()
+		if b.node, err = cluster.Join(mcfg); err != nil {
+			return fail(err)
+		}
+	}
+	return nodes, nil
+}
+
+// loadTraceWorkload pushes the bench graph through the cluster write path
+// via a member and returns a query whose subject is homed on a rank other
+// than that member — every timed request must cross the wire.
+func loadTraceWorkload(via *benchNode) (string, error) {
+	var triples strings.Builder
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&triples, "<u%d> <po> <t%d> .\n", i, i%7)
+	}
+	if _, err := via.node.Forward("LOAD", nil, triples.String()); err != nil {
+		return "", err
+	}
+	// The member learns the entities through async replication of the
+	// forwarded LOAD; poll until its local dictionary can home one remotely.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 64; i++ {
+			name := fmt.Sprintf("u%d", i)
+			if home, alive, known := via.node.Home(name); known && alive && home != via.node.Self() {
+				return fmt.Sprintf("SELECT ?Y WHERE { %s po ?Y }", name), nil
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return "", fmt.Errorf("no bench entity homed off the entry member")
+}
+
+// latStats is one latency distribution in the BENCH_PR7.json report.
+type latStats struct {
+	Count  int     `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P90Ns  int64   `json:"p90_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+func summarize(durs []time.Duration) latStats {
+	if len(durs) == 0 {
+		return latStats{}
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) int64 {
+		i := int(p * float64(len(sorted)-1))
+		return int64(sorted[i])
+	}
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return latStats{
+		Count:  len(sorted),
+		MeanNs: float64(sum.Nanoseconds()) / float64(len(sorted)),
+		P50Ns:  pct(0.50),
+		P90Ns:  pct(0.90),
+		P99Ns:  pct(0.99),
+		MaxNs:  int64(sorted[len(sorted)-1]),
+	}
+}
+
+// timeForwardedQueries runs the workload once in the given tracing mode and
+// returns the end-to-end latency of each timed forwarded query plus (traced
+// mode only) the federated span set the run produced.
+func timeForwardedQueries(sample, warmup, runs int) ([]time.Duration, []trace.Span, error) {
+	nodes, err := startTraceCluster(sample)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		for _, b := range nodes {
+			b.close()
+		}
+	}()
+	entry := nodes[1]
+	q, err := loadTraceWorkload(entry)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < warmup; i++ {
+		if _, _, err := entry.node.Query(q); err != nil {
+			return nil, nil, fmt.Errorf("warmup query: %w", err)
+		}
+	}
+	durs := make([]time.Duration, 0, runs)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if _, _, err := entry.node.Query(q); err != nil {
+			return nil, nil, fmt.Errorf("timed query %d: %w", i, err)
+		}
+		durs = append(durs, time.Since(start))
+	}
+	var spans []trace.Span
+	if sample > 0 {
+		var reports []cluster.MemberReport
+		spans, reports = entry.node.ClusterTraces()
+		for _, r := range reports {
+			if r.Err != "" {
+				return nil, nil, fmt.Errorf("trace federation rank %d: %s", r.Rank, r.Err)
+			}
+		}
+	}
+	return durs, spans, nil
+}
+
+// runTraceBench measures tracing on/off overhead on the forwarded-query wire
+// path and writes the per-hop breakdown to outPath.
+func runTraceBench(outPath string, runs int) error {
+	warmup := runs / 4
+	untraced, _, err := timeForwardedQueries(0, warmup, runs)
+	if err != nil {
+		return fmt.Errorf("untraced run: %w", err)
+	}
+	traced, spans, err := timeForwardedQueries(1, warmup, runs)
+	if err != nil {
+		return fmt.Errorf("traced run: %w", err)
+	}
+
+	hops := map[string][]time.Duration{}
+	for _, sp := range spans {
+		hops[sp.Name] = append(hops[sp.Name], time.Duration(sp.Dur))
+	}
+	hopStats := make(map[string]latStats, len(hops))
+	for name, durs := range hops {
+		hopStats[name] = summarize(durs)
+	}
+
+	off, on := summarize(untraced), summarize(traced)
+	overhead := 0.0
+	if off.P50Ns > 0 {
+		overhead = 100 * float64(on.P50Ns-off.P50Ns) / float64(off.P50Ns)
+	}
+	doc := struct {
+		Runs        int                 `json:"runs"`
+		Untraced    latStats            `json:"untraced"`
+		Traced      latStats            `json:"traced"`
+		OverheadPct float64             `json:"overhead_pct"`
+		Hops        map[string]latStats `json:"hops"`
+		Note        string              `json:"note"`
+	}{
+		Runs:        runs,
+		Untraced:    off,
+		Traced:      on,
+		OverheadPct: overhead,
+		Hops:        hopStats,
+		Note: "forwarded query over real loopback TCP, entry member != owner; " +
+			"overhead_pct compares tracing-every-request p50 against tracing-off p50",
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("forwarded-query latency over %d runs (ns):\n", runs)
+	fmt.Printf("%-14s %10s %12s %12s %12s %12s\n", "mode", "count", "p50", "p90", "p99", "max")
+	fmt.Printf("%-14s %10d %12d %12d %12d %12d\n", "tracing off", off.Count, off.P50Ns, off.P90Ns, off.P99Ns, off.MaxNs)
+	fmt.Printf("%-14s %10d %12d %12d %12d %12d\n", "tracing on", on.Count, on.P50Ns, on.P90Ns, on.P99Ns, on.MaxNs)
+	names := make([]string, 0, len(hopStats))
+	for name := range hopStats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("\nper-hop span durations (ns):\n")
+	fmt.Printf("%-18s %10s %12s %12s %12s\n", "hop", "count", "p50", "p90", "p99")
+	for _, name := range names {
+		s := hopStats[name]
+		fmt.Printf("%-18s %10d %12d %12d %12d\n", name, s.Count, s.P50Ns, s.P90Ns, s.P99Ns)
+	}
+	verdict := "within"
+	if overhead >= 5 {
+		verdict = "OVER"
+	}
+	fmt.Printf("\ntracing overhead at p50: %+.2f%% (%s the 5%% design budget)\n", overhead, verdict)
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -38,8 +39,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/flow"
+	"repro/internal/member"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -50,7 +53,13 @@ func main() {
 		workers     = flag.Int("workers", 4, "query workers per node")
 		load        = flag.String("load", "", "N-Triples file to preload")
 		ftDir       = flag.String("ft", "", "enable fault tolerance in this directory")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text or ?format=json) and /debug/pprof/ on this address (empty = disabled)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics/cluster, /debug/traces, /healthz and /debug/pprof/ on this address (empty = disabled)")
+		version     = flag.Bool("version", false, "print build information and exit")
+
+		// Distributed-tracing knobs (DESIGN.md §13).
+		traceSample = flag.Int("trace-sample", 128, "head-sample 1 in N requests into the span ring (1 = every request, 0 = disable tracing)")
+		traceSlow   = flag.Duration("trace-slow", time.Millisecond, "always keep spans at least this slow, sampled or not (slow-query log; 0 = off)")
+		traceCap    = flag.Int("trace-cap", 4096, "bounded span-ring capacity per daemon")
 
 		// Overload-protection knobs (DESIGN.md §10).
 		emitRate    = flag.Float64("emit-rate", 0, "rate-limit EMIT to this many tuples/second (0 = unlimited)")
@@ -76,6 +85,11 @@ func main() {
 		flowSeed  = flag.Int64("flow-seed", 0, "seed for retry-jitter RNGs (engine sends and cluster replication); 0 = nondeterministic")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("wukongsd %s\n", obs.ReadBuild())
+		return
+	}
 
 	if *joinAddr != "" && *listen == "" {
 		log.Fatal("-join requires -listen")
@@ -161,13 +175,27 @@ func main() {
 		}
 		fmt.Printf("loaded %d triples from %s\n", n, *load)
 	}
+	build := obs.RegisterBuildInfo(eng.Metrics())
+	fmt.Printf("wukongsd %s\n", build)
+
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Config{
+			SampleEvery:   *traceSample,
+			SlowThreshold: *traceSlow,
+			Capacity:      *traceCap,
+		})
+	}
+
 	srv := server.New(eng)
 	srv.EmitRate = *emitRate
 	srv.EmitBurst = *emitBurst
 	srv.EmitWait = *emitWait
 	srv.MaxPollRows = *pollMax
+	srv.Tracer = tracer
 	srvp.Store(srv)
 
+	var nodep atomic.Pointer[cluster.Node]
 	if *listen != "" {
 		adv := *advertise
 		if adv == "" {
@@ -184,7 +212,15 @@ func main() {
 			HeartbeatInterval: *clusterHB,
 			FlowSeed:          *flowSeed,
 			Metrics:           eng.Metrics(),
-			Logf:              log.Printf,
+			Tracer:            tracer,
+			LocalStats: func() string {
+				line := srv.StatsLine()
+				if n := nodep.Load(); n != nil {
+					line = fmt.Sprintf("rank=%d applied=%d %s", int(n.Self()), n.Applied(), line)
+				}
+				return line
+			},
+			Logf: log.Printf,
 		}
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
@@ -205,6 +241,8 @@ func main() {
 			ccfg.Self = rank
 			ccfg.SeedAddr = *joinAddr
 		}
+		// Stamp this daemon's rank onto every span it records from here on.
+		tracer.SetNode(int(rank))
 		tr, err := wire.NewTCP(ln, wire.TCPConfig{Self: rank, Nodes: *nodes}, eng.Metrics())
 		if err != nil {
 			log.Fatalf("cluster transport: %v", err)
@@ -221,6 +259,7 @@ func main() {
 			log.Fatalf("cluster: %v", err)
 		}
 		defer node.Close()
+		nodep.Store(node)
 		srv.SetCluster(node)
 		if *joinAddr == "" {
 			fmt.Printf("wukongsd: cluster seed, rank 0 of %d, wire on %s\n", *nodes, adv)
@@ -231,8 +270,26 @@ func main() {
 
 	if *metricsAddr != "" {
 		mux := obs.NewHTTPMux(eng.Metrics())
+		mux.Handle("/healthz", healthzHandler(&nodep))
+		mux.Handle("/metrics/cluster", clusterMetricsHandler(eng.Metrics(), &nodep))
+		mux.Handle("/debug/traces", trace.Handler(func() ([]trace.Span, map[string]string) {
+			if n := nodep.Load(); n != nil {
+				spans, reports := n.ClusterTraces()
+				errs := map[string]string{}
+				for _, r := range reports {
+					if r.Err != "" {
+						errs[fmt.Sprintf("rank %d", r.Rank)] = r.Err
+					}
+				}
+				if len(errs) == 0 {
+					errs = nil
+				}
+				return spans, errs
+			}
+			return tracer.Spans(), nil
+		}))
 		go func() {
-			fmt.Printf("wukongsd: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", *metricsAddr)
+			fmt.Printf("wukongsd: metrics on http://%s/metrics (traces on /debug/traces, pprof on /debug/pprof/)\n", *metricsAddr)
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				log.Printf("metrics server: %v", err)
 			}
@@ -242,4 +299,51 @@ func main() {
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// healthzHandler serves readiness: a single-process daemon is ready once
+// serving; a cluster daemon degrades to 503 when its local view says the
+// seed is dead (writes cannot replicate, so the daemon is up but not ready).
+func healthzHandler(nodep *atomic.Pointer[cluster.Node]) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		type health struct {
+			Status  string `json:"status"`
+			Rank    int    `json:"rank,omitempty"`
+			Applied uint64 `json:"applied,omitempty"`
+			Reason  string `json:"reason,omitempty"`
+		}
+		n := nodep.Load()
+		if n == nil {
+			json.NewEncoder(w).Encode(health{Status: "ok"})
+			return
+		}
+		h := health{Status: "ok", Rank: int(n.Self()), Applied: n.Applied()}
+		if n.Self() != cluster.SeedRank && n.Detector().State(cluster.SeedRank) == member.Dead {
+			h.Status = "degraded"
+			h.Reason = "seed declared dead; writes cannot replicate"
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(h)
+	})
+}
+
+// clusterMetricsHandler serves the federated registry merge. Without a
+// cluster it degrades to the local snapshot so the endpoint shape is stable.
+func clusterMetricsHandler(local *obs.Registry, nodep *atomic.Pointer[cluster.Node]) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		doc := struct {
+			Metrics map[string]obs.JSONMetric `json:"metrics"`
+			Members []cluster.MemberReport    `json:"members,omitempty"`
+		}{}
+		if n := nodep.Load(); n != nil {
+			doc.Metrics, doc.Members = n.ClusterMetrics()
+		} else {
+			doc.Metrics = local.SnapshotJSON()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
 }

@@ -18,9 +18,12 @@ package chaos
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -30,10 +33,12 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/stream"
+	"repro/internal/trace"
 )
 
 // ProcConfig scripts one process-level chaos run.
@@ -113,6 +118,14 @@ type ProcReport struct {
 	DeadTyped        int           // ... that failed typed (client.ErrPartitionDown)
 	DeadProbeMax     time.Duration // slowest dead probe (fail-fast bound)
 
+	// Federated observability, sampled mid-outage through the survivor.
+	FedDeadAnnotated bool  // CLUSTER METRICS listed the dead rank with an explicit error
+	FedLiveReports   int   // member reports that came back clean during the outage
+	FedMergedOps     int64 // merged cluster_ops_applied_total across the survivors
+	TraceSpans       int   // span count of the best cross-process trace on /debug/traces
+	TraceNodes       int   // distinct ranks contributing spans to that trace
+	TraceFedErrors   int   // per-node errors in the federated trace doc (the dead rank)
+
 	// Windows are the survivor's polled deliveries, deduped per window
 	// timestamp; RejoinWindows the restarted daemon's (its op-log replay
 	// re-fires every window); TwinWindows the in-process fault-free twin's.
@@ -126,6 +139,7 @@ type procDaemon struct {
 	rank     int
 	addr     string // line-protocol address
 	wireAddr string // cluster transport address
+	httpAddr string // metrics/traces HTTP address
 	cmd      *exec.Cmd
 	waited   chan error
 }
@@ -275,6 +289,8 @@ func (cfg ProcConfig) spawn(bin string, d *procDaemon, seedWire string) error {
 		"-listen", d.wireAddr,
 		"-cluster-heartbeat", cfg.Heartbeat.String(),
 		"-flow-seed", strconv.FormatInt(cfg.Seed, 10),
+		"-metrics-addr", d.httpAddr,
+		"-trace-sample", "1",
 	}
 	if d.rank != 0 {
 		args = append(args, "-join", seedWire)
@@ -390,6 +406,98 @@ func probeProcOutage(cfg ProcConfig, survivor *procDaemon, rep *ProcReport) erro
 	return nil
 }
 
+// probeFedObservability samples the federated observability surfaces while
+// the victim is still down, all through the survivor: the CLUSTER METRICS
+// wire command must return partial results annotating the dead rank with an
+// explicit error (never stalling on it), and the survivor's /debug/traces
+// HTTP endpoint must serve a causally-linked cross-process trace for a query
+// the harness forwards mid-outage.
+func probeFedObservability(cfg ProcConfig, survivor *procDaemon, rep *ProcReport) error {
+	l, err := dialLine(survivor.addr, cfg.Timeout)
+	if err != nil {
+		return err
+	}
+	defer l.close()
+
+	// Force one forwarded query: pick a scripted entity homed on a live rank
+	// other than the survivor, so its trace must cross a process boundary.
+	for i := 0; i < 64; i++ {
+		name := fmt.Sprintf("u%d", i)
+		st, err := l.cmd("HOME " + name)
+		if err != nil {
+			return err
+		}
+		if !strings.Contains(st, "state=alive") ||
+			strings.Contains(st, fmt.Sprintf("home=%d ", survivor.rank)) {
+			continue
+		}
+		if _, err := queryLatency(l, name); err != nil {
+			return err
+		}
+		break
+	}
+
+	// CLUSTER METRICS over the wire: merged counters plus per-member
+	// annotations, degraded — not blocked — by the dead rank.
+	st, err := l.cmd("CLUSTER METRICS")
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(st, "+OK") {
+		return fmt.Errorf("chaos: CLUSTER METRICS: %s", st)
+	}
+	lines, err := l.block()
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Metrics map[string]obs.JSONMetric `json:"metrics"`
+		Members []cluster.MemberReport    `json:"members"`
+	}
+	if err := json.Unmarshal([]byte(strings.Join(lines, "\n")), &doc); err != nil {
+		return fmt.Errorf("chaos: CLUSTER METRICS json: %v", err)
+	}
+	for _, m := range doc.Members {
+		switch {
+		case m.Rank == cfg.KillRank:
+			rep.FedDeadAnnotated = m.Err != "" && m.State == "dead"
+		case m.Err == "":
+			rep.FedLiveReports++
+		}
+	}
+	for name, m := range doc.Metrics { // registry prefix varies by deployment
+		if strings.HasSuffix(name, "cluster_ops_applied_total") && m.Value != nil {
+			rep.FedMergedOps = *m.Value
+		}
+	}
+
+	// The forwarded query's trace must come back over HTTP, federated: the
+	// merged span set from both live daemons plus the dead rank's error.
+	return waitFor("cross-process trace on /debug/traces", cfg.Timeout, func() (bool, error) {
+		resp, err := http.Get("http://" + survivor.httpAddr + "/debug/traces?n=256")
+		if err != nil {
+			return false, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return false, err
+		}
+		var tdoc trace.TracesDoc
+		if err := json.Unmarshal(body, &tdoc); err != nil {
+			return false, fmt.Errorf("bad /debug/traces json: %v", err)
+		}
+		rep.TraceFedErrors = len(tdoc.Errors)
+		for _, tr := range tdoc.Traces {
+			if len(tr.Nodes) >= 2 && tr.Orphans == 0 && tr.Spans > rep.TraceSpans {
+				rep.TraceSpans = tr.Spans
+				rep.TraceNodes = len(tr.Nodes)
+			}
+		}
+		return rep.TraceSpans >= 4 && rep.TraceFedErrors > 0, nil
+	})
+}
+
 // dedupWindows collapses polled fire rows ("@<ts> <row>") to one sorted row
 // set per window, erroring on divergent repeats.
 func dedupWindows(fires []client.FireRow) (map[rdf.Timestamp][]string, error) {
@@ -477,7 +585,7 @@ func RunProc(cfg ProcConfig) (*ProcReport, error) {
 		}
 	}
 
-	ports, err := freePorts(2 * cfg.Nodes)
+	ports, err := freePorts(3 * cfg.Nodes)
 	if err != nil {
 		return nil, err
 	}
@@ -485,8 +593,9 @@ func RunProc(cfg ProcConfig) (*ProcReport, error) {
 	for r := 0; r < cfg.Nodes; r++ {
 		daemons[r] = &procDaemon{
 			rank:     r,
-			addr:     fmt.Sprintf("127.0.0.1:%d", ports[2*r]),
-			wireAddr: fmt.Sprintf("127.0.0.1:%d", ports[2*r+1]),
+			addr:     fmt.Sprintf("127.0.0.1:%d", ports[3*r]),
+			wireAddr: fmt.Sprintf("127.0.0.1:%d", ports[3*r+1]),
+			httpAddr: fmt.Sprintf("127.0.0.1:%d", ports[3*r+2]),
 		}
 	}
 	defer func() {
@@ -540,6 +649,9 @@ func RunProc(cfg ProcConfig) (*ProcReport, error) {
 			}
 			rep.NodeDeclaredDead = true
 			if err := probeProcOutage(cfg, survivor, rep); err != nil {
+				return nil, err
+			}
+			if err := probeFedObservability(cfg, survivor, rep); err != nil {
 				return nil, err
 			}
 		}

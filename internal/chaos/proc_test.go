@@ -56,6 +56,27 @@ func TestProcClusterKillDashNine(t *testing.T) {
 		t.Errorf("dead-partition probe took %v; the contract is fail-fast", rep.DeadProbeMax)
 	}
 
+	// (b') federated observability degrades, not disappears: the survivor's
+	// CLUSTER METRICS and /debug/traces keep serving merged data mid-outage,
+	// annotating the dead rank explicitly, and a query forwarded during the
+	// outage yields one causally-linked trace spanning both live processes.
+	if !rep.FedDeadAnnotated {
+		t.Error("CLUSTER METRICS did not annotate the dead rank with an explicit error")
+	}
+	if rep.FedLiveReports != 2 {
+		t.Errorf("clean federation reports during the outage = %d, want both survivors", rep.FedLiveReports)
+	}
+	if rep.FedMergedOps == 0 {
+		t.Error("merged cluster_ops_applied_total empty in the degraded federation")
+	}
+	if rep.TraceSpans < 4 || rep.TraceNodes < 2 {
+		t.Errorf("best cross-process trace: %d spans across %d ranks, want >= 4 across >= 2",
+			rep.TraceSpans, rep.TraceNodes)
+	}
+	if rep.TraceFedErrors == 0 {
+		t.Error("federated /debug/traces hid the dead member instead of reporting it")
+	}
+
 	// (c) both the survivor's deliveries and the victim's post-rejoin
 	// replay dedup to exactly the fault-free twin.
 	if len(rep.TwinWindows) == 0 {

@@ -48,6 +48,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/stream"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -137,6 +138,12 @@ type Config struct {
 	FlowSeed int64
 	// Metrics may be nil.
 	Metrics *obs.Registry
+	// Tracer records per-hop spans for distributed tracing (DESIGN.md §13).
+	// May be nil: every span call site is nil-safe.
+	Tracer *trace.Tracer
+	// LocalStats renders this daemon's one-line stats for CLUSTER STATS
+	// federation (usually the server's STATS line). May be nil.
+	LocalStats func() string
 	// Logf may be nil.
 	Logf func(format string, args ...any)
 }
@@ -145,13 +152,14 @@ type Config struct {
 // log (seed), the replica applier (members), the query router, and the
 // membership detector.
 type Node struct {
-	cfg   Config
-	t     fabric.Transport
-	self  fabric.NodeID
-	nodes int
-	eng   *core.Engine
-	det   *member.Detector
-	snd   *flow.Sender
+	cfg    Config
+	t      fabric.Transport
+	self   fabric.NodeID
+	nodes  int
+	eng    *core.Engine
+	det    *member.Detector
+	snd    *flow.Sender
+	tracer *trace.Tracer
 
 	// applyMu serializes op application (and, on the seed, sequencing +
 	// broadcast, so members observe ops in sequence order per connection).
@@ -168,8 +176,10 @@ type Node struct {
 	reserved []string // seed: rank → addr promised by Discover, not yet joined
 
 	// outbox holds the payload the retrying sender's attempt closure ships;
-	// written under applyMu immediately before each Send.
-	outbox [][]byte
+	// written under applyMu immediately before each Send. outboxTC carries
+	// the matching replication span context per destination.
+	outbox   [][]byte
+	outboxTC []trace.Context
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -203,18 +213,20 @@ func newNode(cfg Config) (*Node, error) {
 	}
 	r := cfg.Metrics
 	n := &Node{
-		cfg:     cfg,
-		t:       cfg.Transport,
-		self:    cfg.Self,
-		nodes:   nodes,
-		eng:     cfg.Engine,
-		base:    1,
-		nextSeq: 1,
+		cfg:      cfg,
+		t:        cfg.Transport,
+		self:     cfg.Self,
+		nodes:    nodes,
+		eng:      cfg.Engine,
+		tracer:   cfg.Tracer,
+		base:     1,
+		nextSeq:  1,
 		members:  make([]string, nodes),
 		reserved: make([]string, nodes),
 		outbox:   make([][]byte, nodes),
-		stop:    make(chan struct{}),
-		start:   time.Now(),
+		outboxTC: make([]trace.Context, nodes),
+		stop:     make(chan struct{}),
+		start:    time.Now(),
 
 		cApplied:   r.Counter("cluster_ops_applied_total"),
 		cForwarded: r.Counter("cluster_ops_forwarded_total"),
@@ -259,7 +271,7 @@ func NewSeed(cfg Config) (*Node, error) {
 	n.mu.Lock()
 	n.members[SeedRank] = cfg.SelfAddr
 	n.mu.Unlock()
-	if _, err := n.sequence("MEMBER", []string{"0", cfg.SelfAddr}, ""); err != nil {
+	if _, err := n.sequence(trace.Context{}, "MEMBER", []string{"0", cfg.SelfAddr}, ""); err != nil {
 		return nil, err
 	}
 	n.startTicker()
@@ -367,6 +379,9 @@ func (n *Node) Self() fabric.NodeID { return n.self }
 
 // Detector exposes the membership detector (tests, CLUSTER command).
 func (n *Node) Detector() *member.Detector { return n.det }
+
+// Tracer exposes the span recorder (may be nil).
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 
 // Applied returns the highest op sequence applied locally.
 func (n *Node) Applied() uint64 {
@@ -513,27 +528,44 @@ func firstLine(s string) string {
 // the single write path — the server's LOAD/STREAM/EMIT/ADVANCE/REGISTER
 // commands all land here in cluster mode.
 func (n *Node) Forward(kind string, args []string, body string) (string, error) {
+	return n.ForwardTraced(trace.Context{}, kind, args, body)
+}
+
+// ForwardTraced is Forward attached to a caller's trace: the member-side
+// hop records a cluster.forward span whose context crosses the wire, so the
+// seed's sequencing spans link under it.
+func (n *Node) ForwardTraced(tc trace.Context, kind string, args []string, body string) (string, error) {
+	if !tc.Valid() && n.tracer != nil {
+		root := n.tracer.StartRoot("cluster.op")
+		tc = root.Context()
+		defer root.End()
+	}
 	if n.self == SeedRank {
-		return n.sequence(kind, args, body)
+		return n.sequence(tc, kind, args, body)
 	}
 	n.cForwarded.Inc()
 	req := "FWD " + kind
 	if len(args) > 0 {
 		req += " " + strings.Join(args, " ")
 	}
-	return n.call(SeedRank, req, body, "forward "+kind)
+	sp := n.tracer.Start(tc, "cluster.forward")
+	reply, err := n.callTraced(SeedRank, req, body, "forward "+kind, sp.Context())
+	sp.EndErr(err)
+	return reply, err
 }
 
 // sequence assigns the next op sequence number, applies the op locally, logs
 // it, and replicates it to every member — all under applyMu, so the op order
 // members observe is the apply order.
-func (n *Node) sequence(kind string, args []string, body string) (string, error) {
+func (n *Node) sequence(tc trace.Context, kind string, args []string, body string) (string, error) {
 	n.applyMu.Lock()
 	defer n.applyMu.Unlock()
 	n.mu.Lock()
 	seq := n.nextSeq
 	n.mu.Unlock()
+	spApply := n.tracer.Start(tc, "seed.apply")
 	reply, err := n.applyLocked(seq, kind, args, body)
+	spApply.EndErr(err)
 	if err != nil {
 		// The op never happened: no seq consumed, nothing replicated.
 		return "", err
@@ -554,13 +586,16 @@ func (n *Node) sequence(kind string, args []string, body string) (string, error)
 		}
 	}
 	n.mu.Unlock()
+	spRepl := n.tracer.Start(tc, "seed.replicate")
 	for _, to := range targets {
 		n.outbox[to] = enc
+		n.outboxTC[to] = spRepl.Context()
 		// Transient drops retry inside the sender; persistent failures trip
 		// the per-member breaker and are dropped here — the member's gap
 		// SYNC (or its rejoin replay) repairs the hole when it returns.
 		_ = n.snd.Send(n.self, to, len(enc))
 	}
+	spRepl.End()
 	return reply, nil
 }
 
@@ -568,7 +603,7 @@ func (n *Node) sequence(kind string, args []string, body string) (string, error)
 // payload for the destination. outbox writes are serialized by applyMu,
 // which is held across the Send that triggers this.
 func (n *Node) attemptSend(from, to fabric.NodeID, _ int) error {
-	return n.t.Send(from, to, n.outbox[to])
+	return fabric.SendTraced(n.t, from, to, n.outbox[to], n.outboxTC[to])
 }
 
 // handleJoin serves JOIN <rank|-1> <addr> on the seed. Rank -1 is the
@@ -625,7 +660,7 @@ func (n *Node) handleJoin(args []string) (string, error) {
 		return "", fmt.Errorf("cluster: no rank available for %s (cluster of %d full or rank taken)", addr, n.nodes)
 	}
 	if commit {
-		if _, err := n.sequence("MEMBER", []string{strconv.Itoa(rank), addr}, ""); err != nil {
+		if _, err := n.sequence(trace.Context{}, "MEMBER", []string{strconv.Itoa(rank), addr}, ""); err != nil {
 			return "", err
 		}
 		n.mu.Lock()
@@ -674,14 +709,22 @@ func (n *Node) handleSync(args []string) (string, error) {
 
 // HandleSend consumes one replicated op (fabric.Handler).
 func (n *Node) HandleSend(from fabric.NodeID, payload []byte) {
+	n.HandleSendTraced(from, payload, trace.Context{})
+}
+
+// HandleSendTraced consumes one replicated op, recording a replica.apply
+// span under the seed's replicate span (fabric.TraceHandler).
+func (n *Node) HandleSendTraced(from fabric.NodeID, payload []byte, tc trace.Context) {
 	seq, kind, args, body, err := decodeOp(payload)
 	if err != nil {
 		n.logf("dropping malformed op from %d: %v", from, err)
 		return
 	}
+	sp := n.tracer.Start(tc, "replica.apply")
 	n.applyMu.Lock()
-	defer n.applyMu.Unlock()
 	n.ingestLocked(seq, kind, args, body)
+	n.applyMu.Unlock()
+	sp.End()
 }
 
 // ingestLocked applies one op in sequence order, fetching any gap from the
@@ -898,11 +941,17 @@ func (n *Node) applyOp(kind string, args []string, body string) (string, error) 
 // transient AND provably never reached the peer, so it is always safe to
 // retry — even for non-idempotent FWD ops.
 func (n *Node) call(to fabric.NodeID, head, body, op string) (string, error) {
+	return n.callTraced(to, head, body, op, trace.Context{})
+}
+
+// callTraced is call with a span context that rides the wire frame (when
+// the transport and the peer's connection negotiated tracing).
+func (n *Node) callTraced(to fabric.NodeID, head, body, op string, tc trace.Context) (string, error) {
 	payload := head + "\n" + body
 	var err error
 	for attempt := 0; attempt < 8; attempt++ {
 		var resp []byte
-		resp, err = n.t.Call(n.self, to, []byte(payload))
+		resp, err = fabric.CallTraced(n.t, n.self, to, []byte(payload), tc)
 		if err == nil {
 			return string(resp), nil
 		}
@@ -919,6 +968,12 @@ func (n *Node) call(to fabric.NodeID, head, body, op string) (string, error) {
 
 // HandleCall serves the cluster verbs (fabric.Handler).
 func (n *Node) HandleCall(from fabric.NodeID, req []byte) ([]byte, error) {
+	return n.HandleCallTraced(from, req, trace.Context{})
+}
+
+// HandleCallTraced serves the cluster verbs with the caller's span context
+// (fabric.TraceHandler), so served hops land in the caller's trace.
+func (n *Node) HandleCallTraced(from fabric.NodeID, req []byte, tc trace.Context) ([]byte, error) {
 	head, body := splitLine(string(req))
 	f := strings.Fields(head)
 	if len(f) == 0 {
@@ -938,14 +993,16 @@ func (n *Node) HandleCall(from fabric.NodeID, req []byte) ([]byte, error) {
 		if len(f) < 2 {
 			return nil, fmt.Errorf("cluster: usage FWD <kind> [args...]")
 		}
-		resp, err := n.sequence(f[1], f[2:], body)
+		resp, err := n.sequence(tc, f[1], f[2:], body)
 		return []byte(resp), err
 	case "QUERY":
-		return n.serveQuery(body)
+		return n.serveQuery(tc, body)
 	case "SCATTER":
-		return n.serveScatter(f[1:], body)
+		return n.serveScatter(tc, f[1:], body)
 	case "MEMBERS":
 		return []byte(n.membersReply()), nil
+	case verbFedStats, verbFedMetrics, verbFedTraces:
+		return n.serveFed(f[0])
 	default:
 		return nil, fmt.Errorf("cluster: unknown verb %q", f[0])
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/member"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -90,6 +91,7 @@ func clusterConfig(tr fabric.Transport, self fabric.NodeID, eng *core.Engine, d 
 		DeadAfter:         3,
 		FlowSeed:          1,
 		Metrics:           obs.NewRegistry(""),
+		Tracer:            trace.New(trace.Config{SampleEvery: 1, Node: int(self)}),
 	}
 }
 

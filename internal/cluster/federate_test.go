@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/member"
+	"repro/internal/trace"
+)
+
+// gatherTrees pulls every daemon's spans through the federation path on via
+// and assembles them into cross-process trees.
+func gatherTrees(t *testing.T, via *daemon) []trace.Tree {
+	t.Helper()
+	spans, reports := via.node.ClusterTraces()
+	for _, r := range reports {
+		if r.Err != "" {
+			t.Fatalf("rank %d federation error: %s", r.Rank, r.Err)
+		}
+	}
+	return trace.Assemble(spans)
+}
+
+// flatSpans walks a tree back into its span list.
+func flatSpans(tr trace.Tree) []trace.Span {
+	var out []trace.Span
+	var walk func(ts *trace.TreeSpan)
+	walk = func(ts *trace.TreeSpan) {
+		out = append(out, ts.Span)
+		for _, c := range ts.Children {
+			walk(c)
+		}
+	}
+	if tr.Root != nil {
+		walk(tr.Root)
+	}
+	return out
+}
+
+// TestForwardedQueryProducesLinkedTrace is the tentpole acceptance check at
+// the cluster layer: one query entering a non-owner daemon must yield a
+// single trace whose span tree links the routing hop on the entry daemon to
+// the serving hops on the owner — across two real TCP processes' worth of
+// transports.
+func TestForwardedQueryProducesLinkedTrace(t *testing.T) {
+	seed := startSeed(t, nil)
+	defer seed.close()
+	d1 := joinDaemon(t, seed.tr.Addr(), "")
+	defer d1.close()
+	d2 := joinDaemon(t, seed.tr.Addr(), "")
+	defer d2.close()
+	seedData(t, d1)
+	waitConverged(t, seed, d1, d2)
+
+	// Pick an entity the seed owns and query it through d1: d1 records the
+	// root + forward spans, the seed records the serve + exec spans.
+	entity := entityHomedOn(t, d1, SeedRank)
+	q := fmt.Sprintf("SELECT ?Y WHERE { %s po ?Y }", entity)
+	if _, _, err := d1.node.Query(q); err != nil {
+		t.Fatalf("forwarded query: %v", err)
+	}
+
+	trees := gatherTrees(t, d2) // federate through a third party on purpose
+	var tree *trace.Tree
+	var spans []trace.Span
+	for i := range trees {
+		for _, sp := range flatSpans(trees[i]) {
+			if sp.Name == "serve.query" {
+				tree = &trees[i]
+				spans = flatSpans(trees[i])
+			}
+		}
+	}
+	if tree == nil {
+		t.Fatalf("no trace containing a serve.query span in %d trees", len(trees))
+	}
+	if tree.Spans < 4 {
+		t.Fatalf("forwarded-query trace has %d spans, want >= 4: %+v", tree.Spans, spans)
+	}
+	if tree.Orphans != 0 {
+		t.Fatalf("trace has %d orphaned spans (parent links broken): %+v", tree.Orphans, spans)
+	}
+	if len(tree.Nodes) < 2 {
+		t.Fatalf("trace touched nodes %v, want spans from both sides of the wire", tree.Nodes)
+	}
+
+	// The causal chain must be root → cluster.forward → serve.query →
+	// exec.local, with the serve side recorded on the seed's rank.
+	byName := map[string]trace.Span{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	root, fwd := byName["cluster.query"], byName["cluster.forward"]
+	serve, exec := byName["serve.query"], byName["exec.local"]
+	if root.SpanID == 0 || fwd.Parent != root.SpanID {
+		t.Fatalf("cluster.forward not parented under cluster.query: %+v", spans)
+	}
+	if serve.Parent != fwd.SpanID {
+		t.Fatalf("serve.query not parented under cluster.forward: %+v", spans)
+	}
+	if exec.Parent != serve.SpanID {
+		t.Fatalf("exec.local not parented under serve.query: %+v", spans)
+	}
+	if root.Node != int(d1.node.Self()) || serve.Node != int(SeedRank) {
+		t.Fatalf("span nodes wrong: root on %d (want %d), serve on %d (want %d)",
+			root.Node, int(d1.node.Self()), serve.Node, int(SeedRank))
+	}
+}
+
+// TestReplicationTrace checks the write path's tree: a forwarded mutating op
+// must link member-side forward → seed.apply/seed.replicate → the members'
+// replica.apply spans.
+func TestReplicationTrace(t *testing.T) {
+	seed := startSeed(t, nil)
+	defer seed.close()
+	d1 := joinDaemon(t, seed.tr.Addr(), "")
+	defer d1.close()
+	d2 := joinDaemon(t, seed.tr.Addr(), "")
+	defer d2.close()
+
+	if _, err := d1.node.Forward("LOAD", nil, "<a> <p> <b> .\n"); err != nil {
+		t.Fatalf("LOAD: %v", err)
+	}
+	waitConverged(t, seed, d1, d2)
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		trees := gatherTrees(t, seed)
+		for i := range trees {
+			names := map[string]int{}
+			for _, sp := range flatSpans(trees[i]) {
+				names[sp.Name]++
+			}
+			// One replica.apply per member is the full fan-out; at least one
+			// proves the context crossed the one-way replication send.
+			if names["cluster.forward"] == 1 && names["seed.apply"] == 1 &&
+				names["seed.replicate"] == 1 && names["replica.apply"] >= 1 &&
+				trees[i].Orphans == 0 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no complete replication trace; trees: %+v", trees)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestClusterStatsAndMetricsFederation checks the merged views and the
+// per-node annotations while everyone is alive.
+func TestClusterStatsAndMetricsFederation(t *testing.T) {
+	seed := startSeed(t, nil)
+	defer seed.close()
+	d1 := joinDaemon(t, seed.tr.Addr(), "")
+	defer d1.close()
+	seedData(t, seed)
+	waitConverged(t, seed, d1)
+
+	reports := d1.node.ClusterStats()
+	if len(reports) != 2 {
+		t.Fatalf("ClusterStats reports = %+v, want 2 members", reports)
+	}
+	for _, r := range reports {
+		if r.Err != "" {
+			t.Fatalf("rank %d: unexpected error %q", r.Rank, r.Err)
+		}
+		if !strings.Contains(r.Stats, "applied=") {
+			t.Fatalf("rank %d: fallback stats line %q missing applied=", r.Rank, r.Stats)
+		}
+		wantState := "alive"
+		if fabric.NodeID(r.Rank) == d1.node.Self() {
+			wantState = "self"
+		}
+		if r.State != wantState {
+			t.Fatalf("rank %d state %q, want %q", r.Rank, r.State, wantState)
+		}
+	}
+
+	// LocalStats hook takes over the line when configured.
+	seed.node.cfg.LocalStats = func() string { return "custom=1" }
+	found := false
+	for _, r := range d1.node.ClusterStats() {
+		if r.Rank == int(SeedRank) && r.Stats == "custom=1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("LocalStats hook output did not reach the federated view")
+	}
+
+	merged, reports := d1.node.ClusterMetrics()
+	for _, r := range reports {
+		if r.Err != "" {
+			t.Fatalf("metrics rank %d: %s", r.Rank, r.Err)
+		}
+	}
+	// Both daemons applied the same ops, so the merged counter must be the
+	// sum of the two registries — strictly more than either alone.
+	m, ok := merged["cluster_ops_applied_total"]
+	if !ok || m.Value == nil {
+		t.Fatalf("merged metrics missing cluster_ops_applied_total: %v", merged)
+	}
+	one := seed.node.cfg.Metrics.SnapshotJSON()["cluster_ops_applied_total"]
+	if *m.Value <= *one.Value {
+		t.Fatalf("merged applied %d not greater than single node %d", *m.Value, *one.Value)
+	}
+}
+
+// TestFederationDegradesOnDeadMember is the partial-results contract: a
+// killed member must appear in the report with an explicit error, without
+// stalling the fan-out or hiding the survivors' data.
+func TestFederationDegradesOnDeadMember(t *testing.T) {
+	seed := startSeed(t, nil)
+	defer seed.close()
+	d1 := joinDaemon(t, seed.tr.Addr(), "")
+	defer d1.close()
+	d2 := joinDaemon(t, seed.tr.Addr(), "")
+	defer d2.close()
+	seedData(t, seed)
+	waitConverged(t, seed, d1, d2)
+
+	deadRank := d2.node.Self()
+	d2.close()
+	waitState(t, seed, deadRank, member.Dead)
+
+	start := time.Now()
+	merged, reports := seed.node.ClusterMetrics()
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Fatalf("federation took %v with a dead member; must not stall on it", elapsed)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %+v, want all 3 ranks", reports)
+	}
+	var deadSeen, liveSeen int
+	for _, r := range reports {
+		if fabric.NodeID(r.Rank) == deadRank {
+			deadSeen++
+			if r.Err == "" || r.State != "dead" {
+				t.Fatalf("dead rank %d not annotated: %+v", r.Rank, r)
+			}
+		} else if r.Err == "" {
+			liveSeen++
+		}
+	}
+	if deadSeen != 1 || liveSeen != 2 {
+		t.Fatalf("dead=%d live=%d, want 1/2: %+v", deadSeen, liveSeen, reports)
+	}
+	if m, ok := merged["cluster_ops_applied_total"]; !ok || m.Value == nil || *m.Value == 0 {
+		t.Fatalf("survivors' metrics missing from degraded merge: %v", merged)
+	}
+}
+
+// waitState blocks until observer's detector sees rank in the given state.
+func waitState(t *testing.T, observer *daemon, rank fabric.NodeID, want member.State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for observer.node.Detector().State(rank) != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("rank %d never reached state %v (now %v)", rank, want, observer.node.Detector().State(rank))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

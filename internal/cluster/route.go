@@ -27,12 +27,25 @@ import (
 	"repro/internal/member"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
 // Query routes one one-shot query: local on the owning rank, one forwarded
 // Call otherwise, scatter/merge when nothing anchors it.
 func (n *Node) Query(text string) ([]string, time.Duration, error) {
+	return n.QueryTraced(trace.Context{}, text)
+}
+
+// QueryTraced is Query attached to a caller's trace. An invalid context
+// with a live tracer starts a fresh root here (callers below the server,
+// e.g. tests driving the node directly, still get traces).
+func (n *Node) QueryTraced(tc trace.Context, text string) ([]string, time.Duration, error) {
+	if !tc.Valid() && n.tracer != nil {
+		root := n.tracer.StartRoot("cluster.query")
+		tc = root.Context()
+		defer root.End()
+	}
 	q, err := sparql.Parse(text)
 	if err != nil {
 		return nil, 0, err
@@ -43,18 +56,18 @@ func (n *Node) Query(text string) ([]string, time.Duration, error) {
 	owner, anchored := n.owner(q)
 	if !anchored {
 		n.cScatterQ.Inc()
-		return n.scatterQuery(text)
+		return n.scatterQuery(tc, text)
 	}
 	if owner == n.self {
 		n.cLocalQ.Inc()
-		return n.localQuery(text)
+		return n.localQuery(tc, text)
 	}
 	if n.det.State(owner) == member.Dead {
 		n.cPartDown.Inc()
 		return nil, 0, &PartitionDownError{Node: owner}
 	}
 	n.cRemoteQ.Inc()
-	rows, lat, err := n.remoteQuery(owner, text)
+	rows, lat, err := n.remoteQuery(tc, owner, text)
 	if err != nil {
 		if _, remote := wire.RemoteText(err); !remote {
 			// Transport-level failure: the owner's partitions are unreachable
@@ -110,35 +123,44 @@ func (n *Node) owner(q *sparql.Query) (fabric.NodeID, bool) {
 	return 0, false
 }
 
-func (n *Node) localQuery(text string) ([]string, time.Duration, error) {
+func (n *Node) localQuery(tc trace.Context, text string) ([]string, time.Duration, error) {
+	sp := n.tracer.Start(tc, "exec.local")
 	res, err := n.eng.Query(text)
 	if err != nil {
+		sp.EndErr(err)
 		return nil, 0, err
 	}
+	sp.End()
 	return res.Strings(), res.Latency, nil
 }
 
 // remoteQuery forwards the full query to its owner and decodes the reply.
-func (n *Node) remoteQuery(owner fabric.NodeID, text string) ([]string, time.Duration, error) {
-	resp, err := n.call(owner, "QUERY", text, "query")
+func (n *Node) remoteQuery(tc trace.Context, owner fabric.NodeID, text string) ([]string, time.Duration, error) {
+	sp := n.tracer.Start(tc, "cluster.forward")
+	resp, err := n.callTraced(owner, "QUERY", text, "query", sp.Context())
 	if err != nil {
+		sp.EndErr(err)
 		return nil, 0, err
 	}
+	sp.End()
 	return decodeRows(resp)
 }
 
 // serveQuery answers a forwarded QUERY call from the local replica.
-func (n *Node) serveQuery(text string) ([]byte, error) {
-	rows, lat, err := n.localQuery(text)
+func (n *Node) serveQuery(tc trace.Context, text string) ([]byte, error) {
+	sp := n.tracer.Start(tc, "serve.query")
+	rows, lat, err := n.localQuery(sp.Context(), text)
 	if err != nil {
+		sp.EndErr(err)
 		return nil, err
 	}
+	sp.End()
 	return encodeRows(rows, lat), nil
 }
 
 // serveScatter answers SCATTER <shard> <of>: the local replica's rows,
 // filtered down to this shard's hash class.
-func (n *Node) serveScatter(args []string, text string) ([]byte, error) {
+func (n *Node) serveScatter(tc trace.Context, args []string, text string) ([]byte, error) {
 	if len(args) != 2 {
 		return nil, fmt.Errorf("cluster: usage SCATTER <shard> <of>")
 	}
@@ -147,10 +169,13 @@ func (n *Node) serveScatter(args []string, text string) ([]byte, error) {
 	if err1 != nil || err2 != nil || of <= 0 || shard < 0 || shard >= of {
 		return nil, fmt.Errorf("cluster: bad scatter shard %v", args)
 	}
-	rows, lat, err := n.localQuery(text)
+	sp := n.tracer.Start(tc, "serve.scatter")
+	rows, lat, err := n.localQuery(sp.Context(), text)
 	if err != nil {
+		sp.EndErr(err)
 		return nil, err
 	}
+	sp.End()
 	return encodeRows(filterShard(rows, shard, of), lat), nil
 }
 
@@ -158,7 +183,7 @@ func (n *Node) serveScatter(args []string, text string) ([]byte, error) {
 // row-disjoint shards and joins the pieces. Shards whose member is dead,
 // unknown, or fails mid-flight fall back to local execution, so the merged
 // answer is complete whenever the coordinator itself is healthy.
-func (n *Node) scatterQuery(text string) ([]string, time.Duration, error) {
+func (n *Node) scatterQuery(tc trace.Context, text string) ([]string, time.Duration, error) {
 	type piece struct {
 		rows []string
 		lat  time.Duration
@@ -170,7 +195,7 @@ func (n *Node) scatterQuery(text string) ([]string, time.Duration, error) {
 	var localLat time.Duration
 	var localErr error
 	local := func() ([]string, time.Duration, error) {
-		localOnce.Do(func() { localRows, localLat, localErr = n.localQuery(text) })
+		localOnce.Do(func() { localRows, localLat, localErr = n.localQuery(tc, text) })
 		return localRows, localLat, localErr
 	}
 
@@ -184,7 +209,13 @@ func (n *Node) scatterQuery(text string) ([]string, time.Duration, error) {
 		go func(s int) {
 			defer wg.Done()
 			if !runLocal {
-				resp, err := n.call(target, fmt.Sprintf("SCATTER %d %d", s, n.nodes), text, "scatter")
+				sp := n.tracer.Start(tc, "cluster.scatter")
+				resp, err := n.callTraced(target, fmt.Sprintf("SCATTER %d %d", s, n.nodes), text, "scatter", sp.Context())
+				if err != nil {
+					sp.EndErr(err)
+				} else {
+					sp.End()
+				}
 				if err == nil {
 					pieces[s].rows, pieces[s].lat, pieces[s].err = decodeRows(resp)
 					return

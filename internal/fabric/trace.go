@@ -1,0 +1,99 @@
+// Trace propagation across the Transport seam (DESIGN.md §13). Tracing is
+// strictly optional at this layer: Transport and Handler are unchanged, and
+// substrates or handlers that understand trace contexts additionally
+// implement the *Traced interfaces below. The helper functions downgrade
+// gracefully — an untraced transport still delivers the payload, it just
+// drops the context — so cluster code calls SendTraced/CallTraced
+// unconditionally and never branches on the substrate.
+package fabric
+
+import "repro/internal/trace"
+
+// TraceHandler is optionally implemented by Handlers that can attach
+// incoming work to a caller's trace.
+type TraceHandler interface {
+	// HandleSendTraced is HandleSend plus the sender's span context.
+	HandleSendTraced(from NodeID, payload []byte, tc trace.Context)
+	// HandleCallTraced is HandleCall plus the sender's span context.
+	HandleCallTraced(from NodeID, req []byte, tc trace.Context) ([]byte, error)
+}
+
+// TracedTransport is optionally implemented by Transports that can carry a
+// trace context alongside a frame (the TCP wire encodes it into the frame;
+// Mem hands it across directly).
+type TracedTransport interface {
+	SendTraced(from, to NodeID, payload []byte, tc trace.Context) error
+	CallTraced(from, to NodeID, req []byte, tc trace.Context) ([]byte, error)
+}
+
+// SendTraced sends payload with tc when the transport supports it, else
+// falls back to a plain Send (context dropped, delivery preserved).
+func SendTraced(t Transport, from, to NodeID, payload []byte, tc trace.Context) error {
+	if tt, ok := t.(TracedTransport); ok && tc.Valid() {
+		return tt.SendTraced(from, to, payload, tc)
+	}
+	return t.Send(from, to, payload)
+}
+
+// CallTraced calls with tc when the transport supports it, else falls back
+// to a plain Call.
+func CallTraced(t Transport, from, to NodeID, req []byte, tc trace.Context) ([]byte, error) {
+	if tt, ok := t.(TracedTransport); ok && tc.Valid() {
+		return tt.CallTraced(from, to, req, tc)
+	}
+	return t.Call(from, to, req)
+}
+
+// DeliverSend routes an inbound one-way frame to h, preferring the traced
+// entry point when both a context and a TraceHandler are present.
+func DeliverSend(h Handler, from NodeID, payload []byte, tc trace.Context) {
+	if th, ok := h.(TraceHandler); ok && tc.Valid() {
+		th.HandleSendTraced(from, payload, tc)
+		return
+	}
+	h.HandleSend(from, payload)
+}
+
+// DeliverCall routes an inbound call to h, preferring the traced entry
+// point when both a context and a TraceHandler are present.
+func DeliverCall(h Handler, from NodeID, req []byte, tc trace.Context) ([]byte, error) {
+	if th, ok := h.(TraceHandler); ok && tc.Valid() {
+		return th.HandleCallTraced(from, req, tc)
+	}
+	return h.HandleCall(from, req)
+}
+
+var _ TracedTransport = (*Mem)(nil)
+
+// SendTraced is Send with the context handed to the receiving handler
+// in-process (the simulated fabric has no frames to encode it into).
+func (m *Mem) SendTraced(from, to NodeID, payload []byte, tc trace.Context) error {
+	if err := m.fab.SendAsync(from, to, len(payload)); err != nil {
+		return err
+	}
+	h := m.handler(to)
+	if h == nil {
+		return errNoHandlerFor(to)
+	}
+	DeliverSend(h, from, payload, tc)
+	return nil
+}
+
+// CallTraced is Call with the context handed to the receiving handler.
+func (m *Mem) CallTraced(from, to NodeID, req []byte, tc trace.Context) ([]byte, error) {
+	if err := m.fab.Reachable(from, to); err != nil {
+		return nil, err
+	}
+	h := m.handler(to)
+	if h == nil {
+		return nil, errNoHandlerFor(to)
+	}
+	resp, err := DeliverCall(h, from, req, tc)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.fab.RPC(from, to, len(req), len(resp)); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -53,6 +53,8 @@ type Transport interface {
 // a node with no installed handler.
 var ErrNoHandler = errors.New("fabric: no handler installed for node")
 
+func errNoHandlerFor(n NodeID) error { return fmt.Errorf("%w: %d", ErrNoHandler, n) }
+
 // Mem is the in-memory Transport: frames are delivered by direct function
 // call, and every operation charges the simulated fabric exactly as the
 // pre-Transport code did — SendAsync for one-way frames, RPC for calls,

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo describes the running binary, read once from the Go runtime's
+// embedded module data.
+type BuildInfo struct {
+	Version   string // main module version ("(devel)" for local builds)
+	GoVersion string
+	Revision  string // VCS revision, if stamped
+	Modified  bool   // dirty working tree at build time
+}
+
+// ReadBuild extracts the binary's build information. It degrades to
+// sensible placeholders when the binary was built without module data
+// (e.g. go test binaries).
+func ReadBuild() BuildInfo {
+	info := BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		info.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the build info as a one-line human-readable stamp.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if rev == "" {
+		rev = "unknown"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Modified {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("version=%s revision=%s go=%s", b.Version, rev, b.GoVersion)
+}
+
+// RegisterBuildInfo publishes the Prometheus-idiom build_info gauge: the
+// value is constant 1 and the interesting data rides in the labels.
+func RegisterBuildInfo(r *Registry) BuildInfo {
+	b := ReadBuild()
+	rev := b.Revision
+	if rev == "" {
+		rev = "unknown"
+	}
+	r.GaugeFunc(Name("build_info",
+		"version", b.Version,
+		"revision", rev,
+		"goversion", b.GoVersion,
+	), func() int64 { return 1 })
+	return b
+}

@@ -100,17 +100,19 @@ func writeSample(w io.Writer, name, labels string, v int64) {
 	fmt.Fprintf(w, "%s{%s} %d\n", name, labels, v)
 }
 
-// jsonMetric is the JSON shape of one metric.
-type jsonMetric struct {
+// JSONMetric is the JSON shape of one metric. It is exported so the
+// cluster's metrics federation (DESIGN.md §13) can decode one node's
+// snapshot, merge it with others, and re-encode the result.
+type JSONMetric struct {
 	Type      string             `json:"type"`
 	Value     *int64             `json:"value,omitempty"`
 	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
 }
 
-// snapshotJSON builds the registry's JSON view: metric name (with the export
+// SnapshotJSON builds the registry's JSON view: metric name (with the export
 // prefix) → value or histogram snapshot.
-func (r *Registry) snapshotJSON() map[string]jsonMetric {
-	out := make(map[string]jsonMetric)
+func (r *Registry) SnapshotJSON() map[string]JSONMetric {
+	out := make(map[string]JSONMetric)
 	if r == nil {
 		return out
 	}
@@ -123,16 +125,16 @@ func (r *Registry) snapshotJSON() map[string]jsonMetric {
 		switch m := m.(type) {
 		case *Counter:
 			v := m.Value()
-			out[key] = jsonMetric{Type: "counter", Value: &v}
+			out[key] = JSONMetric{Type: "counter", Value: &v}
 		case *Gauge:
 			v := m.Value()
-			out[key] = jsonMetric{Type: "gauge", Value: &v}
+			out[key] = JSONMetric{Type: "gauge", Value: &v}
 		case *FuncGauge:
 			v := m.Value()
-			out[key] = jsonMetric{Type: "gauge", Value: &v}
+			out[key] = JSONMetric{Type: "gauge", Value: &v}
 		case *Histogram:
 			snap := m.Snapshot()
-			out[key] = jsonMetric{Type: "histogram", Histogram: &snap}
+			out[key] = JSONMetric{Type: "histogram", Histogram: &snap}
 		}
 	})
 	return out
@@ -141,7 +143,7 @@ func (r *Registry) snapshotJSON() map[string]jsonMetric {
 // JSON renders the registry as indented JSON (names sorted by Go's map-key
 // marshaling order, which is lexicographic).
 func (r *Registry) JSON() ([]byte, error) {
-	return json.MarshalIndent(r.snapshotJSON(), "", "  ")
+	return json.MarshalIndent(r.SnapshotJSON(), "", "  ")
 }
 
 // WriteJSON writes the registry's JSON rendering to w.

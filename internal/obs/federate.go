@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// Metrics federation (DESIGN.md §13): merging per-node registry snapshots
+// into one cluster-wide view. Counters and gauges add; histograms merge
+// bucket-by-bucket and recompute their quantiles from the combined
+// distribution. The merge is only as consistent as its inputs — each node
+// snapshots at a different instant — which is acceptable for monitoring
+// and stated as a caveat in the docs, not hidden.
+
+// MergeSnapshots folds src into dst (both name → metric). A name present
+// in only one input passes through unchanged; mismatched types keep dst's
+// value (first writer wins — a skewed fleet should not corrupt the merge).
+func MergeSnapshots(dst, src map[string]JSONMetric) {
+	for name, sm := range src {
+		dm, ok := dst[name]
+		if !ok {
+			dst[name] = copyJSONMetric(sm)
+			continue
+		}
+		if dm.Type != sm.Type {
+			continue
+		}
+		switch dm.Type {
+		case "counter", "gauge":
+			if dm.Value != nil && sm.Value != nil {
+				v := *dm.Value + *sm.Value
+				dm.Value = &v
+				dst[name] = dm
+			}
+		case "histogram":
+			if dm.Histogram != nil && sm.Histogram != nil {
+				merged := MergeHistogramSnapshots(*dm.Histogram, *sm.Histogram)
+				dm.Histogram = &merged
+				dst[name] = dm
+			}
+		}
+	}
+}
+
+func copyJSONMetric(m JSONMetric) JSONMetric {
+	if m.Value != nil {
+		v := *m.Value
+		m.Value = &v
+	}
+	if m.Histogram != nil {
+		h := *m.Histogram
+		h.Buckets = append([]Bucket(nil), h.Buckets...)
+		m.Histogram = &h
+	}
+	return m
+}
+
+// MergeHistogramSnapshots combines two snapshots into one distribution:
+// counts and sums add, min/max widen, per-LE bucket counts add (the bucket
+// grids are unioned, so registries built from different builds still
+// merge), and the quantiles are re-interpolated from the merged buckets.
+func MergeHistogramSnapshots(a, b HistogramSnapshot) HistogramSnapshot {
+	if a.Count == 0 {
+		return b
+	}
+	if b.Count == 0 {
+		return a
+	}
+	var s HistogramSnapshot
+	s.Count = a.Count + b.Count
+	s.Sum = a.Sum + b.Sum
+	s.Min = a.Min
+	if b.Min < s.Min {
+		s.Min = b.Min
+	}
+	s.Max = a.Max
+	if b.Max > s.Max {
+		s.Max = b.Max
+	}
+	s.Mean = float64(s.Sum) / float64(s.Count)
+
+	// Union the bucket grids by upper bound.
+	byLE := make(map[int64]int64, len(a.Buckets)+len(b.Buckets))
+	for _, bk := range a.Buckets {
+		byLE[bk.LE] += bk.Count
+	}
+	for _, bk := range b.Buckets {
+		byLE[bk.LE] += bk.Count
+	}
+	les := make([]int64, 0, len(byLE))
+	for le := range byLE {
+		les = append(les, le)
+	}
+	sort.Slice(les, func(i, j int) bool { return les[i] < les[j] })
+	s.Buckets = make([]Bucket, len(les))
+	for i, le := range les {
+		s.Buckets[i] = Bucket{LE: le, Count: byLE[le]}
+	}
+
+	// Rebuild the (bounds, counts) form the quantile interpolator expects:
+	// bounds exclude the trailing +Inf bucket.
+	bounds := make([]int64, 0, len(les))
+	counts := make([]int64, 0, len(les)+1)
+	for _, bk := range s.Buckets {
+		if bk.LE != math.MaxInt64 {
+			bounds = append(bounds, bk.LE)
+		}
+		counts = append(counts, bk.Count)
+	}
+	if len(counts) == len(bounds) {
+		// No +Inf bucket in either input; add an empty overflow bucket.
+		counts = append(counts, 0)
+	}
+	s.P50 = quantile(bounds, counts, s.Count, s.Min, s.Max, 0.50)
+	s.P90 = quantile(bounds, counts, s.Count, s.Min, s.Max, 0.90)
+	s.P99 = quantile(bounds, counts, s.Count, s.Min, s.Max, 0.99)
+	s.P999 = quantile(bounds, counts, s.Count, s.Min, s.Max, 0.999)
+	return s
+}

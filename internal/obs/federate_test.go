@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func i64p(v int64) *int64 { return &v }
+
+func TestMergeSnapshotsCountersAndGauges(t *testing.T) {
+	dst := map[string]JSONMetric{
+		"a_total": {Type: "counter", Value: i64p(3)},
+		"only":    {Type: "gauge", Value: i64p(7)},
+	}
+	src := map[string]JSONMetric{
+		"a_total": {Type: "counter", Value: i64p(4)},
+		"fresh":   {Type: "counter", Value: i64p(9)},
+	}
+	MergeSnapshots(dst, src)
+	if *dst["a_total"].Value != 7 {
+		t.Fatalf("a_total = %d, want 7", *dst["a_total"].Value)
+	}
+	if *dst["only"].Value != 7 || *dst["fresh"].Value != 9 {
+		t.Fatalf("pass-through broken: %+v", dst)
+	}
+	// The merge must not alias src's pointers.
+	*src["fresh"].Value = 100
+	if *dst["fresh"].Value != 9 {
+		t.Fatal("merge aliased src's value pointer")
+	}
+}
+
+func TestMergeSnapshotsTypeMismatchKeepsDst(t *testing.T) {
+	dst := map[string]JSONMetric{"x": {Type: "counter", Value: i64p(1)}}
+	src := map[string]JSONMetric{"x": {Type: "histogram", Histogram: &HistogramSnapshot{Count: 5}}}
+	MergeSnapshots(dst, src)
+	if dst["x"].Type != "counter" || *dst["x"].Value != 1 {
+		t.Fatalf("type mismatch corrupted dst: %+v", dst["x"])
+	}
+}
+
+func TestMergeHistogramSnapshots(t *testing.T) {
+	ra, rb := NewRegistry(""), NewRegistry("")
+	ha := ra.Histogram("lat_ns", LatencyBuckets)
+	hb := rb.Histogram("lat_ns", LatencyBuckets)
+	// Node A is fast (10µs), node B is slow (40ms): the merged p99 must see
+	// node B's tail even though A recorded far more samples.
+	for i := 0; i < 900; i++ {
+		ha.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 100; i++ {
+		hb.Observe(40 * time.Millisecond)
+	}
+	m := MergeHistogramSnapshots(ha.Snapshot(), hb.Snapshot())
+	if m.Count != 1000 {
+		t.Fatalf("count %d", m.Count)
+	}
+	if m.Min != ha.Snapshot().Min || m.Max != hb.Snapshot().Max {
+		t.Fatalf("min/max lost: %+v", m)
+	}
+	if m.P50 > int64(20*time.Microsecond) {
+		t.Fatalf("p50 %d implausible", m.P50)
+	}
+	if m.P99 < int64(10*time.Millisecond) {
+		t.Fatalf("p99 %d missed the slow node's tail", m.P99)
+	}
+	wantMean := (900*float64(10*time.Microsecond) + 100*float64(40*time.Millisecond)) / 1000
+	if m.Mean < wantMean*0.99 || m.Mean > wantMean*1.01 {
+		t.Fatalf("mean %f, want ~%f", m.Mean, wantMean)
+	}
+
+	// Empty sides pass the other through.
+	if got := MergeHistogramSnapshots(HistogramSnapshot{}, m); got.Count != 1000 {
+		t.Fatalf("empty-left merge: %+v", got)
+	}
+	if got := MergeHistogramSnapshots(m, HistogramSnapshot{}); got.Count != 1000 {
+		t.Fatalf("empty-right merge: %+v", got)
+	}
+}
+
+func TestMergeViaRegistrySnapshots(t *testing.T) {
+	ra, rb := NewRegistry("wukongs"), NewRegistry("wukongs")
+	ra.Counter("reqs_total").Add(5)
+	rb.Counter("reqs_total").Add(6)
+	ra.Histogram("q_ns", LatencyBuckets).Observe(time.Millisecond)
+	rb.Histogram("q_ns", LatencyBuckets).Observe(2 * time.Millisecond)
+
+	merged := ra.SnapshotJSON()
+	MergeSnapshots(merged, rb.SnapshotJSON())
+	if got := *merged["wukongs_reqs_total"].Value; got != 11 {
+		t.Fatalf("merged counter %d", got)
+	}
+	if got := merged["wukongs_q_ns"].Histogram.Count; got != 2 {
+		t.Fatalf("merged histogram count %d", got)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry("wukongs")
+	b := RegisterBuildInfo(r)
+	if b.GoVersion == "" {
+		t.Fatal("no go version")
+	}
+	if b.String() == "" || !strings.Contains(b.String(), "go=") {
+		t.Fatalf("stamp %q", b.String())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "wukongs_build_info{") || !strings.Contains(out, `goversion="`) {
+		t.Fatalf("build_info not exported:\n%s", out)
+	}
+	// Idempotent re-registration must not panic or duplicate.
+	RegisterBuildInfo(r)
+}

@@ -15,6 +15,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -26,7 +27,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/flow"
+	"repro/internal/obs"
 	"repro/internal/rdf"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -44,6 +47,39 @@ type ClusterBackend interface {
 	Home(entity string) (rank fabric.NodeID, alive, known bool)
 	// Info renders this daemon's membership view, one line per rank.
 	Info() []string
+}
+
+// TracedBackend is the optional trace-propagating face of a backend. When
+// the backend implements it and the server has a valid root context, the
+// context is threaded through so downstream hops join the request's trace.
+type TracedBackend interface {
+	ForwardTraced(tc trace.Context, kind string, args []string, body string) (string, error)
+	QueryTraced(tc trace.Context, text string) ([]string, time.Duration, error)
+}
+
+// FederatedBackend is the optional cluster-wide observability face of a
+// backend: merged metrics, per-member stats lines, and the pooled span
+// records behind CLUSTER STATS/METRICS/TRACES and the obs-mux endpoints.
+type FederatedBackend interface {
+	ClusterStats() []cluster.MemberReport
+	ClusterMetrics() (map[string]obs.JSONMetric, []cluster.MemberReport)
+	ClusterTraces() ([]trace.Span, []cluster.MemberReport)
+}
+
+// forward routes a replicated op through the traced path when available.
+func forward(c ClusterBackend, tc trace.Context, kind string, args []string, body string) (string, error) {
+	if tb, ok := c.(TracedBackend); ok && tc.Valid() {
+		return tb.ForwardTraced(tc, kind, args, body)
+	}
+	return c.Forward(kind, args, body)
+}
+
+// query routes a one-shot query through the traced path when available.
+func query(c ClusterBackend, tc trace.Context, text string) ([]string, time.Duration, error) {
+	if tb, ok := c.(TracedBackend); ok && tc.Valid() {
+		return tb.QueryTraced(tc, text)
+	}
+	return c.Query(text)
 }
 
 // SetCluster installs the cluster backend. Call before Serve.
@@ -84,14 +120,14 @@ func renderError(w *bufio.Writer, err error) {
 // from the seed's apply result, which matches the local command output
 // formats exactly.
 
-func (s *Server) cmdStreamCluster(w *bufio.Writer, c ClusterBackend, args []string) error {
+func (s *Server) cmdStreamCluster(w *bufio.Writer, c ClusterBackend, args []string, tc trace.Context) error {
 	if len(args) < 2 {
 		return fmt.Errorf("usage: STREAM <name> <interval_ms> [timingPred ...]")
 	}
 	if ms, err := strconv.ParseInt(args[1], 10, 64); err != nil || ms <= 0 {
 		return fmt.Errorf("bad interval %q", args[1])
 	}
-	reply, err := c.Forward("STREAM", args, "")
+	reply, err := forward(c, tc, "STREAM", args, "")
 	if err != nil {
 		return mapShed(err)
 	}
@@ -107,12 +143,12 @@ func (s *Server) cmdStreamCluster(w *bufio.Writer, c ClusterBackend, args []stri
 	return nil
 }
 
-func (s *Server) cmdLoadCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scanner) error {
+func (s *Server) cmdLoadCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scanner, tc trace.Context) error {
 	block, err := readBlock(r)
 	if err != nil {
 		return err
 	}
-	reply, err := c.Forward("LOAD", nil, block)
+	reply, err := forward(c, tc, "LOAD", nil, block)
 	if err != nil {
 		return err
 	}
@@ -120,7 +156,7 @@ func (s *Server) cmdLoadCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scan
 	return nil
 }
 
-func (s *Server) cmdEmitCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scanner, args []string) error {
+func (s *Server) cmdEmitCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scanner, args []string, tc trace.Context) error {
 	block, err := readBlock(r)
 	if err != nil {
 		return err
@@ -149,7 +185,7 @@ func (s *Server) cmdEmitCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scan
 				fmt.Sprintf("EMIT rate limit (%d tuples)", n))
 		}
 	}
-	reply, err := c.Forward("EMIT", args, block)
+	reply, err := forward(c, tc, "EMIT", args, block)
 	if err != nil {
 		if errors.Is(err, flow.ErrShed) || strings.HasPrefix(err.Error(), "flow: ") {
 			s.cEmitShed.Inc()
@@ -160,14 +196,14 @@ func (s *Server) cmdEmitCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scan
 	return nil
 }
 
-func (s *Server) cmdAdvanceCluster(w *bufio.Writer, c ClusterBackend, args []string) error {
+func (s *Server) cmdAdvanceCluster(w *bufio.Writer, c ClusterBackend, args []string, tc trace.Context) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: ADVANCE <ts_ms>")
 	}
 	if _, err := strconv.ParseInt(args[0], 10, 64); err != nil {
 		return fmt.Errorf("bad timestamp %q", args[0])
 	}
-	reply, err := c.Forward("ADVANCE", args, "")
+	reply, err := forward(c, tc, "ADVANCE", args, "")
 	if err != nil {
 		return err
 	}
@@ -175,12 +211,12 @@ func (s *Server) cmdAdvanceCluster(w *bufio.Writer, c ClusterBackend, args []str
 	return nil
 }
 
-func (s *Server) cmdRegisterCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scanner) error {
+func (s *Server) cmdRegisterCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scanner, tc trace.Context) error {
 	text, err := readBlock(r)
 	if err != nil {
 		return err
 	}
-	reply, err := c.Forward("REGISTER", nil, text)
+	reply, err := forward(c, tc, "REGISTER", nil, text)
 	if err != nil {
 		return err
 	}
@@ -188,12 +224,12 @@ func (s *Server) cmdRegisterCluster(w *bufio.Writer, c ClusterBackend, r *bufio.
 	return nil
 }
 
-func (s *Server) cmdQueryCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scanner) error {
+func (s *Server) cmdQueryCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scanner, tc trace.Context) error {
 	text, err := readBlock(r)
 	if err != nil {
 		return err
 	}
-	rows, lat, err := c.Query(text)
+	rows, lat, err := query(c, tc, text)
 	if err != nil {
 		return err
 	}
@@ -205,18 +241,88 @@ func (s *Server) cmdQueryCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Sca
 	return nil
 }
 
-// cmdCluster serves CLUSTER: this daemon's membership view.
-func (s *Server) cmdCluster(w *bufio.Writer) error {
+// cmdCluster serves CLUSTER [STATS|METRICS|TRACES]: bare CLUSTER is this
+// daemon's membership view; the subcommands fan out over the wire and merge
+// every live member's observability state, annotating unreachable members
+// instead of failing (partial results beat none during an outage).
+func (s *Server) cmdCluster(w *bufio.Writer, args []string) error {
 	c := s.clusterBackend()
 	if c == nil {
 		return fmt.Errorf("not clustered (single-process daemon)")
 	}
-	fmt.Fprintf(w, "+OK cluster\n")
-	for _, line := range c.Info() {
-		fmt.Fprintf(w, "%s\n", line)
+	if len(args) == 0 {
+		fmt.Fprintf(w, "+OK cluster\n")
+		for _, line := range c.Info() {
+			fmt.Fprintf(w, "%s\n", line)
+		}
+		fmt.Fprintf(w, ".\n")
+		return nil
 	}
-	fmt.Fprintf(w, ".\n")
+	fb, ok := c.(FederatedBackend)
+	if !ok {
+		return fmt.Errorf("backend does not support CLUSTER %s", strings.ToUpper(args[0]))
+	}
+	switch strings.ToUpper(args[0]) {
+	case "STATS":
+		reports := fb.ClusterStats()
+		fmt.Fprintf(w, "+OK cluster stats %d members\n", len(reports))
+		for _, r := range reports {
+			writeMemberLine(w, r)
+		}
+		fmt.Fprintf(w, ".\n")
+		return nil
+	case "METRICS":
+		merged, reports := fb.ClusterMetrics()
+		doc := struct {
+			Metrics map[string]obs.JSONMetric `json:"metrics"`
+			Members []cluster.MemberReport    `json:"members"`
+		}{merged, reports}
+		return writeJSONBlock(w, "cluster metrics", doc)
+	case "TRACES":
+		spans, reports := fb.ClusterTraces()
+		doc := trace.TracesDoc{Traces: trace.Assemble(spans), Errors: memberErrors(reports)}
+		return writeJSONBlock(w, "cluster traces", doc)
+	default:
+		return fmt.Errorf("usage: CLUSTER [STATS|METRICS|TRACES]")
+	}
+}
+
+// writeMemberLine renders one member's federated stats row.
+func writeMemberLine(w *bufio.Writer, r cluster.MemberReport) {
+	fmt.Fprintf(w, "rank=%d state=%s", r.Rank, r.State)
+	if r.Err != "" {
+		fmt.Fprintf(w, " err=%q", r.Err)
+	} else if r.Stats != "" {
+		fmt.Fprintf(w, " %s", r.Stats)
+	}
+	fmt.Fprintf(w, "\n")
+}
+
+// writeJSONBlock renders a "+OK <label>" header, an indented JSON document,
+// and the "." terminator. Indented JSON never emits a bare "." line, so the
+// protocol framing survives.
+func writeJSONBlock(w *bufio.Writer, label string, doc any) error {
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "+OK %s\n%s\n.\n", label, out)
 	return nil
+}
+
+// memberErrors reshapes failed member reports for trace.TracesDoc.
+func memberErrors(reports []cluster.MemberReport) map[string]string {
+	var errs map[string]string
+	for _, r := range reports {
+		if r.Err == "" {
+			continue
+		}
+		if errs == nil {
+			errs = make(map[string]string)
+		}
+		errs[fmt.Sprintf("rank %d", r.Rank)] = r.Err
+	}
+	return errs
 }
 
 // cmdHome serves HOME <entity>: which rank owns the entity's partition and

@@ -40,6 +40,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/stream"
+	"repro/internal/trace"
 )
 
 // pollBuf buffers one continuous query's rows between POLLs. When full, the
@@ -79,6 +80,10 @@ type Server struct {
 	// MaxPollRows caps the rows one POLL returns (0 = unlimited); the
 	// remainder stays buffered for the next POLL.
 	MaxPollRows int
+	// Tracer, when non-nil, records a root span per state-touching command
+	// (QUERY and the write path); in cluster mode its context rides the wire
+	// so downstream hops land in the same trace. Set before Serve.
+	Tracer *trace.Tracer
 
 	emitLim   *flow.Limiter
 	cEmitShed *obs.Counter // server_emit_shed_total
@@ -330,6 +335,14 @@ func (s *Server) handle(conn net.Conn) {
 		// In cluster mode the write path and one-shot queries route through
 		// the replicated op log / partition authority; reads stay local.
 		cb := s.clusterBackend()
+		// State-touching commands get a root span: the admit → forward →
+		// apply → reply chain hangs off it, across processes in cluster mode.
+		var sp trace.Active
+		switch cmd {
+		case "QUERY", "STREAM", "LOAD", "EMIT", "ADVANCE", "REGISTER":
+			sp = s.Tracer.StartRoot("server." + strings.ToLower(cmd))
+		}
+		tc := sp.Context()
 		var err error
 		switch cmd {
 		case "QUIT":
@@ -338,31 +351,31 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		case "STREAM":
 			if cb != nil {
-				err = s.cmdStreamCluster(w, cb, fields[1:])
+				err = s.cmdStreamCluster(w, cb, fields[1:], tc)
 			} else {
 				err = s.cmdStream(w, fields[1:])
 			}
 		case "LOAD":
 			if cb != nil {
-				err = s.cmdLoadCluster(w, cb, r)
+				err = s.cmdLoadCluster(w, cb, r, tc)
 			} else {
 				err = s.cmdLoad(w, r)
 			}
 		case "EMIT":
 			if cb != nil {
-				err = s.cmdEmitCluster(w, cb, r, fields[1:])
+				err = s.cmdEmitCluster(w, cb, r, fields[1:], tc)
 			} else {
 				err = s.cmdEmit(w, r, fields[1:])
 			}
 		case "ADVANCE":
 			if cb != nil {
-				err = s.cmdAdvanceCluster(w, cb, fields[1:])
+				err = s.cmdAdvanceCluster(w, cb, fields[1:], tc)
 			} else {
 				err = s.cmdAdvance(w, fields[1:])
 			}
 		case "QUERY":
 			if cb != nil {
-				err = s.cmdQueryCluster(w, cb, r)
+				err = s.cmdQueryCluster(w, cb, r, tc)
 			} else {
 				err = s.cmdQuery(w, r)
 			}
@@ -370,7 +383,7 @@ func (s *Server) handle(conn net.Conn) {
 			err = s.cmdExplain(w, r)
 		case "REGISTER":
 			if cb != nil {
-				err = s.cmdRegisterCluster(w, cb, r)
+				err = s.cmdRegisterCluster(w, cb, r, tc)
 			} else {
 				err = s.cmdRegister(w, r)
 			}
@@ -381,12 +394,13 @@ func (s *Server) handle(conn net.Conn) {
 		case "METRICS":
 			err = s.cmdMetrics(w)
 		case "CLUSTER":
-			err = s.cmdCluster(w)
+			err = s.cmdCluster(w, fields[1:])
 		case "HOME":
 			err = s.cmdHome(w, fields[1:])
 		default:
 			err = fmt.Errorf("unknown command %q", cmd)
 		}
+		sp.EndErr(err)
 		if err != nil {
 			renderError(w, err)
 		}
@@ -661,7 +675,10 @@ func (s *Server) cmdPoll(w *bufio.Writer, args []string) error {
 	return nil
 }
 
-func (s *Server) cmdStats(w *bufio.Writer) error {
+// StatsLine renders the one-line stats snapshot (the body of the STATS
+// reply). Exported so cluster mode can feed each daemon's line into the
+// CLUSTER STATS federation.
+func (s *Server) StatsLine() string {
 	mem := s.eng.Store().Memory()
 	s.mu.Lock()
 	dropped := s.droppedTotalLocked()
@@ -671,10 +688,21 @@ func (s *Server) cmdStats(w *bufio.Writer) error {
 	}
 	conns := int64(len(s.conns))
 	s.mu.Unlock()
-	// One line, no "." terminator: clients read exactly one status line.
-	fmt.Fprintf(w, "+OK now=%d stable_sn=%d entries=%d values=%d rows=%d dropped=%d conns=%d\n",
+	return fmt.Sprintf("now=%d stable_sn=%d entries=%d values=%d rows=%d dropped=%d conns=%d",
 		s.eng.Now(), s.eng.Coordinator().StableSN(), mem.Entries, mem.Values,
 		polled, dropped, conns)
+}
+
+func (s *Server) cmdStats(w *bufio.Writer) error {
+	line := s.StatsLine()
+	// In cluster mode this line covers only the local replica; say so and
+	// point at the federated view instead of letting it masquerade as
+	// cluster-wide truth.
+	if s.clusterBackend() != nil {
+		line += " scope=local see=CLUSTER-STATS"
+	}
+	// One line, no "." terminator: clients read exactly one status line.
+	fmt.Fprintf(w, "+OK %s\n", line)
 	return nil
 }
 

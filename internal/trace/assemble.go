@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// TreeSpan is a span plus its causal children, ready for JSON rendering.
+type TreeSpan struct {
+	Span
+	Children []*TreeSpan `json:"children,omitempty"`
+}
+
+// Tree is one assembled trace. Assembly is defensive: spans arrive from a
+// lossy, possibly duplicating wire (and from rings that may have evicted
+// the parent), so a tree tolerates missing roots, missing parents and
+// duplicate span ids rather than failing.
+type Tree struct {
+	TraceID uint64 `json:"trace_id"`
+	Start   int64  `json:"start_unix_ns"`
+	Dur     int64  `json:"duration_ns"` // widest extent covered by any span
+	Spans   int    `json:"spans"`
+	Nodes   []int  `json:"nodes"` // distinct cluster ranks touched, ascending
+	// Orphans counts spans re-anchored under the root because their true
+	// parent span never arrived (dropped frame, evicted ring slot).
+	Orphans int `json:"orphans,omitempty"`
+	// Dups counts discarded duplicate (trace id, span id) records, e.g.
+	// from a duplicated wire frame replaying a replicated op.
+	Dups int       `json:"duplicates,omitempty"`
+	Root *TreeSpan `json:"root"`
+}
+
+// Assemble groups spans by trace id and links each group into a tree,
+// newest trace first. A group with no Parent==0 span promotes its earliest
+// span to root; spans whose parent is missing hang off the root and are
+// counted in Orphans; duplicate span ids keep the first record seen.
+func Assemble(spans []Span) []Tree {
+	type group struct {
+		byID  map[uint64]*TreeSpan
+		order []*TreeSpan // insertion order for deterministic output
+		dups  int
+	}
+	groups := make(map[uint64]*group)
+	for _, sp := range spans {
+		g := groups[sp.TraceID]
+		if g == nil {
+			g = &group{byID: make(map[uint64]*TreeSpan)}
+			groups[sp.TraceID] = g
+		}
+		if _, ok := g.byID[sp.SpanID]; ok {
+			g.dups++
+			continue
+		}
+		ts := &TreeSpan{Span: sp}
+		g.byID[sp.SpanID] = ts
+		g.order = append(g.order, ts)
+	}
+
+	trees := make([]Tree, 0, len(groups))
+	for tid, g := range groups {
+		// Pick the root: the earliest-starting span with no parent, else
+		// the earliest span outright (its real root was dropped).
+		var root *TreeSpan
+		for _, ts := range g.order {
+			if ts.Parent != 0 {
+				continue
+			}
+			if root == nil || ts.Start < root.Start {
+				root = ts
+			}
+		}
+		synthesized := false
+		if root == nil {
+			for _, ts := range g.order {
+				if root == nil || ts.Start < root.Start {
+					root = ts
+				}
+			}
+			synthesized = true
+		}
+
+		tr := Tree{TraceID: tid, Spans: len(g.order), Dups: g.dups, Root: root}
+		nodes := map[int]bool{}
+		minStart, maxEnd := root.Start, root.Start+root.Dur
+		for _, ts := range g.order {
+			nodes[ts.Node] = true
+			if ts.Start < minStart {
+				minStart = ts.Start
+			}
+			if end := ts.Start + ts.Dur; end > maxEnd {
+				maxEnd = end
+			}
+			if ts == root {
+				continue
+			}
+			parent := g.byID[ts.Parent]
+			if parent == nil || parent == ts || (synthesized && ts.Parent == 0) {
+				// Parent lost (or this is a second parentless span):
+				// re-anchor under the root so the span stays visible.
+				tr.Orphans++
+				parent = root
+			}
+			parent.Children = append(parent.Children, ts)
+		}
+		for n := range nodes {
+			tr.Nodes = append(tr.Nodes, n)
+		}
+		sort.Ints(tr.Nodes)
+		sortChildren(root)
+		tr.Start = minStart
+		tr.Dur = maxEnd - minStart
+		trees = append(trees, tr)
+	}
+	sort.Slice(trees, func(i, j int) bool {
+		if trees[i].Start != trees[j].Start {
+			return trees[i].Start > trees[j].Start // newest first
+		}
+		return trees[i].TraceID > trees[j].TraceID
+	})
+	return trees
+}
+
+func sortChildren(ts *TreeSpan) {
+	sort.Slice(ts.Children, func(i, j int) bool {
+		if ts.Children[i].Start != ts.Children[j].Start {
+			return ts.Children[i].Start < ts.Children[j].Start
+		}
+		return ts.Children[i].SpanID < ts.Children[j].SpanID
+	})
+	for _, c := range ts.Children {
+		sortChildren(c)
+	}
+}
+
+// TracesDoc is the JSON document served at /debug/traces.
+type TracesDoc struct {
+	Traces []Tree `json:"traces"`
+	// Errors annotates cluster members whose spans could not be fetched
+	// (dead, partitioned); present only on federated dumps.
+	Errors map[string]string `json:"errors,omitempty"`
+}
+
+// Handler serves assembled traces as JSON. fetch returns the span pool to
+// assemble (local ring, or a cluster-federated merge) plus per-node fetch
+// errors. Query params: ?n= caps the trace count (default 64), ?min_ns=
+// filters out traces faster than the given duration (slow-query view).
+func Handler(fetch func() ([]Span, map[string]string)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		spans, errs := fetch()
+		trees := Assemble(spans)
+		if v := r.URL.Query().Get("min_ns"); v != "" {
+			min, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad min_ns: %v", err), http.StatusBadRequest)
+				return
+			}
+			kept := trees[:0]
+			for _, tr := range trees {
+				if tr.Dur >= min {
+					kept = append(kept, tr)
+				}
+			}
+			trees = kept
+		}
+		max := 64
+		if v := r.URL.Query().Get("n"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			max = n
+		}
+		if len(trees) > max {
+			trees = trees[:max]
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(TracesDoc{Traces: trees, Errors: errs})
+	})
+}

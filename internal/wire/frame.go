@@ -36,6 +36,7 @@ import (
 	"io"
 
 	"repro/internal/fabric"
+	"repro/internal/trace"
 )
 
 // Frame types. Request-direction types (Hello, Ping, Send, Call) carry
@@ -88,6 +89,33 @@ const (
 	MaxPayload = 16 << 20
 )
 
+// FlagTrace marks a frame whose payload is prefixed with a 17-byte trace
+// context (DESIGN.md §13). The flag is only set on connections where the
+// Hello/HelloAck handshake negotiated FeatTrace — a legacy peer never sees
+// a flagged frame, so old decoders keep working bit-for-bit.
+const FlagTrace = 0x01
+
+// Handshake feature bits. The Hello payload (and the HelloAck payload) is
+// either empty — a legacy peer, features 0 — or [version=1, featureBits].
+// Each side uses the AND of what it offered and what it heard.
+const (
+	FeatTrace       = 0x01 // peer understands FlagTrace context prefixes
+	helloVersion    = 1
+	helloPayloadLen = 2
+)
+
+// encodeHello renders a feature-bearing Hello/HelloAck payload.
+func encodeHello(features byte) []byte { return []byte{helloVersion, features} }
+
+// decodeHello extracts the feature bits from a Hello/HelloAck payload.
+// Empty (or unrecognized) payloads are legacy peers: no features.
+func decodeHello(payload []byte) byte {
+	if len(payload) < helloPayloadLen || payload[0] != helloVersion {
+		return 0
+	}
+	return payload[1]
+}
+
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Typed frame-stream errors. ErrChecksum and ErrDuplicate leave the stream
@@ -101,7 +129,9 @@ var (
 	ErrDuplicate = errors.New("wire: duplicate frame")
 )
 
-// Frame is one decoded wire frame.
+// Frame is one decoded wire frame. Trace, when valid, is carried on the
+// wire as a FlagTrace-marked payload prefix; Encode adds it and ReadFrame
+// strips it, so Payload is always the application payload alone.
 type Frame struct {
 	Type    byte
 	Flags   byte
@@ -109,25 +139,37 @@ type Frame struct {
 	To      fabric.NodeID
 	Seq     uint64
 	Payload []byte
+	Trace   trace.Context
 }
 
 func (f *Frame) String() string {
 	return fmt.Sprintf("%s %d->%d seq=%d len=%d", typeName(f.Type), f.From, f.To, f.Seq, len(f.Payload))
 }
 
-// Encode renders the frame to its wire bytes, checksum included.
+// Encode renders the frame to its wire bytes, checksum included. A valid
+// Trace context is prepended to the payload under FlagTrace; the CRC covers
+// it like any other payload byte.
 func Encode(f *Frame) []byte {
-	buf := make([]byte, headerSize+len(f.Payload))
+	flags := f.Flags
+	extra := 0
+	if f.Trace.Valid() {
+		flags |= FlagTrace
+		extra = trace.ContextSize
+	}
+	buf := make([]byte, headerSize+extra+len(f.Payload))
 	buf[0], buf[1], buf[2], buf[3] = magic0, magic1, magic2, magic3
 	buf[4] = f.Type
-	buf[5] = f.Flags
+	buf[5] = flags
 	binary.BigEndian.PutUint16(buf[6:8], uint16(f.From))
 	binary.BigEndian.PutUint16(buf[8:10], uint16(f.To))
 	binary.BigEndian.PutUint64(buf[10:18], f.Seq)
-	binary.BigEndian.PutUint32(buf[18:22], uint32(len(f.Payload)))
-	copy(buf[headerSize:], f.Payload)
+	binary.BigEndian.PutUint32(buf[18:22], uint32(extra+len(f.Payload)))
+	if extra > 0 {
+		trace.AppendContext(buf[headerSize:headerSize], f.Trace)
+	}
+	copy(buf[headerSize+extra:], f.Payload)
 	crc := crc32.Update(0, crcTable, buf[4:22])
-	crc = crc32.Update(crc, crcTable, f.Payload)
+	crc = crc32.Update(crc, crcTable, buf[headerSize:])
 	binary.BigEndian.PutUint32(buf[22:26], crc)
 	return buf
 }
@@ -163,14 +205,26 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	if crc != binary.BigEndian.Uint32(hdr[22:26]) {
 		return nil, ErrChecksum
 	}
-	return &Frame{
+	f := &Frame{
 		Type:    hdr[4],
 		Flags:   hdr[5],
 		From:    fabric.NodeID(binary.BigEndian.Uint16(hdr[6:8])),
 		To:      fabric.NodeID(binary.BigEndian.Uint16(hdr[8:10])),
 		Seq:     binary.BigEndian.Uint64(hdr[10:18]),
 		Payload: payload,
-	}, nil
+	}
+	if f.Flags&FlagTrace != 0 {
+		// The frame was fully consumed and CRC-verified, so a short trace
+		// prefix is a peer bug, not stream damage: quarantine, don't reset.
+		tc, err := trace.DecodeContext(payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: trace context: %v", ErrChecksum, err)
+		}
+		f.Trace = tc
+		f.Payload = payload[trace.ContextSize:]
+		f.Flags &^= FlagTrace // Payload no longer carries the prefix
+	}
+	return f, nil
 }
 
 // Resyncable reports whether the frame stream is still byte-aligned after

@@ -27,6 +27,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/flow"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // ErrPeerDown is the base error for persistent wire failures against a peer.
@@ -72,6 +73,12 @@ type TCPConfig struct {
 	BreakerCooldown  time.Duration
 	// Faults, when non-nil, mangles outgoing frames (seeded injection).
 	Faults *Faults
+	// LegacyHandshake makes this transport speak the pre-feature protocol:
+	// empty Hello/HelloAck payloads, no features offered or honored. It
+	// exists so tests can stand in for an old peer; real deployments leave
+	// it false and still interoperate with legacy peers (an empty payload
+	// from the far side negotiates all features off).
+	LegacyHandshake bool
 }
 
 func (c TCPConfig) withDefaults() TCPConfig {
@@ -116,6 +123,10 @@ type wconn struct {
 	wmu     sync.Mutex // serializes writes (frames must not interleave)
 	lastSeq atomic.Uint64
 	closed  atomic.Bool
+	// feat holds the handshake-negotiated feature bits (the AND of both
+	// sides' offers). Written once during the handshake, before the
+	// connection is shared; read-only afterwards.
+	feat byte
 }
 
 func (w *wconn) close() {
@@ -163,6 +174,7 @@ type TCP struct {
 	cDialFails   *obs.Counter
 	cAccepts     *obs.Counter
 	cHeartbeats  *obs.Counter
+	hHBRTT       *obs.Histogram
 }
 
 var _ fabric.Transport = (*TCP)(nil)
@@ -210,10 +222,28 @@ func NewTCP(ln net.Listener, cfg TCPConfig, r *obs.Registry) (*TCP, error) {
 		cDialFails:   r.Counter("wire_dial_failures_total"),
 		cAccepts:     r.Counter("wire_conns_accepted_total"),
 		cHeartbeats:  r.Counter("wire_heartbeats_total"),
+		hHBRTT:       r.Histogram("wire_heartbeat_rtt_ns", obs.LatencyBuckets),
 	}
 	for i := range t.peers {
 		t.peers[i] = &peer{}
 		t.brs[i] = flow.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
+	// Surface the wire path's internals in /metrics: outbound breaker opens
+	// across all peers and, when fault injection is armed, what the injector
+	// actually did to the traffic (ISSUE 7 satellite).
+	r.GaugeFunc("wire_breaker_opens_total", func() int64 {
+		var n int64
+		for _, br := range t.brs {
+			n += br.Opens()
+		}
+		return n
+	})
+	if f := cfg.Faults; f != nil {
+		r.GaugeFunc("wire_faults_dropped_total", func() int64 { return f.Stats().Dropped })
+		r.GaugeFunc("wire_faults_dupped_total", func() int64 { return f.Stats().Dupped })
+		r.GaugeFunc("wire_faults_corrupted_total", func() int64 { return f.Stats().Corrupted })
+		r.GaugeFunc("wire_faults_truncated_total", func() int64 { return f.Stats().Truncated })
+		r.GaugeFunc("wire_faults_delayed_total", func() int64 { return f.Stats().Delayed })
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -313,6 +343,13 @@ func (t *TCP) failPending(err error) {
 // Send ships a one-way payload. Self-sends deliver directly to the local
 // handler (no socket, mirroring Mem's zero-cost local path).
 func (t *TCP) Send(from, to fabric.NodeID, payload []byte) error {
+	return t.SendTraced(from, to, payload, trace.Context{})
+}
+
+// SendTraced is Send carrying a trace context; the context rides the frame
+// under FlagTrace when the connection's handshake negotiated it, and is
+// silently dropped toward legacy peers.
+func (t *TCP) SendTraced(from, to fabric.NodeID, payload []byte, tc trace.Context) error {
 	if t.closed.Load() {
 		return fabric.ErrClusterClosed
 	}
@@ -321,14 +358,14 @@ func (t *TCP) Send(from, to fabric.NodeID, payload []byte) error {
 		if h == nil {
 			return fmt.Errorf("%w: %d", fabric.ErrNoHandler, to)
 		}
-		h.HandleSend(from, payload)
+		fabric.DeliverSend(h, from, payload, tc)
 		return nil
 	}
 	br := t.brs[to]
 	if !br.Allow() {
 		return &flow.BreakerOpenError{To: int(to)}
 	}
-	err := t.writeTo(to, &Frame{Type: TypeSend, From: t.cfg.Self, To: to, Seq: t.seq.Add(1), Payload: payload})
+	err := t.writeTo(to, &Frame{Type: TypeSend, From: t.cfg.Self, To: to, Seq: t.seq.Add(1), Payload: payload, Trace: tc})
 	if err == nil {
 		br.Success()
 		return nil
@@ -344,6 +381,11 @@ func (t *TCP) Send(from, to fabric.NodeID, payload []byte) error {
 
 // Call performs a request/response exchange with the peer's handler.
 func (t *TCP) Call(from, to fabric.NodeID, req []byte) ([]byte, error) {
+	return t.CallTraced(from, to, req, trace.Context{})
+}
+
+// CallTraced is Call carrying a trace context (see SendTraced).
+func (t *TCP) CallTraced(from, to fabric.NodeID, req []byte, tc trace.Context) ([]byte, error) {
 	if t.closed.Load() {
 		return nil, fabric.ErrClusterClosed
 	}
@@ -352,13 +394,13 @@ func (t *TCP) Call(from, to fabric.NodeID, req []byte) ([]byte, error) {
 		if h == nil {
 			return nil, fmt.Errorf("%w: %d", fabric.ErrNoHandler, to)
 		}
-		return h.HandleCall(from, req)
+		return fabric.DeliverCall(h, from, req, tc)
 	}
 	br := t.brs[to]
 	if !br.Allow() {
 		return nil, &flow.BreakerOpenError{To: int(to)}
 	}
-	resp, err := t.roundTrip(to, TypeCall, req, t.cfg.CallTimeout)
+	resp, err := t.roundTrip(to, TypeCall, req, t.cfg.CallTimeout, tc)
 	if err == nil {
 		br.Success()
 		return resp, nil
@@ -375,6 +417,8 @@ func (t *TCP) Call(from, to fabric.NodeID, req []byte) ([]byte, error) {
 	return nil, err
 }
 
+var _ fabric.TracedTransport = (*TCP)(nil)
+
 // Heartbeat probes the path to node to with a Ping/Pong round trip. It
 // deliberately bypasses the breaker: heartbeats are the evidence that
 // reopens a path, so they must be allowed to touch it.
@@ -386,10 +430,12 @@ func (t *TCP) Heartbeat(from, to fabric.NodeID) error {
 		return nil
 	}
 	t.cHeartbeats.Inc()
-	_, err := t.roundTrip(to, TypePing, nil, t.cfg.HeartbeatTimeout)
+	start := time.Now()
+	_, err := t.roundTrip(to, TypePing, nil, t.cfg.HeartbeatTimeout, trace.Context{})
 	if err != nil {
 		return err
 	}
+	t.hHBRTT.Observe(time.Since(start))
 	t.brs[to].Success()
 	return nil
 }
@@ -403,7 +449,7 @@ var errRemote = errors.New("wire: remote handler error")
 func RemoteError(err error) bool { return errors.Is(err, errRemote) }
 
 // roundTrip sends a request-direction frame and waits for its response.
-func (t *TCP) roundTrip(to fabric.NodeID, typ byte, req []byte, timeout time.Duration) ([]byte, error) {
+func (t *TCP) roundTrip(to fabric.NodeID, typ byte, req []byte, timeout time.Duration, tc trace.Context) ([]byte, error) {
 	seq := t.seq.Add(1)
 	c := &call{done: make(chan struct{})}
 	t.pmu.Lock()
@@ -419,7 +465,7 @@ func (t *TCP) roundTrip(to fabric.NodeID, typ byte, req []byte, timeout time.Dur
 	if typ == TypePing {
 		op = "heartbeat"
 	}
-	if err := t.writeTo(to, &Frame{Type: typ, From: t.cfg.Self, To: to, Seq: seq, Payload: req}); err != nil {
+	if err := t.writeTo(to, &Frame{Type: typ, From: t.cfg.Self, To: to, Seq: seq, Payload: req, Trace: tc}); err != nil {
 		return nil, err
 	}
 	timer := time.NewTimer(timeout)
@@ -453,6 +499,11 @@ func (t *TCP) writeTo(to fabric.NodeID, f *Frame) error {
 // writeFrame encodes and writes f on w under the connection's write mutex,
 // applying the outbound fault injector.
 func (t *TCP) writeFrame(w *wconn, f *Frame, op string) error {
+	if f.Trace.Valid() && w.feat&FeatTrace == 0 {
+		// The handshake did not negotiate tracing (legacy peer): drop the
+		// context, keep the payload — old decoders must never see FlagTrace.
+		f.Trace = trace.Context{}
+	}
 	buf := Encode(f)
 	act, arg, delay := t.cfg.Faults.draw(len(buf))
 	if delay > 0 {
@@ -536,6 +587,9 @@ func (t *TCP) dial(to fabric.NodeID, addr string) (*wconn, error) {
 	}
 	w := &wconn{c: c}
 	hello := &Frame{Type: TypeHello, From: t.cfg.Self, To: to, Seq: t.seq.Add(1)}
+	if !t.cfg.LegacyHandshake {
+		hello.Payload = encodeHello(FeatTrace)
+	}
 	c.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
 	if _, err := c.Write(Encode(hello)); err != nil {
 		c.Close()
@@ -549,6 +603,9 @@ func (t *TCP) dial(to fabric.NodeID, addr string) (*wconn, error) {
 			err = fmt.Errorf("unexpected %s", typeName(ack.Type))
 		}
 		return nil, fmt.Errorf("handshake: %w", err)
+	}
+	if !t.cfg.LegacyHandshake {
+		w.feat = FeatTrace & decodeHello(ack.Payload)
 	}
 	c.SetReadDeadline(time.Time{})
 	t.wg.Add(1)
@@ -595,6 +652,9 @@ func (t *TCP) serveConn(c net.Conn) {
 	}
 	c.SetReadDeadline(time.Time{})
 	w := &wconn{c: c}
+	if !t.cfg.LegacyHandshake {
+		w.feat = FeatTrace & decodeHello(hello.Payload)
+	}
 	t.amu.Lock()
 	if t.closed.Load() {
 		t.amu.Unlock()
@@ -609,6 +669,9 @@ func (t *TCP) serveConn(c net.Conn) {
 		t.amu.Unlock()
 	}()
 	ack := &Frame{Type: TypeHelloAck, From: t.cfg.Self, To: hello.From, Seq: hello.Seq}
+	if !t.cfg.LegacyHandshake {
+		ack.Payload = encodeHello(FeatTrace)
+	}
 	if err := t.writeFrame(w, ack, "helloack"); err != nil {
 		w.close()
 		return
@@ -659,7 +722,7 @@ func (t *TCP) readLoop(w *wconn, from fabric.NodeID, inbound bool) {
 			}
 		case TypeSend:
 			if h := t.getHandler(); h != nil {
-				h.HandleSend(f.From, f.Payload)
+				fabric.DeliverSend(h, f.From, f.Payload, f.Trace)
 			}
 		case TypeCall:
 			// Serve calls off the read loop so a slow handler cannot delay
@@ -681,7 +744,7 @@ func (t *TCP) serveCall(w *wconn, f *Frame) {
 	if h == nil {
 		resp.Type = TypeRespErr
 		resp.Payload = []byte(fmt.Sprintf("%v: %d", fabric.ErrNoHandler, t.cfg.Self))
-	} else if out, err := h.HandleCall(f.From, f.Payload); err != nil {
+	} else if out, err := fabric.DeliverCall(h, f.From, f.Payload, f.Trace); err != nil {
 		resp.Type = TypeRespErr
 		resp.Payload = []byte(err.Error())
 	} else {
