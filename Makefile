@@ -5,9 +5,9 @@ RACE_PKGS := ./internal/core/... ./internal/fabric/... ./internal/server/... \
              ./internal/client/... ./internal/chaos/... ./internal/obs/... \
              ./internal/flow/... ./internal/stream/... ./internal/soak/... \
              ./internal/member/... ./internal/wire/... ./internal/cluster/... \
-             ./internal/trace/...
+             ./internal/trace/... ./internal/stats/...
 
-.PHONY: all ci vet build build-cmds test race smoke soak soak-short chaos chaos-proc bench bench-smoke bench-overload bench-failover bench-trace clean
+.PHONY: all ci vet build build-cmds test race smoke soak soak-short chaos chaos-proc bench bench-smoke bench-overload bench-failover bench-trace bench-plan clean
 
 all: ci
 
@@ -84,6 +84,13 @@ bench-failover:
 bench-trace:
 	$(GO) run ./cmd/wsbench -trace -trace-out BENCH_PR7.json
 
+# Planner benchmark (DESIGN.md §14): delta vs full continuous evaluation over
+# L1-L6 at rising rates (every benched delta firing crosschecked against the
+# full recompute) and adaptive vs forced execution mode over S1-S6; writes
+# BENCH_PR8.json and fails if a crosscheck diverges.
+bench-plan:
+	$(GO) run ./cmd/wsbench -plan -plan-out BENCH_PR8.json
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json BENCH_PR7.json
+	rm -f BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json BENCH_PR7.json BENCH_PR8.json

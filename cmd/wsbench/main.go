@@ -46,6 +46,8 @@ func main() {
 		nodeKill = flag.Bool("node-kill", false, "run the node-kill failover benchmark (survivor latency, typed dead-partition errors, CQ re-fires) instead of a paper experiment")
 		traceRun = flag.Bool("trace", false, "measure tracing on/off overhead and the per-hop latency breakdown of a forwarded query, writing -trace-out")
 		traceOut = flag.String("trace-out", "BENCH_PR7.json", "output path for the -trace report")
+		planRun  = flag.Bool("plan", false, "measure delta vs full continuous evaluation (L1-L6, crosschecked) and adaptive vs forced execution mode (S1-S6), writing -plan-out")
+		planOut  = flag.String("plan-out", "BENCH_PR8.json", "output path for the -plan report")
 	)
 	flag.Parse()
 
@@ -90,8 +92,15 @@ func main() {
 		}
 		return
 	}
+	if *planRun {
+		if err := runPlanBench(*planOut, *runs, mode, *nodes); err != nil {
+			fmt.Fprintf(os.Stderr, "wsbench: plan: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "wsbench: -exp required (or -list, -overload, -node-kill, or -trace); e.g. -exp table2 or -exp all")
+		fmt.Fprintln(os.Stderr, "wsbench: -exp required (or -list, -overload, -node-kill, -trace, or -plan); e.g. -exp table2 or -exp all")
 		os.Exit(2)
 	}
 	opts := experiments.Options{

@@ -68,6 +68,8 @@ func main() {
 		pollMax     = flag.Int("poll-max", 0, "cap rows returned per POLL; the rest stays buffered (0 = unlimited)")
 		maxPending  = flag.Int("max-pending", 0, "per-stream admission buffer bound in tuples (0 = unbounded)")
 		shedPolicy  = flag.String("shed", "drop-newest", "admission shed policy: drop-newest|drop-oldest|block")
+		planMode    = flag.String("plan-mode", "auto", "execution-strategy selection: auto (cost-based per query), inplace, or forkjoin")
+		deltaMode   = flag.String("delta-mode", "auto", "continuous-query delta evaluation: auto (incremental over window deltas) or off (full recompute per firing)")
 		queryDL     = flag.Duration("query-deadline", 0, "per-one-shot-query execution deadline (0 = none)")
 		cqDL        = flag.Duration("cq-deadline", 0, "per-continuous-query-firing execution deadline (0 = none)")
 		sendRetries = flag.Int("send-retries", 0, "retry budget for transient fabric sends (0 = default 3, negative = none)")
@@ -108,6 +110,8 @@ func main() {
 	cfg := core.Config{
 		Nodes:          *nodes,
 		WorkersPerNode: *workers,
+		PlanMode:       *planMode,
+		DeltaMode:      *deltaMode,
 		Flow: core.FlowConfig{
 			MaxPending:    *maxPending,
 			Shed:          shed,

@@ -279,6 +279,10 @@ func start(cfg Config, col *collector) (*core.Engine, *stream.Source, *fabric.Fa
 		WorkersPerNode: 2,
 		Flow:           cfg.Flow,
 		Membership:     cfg.membershipConfig(),
+		// Every delta-evaluated firing under chaos re-runs the full recompute
+		// and panics on divergence — the harness doubles as the delta≡full
+		// equivalence gate.
+		DeltaCrosscheck: true,
 		// A private registry per run keeps failover counters readable without
 		// cross-run contamination through the shared default registry.
 		Metrics: obs.NewRegistry("chaos"),
@@ -318,7 +322,7 @@ func start(cfg Config, col *collector) (*core.Engine, *stream.Source, *fabric.Fa
 func recoverEngine(cfg Config, col *collector) (*core.Engine, *stream.Source, error) {
 	col.detach()
 	e, err := core.Recover(
-		core.Config{Nodes: cfg.Nodes, WorkersPerNode: 2, Flow: cfg.Flow},
+		core.Config{Nodes: cfg.Nodes, WorkersPerNode: 2, Flow: cfg.Flow, DeltaCrosscheck: true},
 		core.FTConfig{Dir: cfg.Dir, CheckpointEveryBatches: cfg.CheckpointEvery},
 		nil,
 		func(name string) func(*core.Result, core.FireInfo) {

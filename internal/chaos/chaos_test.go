@@ -396,7 +396,10 @@ func TestCrashedNodeSurfacesErrors(t *testing.T) {
 // the incomplete prefix, and firing resumes once the node restarts and the
 // engine re-ships.
 func TestCrashedNodeFailsContinuousWindowsWithoutPanic(t *testing.T) {
-	e, err := core.New(core.Config{Nodes: 2, WorkersPerNode: 2})
+	// Delta evaluation would serve the crash-spanning window from cached
+	// batch results without touching the dead node; this test asserts the
+	// classic full path's observable failure, so pin delta off.
+	e, err := core.New(core.Config{Nodes: 2, WorkersPerNode: 2, DeltaMode: core.DeltaModeOff})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/fabric"
 	"repro/internal/member"
 	"repro/internal/rdf"
@@ -55,6 +56,20 @@ func (n *Node) QueryTraced(tc trace.Context, text string) ([]string, time.Durati
 	}
 	owner, anchored := n.owner(q)
 	if !anchored {
+		// No partition authority — but scatter/merge only pays off when the
+		// engine's cost model would fork-join the plan anyway. A selective
+		// unanchored query (the planner prices it in-place) answers faster
+		// from the coordinator's full replica than a cluster-wide fan-out
+		// whose latency is the slowest shard.
+		if n.eng.ModeForQuery(q) == exec.InPlace {
+			n.cLocalQ.Inc()
+			rows, lat, err := n.localQuery(tc, text)
+			if err != nil {
+				return nil, 0, err
+			}
+			sort.Strings(rows) // match scatterQuery's deterministic order
+			return rows, lat, nil
+		}
 		n.cScatterQ.Inc()
 		return n.scatterQuery(tc, text)
 	}

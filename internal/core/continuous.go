@@ -79,6 +79,10 @@ type ContinuousQuery struct {
 	stepMS  int64 // execution period: the smallest window step
 	cb      func(*Result, FireInfo)
 
+	// delta is the incremental-evaluation cache (delta.go); it has its own
+	// lock and is touched only by firings and the failover pipeline.
+	delta deltaState
+
 	mu          sync.Mutex
 	nextFire    rdf.Timestamp
 	planTick    int64 // engine tick the plan was compiled at
@@ -325,18 +329,31 @@ func (cq *ContinuousQuery) execute(at rdf.Timestamp) {
 		defer cancel()
 	}
 	p := cq.replan()
-	prov := e.providerFor(cq.query, at)
 	mode := e.modeFor(p)
-	rs, trace, err := e.ex.Execute(exec.Request{
-		Node:             cq.Home(),
-		Mode:             mode,
-		Access:           prov,
-		Resolver:         e.ss,
-		ForkThreshold:    e.cfg.ForkThreshold,
-		SimulateParallel: true,
-		Ctx:              ctx,
-	}, p)
-	lat := trace.Total
+	var rs *exec.ResultSet
+	var lat time.Duration
+	var err error
+	handled := false
+	if e.deltaEnabled() {
+		rs, lat, err, handled = e.deltaExecute(cq, p, at, mode, ctx)
+	}
+	if !handled {
+		prov := e.providerFor(cq.query, at)
+		var trace *exec.Trace
+		rs, trace, err = e.ex.Execute(exec.Request{
+			Node:             cq.Home(),
+			Mode:             mode,
+			Access:           prov,
+			Resolver:         e.ss,
+			ForkThreshold:    e.cfg.ForkThreshold,
+			SimulateParallel: true,
+			Ctx:              ctx,
+		}, p)
+		if err == nil {
+			lat = trace.Total
+			e.recordEstimateError(p, trace)
+		}
+	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			// The firing ran past its deadline: shed it. The window is NOT
@@ -478,4 +495,7 @@ func (cq *ContinuousQuery) setHome(n fabric.NodeID) {
 	cq.mu.Lock()
 	cq.home = n
 	cq.mu.Unlock()
+	// Cached delta tables were computed for the old home's view; the next
+	// firing after a re-homing must rebuild from scratch.
+	cq.delta.invalidate("rehomed")
 }

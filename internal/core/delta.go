@@ -1,0 +1,965 @@
+// Delta-based incremental continuous-query evaluation (DESIGN.md §14).
+//
+// A sliding-window firing at `at` differs from the previous firing only by
+// the batches that entered and left each window — yet full evaluation
+// rescans every batch. The delta evaluator decomposes an eligible plan into
+// a stored prefix (steps before the first stream pattern) and one segment
+// per stream pattern (that pattern plus the non-stream steps that follow
+// it). Because every stream edge belongs to exactly one mini-batch, the
+// full join decomposes exactly over "batch vectors" — one batch choice per
+// segment — and the firing's result is the concatenation of the per-vector
+// leaf tables. Vectors whose coordinates all lie in the previous window were
+// already computed and are reused from a per-query cache; only vectors
+// touching a new batch evaluate. Expiry is exact: cached vectors with any
+// coordinate outside the new window are dropped.
+//
+// Correctness rests on immutability: batch contents never change after
+// injection, the persistent store is append-only, and executor tables are
+// never mutated in place — so a cached table stays valid until one of the
+// tracked invalidation signals fires (plan change, re-homing, epoch bump,
+// stored-predicate count drift, out-of-order index backfill, forced
+// transient GC). Any signal rebuilds from scratch through the same
+// descent, counted in cq_full_recompute_total{reason}; ineligible shapes
+// (UNION/OPTIONAL/post-filters/variable predicates) always take the classic
+// full path. A crosscheck mode re-runs the full evaluation after every
+// delta firing and panics on divergence.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/fabric"
+	"repro/internal/plan"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/store"
+	"repro/internal/tstore"
+)
+
+// maxDeltaCombos bounds the batch-vector count per firing: beyond it the
+// cache would dwarf the window data and full recompute is cheaper.
+const maxDeltaCombos = 4096
+
+// deltaReasons enumerates the cq_full_recompute_total reason labels.
+var deltaReasons = []string{
+	"cold", "replan", "rehomed", "epoch", "stored-drift", "sindex-backfill",
+	"tstore-evict", "shape", "no-overlap", "window-too-wide", "out-of-order",
+}
+
+func (e *Engine) countFullRecompute(reason string) {
+	if c, ok := e.cFullRecomp[reason]; ok {
+		c.Inc()
+		return
+	}
+	e.obs.Counter("cq_full_recompute_total{reason=\"" + reason + "\"}").Inc()
+}
+
+// deltaEnabled reports whether delta evaluation is on for this engine.
+func (e *Engine) deltaEnabled() bool { return e.cfg.DeltaMode != DeltaModeOff }
+
+// deltaSeg is one plan segment: a row-producing stream step plus the
+// following steps that decompose over its batches (filters, stored expands
+// and checks, more of the same).
+type deltaSeg struct {
+	stream string
+	steps  []plan.Step
+}
+
+// deltaPlan is the segmentation of a compiled plan for delta evaluation.
+type deltaPlan struct {
+	fp         string      // plan fingerprint (shape, not estimates)
+	pre        []plan.Step // stored steps before the first stream step
+	segs       []deltaSeg  // one per row-producing stream step, in plan order
+	post       []plan.Step // stream existence checks, maintained incrementally
+	streams    []string    // every stream read (segments + post checks), deduped
+	storedPids []rdf.ID    // stored-graph predicates read anywhere
+}
+
+// planFingerprint identifies a plan's executable shape. Cardinality
+// estimates are deliberately excluded: drifting estimates that don't change
+// the step order must not invalidate the cache.
+func planFingerprint(p *plan.Plan) string {
+	var b strings.Builder
+	for _, st := range p.Steps {
+		if st.Kind == plan.Filter {
+			fmt.Fprintf(&b, "f:%v;", st.Expr)
+			continue
+		}
+		fmt.Fprintf(&b, "%d:%d:%s:%s>%s:%d:%d:%s;",
+			st.Kind, st.Pid, st.PVar, endpointStr(st.From), endpointStr(st.To),
+			st.Dir, st.Graph.Kind, st.Graph.Name)
+	}
+	return b.String()
+}
+
+func endpointStr(ep plan.Endpoint) string {
+	if ep.IsVar() {
+		return "?" + ep.Var
+	}
+	return fmt.Sprintf("#%d", ep.Const)
+}
+
+// splitDeltaPlan segments a compiled plan, or returns the shape reason it is
+// ineligible. OPTIONAL/UNION/post-filter shapes re-examine the whole table
+// (negation-like semantics), and variable predicates defeat the stored-drift
+// check, so both fall back to full recompute.
+//
+// A stream step that produces rows (seed or expand) decomposes exactly over
+// batches — each window edge lives in exactly one mini-batch — and starts a
+// new segment. A stream Check does NOT: it keeps a row at most once if a
+// matching edge exists ANYWHERE in the window, so per-batch evaluation would
+// duplicate rows whose edge recurs across batches. Checks are row-wise
+// (their outcome depends only on the row's bindings), so they commute with
+// every later step; they defer to `post`, re-evaluated over the live full
+// window each firing.
+func splitDeltaPlan(p *plan.Plan) (*deltaPlan, string) {
+	if p == nil || p.Empty || len(p.Steps) == 0 ||
+		len(p.Unions) > 0 || len(p.Optionals) > 0 || len(p.PostFilters) > 0 {
+		return nil, "shape"
+	}
+	dp := &deltaPlan{fp: planFingerprint(p)}
+	seen := map[rdf.ID]bool{}
+	seenStream := map[string]bool{}
+	stream := func(name string) {
+		if !seenStream[name] {
+			seenStream[name] = true
+			dp.streams = append(dp.streams, name)
+		}
+	}
+	cur := -1 // -1 = the stored prefix
+	for _, st := range p.Steps {
+		if st.Kind != plan.Filter {
+			if st.PVar != "" {
+				return nil, "shape"
+			}
+			if st.Graph.Kind == sparql.StreamGraph {
+				stream(st.Graph.Name)
+				if st.Kind == plan.Check {
+					dp.post = append(dp.post, st)
+					continue
+				}
+				dp.segs = append(dp.segs, deltaSeg{stream: st.Graph.Name})
+				cur = len(dp.segs) - 1
+			} else if !seen[st.Pid] {
+				seen[st.Pid] = true
+				dp.storedPids = append(dp.storedPids, st.Pid)
+			}
+		}
+		if cur < 0 {
+			dp.pre = append(dp.pre, st)
+		} else {
+			dp.segs[cur].steps = append(dp.segs[cur].steps, st)
+		}
+	}
+	if len(dp.segs) == 0 {
+		return nil, "shape" // no row-producing stream steps: nothing slides
+	}
+	if len(dp.segs) > maxDeltaSegs {
+		return nil, "shape" // vector keys are fixed-size; see maxDeltaSegs
+	}
+	return dp, ""
+}
+
+// batchRange is one segment's window, in batches.
+type batchRange struct{ from, to tstore.BatchID }
+
+// maxDeltaSegs caps the segment count so batch vectors pack into a fixed
+// array key (no per-probe string building on the walk's hot path). Deeper
+// plans would exceed maxDeltaCombos at any realistic window anyway.
+const maxDeltaSegs = 4
+
+// vecKey is a batch-vector prefix packed for map lookup. Each level's map
+// fills exactly levels 0..level, so unused trailing slots (zero) cannot
+// collide across prefix lengths.
+type vecKey [maxDeltaSegs]tstore.BatchID
+
+// deltaEntry is one cached batch-vector prefix: the binding table after
+// evaluating segments 0..level with the vector's batch choices.
+type deltaEntry struct {
+	vec vecKey
+	tbl *exec.Table
+}
+
+// edgePair is one (from, to) stream edge as the executor would traverse it:
+// from is the Candidates-side vertex under the step's direction, to one of
+// its Neighbors. Duplicate edges stay duplicated, matching Expand row
+// multiplicity.
+type edgePair struct{ from, to rdf.ID }
+
+// batchEdges is a mini-batch's edge list for one (pred, dir), hashed by the
+// from-side vertex. Batch contents are immutable after injection (backfill
+// and eviction bump the tracked invalidation signals), so a list built once
+// when the batch enters the window serves every later firing it remains in.
+type batchEdges map[rdf.ID][]rdf.ID
+
+// storedKey identifies one stored-graph neighbor read for the cross-firing
+// memo.
+type storedKey struct {
+	vid, pid rdf.ID
+	dir      store.Dir
+}
+
+// memoStored wraps the stored-graph access with a memo that survives across
+// firings. It is sound under the same invariants that keep cached tables
+// exact: the persistent store is append-only and any per-predicate count
+// drift resets the whole delta state — so a remembered neighbor list equals
+// what a fresh snapshot read would return. Cached slices are shared; callers
+// treat Neighbors results as read-only. Never used under fork-join (delta
+// evaluation is pinned in-place), so the map needs no lock beyond ds.mu.
+type memoStored struct {
+	inner exec.Access
+	memo  map[storedKey][]rdf.ID
+}
+
+func (m memoStored) Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir) ([]rdf.ID, error) {
+	k := storedKey{vid: vid, pid: pid, dir: d}
+	if ns, ok := m.memo[k]; ok {
+		return ns, nil
+	}
+	ns, err := m.inner.Neighbors(from, vid, pid, d)
+	if err != nil {
+		return nil, err
+	}
+	m.memo[k] = ns
+	return ns, nil
+}
+
+func (m memoStored) Candidates(from fabric.NodeID, pid rdf.ID, d store.Dir) ([]rdf.ID, error) {
+	return m.inner.Candidates(from, pid, d)
+}
+
+func (m memoStored) LocalCandidates(n fabric.NodeID, pid rdf.ID, d store.Dir) []rdf.ID {
+	return m.inner.LocalCandidates(n, pid, d)
+}
+
+// postState incrementally maintains one deferred stream existence check: a
+// count of each (from, to) edge pair currently inside the check's window,
+// updated per firing by the batches that entered and left. The check then
+// costs one map probe per row instead of a window-span store read.
+type postState struct {
+	counts  map[edgePair]int
+	byBatch map[tstore.BatchID][]edgePair
+}
+
+// deltaState is a continuous query's delta-evaluation cache. Its own mutex
+// (not cq.mu) serializes evaluation: fireDueQueries may run two firings of
+// one query concurrently, and the later-at firing must see the earlier's
+// committed state or fall back.
+type deltaState struct {
+	mu            sync.Mutex
+	valid         bool
+	pendingReason string // forced invalidation (e.g. failover re-homing)
+
+	fp           string
+	home         fabric.NodeID
+	epoch        int64
+	sindexVers   []int64 // per dp.streams entry
+	forcedGCs    int64   // summed over involved streams' transient stores
+	storedCounts []int64 // per dp.storedPids entry
+	lastAt       rdf.Timestamp
+
+	pre      *exec.Table
+	levels   []map[vecKey]deltaEntry         // levels[i]: vector prefix of length i+1
+	segEdges []map[tstore.BatchID]batchEdges // per level: hashed batch edge lists
+	posts    []postState                     // per dp.post entry
+	stored   map[storedKey][]rdf.ID          // cross-firing stored-read memo
+}
+
+// invalidate force-marks the state for rebuild with a reason; the failover
+// pipeline calls it on re-homing so the next firing can never serve cached
+// tables computed for the dead home.
+func (ds *deltaState) invalidate(reason string) {
+	ds.mu.Lock()
+	ds.valid = false
+	ds.pendingReason = reason
+	ds.mu.Unlock()
+}
+
+// checkValid returns the first failing invalidation signal, or "" when every
+// cached table is still exact. Caller holds ds.mu.
+func (ds *deltaState) checkValid(e *Engine, cq *ContinuousQuery, dp *deltaPlan) string {
+	if ds.pendingReason != "" {
+		return ds.pendingReason
+	}
+	if !ds.valid {
+		return "cold"
+	}
+	if ds.fp != dp.fp {
+		return "replan"
+	}
+	if ds.home != cq.Home() {
+		return "rehomed"
+	}
+	if ds.epoch != e.coord.Epoch() {
+		return "epoch"
+	}
+	if len(ds.sindexVers) != len(dp.streams) || len(ds.storedCounts) != len(dp.storedPids) {
+		return "replan"
+	}
+	for i, name := range dp.streams {
+		st, ok := e.streamOf(name)
+		if !ok || st.index.Version() != ds.sindexVers[i] {
+			return "sindex-backfill"
+		}
+	}
+	if ds.forcedGCs != e.forcedGCsFor(dp) {
+		return "tstore-evict"
+	}
+	for i, pid := range dp.storedPids {
+		if edges, _, _ := e.stored.Stats(pid); edges != ds.storedCounts[i] {
+			// The persistent store is append-only: an equal per-predicate
+			// edge count implies identical contents at any stable snapshot.
+			return "stored-drift"
+		}
+	}
+	return ""
+}
+
+// forcedGCsFor sums forced transient GCs across the plan's streams — any
+// bump means a batch inside some window may have been evicted early.
+func (e *Engine) forcedGCsFor(dp *deltaPlan) int64 {
+	var n int64
+	for _, name := range dp.streams {
+		st, ok := e.streamOf(name)
+		if !ok {
+			continue
+		}
+		for _, ts := range st.trans {
+			n += ts.Stats().ForcedGCs
+		}
+	}
+	return n
+}
+
+// reset clears the cache and re-captures every invalidation signal's current
+// value. Caller holds ds.mu.
+func (ds *deltaState) reset(e *Engine, cq *ContinuousQuery, dp *deltaPlan) {
+	ds.pendingReason = ""
+	ds.valid = false
+	ds.fp = dp.fp
+	ds.home = cq.Home()
+	ds.epoch = e.coord.Epoch()
+	ds.sindexVers = make([]int64, len(dp.streams))
+	for i, name := range dp.streams {
+		if st, ok := e.streamOf(name); ok {
+			ds.sindexVers[i] = st.index.Version()
+		}
+	}
+	ds.forcedGCs = e.forcedGCsFor(dp)
+	ds.storedCounts = make([]int64, len(dp.storedPids))
+	for i, pid := range dp.storedPids {
+		ds.storedCounts[i], _, _ = e.stored.Stats(pid)
+	}
+	ds.pre = nil
+	ds.levels = make([]map[vecKey]deltaEntry, len(dp.segs))
+	ds.segEdges = make([]map[tstore.BatchID]batchEdges, len(dp.segs))
+	for i := range ds.levels {
+		ds.levels[i] = map[vecKey]deltaEntry{}
+		ds.segEdges[i] = map[tstore.BatchID]batchEdges{}
+	}
+	ds.posts = make([]postState, len(dp.post))
+	for i := range ds.posts {
+		ds.posts[i] = postState{counts: map[edgePair]int{}, byBatch: map[tstore.BatchID][]edgePair{}}
+	}
+	ds.stored = map[storedKey][]rdf.ID{}
+}
+
+// expire drops cached vectors with any coordinate outside the new windows —
+// the "tuples that left the window" half of the delta — along with the edge
+// lists of batches that left. Caller holds ds.mu.
+func (ds *deltaState) expire(wins []batchRange) {
+	for lvl, m := range ds.levels {
+		for k, ent := range m {
+			for j := 0; j <= lvl && j < len(wins); j++ {
+				if ent.vec[j] < wins[j].from || ent.vec[j] > wins[j].to {
+					delete(m, k)
+					break
+				}
+			}
+		}
+	}
+	for lvl, m := range ds.segEdges {
+		if lvl >= len(wins) {
+			continue
+		}
+		for b := range m {
+			if b < wins[lvl].from || b > wins[lvl].to {
+				delete(m, b)
+			}
+		}
+	}
+}
+
+// windowFor finds the compiled window bound to a stream name (cq.windows is
+// parallel to cq.query.Windows).
+func (cq *ContinuousQuery) windowFor(stream string) (queryWindow, bool) {
+	for i, w := range cq.query.Windows {
+		if w.Stream == stream && i < len(cq.windows) {
+			return cq.windows[i], true
+		}
+	}
+	return queryWindow{}, false
+}
+
+// batchProvider clones the firing's provider with one stream's window
+// restricted to a single batch — the segment evaluator's data source.
+func (e *Engine) batchProvider(base *accessProvider, stream string, b tstore.BatchID) *accessProvider {
+	out := &accessProvider{stored: base.stored, memo: base.memo, byName: make(map[string]exec.WindowAccess, len(base.byName))}
+	for name, wa := range base.byName {
+		if name == stream {
+			wa.From, wa.To = b, b
+		}
+		out.byName[name] = wa
+	}
+	return out
+}
+
+// deltaRequest builds the exec request for delta segment evaluation. It
+// always runs in-place, whatever mode the cost model picked for the full
+// plan: each evaluation here touches a single mini-batch, so its table is
+// ~1/B of the window's and fork-join's real dispatch through the fabric
+// workers costs far more than the traversal itself (profiling showed the
+// dispatch dominating two-segment firings ~50x). The full path keeps the
+// adaptive mode — its tables are window-sized.
+func (e *Engine) deltaRequest(cq *ContinuousQuery, prov *accessProvider, ctx context.Context) exec.Request {
+	return exec.Request{
+		Node:          cq.Home(),
+		Mode:          exec.InPlace,
+		Access:        prov,
+		Resolver:      e.ss,
+		ForkThreshold: e.cfg.ForkThreshold,
+		Ctx:           ctx,
+	}
+}
+
+// walkState carries one firing's evaluation context through the batch-vector
+// descent: staged (uncommitted) tables and edge lists, the per-level parent
+// row estimates that drive the build-vs-probe decision, and the reuse count.
+type walkState struct {
+	e           *Engine
+	cq          *ContinuousQuery
+	ctx         context.Context
+	base        *accessProvider
+	dp          *deltaPlan
+	ds          *deltaState
+	wins        []batchRange
+	staged      []map[vecKey]deltaEntry         // lazily allocated per level
+	stagedEdges []map[tstore.BatchID]batchEdges // lazily allocated per level
+	noEdges     []map[tstore.BatchID]bool       // this firing's "too sparse to build" memo
+	parentEst   []int                           // per level: cached parent-table row total
+	leaves      []*exec.Table
+	reused      int
+}
+
+// batchEdgeScan enumerates one mini-batch's edges for (st.Pid, st.Dir)
+// through the window access's one-walk path. nil without error means the
+// stream has no window access (shouldn't happen for a split plan — the
+// caller falls back to the per-row path).
+func (ws *walkState) batchEdgeScan(stream string, b tstore.BatchID, st plan.Step) (batchEdges, error) {
+	wa, ok := ws.base.byName[stream]
+	if !ok {
+		return nil, nil
+	}
+	wa.From, wa.To = b, b
+	m, err := wa.BatchEdges(ws.cq.Home(), b, st.Pid, st.Dir)
+	if err != nil {
+		return nil, err
+	}
+	return batchEdges(m), nil
+}
+
+// edgesFor returns the hashed edge list for (level, b), building and staging
+// it on first use. nil (without error) means the per-row Neighbors path is
+// cheaper for this level: building costs one span read per batch edge paid
+// once per batch lifetime, per-row costs one read per probing row per
+// firing, so sparse parents (an anchored prefix) skip the build.
+func (ws *walkState) edgesFor(level int, b tstore.BatchID, st plan.Step, stream string, inRows int) (batchEdges, error) {
+	if be, ok := ws.ds.segEdges[level][b]; ok {
+		return be, nil
+	}
+	if be, ok := ws.stagedEdges[level][b]; ok {
+		return be, nil
+	}
+	if ws.noEdges[level][b] {
+		return nil, nil
+	}
+	// Cheap prior before paying the batch walk (its cost is proportional to
+	// the batch's edges): a level whose parents are sparse against the
+	// stream's mean batch size skips the build. A mis-skip costs per-row
+	// reads, never correctness.
+	if ss, ok := ws.e.streamOf(stream); ok {
+		if est := ss.avgTuplesPerBatch(); est > float64(2*ws.parentEst[level]) && est > float64(2*inRows) {
+			if ws.noEdges[level] == nil {
+				ws.noEdges[level] = map[tstore.BatchID]bool{}
+			}
+			ws.noEdges[level][b] = true
+			return nil, nil
+		}
+	}
+	be, err := ws.batchEdgeScan(stream, b, st)
+	if err != nil || be == nil {
+		return nil, err
+	}
+	if ws.stagedEdges[level] == nil {
+		ws.stagedEdges[level] = map[tstore.BatchID]batchEdges{}
+	}
+	ws.stagedEdges[level][b] = be
+	return be, nil
+}
+
+// segEval computes the binding table for one (vector prefix, batch) pair.
+// A segment-leading index seed expands from the batch's one-walk edge scan;
+// a segment-leading Expand joins against the batch's in-memory edge hash
+// when available; everything else (constant seeds, sparse levels, the
+// segment's trailing stored steps) runs through the normal step applier
+// restricted to the batch.
+func (ws *walkState) segEval(level int, b tstore.BatchID, in *exec.Table) (*exec.Table, error) {
+	// The in-memory fast paths below never reach the step applier's deadline
+	// checks, so honor cancellation here — once per (vector, batch) pair.
+	if err := ws.ctx.Err(); err != nil {
+		return nil, err
+	}
+	seg := ws.dp.segs[level]
+	st := seg.steps[0]
+	if st.Kind == plan.SeedIndex {
+		// A seed's candidate enumeration already walks the whole batch, so
+		// the one-walk scan is never a loss — and it is evaluated once per
+		// batch (the level table is cached), so the list is not kept.
+		be, err := ws.batchEdgeScan(seg.stream, b, st)
+		if err != nil {
+			return nil, err
+		}
+		if be != nil {
+			return ws.segRest(level, b, seedCrossBind(st, in, be), seg.steps[1:])
+		}
+	}
+	if st.Kind == plan.Expand && st.To.IsVar() && in.Col(st.To.Var) < 0 &&
+		(!st.From.IsVar() || in.Col(st.From.Var) >= 0) {
+		be, err := ws.edgesFor(level, b, st, seg.stream, len(in.Rows))
+		if err != nil {
+			return nil, err
+		}
+		if be != nil {
+			return ws.segRest(level, b, joinExpand(st, in, be), seg.steps[1:])
+		}
+	}
+	prov := ws.e.batchProvider(ws.base, seg.stream, b)
+	return ws.e.ex.ApplySteps(ws.e.deltaRequest(ws.cq, prov, ws.ctx), seg.steps, in)
+}
+
+// segRest applies a segment's remaining steps after an in-memory join.
+func (ws *walkState) segRest(level int, b tstore.BatchID, tbl *exec.Table, rest []plan.Step) (*exec.Table, error) {
+	if len(rest) == 0 || len(tbl.Rows) == 0 {
+		return tbl, nil
+	}
+	seg := ws.dp.segs[level]
+	prov := ws.e.batchProvider(ws.base, seg.stream, b)
+	return ws.e.ex.ApplySteps(ws.e.deltaRequest(ws.cq, prov, ws.ctx), rest, tbl)
+}
+
+// seedCrossBind mirrors the executor's index-seed expansion against a batch
+// edge hash: the same pair set as expandSeeds (To-const filter included) fed
+// through crossBind's cartesian attach, including the ?x p ?x self-loop
+// handling — the identical row multiset to the Candidates+Neighbors path.
+func seedCrossBind(st plan.Step, in *exec.Table, be batchEdges) *exec.Table {
+	out := &exec.Table{Vars: append([]string(nil), in.Vars...)}
+	fromCol, toCol := -1, -1
+	if st.From.IsVar() {
+		fromCol = len(out.Vars)
+		out.Vars = append(out.Vars, st.From.Var)
+	}
+	if st.To.IsVar() && st.To.Var != st.From.Var {
+		toCol = len(out.Vars)
+		out.Vars = append(out.Vars, st.To.Var)
+	}
+	for _, row := range in.Rows {
+		for from, ns := range be {
+			for _, to := range ns {
+				if !st.To.IsVar() && to != st.To.Const {
+					continue
+				}
+				if st.To.IsVar() && st.To.Var == st.From.Var && from != to {
+					continue // ?x p ?x self-loop pattern
+				}
+				nr := make([]rdf.ID, len(out.Vars))
+				copy(nr, row)
+				if fromCol >= 0 {
+					nr[fromCol] = from
+				}
+				if toCol >= 0 {
+					nr[toCol] = to
+				}
+				out.Rows = append(out.Rows, nr)
+			}
+		}
+	}
+	return out
+}
+
+// joinExpand mirrors the executor's Expand traversal against an in-memory
+// batch edge hash: one output row per (input row, matching edge), the new
+// var bound last — the identical row multiset to the per-row Neighbors path.
+func joinExpand(st plan.Step, in *exec.Table, be batchEdges) *exec.Table {
+	fromCol := -1
+	if st.From.IsVar() {
+		fromCol = in.Col(st.From.Var)
+	}
+	out := &exec.Table{Vars: append(append([]string(nil), in.Vars...), st.To.Var)}
+	for _, row := range in.Rows {
+		from := st.From.Const
+		if fromCol >= 0 {
+			from = row[fromCol]
+		}
+		for _, n := range be[from] {
+			nr := make([]rdf.ID, len(row)+1)
+			copy(nr, row)
+			nr[len(row)] = n
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	return out
+}
+
+// buildPostPairs enumerates a mini-batch's (from, to) edges for a deferred
+// check through the window access's one-walk scan, inheriting its fabric
+// charging and fault injection. A stream without a window access (defensive)
+// falls back to restricted Candidates + per-vertex Neighbors.
+func (e *Engine) buildPostPairs(cq *ContinuousQuery, base *accessProvider, st plan.Step, b tstore.BatchID) ([]edgePair, error) {
+	node := cq.Home()
+	if wa, ok := base.byName[st.Graph.Name]; ok {
+		wa.From, wa.To = b, b
+		m, err := wa.BatchEdges(node, b, st.Pid, st.Dir)
+		if err != nil {
+			return nil, err
+		}
+		var pairs []edgePair
+		for v, ns := range m {
+			for _, n := range ns {
+				pairs = append(pairs, edgePair{from: v, to: n})
+			}
+		}
+		return pairs, nil
+	}
+	prov := e.batchProvider(base, st.Graph.Name, b)
+	acc, err := prov.Access(st.Graph)
+	if err != nil {
+		return nil, err
+	}
+	cands, err := acc.Candidates(node, st.Pid, st.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var pairs []edgePair
+	for _, v := range cands {
+		ns, err := acc.Neighbors(node, v, st.Pid, st.Dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range ns {
+			pairs = append(pairs, edgePair{from: v, to: n})
+		}
+	}
+	return pairs, nil
+}
+
+// applyPost applies the deferred stream existence checks incrementally: each
+// check's live (from, to) pair counts are updated by the batches that
+// entered and left its window — fallible edge-list builds run before any
+// count mutates, so a failed build leaves the counts consistent — and rows
+// then filter by one map probe each instead of a window-span store read.
+// Caller holds ds.mu. A check whose vars are missing from the table falls
+// back to the classic traversal (planner invariant violation — defensive).
+func (e *Engine) applyPost(cq *ContinuousQuery, ds *deltaState, dp *deltaPlan, base *accessProvider, tbl *exec.Table, at rdf.Timestamp, ctx context.Context) (*exec.Table, error) {
+	for i, st := range dp.post {
+		qw, ok := cq.windowFor(st.Graph.Name)
+		if !ok {
+			return e.ex.ApplySteps(e.deltaRequest(cq, base, ctx), dp.post[i:], tbl)
+		}
+		win := batchRange{from: qw.fromBatch(at), to: qw.toBatch(at)}
+		ps := &ds.posts[i]
+		type batchAdd struct {
+			b     tstore.BatchID
+			pairs []edgePair
+		}
+		var adds []batchAdd
+		for b := win.from; b <= win.to; b++ {
+			if _, ok := ps.byBatch[b]; !ok {
+				pairs, err := e.buildPostPairs(cq, base, st, b)
+				if err != nil {
+					return nil, err
+				}
+				adds = append(adds, batchAdd{b: b, pairs: pairs})
+			}
+		}
+		for b, pairs := range ps.byBatch {
+			if b >= win.from && b <= win.to {
+				continue
+			}
+			for _, p := range pairs {
+				if ps.counts[p]--; ps.counts[p] == 0 {
+					delete(ps.counts, p)
+				}
+			}
+			delete(ps.byBatch, b)
+		}
+		for _, a := range adds {
+			ps.byBatch[a.b] = a.pairs
+			for _, p := range a.pairs {
+				ps.counts[p]++
+			}
+		}
+		fromCol, toCol := -1, -1
+		if st.From.IsVar() {
+			if fromCol = tbl.Col(st.From.Var); fromCol < 0 {
+				return e.ex.ApplySteps(e.deltaRequest(cq, base, ctx), dp.post[i:], tbl)
+			}
+		}
+		if st.To.IsVar() {
+			if toCol = tbl.Col(st.To.Var); toCol < 0 {
+				return e.ex.ApplySteps(e.deltaRequest(cq, base, ctx), dp.post[i:], tbl)
+			}
+		}
+		out := &exec.Table{Vars: tbl.Vars}
+		for _, row := range tbl.Rows {
+			k := edgePair{from: st.From.Const, to: st.To.Const}
+			if fromCol >= 0 {
+				k.from = row[fromCol]
+			}
+			if toCol >= 0 {
+				k.to = row[toCol]
+			}
+			if ps.counts[k] > 0 {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+		tbl = out
+		if len(tbl.Rows) == 0 {
+			return tbl, nil
+		}
+	}
+	return tbl, nil
+}
+
+// deltaExecute evaluates one firing delta-based. handled=false means the
+// firing must take the classic full path (ineligible shape, out-of-order
+// firing, too-wide window); the fallback reason is already counted. With
+// handled=true, rs/err carry the evaluation outcome and lat the wall time
+// of the delta evaluation alone.
+func (e *Engine) deltaExecute(cq *ContinuousQuery, p *plan.Plan, at rdf.Timestamp, mode exec.Mode, ctx context.Context) (rs *exec.ResultSet, lat time.Duration, err error, handled bool) {
+	dp, reason := splitDeltaPlan(p)
+	if dp == nil {
+		e.countFullRecompute(reason)
+		return nil, 0, nil, false
+	}
+	wins := make([]batchRange, len(dp.segs))
+	combos := int64(1)
+	for i, seg := range dp.segs {
+		qw, ok := cq.windowFor(seg.stream)
+		if !ok {
+			e.countFullRecompute("shape")
+			return nil, 0, nil, false
+		}
+		wins[i] = batchRange{from: qw.fromBatch(at), to: qw.toBatch(at)}
+		if n := int64(wins[i].to - wins[i].from + 1); n > 0 {
+			combos *= n
+		}
+		if combos > maxDeltaCombos {
+			e.countFullRecompute("window-too-wide")
+			return nil, 0, nil, false
+		}
+	}
+
+	ds := &cq.delta
+	ds.mu.Lock()
+	start := time.Now()
+	if ds.valid && at <= ds.lastAt {
+		// A concurrent or re-fired earlier boundary: evaluating it against
+		// state committed for a later window would corrupt the cache. Run it
+		// through the classic full path without touching state.
+		ds.mu.Unlock()
+		e.countFullRecompute("out-of-order")
+		return nil, 0, nil, false
+	}
+	reason = ds.checkValid(e, cq, dp)
+	if reason != "" {
+		ds.reset(e, cq, dp)
+	}
+	ds.expire(wins)
+
+	// Evaluate: ensure the stored prefix and every in-window batch vector,
+	// staging new entries and committing only on full success — a failed
+	// evaluation (injected fault, deadline) leaves the cache exactly as the
+	// last successful firing did.
+	base := e.providerFor(cq.query, at)
+	base.memo = memoStored{inner: base.stored, memo: ds.stored}
+	pre := ds.pre
+	if pre == nil {
+		pre = &exec.Table{Rows: [][]rdf.ID{{}}} // the unit seed
+		if len(dp.pre) > 0 {
+			pre, err = e.ex.ApplySteps(e.deltaRequest(cq, base, ctx), dp.pre, pre)
+			if err != nil {
+				ds.mu.Unlock()
+				return nil, time.Since(start), err, true
+			}
+		}
+	}
+
+	ws := &walkState{
+		e: e, cq: cq, ctx: ctx, base: base, dp: dp, ds: ds, wins: wins,
+		staged:      make([]map[vecKey]deltaEntry, len(dp.segs)),
+		stagedEdges: make([]map[tstore.BatchID]batchEdges, len(dp.segs)),
+		noEdges:     make([]map[tstore.BatchID]bool, len(dp.segs)),
+		parentEst:   make([]int, len(dp.segs)),
+	}
+	ws.parentEst[0] = len(pre.Rows)
+	for l := 1; l < len(dp.segs); l++ {
+		for _, ent := range ds.levels[l-1] {
+			ws.parentEst[l] += len(ent.tbl.Rows)
+		}
+	}
+	var walk func(level int, prefix vecKey, in *exec.Table) error
+	walk = func(level int, prefix vecKey, in *exec.Table) error {
+		for b := wins[level].from; b <= wins[level].to; b++ {
+			key := prefix
+			key[level] = b
+			var tbl *exec.Table
+			if ent, ok := ds.levels[level][key]; ok {
+				tbl = ent.tbl
+				ws.reused++
+			} else if ent, ok := ws.staged[level][key]; ok {
+				tbl = ent.tbl
+			} else {
+				var werr error
+				tbl, werr = ws.segEval(level, b, in)
+				if werr != nil {
+					return werr
+				}
+				if ws.staged[level] == nil {
+					ws.staged[level] = map[vecKey]deltaEntry{}
+				}
+				ws.staged[level][key] = deltaEntry{vec: key, tbl: tbl}
+			}
+			if len(tbl.Rows) == 0 {
+				continue // an empty prefix joins to nothing deeper down
+			}
+			if level == len(dp.segs)-1 {
+				ws.leaves = append(ws.leaves, tbl)
+			} else if err := walk(level+1, key, tbl); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if len(pre.Rows) > 0 {
+		err = walk(0, vecKey{}, pre)
+	}
+	if err != nil {
+		ds.mu.Unlock()
+		return nil, time.Since(start), err, true
+	}
+	leaves, reused := ws.leaves, ws.reused
+
+	// Commit.
+	ds.pre = pre
+	for i := range ws.staged {
+		for k, v := range ws.staged[i] {
+			ds.levels[i][k] = v
+		}
+		for b, be := range ws.stagedEdges[i] {
+			ds.segEdges[i][b] = be
+		}
+	}
+	ds.lastAt = at
+	ds.valid = true
+
+	// Assemble: concatenated leaves carry exactly the full evaluation's row
+	// multiset for the decomposable steps; deferred stream existence checks
+	// apply incrementally (their pair counts slide with the window), then
+	// Project applies DISTINCT/aggregates/ORDER/LIMIT identically.
+	if len(leaves) > 0 {
+		tbl := &exec.Table{Vars: leaves[0].Vars}
+		for _, l := range leaves {
+			tbl.Rows = append(tbl.Rows, l.Rows...)
+		}
+		if len(dp.post) > 0 {
+			tbl, err = e.applyPost(cq, ds, dp, base, tbl, at, ctx)
+			if err != nil {
+				ds.mu.Unlock()
+				return nil, time.Since(start), err, true
+			}
+		}
+		rs, err = exec.Project(cq.query, tbl, e.ss)
+		if err != nil {
+			ds.mu.Unlock()
+			return nil, time.Since(start), err, true
+		}
+	} else {
+		rs = &exec.ResultSet{}
+		for _, pr := range cq.query.Select {
+			rs.Vars = append(rs.Vars, pr.As)
+		}
+	}
+	lat = time.Since(start)
+	ds.mu.Unlock()
+
+	switch {
+	case reason != "":
+		e.countFullRecompute(reason)
+	case reused == 0:
+		e.countFullRecompute("no-overlap")
+	default:
+		e.cDeltaFirings.Inc()
+	}
+
+	if e.cfg.DeltaCrosscheck {
+		e.crosscheckDelta(cq, p, at, mode, rs)
+	}
+	return rs, lat, nil, true
+}
+
+// crosscheckDelta re-runs the firing through the classic full evaluator and
+// panics if the delta result diverges — the delta≡full assertion. Runs
+// outside the state lock and outside the recorded latency. A full-path
+// failure (injected fault) skips the comparison: there is nothing sound to
+// compare against, and the delta evaluation itself read its data
+// successfully.
+func (e *Engine) crosscheckDelta(cq *ContinuousQuery, p *plan.Plan, at rdf.Timestamp, mode exec.Mode, got *exec.ResultSet) {
+	full, _, err := e.ex.Execute(exec.Request{
+		Node:             cq.Home(),
+		Mode:             mode,
+		Access:           e.providerFor(cq.query, at),
+		Resolver:         e.ss,
+		ForkThreshold:    e.cfg.ForkThreshold,
+		SimulateParallel: true,
+	}, p)
+	if err != nil {
+		return
+	}
+	g, f := canonicalResult(got), canonicalResult(full)
+	if g != f {
+		panic(fmt.Sprintf("core: delta/full divergence for %s at %d:\ndelta:\n%s\nfull:\n%s",
+			cq.Name, at, g, f))
+	}
+}
+
+// canonicalResult renders a result set order-independently (execution row
+// order is nondeterministic in both evaluators).
+func canonicalResult(rs *exec.ResultSet) string {
+	cp := &exec.ResultSet{Vars: rs.Vars, Rows: append([][]exec.Value{}, rs.Rows...)}
+	cp.Sort()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v\n", cp.Vars)
+	for _, row := range cp.Rows {
+		for _, v := range row {
+			b.WriteString(v.String())
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

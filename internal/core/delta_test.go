@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/fabric"
+	"repro/internal/obs"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/stream"
+)
+
+// TestDeltaEquivalenceCrosscheck drives a two-stream query with a stored
+// join and a deferred stream check through 20 sliding boundaries with
+// crosscheck on: every delta firing re-runs the full evaluation and panics
+// on divergence, so surviving the timeline IS the equivalence assertion.
+// Recurring edges across batches exercise the deferred-check dedup rule
+// (a row survives at most once however many batches repeat its edge).
+func TestDeltaEquivalenceCrosscheck(t *testing.T) {
+	r := obs.NewRegistry("deltaeq")
+	e, err := New(Config{
+		Nodes:           4,
+		WorkersPerNode:  2,
+		DeltaCrosscheck: true,
+		Metrics:         r,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	e.LoadTriples(xlab())
+	tweets, err := e.RegisterStream(stream.Config{Name: "S", BatchInterval: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	likes, err := e.RegisterStream(stream.Config{Name: "L", BatchInterval: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var col collector
+	if _, err := e.RegisterContinuous(`
+REGISTER QUERY QEQ AS
+SELECT ?X ?Y ?Z
+FROM S [RANGE 300ms STEP 100ms]
+FROM L [RANGE 300ms STEP 100ms]
+FROM X-Lab
+WHERE {
+  GRAPH S { ?X po ?Z }
+  GRAPH X-Lab { ?X fo ?Y }
+  GRAPH L { ?Y li ?Z }
+}`, col.cb); err != nil {
+		t.Fatal(err)
+	}
+	for ts := rdf.Timestamp(100); ts <= 2000; ts += 100 {
+		// A fresh item per batch plus a recurring one (item index mod 2), so
+		// successive window batches repeat the same like-edge.
+		emit(t, tweets, ts-50, "Logan", "po", fmt.Sprintf("item%d", ts))
+		emit(t, tweets, ts-50, "Erik", "po", fmt.Sprintf("rec%d", (ts/100)%2))
+		emit(t, likes, ts-50, "Erik", "li", fmt.Sprintf("item%d", ts))
+		emit(t, likes, ts-50, "Logan", "li", fmt.Sprintf("rec%d", (ts/100)%2))
+		// Every third batch also repeats an old like, so a deferred-check edge
+		// recurs across batches inside one window.
+		if ts%300 == 0 {
+			emit(t, likes, ts-50, "Erik", "li", fmt.Sprintf("item%d", ts-100))
+		}
+		e.AdvanceTo(ts)
+	}
+	if col.fireCount() == 0 {
+		t.Fatal("no firings observed")
+	}
+	if len(col.allRows()) == 0 {
+		t.Fatal("no rows produced; the crosscheck never compared real results")
+	}
+	if n := counterValue(t, r, "cq_delta_firings_total"); n == 0 {
+		t.Error("cq_delta_firings_total = 0, want delta-evaluated firings")
+	}
+	if n := counterValue(t, r, `cq_full_recompute_total{reason="cold"}`); n == 0 {
+		t.Error("no cold rebuild counted; the first firing must recompute in full")
+	}
+}
+
+// TestPlannerZeroCardinalityPredicate: an interned predicate with zero
+// edges must plan cleanly (no NaN costs), run as in-place (nothing to
+// scatter for), and return an empty result — one-shot and windowed.
+func TestPlannerZeroCardinalityPredicate(t *testing.T) {
+	e, tweets, _ := figure1Engine(t, 4)
+	e.StringServer().InternPredicate("zz")
+
+	res, err := e.Query("SELECT ?A ?B FROM X-Lab WHERE { ?A zz ?B }")
+	if err != nil {
+		t.Fatalf("zero-cardinality one-shot: %v", err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("rows = %d, want 0", res.Len())
+	}
+
+	q, err := sparql.Parse("SELECT ?A ?B FROM X-Lab WHERE { ?A zz ?B }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.ModeForQuery(q); got != exec.InPlace {
+		t.Errorf("ModeForQuery(zero-cardinality) = %v, want in-place", got)
+	}
+	out, err := e.Explain("SELECT ?A ?B FROM X-Lab WHERE { ?A zz ?B }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "in-place") {
+		t.Errorf("Explain mode line missing in-place:\n%s", out)
+	}
+	if !strings.Contains(out, "estimated cost") {
+		t.Errorf("Explain missing cost line:\n%s", out)
+	}
+
+	// Windowed: a stream pattern on the empty predicate fires empty results
+	// through the delta path without tripping over the empty edge cache.
+	var col collector
+	if _, err := e.RegisterContinuous(`
+REGISTER QUERY QZ AS
+SELECT ?A ?B
+FROM Tweet_Stream [RANGE 200ms STEP 100ms]
+WHERE { GRAPH Tweet_Stream { ?A zz ?B } }`, col.cb); err != nil {
+		t.Fatal(err)
+	}
+	for ts := rdf.Timestamp(100); ts <= 800; ts += 100 {
+		emit(t, tweets, ts-50, "Logan", "po", fmt.Sprintf("t%d", ts)) // other-predicate noise
+		e.AdvanceTo(ts)
+	}
+	if col.fireCount() == 0 {
+		t.Fatal("zero-cardinality CQ never fired")
+	}
+	if rows := col.allRows(); len(rows) != 0 {
+		t.Errorf("zero-cardinality CQ rows = %v, want none", rows)
+	}
+}
+
+// TestAdaptiveDriftFlipsDecision: the same continuous query is costed
+// in-place over an empty window and fork-join once injected stream volume
+// drives the window cardinality past the crossover — the decision tracks
+// live statistics, not plan shape.
+func TestAdaptiveDriftFlipsDecision(t *testing.T) {
+	e, err := New(Config{Nodes: 8, WorkersPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	src, err := e.RegisterStream(stream.Config{Name: "PO", BatchInterval: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const qText = `
+REGISTER QUERY QDRIFT AS
+SELECT ?U ?P
+FROM PO [RANGE 500ms STEP 100ms]
+WHERE { GRAPH PO { ?U po ?P } }`
+	// Register the query so the stream actually injects (unconsumed streams
+	// never seal batches) — this is also the shape being re-costed per tick.
+	if _, err := e.RegisterContinuous(qText, nil); err != nil {
+		t.Fatal(err)
+	}
+	q, err := sparql.Parse(qText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.ModeForQuery(q); got != exec.InPlace {
+		t.Fatalf("mode over empty window = %v, want in-place", got)
+	}
+	// 200 distinct subjects per batch across 5 batches: the unanchored seed's
+	// estimated candidate set grows far past the scatter break-even.
+	for ts := rdf.Timestamp(100); ts <= 500; ts += 100 {
+		for i := 0; i < 200; i++ {
+			emit(t, src, ts-50, fmt.Sprintf("u%d_%d", ts, i), "po", fmt.Sprintf("v%d_%d", ts, i))
+		}
+		e.AdvanceTo(ts)
+	}
+	if got := e.ModeForQuery(q); got != exec.ForkJoin {
+		t.Fatalf("mode after rate surge = %v, want fork-join (decision must flip with drift)", got)
+	}
+}
+
+// deltaRehomeTimeline drives the membership failover timeline, crashing the
+// node the CQ under test is homed on, so the outage forces a re-homing —
+// not just replayed batches. Returns the per-boundary rows for twin
+// comparison; the victim node is deterministic (round-robin placement),
+// so faulted and fault-free twins see identical timelines.
+func deltaRehomeTimeline(t *testing.T, kill bool) (map[rdf.Timestamp][]string, *Engine, *ContinuousQuery, fabric.NodeID) {
+	t.Helper()
+	e, src, plan := failoverEngine(t, 7)
+	var mu sync.Mutex
+	fires := map[rdf.Timestamp][]string{}
+	// RANGE 2× STEP so consecutive windows share batches: firings after the
+	// rebuild actually reuse cached vectors (RANGE == STEP would make every
+	// firing a no-overlap full recompute and never exercise the delta path).
+	cq, err := e.RegisterContinuous(`
+REGISTER QUERY QRH AS
+SELECT ?S ?O
+FROM S [RANGE 400ms STEP 200ms]
+WHERE { GRAPH S { ?S po ?O } }`, func(r *Result, f FireInfo) {
+		rows := r.Strings()
+		sort.Strings(rows)
+		mu.Lock()
+		defer mu.Unlock()
+		if prev, ok := fires[f.At]; ok {
+			t.Errorf("boundary %d delivered twice: %v then %v", f.At, prev, rows)
+		}
+		fires[f.At] = rows
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := cq.Home()
+	uVictim := subjectOn(t, e, victim)
+	uOther := subjectOn(t, e, (victim+1)%3)
+	for ts := rdf.Timestamp(100); ts <= 1500; ts += 100 {
+		if kill && ts == 600 {
+			plan.Crash(victim)
+		}
+		if kill && ts == 1200 {
+			plan.Restart(victim)
+		}
+		emit(t, src, ts-50, uVictim, "po", fmt.Sprintf("a%d", ts))
+		emit(t, src, ts-50, uOther, "po", fmt.Sprintf("b%d", ts))
+		e.AdvanceTo(ts)
+	}
+	e.AdvanceTo(1600)
+	e.AdvanceTo(1700)
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[rdf.Timestamp][]string, len(fires))
+	for at, rows := range fires {
+		out[at] = rows
+	}
+	return out, e, cq, victim
+}
+
+// TestDeltaRebuildAfterRehome kills the node a delta-evaluating CQ runs
+// on: failover must move the query, the cached partial state must be
+// rebuilt (counted under reason="rehomed"), and every boundary's rows
+// must still match a fault-free twin — re-homed delta state is rebuilt,
+// never silently stale.
+func TestDeltaRebuildAfterRehome(t *testing.T) {
+	faulted, fe, cq, victim := deltaRehomeTimeline(t, true)
+	clean, _, _, _ := deltaRehomeTimeline(t, false)
+	if len(faulted) == 0 {
+		t.Fatal("no firings observed")
+	}
+	if !reflect.DeepEqual(faulted, clean) {
+		for at, rows := range clean {
+			if !reflect.DeepEqual(faulted[at], rows) {
+				t.Errorf("boundary %d: faulted rows %v != fault-free %v", at, faulted[at], rows)
+			}
+		}
+		for at := range faulted {
+			if _, ok := clean[at]; !ok {
+				t.Errorf("boundary %d fired only in the faulted run", at)
+			}
+		}
+	}
+	if cq.Home() == victim {
+		t.Errorf("CQ still homed on the crashed node %d", victim)
+	}
+	r := fe.Metrics()
+	if n := counterValue(t, r, "failover_cq_rehomed_total"); n == 0 {
+		t.Error("failover_cq_rehomed_total = 0, want re-homed queries")
+	}
+	if n := counterValue(t, r, `cq_full_recompute_total{reason="rehomed"}`); n == 0 {
+		t.Error(`cq_full_recompute_total{reason="rehomed"} = 0, want a forced rebuild after re-homing`)
+	}
+	// Delta evaluation resumed on the new home after the rebuild.
+	if n := counterValue(t, r, "cq_delta_firings_total"); n == 0 {
+		t.Error("cq_delta_firings_total = 0, want delta firings to resume after failover")
+	}
+}

@@ -77,6 +77,24 @@ type Config struct {
 	// ForceForkJoin forces fork-join execution for all queries (the paper's
 	// non-RDMA configuration, Table 5).
 	ForceForkJoin bool
+	// PlanMode overrides the cost-based in-place/fork-join decision:
+	// "auto" (or empty, the default) prices both strategies per query with
+	// live cardinality statistics; "inplace" and "forkjoin" force one
+	// strategy (the wukongsd -plan-mode flag). ForceForkJoin and a non-RDMA
+	// fabric still win over PlanMode — fork-join is the only correct
+	// costing without one-sided reads.
+	PlanMode string
+	// DeltaMode controls delta-based continuous-query evaluation (DESIGN.md
+	// §14): "auto" (or empty, the default) evaluates eligible sliding-window
+	// firings incrementally over the batches that entered the window,
+	// reusing cached per-batch results for the overlap; "off" recomputes
+	// every firing from the full window.
+	DeltaMode string
+	// DeltaCrosscheck additionally runs the full recompute after every
+	// delta-evaluated firing and panics on any result divergence — the
+	// delta≡full assertion. Recorded firing latency stays the delta
+	// evaluation's own, so a crosschecked run still benchmarks cleanly.
+	DeltaCrosscheck bool
 	// DisableIndexReplication turns off locality-aware stream-index
 	// replication (§4.2) — an ablation switch: continuous queries then pay
 	// an extra one-sided read per remote index lookup.
@@ -224,6 +242,13 @@ type Engine struct {
 	cOneshots    *obs.Counter
 	cDispDropped *obs.Counter
 
+	// Adaptive planning and delta evaluation (DESIGN.md §14).
+	cModeInPlace  *obs.Counter            // plan_mode_total{mode="in-place"}
+	cModeForkJoin *obs.Counter            // plan_mode_total{mode="fork-join"}
+	cDeltaFirings *obs.Counter            // cq_delta_firings_total
+	cFullRecomp   map[string]*obs.Counter // cq_full_recompute_total{reason=...}
+	hEstErr       *obs.Histogram          // planner_estimate_error_pct
+
 	// Overload protection (DESIGN.md §10).
 	snd           *flow.Sender // retrying one-way sender; nil when disabled
 	cOneshotDL    *obs.Counter // oneshot_deadline_exceeded_total
@@ -252,6 +277,16 @@ type Engine struct {
 // New creates an engine.
 func New(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
+	switch cfg.PlanMode {
+	case "", PlanModeAuto, PlanModeInPlace, PlanModeForkJoin:
+	default:
+		return nil, fmt.Errorf("core: unknown PlanMode %q (want auto, inplace, or forkjoin)", cfg.PlanMode)
+	}
+	switch cfg.DeltaMode {
+	case "", DeltaModeAuto, DeltaModeOff:
+	default:
+		return nil, fmt.Errorf("core: unknown DeltaMode %q (want auto or off)", cfg.DeltaMode)
+	}
 	fab := fabric.New(cfg.Fabric)
 	e := &Engine{
 		cfg:        cfg,
@@ -282,6 +317,14 @@ func New(cfg Config) (*Engine, error) {
 	e.cOneshotDL = e.obs.Counter("oneshot_deadline_exceeded_total")
 	e.cCQDL = e.obs.Counter("cq_deadline_exceeded_total")
 	e.cReshipped = e.obs.Counter("flow_reshipped_total")
+	e.cModeInPlace = e.obs.Counter(obs.Name("plan_mode_total", "mode", "in-place"))
+	e.cModeForkJoin = e.obs.Counter(obs.Name("plan_mode_total", "mode", "fork-join"))
+	e.cDeltaFirings = e.obs.Counter("cq_delta_firings_total")
+	e.cFullRecomp = make(map[string]*obs.Counter, len(deltaReasons))
+	for _, r := range deltaReasons {
+		e.cFullRecomp[r] = e.obs.Counter(obs.Name("cq_full_recompute_total", "reason", r))
+	}
+	e.hEstErr = e.obs.Histogram("planner_estimate_error_pct", obs.SizeBuckets)
 	if !cfg.Flow.DisableSendRetry {
 		e.snd = flow.NewSender(fab, flow.SenderConfig{
 			Retries:          cfg.Flow.SendRetries,

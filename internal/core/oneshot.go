@@ -72,7 +72,7 @@ func (e *Engine) executeOneShot(ctx context.Context, q *sparql.Query) (*Result, 
 	node = e.liveNodeFor(node)
 	rs, trace, err := e.ex.Execute(exec.Request{
 		Node:             node,
-		Mode:             e.modeFor(p),
+		Mode:             e.decideMode(p).Mode,
 		Access:           e.providerFor(q, e.Now()),
 		Resolver:         e.ss,
 		ForkThreshold:    e.cfg.ForkThreshold,
@@ -93,6 +93,7 @@ func (e *Engine) executeOneShot(ctx context.Context, q *sparql.Query) (*Result, 
 		}
 		return nil, err
 	}
+	e.recordEstimateError(p, trace)
 	e.hOneshot.Observe(trace.Total)
 	e.cOneshots.Inc()
 	return &Result{set: rs, ss: e.ss, Latency: trace.Total, Trace: trace}, nil
@@ -109,8 +110,10 @@ func (e *Engine) Ask(text string) (bool, error) {
 
 // Explain parses and plans a query, returning a human-readable description
 // of the chosen execution: the ordered steps with cardinality estimates,
-// optional groups, and the execution mode. Useful for understanding why the
-// planner ordered patterns the way it did (the paper's Fig. 4 point).
+// optional groups, the in-place/fork-join decision with its cost inputs,
+// and — for continuous queries — whether firings evaluate delta-based.
+// Useful for understanding why the planner ordered patterns the way it did
+// (the paper's Fig. 4 point) and why a strategy was chosen (Table 5).
 func (e *Engine) Explain(text string) (string, error) {
 	q, err := sparql.Parse(text)
 	if err != nil {
@@ -121,7 +124,7 @@ func (e *Engine) Explain(text string) (string, error) {
 		return "", err
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "mode: %s\n", e.modeFor(p))
+	fmt.Fprintf(&b, "mode: %s\n", e.decide(p))
 	if p.Empty {
 		b.WriteString("empty: a query constant is unknown; the result is empty\n")
 		return b.String(), nil
@@ -131,10 +134,31 @@ func (e *Engine) Explain(text string) (string, error) {
 			fmt.Fprintf(&b, "union branch %d:\n", i+1)
 			writePlanSteps(&b, "  ", bp)
 		}
+		e.writeDeltaExplain(&b, q, p)
 		return b.String(), nil
 	}
 	writePlanSteps(&b, "", p)
+	e.writeDeltaExplain(&b, q, p)
 	return b.String(), nil
+}
+
+// writeDeltaExplain appends the delta-evaluation eligibility line for
+// continuous queries.
+func (e *Engine) writeDeltaExplain(b *strings.Builder, q *sparql.Query, p *plan.Plan) {
+	if !q.Continuous {
+		return
+	}
+	if e.cfg.DeltaMode == DeltaModeOff {
+		b.WriteString("delta: off (DeltaMode)\n")
+		return
+	}
+	dp, reason := splitDeltaPlan(p)
+	if dp == nil {
+		fmt.Fprintf(b, "delta: full recompute (%s)\n", reason)
+		return
+	}
+	fmt.Fprintf(b, "delta: eligible (%d stored prefix step(s), %d stream segment(s), %d deferred check(s))\n",
+		len(dp.pre), len(dp.segs), len(dp.post))
 }
 
 func writePlanSteps(b *strings.Builder, indent string, p *plan.Plan) {
@@ -153,30 +177,10 @@ func writePlanSteps(b *strings.Builder, indent string, p *plan.Plan) {
 	fmt.Fprintf(b, "%sestimated cost: %.1f\n", indent, p.EstCost)
 }
 
-// modeFor picks the execution strategy: in-place for selective plans
-// (constant seeds), fork-join for index-vertex seeds on a multi-node
-// cluster, and fork-join for everything when RDMA is off (§5, Table 5).
-func (e *Engine) modeFor(p *plan.Plan) exec.Mode {
-	if e.cfg.ForceForkJoin || !e.fab.RDMA() {
-		return exec.ForkJoin
-	}
-	if e.cfg.Nodes > 1 {
-		if len(p.Steps) > 0 && p.Steps[0].Kind == plan.SeedIndex {
-			return exec.ForkJoin
-		}
-		for _, bp := range p.Unions {
-			if len(bp.Steps) > 0 && bp.Steps[0].Kind == plan.SeedIndex {
-				return exec.ForkJoin
-			}
-		}
-	}
-	return exec.InPlace
-}
-
 // providerFor builds the access provider for a query executing with windows
 // ending at `at`: stored patterns read the stable snapshot, stream patterns
 // read their window via the stream index and transient store.
-func (e *Engine) providerFor(q *sparql.Query, at rdf.Timestamp) exec.Provider {
+func (e *Engine) providerFor(q *sparql.Query, at rdf.Timestamp) *accessProvider {
 	prov := &accessProvider{
 		stored: exec.StoredAccess{Store: e.stored, SN: e.coord.StableSN()},
 		byName: make(map[string]exec.WindowAccess),
@@ -202,11 +206,15 @@ func (e *Engine) providerFor(q *sparql.Query, at rdf.Timestamp) exec.Provider {
 // accessProvider implements exec.Provider for the engine.
 type accessProvider struct {
 	stored exec.StoredAccess
+	memo   exec.Access // non-nil: overrides stored (delta's cross-firing read memo)
 	byName map[string]exec.WindowAccess
 }
 
 func (p *accessProvider) Access(g sparql.GraphRef) (exec.Access, error) {
 	if g.Kind != sparql.StreamGraph {
+		if p.memo != nil {
+			return p.memo, nil
+		}
 		return p.stored, nil
 	}
 	w, ok := p.byName[g.Name]

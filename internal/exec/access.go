@@ -161,6 +161,44 @@ func (a WindowAccess) Neighbors(from fabric.NodeID, vid, pid rdf.ID, d store.Dir
 	return out, nil
 }
 
+// BatchEdges enumerates the (from → to) edges one mini-batch contributed for
+// (pid, d), hashed by the from-side vertex — the delta evaluator's edge-cache
+// builder. One index walk yields the batch's fat pointers up front, so the
+// per-vertex index lookups Neighbors would pay disappear and the span reads
+// coalesce into one batched gather per home node (GatherSpans); per-node
+// transient slices fold in with the usual remote pricing. The batch need not
+// lie inside [From, To]: the caller names it explicitly.
+func (a WindowAccess) BatchEdges(from fabric.NodeID, b tstore.BatchID, pid rdf.ID, d store.Dir) (map[rdf.ID][]rdf.ID, error) {
+	a.Obs.candidateScan()
+	kss, err := a.Index.BatchEdgeSpansFrom(a.Store.Fabric(), from, b, pid, d)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := a.Store.GatherSpans(from, kss)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[rdf.ID][]rdf.ID, len(kss))
+	for i, ks := range kss {
+		a.Obs.spanRead()
+		out[ks.Key.Vid] = append(out[ks.Key.Vid], vals[i]...)
+	}
+	for n, ts := range a.Transients {
+		if ts == nil {
+			continue
+		}
+		a.Obs.transientRead()
+		m, err := ts.BatchEdgesFrom(a.Store.Fabric(), from, fabric.NodeID(n), b, pid, d)
+		if err != nil {
+			return nil, err
+		}
+		for v, vals := range m {
+			out[v] = append(out[v], vals...)
+		}
+	}
+	return out, nil
+}
+
 // Candidates enumerates the window's vertices carrying a pid edge in
 // direction d by scanning the stream index's edge keys — the stream index IS
 // the index for window data (§4.2), so no persistent-store index vertex is

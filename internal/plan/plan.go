@@ -136,6 +136,18 @@ type StatsProvider interface {
 	WindowFraction(g sparql.GraphRef) float64
 }
 
+// WindowStatsProvider optionally refines StatsProvider for stream patterns:
+// a provider that also implements it supplies exact window-scoped counts
+// (from the stream index's per-batch counters), replacing the coarse
+// whole-store count × window fraction estimate. The engine implements it;
+// baselines that only have global statistics keep the fallback.
+type WindowStatsProvider interface {
+	// WindowPredStats returns edges, distinct subjects, and distinct objects
+	// for pid inside g's window. ok=false means no window-scoped statistics
+	// are available for this graph (fall back to PredStats×WindowFraction).
+	WindowPredStats(g sparql.GraphRef, pid rdf.ID) (edges, subjects, objects int64, ok bool)
+}
+
 // Compile encodes and orders a query. A query whose constants are unknown
 // yields Empty=true. Variable predicates are rejected: Wukong's key layout
 // requires a known predicate per traversal.
@@ -205,6 +217,19 @@ func Compile(q *sparql.Query, enc Encoder, stats StatsProvider) (*Plan, error) {
 			c.edges, c.subj, c.obj = 1e6, 1e4, 1e4
 		}
 		c.windowF = stats.WindowFraction(pat.Graph)
+		if pvar == "" && pat.Graph.Kind == sparql.StreamGraph {
+			// Window-scoped statistics, when the provider has them, estimate
+			// the window's contents directly — no down-scaling of whole-store
+			// counts needed.
+			if wsp, ok := stats.(WindowStatsProvider); ok {
+				if e, s, o, ok := wsp.WindowPredStats(pat.Graph, pid); ok {
+					c.edges = math.Max(float64(e), 1)
+					c.subj = math.Max(float64(s), 1)
+					c.obj = math.Max(float64(o), 1)
+					c.windowF = 1
+				}
+			}
+		}
 		pats = append(pats, c)
 	}
 

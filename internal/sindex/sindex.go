@@ -42,7 +42,11 @@ type batchIndex struct {
 	// Unbound stream patterns enumerate candidates from these lists, so the
 	// search space stays proportional to the window, not the store (§4.2).
 	byPred map[pidDir][]rdf.ID
-	bytes  int64
+	// predVals counts the values (edges) each (pid,dir) appended in this
+	// batch — the planner's window-scoped cardinality statistic, maintained
+	// at injection time so estimation never scans the index.
+	predVals map[pidDir]int64
+	bytes    int64
 }
 
 // entryBytes approximates the resident size of one index entry: a 24-byte
@@ -67,6 +71,12 @@ type Index struct {
 
 	lookups  atomic.Int64 // Lookup calls (span fetches)
 	vertices atomic.Int64 // Vertices calls (candidate enumerations)
+
+	// version counts out-of-order backfills (a rejoining node's
+	// upstream-backup replay rewriting history). Delta-evaluation caches
+	// keyed by batch ranges watch it: a bump means already-read batches may
+	// have gained data, so cached per-batch results must be rebuilt.
+	version atomic.Int64
 }
 
 // New creates an empty stream index homed on the given node.
@@ -97,30 +107,26 @@ func (ix *Index) AddBatch(batch tstore.BatchID, spans []store.KeySpan) {
 		bi = ix.batches[n-1]
 	case n > 0 && ix.batches[n-1].batch > batch:
 		// Out-of-order backfill: find (or make room at) batch's slot.
+		ix.version.Add(1)
 		i := sort.Search(n, func(i int) bool { return ix.batches[i].batch >= batch })
 		if i < n && ix.batches[i].batch == batch {
 			bi = ix.batches[i]
 		} else {
-			bi = &batchIndex{
-				batch:   batch,
-				entries: make(map[store.Key][]store.Span),
-				byPred:  make(map[pidDir][]rdf.ID),
-			}
+			bi = newBatchIndex(batch)
 			ix.batches = append(ix.batches, nil)
 			copy(ix.batches[i+1:], ix.batches[i:])
 			ix.batches[i] = bi
 		}
 	default:
-		bi = &batchIndex{
-			batch:   batch,
-			entries: make(map[store.Key][]store.Span),
-			byPred:  make(map[pidDir][]rdf.ID),
-		}
+		bi = newBatchIndex(batch)
 		ix.batches = append(ix.batches, bi)
 	}
 	for _, ks := range spans {
 		prev := bi.entries[ks.Key]
 		isNewKey := prev == nil
+		if !ks.Key.IsIndex() {
+			bi.predVals[pidDir{pid: ks.Key.Pid, dir: ks.Key.Dir}] += int64(ks.Span.Len())
+		}
 		if len(prev) > 0 && prev[len(prev)-1].End == ks.Span.Start {
 			prev[len(prev)-1].End = ks.Span.End
 			continue
@@ -133,6 +139,75 @@ func (ix *Index) AddBatch(batch tstore.BatchID, spans []store.KeySpan) {
 			bi.bytes += 8
 		}
 	}
+}
+
+func newBatchIndex(batch tstore.BatchID) *batchIndex {
+	return &batchIndex{
+		batch:    batch,
+		entries:  make(map[store.Key][]store.Span),
+		byPred:   make(map[pidDir][]rdf.ID),
+		predVals: make(map[pidDir]int64),
+	}
+}
+
+// Version counts out-of-order backfills into the index. Callers caching
+// per-batch derived state treat any change as "history rewritten".
+func (ix *Index) Version() int64 { return ix.version.Load() }
+
+// BatchEdgeSpans returns one KeySpan per span that batch b appended under a
+// (pid, d) edge key — a one-walk enumeration of the batch's edges for delta
+// evaluation. The batch's byPred vertex list drives the walk, so the cost is
+// proportional to the batch's matching vertices, not a per-vertex Lookup
+// scan over every batch index in the window.
+func (ix *Index) BatchEdgeSpans(b tstore.BatchID, pid rdf.ID, d store.Dir) []store.KeySpan {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := len(ix.batches)
+	i := sort.Search(n, func(i int) bool { return ix.batches[i].batch >= b })
+	if i >= n || ix.batches[i].batch != b {
+		return nil
+	}
+	bi := ix.batches[i]
+	verts := bi.byPred[pidDir{pid: pid, dir: d}]
+	out := make([]store.KeySpan, 0, len(verts))
+	for _, v := range verts {
+		key := store.EdgeKey(v, pid, d)
+		for _, sp := range bi.entries[key] {
+			out = append(out, store.KeySpan{Key: key, Span: sp})
+		}
+	}
+	return out
+}
+
+// BatchEdgeSpansFrom is BatchEdgeSpans on behalf of a worker on node `from`,
+// charging the same replica-less remote read as VerticesFrom.
+func (ix *Index) BatchEdgeSpansFrom(fab *fabric.Fabric, from fabric.NodeID, b tstore.BatchID, pid rdf.ID, d store.Dir) ([]store.KeySpan, error) {
+	if err := ix.chargeRemote(fab, from); err != nil {
+		return nil, err
+	}
+	return ix.BatchEdgeSpans(b, pid, d), nil
+}
+
+// PredWindowStats returns the planner's window-scoped cardinality statistics
+// for (pid, d) over batches [from, to]: total values (edges) and distinct
+// vertices carrying at least one. Both come from counters maintained at
+// injection time, so the call is O(batches in window), independent of data
+// volume.
+func (ix *Index) PredWindowStats(pid rdf.ID, d store.Dir, from, to tstore.BatchID) (values, vertices int64) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	pd := pidDir{pid: pid, dir: d}
+	for _, bi := range ix.batches {
+		if bi.batch < from {
+			continue
+		}
+		if bi.batch > to {
+			break
+		}
+		values += bi.predVals[pd]
+		vertices += int64(len(bi.byPred[pd]))
+	}
+	return values, vertices
 }
 
 // Vertices returns the distinct vertices with a (pid,dir) edge inside

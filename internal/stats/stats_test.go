@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+)
+
+func seedIndexPlan(est float64) *plan.Plan {
+	return &plan.Plan{Steps: []plan.Step{
+		{Kind: plan.SeedIndex, From: plan.Endpoint{Var: "x"}, To: plan.Endpoint{Var: "y"}, EstRows: est},
+		{Kind: plan.Expand, From: plan.Endpoint{Var: "y"}, To: plan.Endpoint{Var: "z"}, EstRows: est},
+	}}
+}
+
+func TestChooseModeCrossover(t *testing.T) {
+	in := CostInputs{Nodes: 4}
+	// A selective plan (constant seed, tiny fanout) stays in place.
+	selective := &plan.Plan{Steps: []plan.Step{
+		{Kind: plan.SeedConst, To: plan.Endpoint{Var: "y"}, EstRows: 3},
+		{Kind: plan.Expand, From: plan.Endpoint{Var: "y"}, To: plan.Endpoint{Var: "z"}, EstRows: 5},
+	}}
+	if d := ChooseMode(selective, in); d.Mode != exec.InPlace {
+		t.Fatalf("selective plan chose %v (%s), want in-place", d.Mode, d)
+	}
+	// A huge index scan pays one remote read per row in place; fork-join's
+	// fixed scatter cost amortizes and wins.
+	if d := ChooseMode(seedIndexPlan(100000), in); d.Mode != exec.ForkJoin {
+		t.Fatalf("bulk plan chose %v (%s), want fork-join", d.Mode, d)
+	}
+	// The same shape at low cardinality flips back: the decision follows the
+	// statistics, not the plan shape.
+	if d := ChooseMode(seedIndexPlan(4), in); d.Mode != exec.InPlace {
+		t.Fatalf("small index plan chose %v (%s), want in-place", d.Mode, d)
+	}
+}
+
+func TestChooseModeZeroCardinality(t *testing.T) {
+	// EstRows 0 (an unseen predicate) must not produce NaN/Inf costs or an
+	// arbitrary decision.
+	p := seedIndexPlan(0)
+	d := ChooseMode(p, CostInputs{Nodes: 4})
+	if math.IsNaN(d.InPlaceNS) || math.IsInf(d.InPlaceNS, 0) ||
+		math.IsNaN(d.ForkJoinNS) || math.IsInf(d.ForkJoinNS, 0) {
+		t.Fatalf("zero-cardinality costs not finite: %s", d)
+	}
+	if d.Mode != exec.InPlace {
+		t.Fatalf("zero-cardinality plan chose %v, want in-place (nothing to scatter)", d.Mode)
+	}
+}
+
+func TestChooseModeSingleNode(t *testing.T) {
+	d := ChooseMode(seedIndexPlan(100000), CostInputs{Nodes: 1})
+	if d.Mode != exec.InPlace {
+		t.Fatalf("single-node chose %v, want in-place (no remote reads to avoid)", d.Mode)
+	}
+}
+
+func TestChooseModeUnions(t *testing.T) {
+	p := &plan.Plan{Unions: []*plan.Plan{seedIndexPlan(100000), seedIndexPlan(50000)}}
+	d := ChooseMode(p, CostInputs{Nodes: 4})
+	if d.Mode != exec.ForkJoin {
+		t.Fatalf("union of bulk branches chose %v (%s), want fork-join", d.Mode, d)
+	}
+	single, _ := CostSteps(seedIndexPlan(100000).Steps, CostInputs{Nodes: 4})
+	if d.InPlaceNS <= single {
+		t.Fatalf("union cost %v should exceed one branch's %v", d.InPlaceNS, single)
+	}
+}

@@ -193,6 +193,39 @@ func (g *Sharded) ReadSpan(from fabric.NodeID, key Key, sp Span) ([]rdf.ID, erro
 	return vals, nil
 }
 
+// GatherSpans reads many stream-index spans on behalf of a worker on `from`,
+// coalescing the remote pricing per home node: all spans homed on one node
+// travel in a single batched one-sided read (doorbell batching), sized by
+// the values fetched — the access pattern of a delta edge-cache build, which
+// knows every fat pointer up front. An unreachable home aborts the gather.
+// The result slice is parallel to kss.
+func (g *Sharded) GatherSpans(from fabric.NodeID, kss []KeySpan) ([][]rdf.ID, error) {
+	out := make([][]rdf.ID, len(kss))
+	perHome := make([]int, g.fab.Nodes())
+	for i, ks := range kss {
+		g.spanReads.Add(1)
+		home := g.HomeOf(ks.Key.Vid)
+		if home != from {
+			if err := g.fab.Reachable(from, home); err != nil {
+				return nil, err
+			}
+		}
+		vals := g.shards[home].GetSpan(ks.Key, ks.Span)
+		out[i] = vals
+		if home != from {
+			perHome[home] += 8 * len(vals)
+		}
+	}
+	for n, bytes := range perHome {
+		if bytes > 0 {
+			if err := g.fab.ReadRemote(from, fabric.NodeID(n), bytes); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
 // ReadIndex gathers an index vertex across all nodes on behalf of a worker on
 // `from`: each remote partition costs a key lookup plus a value read. The
 // first unreachable partition aborts the gather — a partial candidate set

@@ -20,11 +20,21 @@ import (
 // BatchID numbers a stream's mini-batches, sequential from 1.
 type BatchID int64
 
+// predDir keys the per-slice planner statistics.
+type predDir struct {
+	pid rdf.ID
+	dir store.Dir
+}
+
 // slice holds the timing data of one stream batch.
 type slice struct {
 	batch BatchID
 	data  map[store.Key][]rdf.ID
-	bytes int64
+	// predVals / predKeys count values and keys per (pid,dir) — the
+	// planner's window-scoped cardinality statistics, maintained on append.
+	predVals map[predDir]int64
+	predKeys map[predDir]int64
+	bytes    int64
 }
 
 // sliceBytes approximates the resident size of one (key, vals) pair.
@@ -76,16 +86,24 @@ func (s *Store) Append(batch BatchID, key store.Key, vals []rdf.ID) {
 	case n > 0 && s.slices[n-1].batch > batch:
 		panic("tstore: batch regression on append")
 	default:
-		sl = &slice{batch: batch, data: make(map[store.Key][]rdf.ID)}
+		sl = &slice{
+			batch:    batch,
+			data:     make(map[store.Key][]rdf.ID),
+			predVals: make(map[predDir]int64),
+			predKeys: make(map[predDir]int64),
+		}
 		s.slices = append(s.slices, sl)
 	}
 	prev := sl.data[key]
+	pd := predDir{pid: key.Pid, dir: key.Dir}
 	var delta int64
 	if prev == nil {
 		delta = pairBytes(len(vals))
+		sl.predKeys[pd]++
 	} else {
 		delta = 8 * int64(len(vals))
 	}
+	sl.predVals[pd] += int64(len(vals))
 	sl.data[key] = append(prev, vals...)
 	sl.bytes += delta
 	s.curBytes += delta
@@ -133,6 +151,58 @@ func (s *Store) GetFrom(fab *fabric.Fabric, from, home fabric.NodeID, key store.
 		}
 	}
 	return vals, nil
+}
+
+// BatchEdges returns the (vertex → values) timing pairs batch b recorded for
+// (pid, d), or nil when the batch holds none — one walk of the batch's slice,
+// used by delta evaluation to fold timing data into a batch edge list. The
+// per-slice predKeys counter short-circuits batches without matching keys
+// before the slice's data map is scanned.
+func (s *Store) BatchEdges(b BatchID, pid rdf.ID, d store.Dir) map[rdf.ID][]rdf.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, sl := range s.slices {
+		if sl.batch > b {
+			break
+		}
+		if sl.batch != b {
+			continue
+		}
+		pd := predDir{pid: pid, dir: d}
+		if sl.predKeys[pd] == 0 {
+			return nil
+		}
+		out := make(map[rdf.ID][]rdf.ID, sl.predKeys[pd])
+		for k, vals := range sl.data {
+			if k.Pid == pid && k.Dir == d {
+				out[k.Vid] = append(out[k.Vid], vals...)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// BatchEdgesFrom is BatchEdges on behalf of a worker on node `from`: a
+// non-empty remote result costs (and may fail on) one one-sided read of the
+// values, mirroring GetFrom's pricing.
+func (s *Store) BatchEdgesFrom(fab *fabric.Fabric, from, home fabric.NodeID, b BatchID, pid rdf.ID, d store.Dir) (map[rdf.ID][]rdf.ID, error) {
+	if from != home {
+		if err := fab.Reachable(from, home); err != nil {
+			return nil, err
+		}
+	}
+	m := s.BatchEdges(b, pid, d)
+	if from != home && len(m) > 0 {
+		var n int
+		for _, vals := range m {
+			n += len(vals)
+		}
+		if err := fab.ReadRemote(from, home, 8*n); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 // ScanVerticesFrom is ScanVertices on behalf of a worker on node `from`: a
@@ -210,6 +280,27 @@ func (s *Store) ScanVertices(pid rdf.ID, d store.Dir, from, to BatchID) []rdf.ID
 		}
 	}
 	return out
+}
+
+// PredWindowStats returns planner cardinality statistics for (pid, d) over
+// batches [from, to]: total values and keys (distinct per batch; summing
+// across batches upper-bounds the window-distinct count). Counters are
+// maintained on append, so the call never scans timing data.
+func (s *Store) PredWindowStats(pid rdf.ID, d store.Dir, from, to BatchID) (values, vertices int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pd := predDir{pid: pid, dir: d}
+	for _, sl := range s.slices {
+		if sl.batch < from {
+			continue
+		}
+		if sl.batch > to {
+			break
+		}
+		values += sl.predVals[pd]
+		vertices += sl.predKeys[pd]
+	}
+	return values, vertices
 }
 
 // Stats describes the store's occupancy.
