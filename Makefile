@@ -5,9 +5,9 @@ RACE_PKGS := ./internal/core/... ./internal/fabric/... ./internal/server/... \
              ./internal/client/... ./internal/chaos/... ./internal/obs/... \
              ./internal/flow/... ./internal/stream/... ./internal/soak/... \
              ./internal/member/... ./internal/wire/... ./internal/cluster/... \
-             ./internal/trace/... ./internal/stats/...
+             ./internal/trace/... ./internal/stats/... ./internal/oplog/...
 
-.PHONY: all ci vet build build-cmds test race smoke soak soak-short chaos chaos-proc bench bench-smoke bench-overload bench-failover bench-trace bench-plan clean
+.PHONY: all ci vet build build-cmds test race smoke soak soak-short chaos chaos-proc bench bench-smoke bench-overload bench-failover bench-trace bench-plan bench-seedkill clean
 
 all: ci
 
@@ -50,12 +50,14 @@ soak-short:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaosNodeKill' ./internal/chaos/...
 
-# Process-level chaos (DESIGN.md §12): build the real wukongsd, form a
-# 3-daemon TCP cluster, kill -9 one mid-load, assert the failover contract
+# Process-level chaos (DESIGN.md §12, §15): build the real wukongsd, form a
+# 3-daemon TCP cluster, and run both kill scenarios — a member kill -9
 # (survivor sub-ms path, typed dead-partition errors, rejoin + twin-equal
-# dedup). The scenario IS the short configuration, so -short changes nothing.
+# dedup) and an authority kill -9 (fenced succession, bounded recorded
+# write-unavailability, demoted ex-seed resume, twin-equal deliveries). The
+# scenarios ARE the short configuration, so -short changes nothing.
 chaos-proc:
-	$(GO) test -short -count=1 -run 'TestProcClusterKillDashNine' ./internal/chaos/...
+	$(GO) test -short -count=1 -run 'TestProcClusterKillDashNine|TestProcSeedKillFailover' ./internal/chaos/...
 
 bench:
 	$(GO) test -bench . -benchtime 20x -run '^$$' .
@@ -91,6 +93,14 @@ bench-trace:
 bench-plan:
 	$(GO) run ./cmd/wsbench -plan -plan-out BENCH_PR8.json
 
+# Seed-kill failover benchmark (DESIGN.md §15): real durable daemons, kill -9
+# the write authority under load, measure the write-unavailability window
+# until the fenced successor acks; writes BENCH_PR9.json and fails unless the
+# succession contract (deterministic successor, twin-equal deliveries,
+# demoted ex-seed) holds on every run.
+bench-seedkill:
+	$(GO) run ./cmd/wsbench -seed-kill -seedkill-out BENCH_PR9.json
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json BENCH_PR7.json BENCH_PR8.json
+	rm -f BENCH_PR2.json BENCH_PR4.json BENCH_PR5.json BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json

@@ -48,6 +48,9 @@ func main() {
 		traceOut = flag.String("trace-out", "BENCH_PR7.json", "output path for the -trace report")
 		planRun  = flag.Bool("plan", false, "measure delta vs full continuous evaluation (L1-L6, crosschecked) and adaptive vs forced execution mode (S1-S6), writing -plan-out")
 		planOut  = flag.String("plan-out", "BENCH_PR8.json", "output path for the -plan report")
+		seedKill = flag.Bool("seed-kill", false, "measure the write-unavailability window of seed-authority failover across real kill -9ed daemons, writing -seedkill-out")
+		skOut    = flag.String("seedkill-out", "BENCH_PR9.json", "output path for the -seed-kill report")
+		skRuns   = flag.Int("seedkill-runs", 3, "seed-kill scenario repetitions")
 	)
 	flag.Parse()
 
@@ -99,8 +102,15 @@ func main() {
 		}
 		return
 	}
+	if *seedKill {
+		if err := runSeedKill(*skOut, *skRuns); err != nil {
+			fmt.Fprintf(os.Stderr, "wsbench: seed-kill: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "wsbench: -exp required (or -list, -overload, -node-kill, -trace, or -plan); e.g. -exp table2 or -exp all")
+		fmt.Fprintln(os.Stderr, "wsbench: -exp required (or -list, -overload, -node-kill, -trace, -plan, or -seed-kill); e.g. -exp table2 or -exp all")
 		os.Exit(2)
 	}
 	opts := experiments.Options{

@@ -1,0 +1,132 @@
+// Seed-kill failover benchmark (-seed-kill): spawns a real 3-daemon durable
+// cluster, kill -9s the write authority mid-stream, and measures the
+// write-unavailability window — the time from the kill to the first write
+// acked by the fenced successor (DESIGN.md §15). Each run also re-checks the
+// correctness contract the chaos gate enforces: deterministic successor,
+// fenced epoch, twin-equal deliveries, and a demoted ex-seed after restart.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/rdf"
+)
+
+// seedKillReport is the JSON document written by -seed-kill
+// (BENCH_PR9.json in the Makefile).
+type seedKillReport struct {
+	Scenario string `json:"scenario"`
+	Nodes    int    `json:"nodes"`
+	Runs     int    `json:"runs"`
+
+	// Write-unavailability windows, one per run, harness-observed from the
+	// kill -9 to the successor's first write ack.
+	WindowsNs []int64 `json:"write_unavail_ns"`
+	WindowP50 int64   `json:"write_unavail_p50_ns"`
+	WindowMax int64   `json:"write_unavail_max_ns"`
+
+	// RecordedMaxNs is the largest cluster_write_unavail_ns histogram sample
+	// the successors themselves recorded across runs.
+	RecordedMaxNs int64 `json:"recorded_unavail_max_ns"`
+
+	FailoverEpoch     uint64 `json:"failover_epoch"`
+	FailoverAuthority int    `json:"failover_authority"`
+	TwinEqualRuns     int    `json:"twin_equal_runs"`
+	DemotedRuns       int    `json:"ex_seed_demoted_runs"`
+}
+
+// windowsEqual reports whether two per-window row sets match exactly.
+func windowsEqual(got, want map[rdf.Timestamp][]string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for at, rows := range want {
+		if fmt.Sprint(got[at]) != fmt.Sprint(rows) {
+			return false
+		}
+	}
+	return true
+}
+
+// runSeedKill executes the seed-kill scenario `runs` times and writes the
+// aggregated report. Any run violating the succession contract fails the
+// benchmark: a fast window means nothing if an acked write went missing.
+func runSeedKill(out string, runs int) error {
+	if runs <= 0 {
+		runs = 3
+	}
+	rep := &seedKillReport{Scenario: "seed-kill", Nodes: 3, Runs: runs}
+
+	workDir, err := os.MkdirTemp("", "wsbench-seedkill-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(workDir)
+	// Build once, reuse across runs.
+	bin, err := chaos.ProcConfig{WorkDir: workDir}.EnsureBin()
+	if err != nil {
+		return err
+	}
+
+	for i := 0; i < runs; i++ {
+		runDir := fmt.Sprintf("%s/run-%d", workDir, i)
+		if err := os.MkdirAll(runDir, 0o755); err != nil {
+			return err
+		}
+		r, err := chaos.RunProcSeedKill(chaos.ProcConfig{
+			Seed:          int64(11 + i),
+			WorkDir:       runDir,
+			Bin:           bin,
+			SnapshotEvery: 64,
+		})
+		if err != nil {
+			return fmt.Errorf("run %d: %w", i, err)
+		}
+		if r.FailoverAuthority != 1 || r.FailoverEpoch < 2 {
+			return fmt.Errorf("run %d: takeover went to rank %d at epoch %d, want rank 1 at epoch >= 2",
+				i, r.FailoverAuthority, r.FailoverEpoch)
+		}
+		rep.WindowsNs = append(rep.WindowsNs, r.WriteUnavail.Nanoseconds())
+		if r.RecordedUnavailMax.Nanoseconds() > rep.RecordedMaxNs {
+			rep.RecordedMaxNs = r.RecordedUnavailMax.Nanoseconds()
+		}
+		rep.FailoverEpoch = r.FailoverEpoch
+		rep.FailoverAuthority = r.FailoverAuthority
+		if windowsEqual(r.Windows, r.TwinWindows) && windowsEqual(r.RejoinWindows, r.TwinWindows) {
+			rep.TwinEqualRuns++
+		} else {
+			return fmt.Errorf("run %d: deliveries diverged from the fault-free twin", i)
+		}
+		if r.ExSeedDemoted {
+			rep.DemotedRuns++
+		} else {
+			return fmt.Errorf("run %d: restarted ex-seed did not demote under the fenced epoch", i)
+		}
+		fmt.Printf("seed-kill run %d: window %v (recorded max %v), epoch %d, authority %d\n",
+			i, r.WriteUnavail.Round(time.Millisecond), r.RecordedUnavailMax.Round(time.Millisecond),
+			r.FailoverEpoch, r.FailoverAuthority)
+	}
+
+	sorted := append([]int64(nil), rep.WindowsNs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rep.WindowP50 = sorted[len(sorted)/2]
+	rep.WindowMax = sorted[len(sorted)-1]
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("seed-kill: %d/%d runs twin-equal and demoted; write-unavailability p50 %v, max %v\nwrote %s\n",
+		rep.TwinEqualRuns, rep.Runs,
+		time.Duration(rep.WindowP50).Round(time.Millisecond),
+		time.Duration(rep.WindowMax).Round(time.Millisecond), out)
+	return nil
+}

@@ -39,7 +39,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/flow"
-	"repro/internal/member"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/trace"
@@ -85,6 +84,11 @@ func main() {
 		advertise = flag.String("advertise", "", "dialable address peers use to reach this daemon's -listen socket (default: the -listen address)")
 		clusterHB = flag.Duration("cluster-heartbeat", 0, "cluster peer-liveness probe period (0 = default 100ms)")
 		flowSeed  = flag.Int64("flow-seed", 0, "seed for retry-jitter RNGs (engine sends and cluster replication); 0 = nondeterministic")
+
+		// Durability / failover knobs (DESIGN.md §15; cluster mode only).
+		dataDir   = flag.String("data-dir", "", "durable oplog + snapshot directory for this daemon; enables crash restart via Resume (cluster mode only)")
+		snapEvery = flag.Int("snapshot-every", 0, "ops between durable engine snapshots (0 = default 4096; needs -data-dir)")
+		noSync    = flag.Bool("no-sync", false, "skip fsync on durable oplog appends (faster, loses the tail on power loss)")
 	)
 	flag.Parse()
 
@@ -101,6 +105,12 @@ func main() {
 	}
 	if *listen != "" && *hbEvery > 0 {
 		log.Fatal("-heartbeat-interval is the single-process simulated detector; cluster mode has its own (-cluster-heartbeat)")
+	}
+	if *dataDir != "" && *listen == "" {
+		log.Fatal("-data-dir is the cluster-mode durability story; it requires -listen (use -ft for single-process durability)")
+	}
+	if *snapEvery != 0 && *dataDir == "" {
+		log.Fatal("-snapshot-every requires -data-dir")
 	}
 
 	shed, err := flow.ParsePolicy(*shedPolicy)
@@ -215,6 +225,9 @@ func main() {
 			},
 			HeartbeatInterval: *clusterHB,
 			FlowSeed:          *flowSeed,
+			DataDir:           *dataDir,
+			SnapshotEvery:     *snapEvery,
+			NoSync:            *noSync,
 			Metrics:           eng.Metrics(),
 			Tracer:            tracer,
 			LocalStats: func() string {
@@ -231,7 +244,27 @@ func main() {
 			log.Fatalf("cluster -listen %s: %v", *listen, err)
 		}
 		rank := cluster.SeedRank
-		if *joinAddr != "" {
+		resuming := *dataDir != "" && cluster.HasDurableState(*dataDir)
+		if resuming {
+			// The durable record knows who we are: re-identify from disk so
+			// the wire transport speaks for the right rank even when no peer
+			// is alive to ask. Fall back to seed discovery if the record
+			// predates our own MEMBER op.
+			if r, ok := cluster.RecoverRank(*dataDir, adv); ok {
+				rank = r
+			} else if *joinAddr != "" {
+				r, n, err := cluster.Discover(*joinAddr, adv, 10*time.Second)
+				if err != nil {
+					log.Fatalf("cluster discover via %s: %v", *joinAddr, err)
+				}
+				if n != *nodes {
+					log.Fatalf("cluster size mismatch: seed runs %d nodes, this daemon was started with -nodes %d", n, *nodes)
+				}
+				rank = fabric.NodeID(r)
+			}
+			ccfg.Self = rank
+			ccfg.SeedAddr = *joinAddr
+		} else if *joinAddr != "" {
 			// Joiner: ask the seed for a rank before the wire transport comes
 			// up (the transport needs to know which rank it speaks for).
 			r, n, err := cluster.Discover(*joinAddr, adv, 10*time.Second)
@@ -254,9 +287,12 @@ func main() {
 		defer tr.Close()
 		ccfg.Transport = tr
 		var node *cluster.Node
-		if *joinAddr == "" {
+		switch {
+		case resuming:
+			node, err = cluster.Resume(ccfg)
+		case *joinAddr == "":
 			node, err = cluster.NewSeed(ccfg)
-		} else {
+		default:
 			node, err = cluster.Join(ccfg)
 		}
 		if err != nil {
@@ -265,9 +301,13 @@ func main() {
 		defer node.Close()
 		nodep.Store(node)
 		srv.SetCluster(node)
-		if *joinAddr == "" {
+		switch {
+		case resuming:
+			fmt.Printf("wukongsd: resumed rank %d of %d from %s (epoch %d, applied %d), wire on %s\n",
+				int(node.Self()), *nodes, *dataDir, node.Epoch(), node.Applied(), adv)
+		case *joinAddr == "":
 			fmt.Printf("wukongsd: cluster seed, rank 0 of %d, wire on %s\n", *nodes, adv)
-		} else {
+		default:
 			fmt.Printf("wukongsd: joined cluster as rank %d of %d via %s, wire on %s\n", int(rank), *nodes, *joinAddr, adv)
 		}
 	}
@@ -306,26 +346,39 @@ func main() {
 }
 
 // healthzHandler serves readiness: a single-process daemon is ready once
-// serving; a cluster daemon degrades to 503 when its local view says the
-// seed is dead (writes cannot replicate, so the daemon is up but not ready).
+// serving; a cluster daemon renders Node.Status() so probes can tell
+// "ready" (200) apart from "catching-up" (mid snapshot transfer — queries
+// would see a partial replica) and "no-authority" (the sequencer is dead
+// and no successor has fenced in yet — writes will stall), both 503.
 func healthzHandler(nodep *atomic.Pointer[cluster.Node]) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		type health struct {
-			Status  string `json:"status"`
-			Rank    int    `json:"rank,omitempty"`
-			Applied uint64 `json:"applied,omitempty"`
-			Reason  string `json:"reason,omitempty"`
+			Status    string `json:"status"`
+			Rank      int    `json:"rank,omitempty"`
+			Applied   uint64 `json:"applied,omitempty"`
+			Epoch     uint64 `json:"epoch,omitempty"`
+			Authority int    `json:"authority,omitempty"`
+			Reason    string `json:"reason,omitempty"`
 		}
 		n := nodep.Load()
 		if n == nil {
-			json.NewEncoder(w).Encode(health{Status: "ok"})
+			json.NewEncoder(w).Encode(health{Status: "ready"})
 			return
 		}
-		h := health{Status: "ok", Rank: int(n.Self()), Applied: n.Applied()}
-		if n.Self() != cluster.SeedRank && n.Detector().State(cluster.SeedRank) == member.Dead {
-			h.Status = "degraded"
-			h.Reason = "seed declared dead; writes cannot replicate"
+		h := health{
+			Status:    n.Status(),
+			Rank:      int(n.Self()),
+			Applied:   n.Applied(),
+			Epoch:     n.Epoch(),
+			Authority: int(n.Authority()),
+		}
+		switch h.Status {
+		case "catching-up":
+			h.Reason = "snapshot transfer / bulk sync in progress; replica is partial"
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case "no-authority":
+			h.Reason = "write authority is dead and no successor has fenced in"
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		json.NewEncoder(w).Encode(h)

@@ -72,6 +72,9 @@ type ProcConfig struct {
 	// Timeout bounds each individual wait (readiness, death detection,
 	// rejoin, convergence; default 20s).
 	Timeout time.Duration
+	// SnapshotEvery is passed to daemons that get a -data-dir (seed-kill
+	// runs only; 0 = the daemon default).
+	SnapshotEvery int
 	// Logf may be nil.
 	Logf func(format string, args ...any)
 }
@@ -140,6 +143,7 @@ type procDaemon struct {
 	addr     string // line-protocol address
 	wireAddr string // cluster transport address
 	httpAddr string // metrics/traces HTTP address
+	dataDir  string // durable oplog/snapshot dir ("" = in-memory only)
 	cmd      *exec.Cmd
 	waited   chan error
 }
@@ -244,6 +248,8 @@ func waitFor(what string, timeout time.Duration, cond func() (bool, error)) erro
 // clusterView parses one daemon's CLUSTER response.
 type clusterView struct {
 	seq    uint64
+	epoch  uint64         // authority epoch in this daemon's view
+	auth   int            // rank this daemon believes is the write authority
 	states map[int]string // rank → "self" | "alive" | "suspect" | "dead" | "unknown"
 }
 
@@ -271,6 +277,11 @@ func readClusterView(addr string, timeout time.Duration) (*clusterView, error) {
 			v.seq, _ = strconv.ParseUint(f[1], 10, 64)
 			continue
 		}
+		if len(f) == 4 && f[0] == "EPOCH" && f[2] == "AUTH" {
+			v.epoch, _ = strconv.ParseUint(f[1], 10, 64)
+			v.auth, _ = strconv.Atoi(f[3])
+			continue
+		}
 		if len(f) == 3 {
 			if r, err := strconv.Atoi(f[0]); err == nil {
 				v.states[r] = f[2]
@@ -294,6 +305,13 @@ func (cfg ProcConfig) spawn(bin string, d *procDaemon, seedWire string) error {
 	}
 	if d.rank != 0 {
 		args = append(args, "-join", seedWire)
+	}
+	if d.dataDir != "" {
+		// -no-sync: these runs measure failover windows, not disk latency.
+		args = append(args, "-data-dir", d.dataDir, "-no-sync")
+		if cfg.SnapshotEvery > 0 {
+			args = append(args, "-snapshot-every", strconv.Itoa(cfg.SnapshotEvery))
+		}
 	}
 	logPath := filepath.Join(cfg.WorkDir, fmt.Sprintf("daemon-%d.log", d.rank))
 	logFile, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -536,9 +554,18 @@ func runTwin(cfg ProcConfig) (map[rdf.Timestamp][]string, error) {
 	}
 	windows := map[rdf.Timestamp][]string{}
 	if _, err := e.RegisterContinuous(queryText, func(r *core.Result, f core.FireInfo) {
+		// Sort and collapse duplicate rows (a script can emit the same tuple
+		// twice in one window) so twin windows compare against the daemons'
+		// dedupWindows output symmetrically.
 		rows := append([]string(nil), r.Strings()...)
 		sort.Strings(rows)
-		windows[f.At] = rows
+		uniq := rows[:0]
+		for i, row := range rows {
+			if i == 0 || rows[i-1] != row {
+				uniq = append(uniq, row)
+			}
+		}
+		windows[f.At] = uniq
 	}); err != nil {
 		return nil, err
 	}
@@ -553,6 +580,20 @@ func runTwin(cfg ProcConfig) (map[rdf.Timestamp][]string, error) {
 	e.AdvanceTo(rdf.Timestamp((cfg.Batches + 1) * batchMS))
 	e.AdvanceTo(rdf.Timestamp((cfg.Batches + 2) * batchMS))
 	return windows, nil
+}
+
+// EnsureBin returns a wukongsd binary path, building one into WorkDir when
+// the config does not bring its own.
+func (cfg ProcConfig) EnsureBin() (string, error) {
+	if cfg.Bin != "" {
+		return cfg.Bin, nil
+	}
+	bin := filepath.Join(cfg.WorkDir, "wukongsd")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/wukongsd")
+	if out, err := build.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("chaos: building wukongsd: %v\n%s", err, out)
+	}
+	return bin, nil
 }
 
 // RunProc executes one process-level chaos run: build, spawn, load, kill -9,
@@ -576,13 +617,9 @@ func RunProc(cfg ProcConfig) (*ProcReport, error) {
 		return nil, fmt.Errorf("chaos: RestartAtBatch %d must be inside (KillAtBatch, Batches]", cfg.RestartAtBatch)
 	}
 
-	bin := cfg.Bin
-	if bin == "" {
-		bin = filepath.Join(cfg.WorkDir, "wukongsd")
-		build := exec.Command("go", "build", "-o", bin, "repro/cmd/wukongsd")
-		if out, err := build.CombinedOutput(); err != nil {
-			return nil, fmt.Errorf("chaos: building wukongsd: %v\n%s", err, out)
-		}
+	bin, err := cfg.EnsureBin()
+	if err != nil {
+		return nil, err
 	}
 
 	ports, err := freePorts(3 * cfg.Nodes)
@@ -714,6 +751,257 @@ func RunProc(cfg ProcConfig) (*ProcReport, error) {
 		return nil, err
 	}
 	if rep.RejoinWindows, err = dedupWindows(vfires); err != nil {
+		return nil, err
+	}
+	if rep.TwinWindows, err = runTwin(cfg); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// ---------------------------------------------------------------------------
+// Seed-kill chaos: kill -9 the write authority itself.
+//
+// RunProc kills a non-seed member — the op log keeps its sequencer and the
+// contract is about partitioned reads. RunProcSeedKill kills rank 0, the
+// authority, under sustained EMIT load, and asserts the succession contract
+// (DESIGN.md §15):
+//
+//	(a) the deterministic successor (rank 1) fences a new epoch and starts
+//	    acking writes within a bounded — and metrics-recorded — window;
+//	(b) no acked operation is lost or applied twice across the takeover:
+//	    the driving client rides the outage inside a single id-bearing
+//	    logical op per write, and every survivor's windows dedup to the
+//	    fault-free twin;
+//	(c) the ex-seed restarted from its stale durable state comes back
+//	    demoted: it resumes as a member under the successor's fenced epoch
+//	    instead of re-crowning itself from disk.
+
+// SeedKillReport is the outcome of one seed-kill run.
+type SeedKillReport struct {
+	SeedDeclaredDead   bool          // successor's detector reached Dead for rank 0
+	FailoverEpoch      uint64        // successor's epoch after the takeover (contract: >= 2)
+	FailoverAuthority  int           // rank the successor believes sequences now (contract: 1)
+	WriteUnavail       time.Duration // harness-observed: kill -9 to the next write ack
+	UnavailRecorded    bool          // successor's cluster_write_unavail_ns histogram saw the window
+	RecordedUnavailMax time.Duration // that histogram's max sample
+
+	ExSeedResumed bool   // restarted rank 0 is alive again in the successor's view
+	ExSeedDemoted bool   // ...and its own view agrees: authority is rank 1, epoch fenced
+	ExSeedEpoch   uint64 // epoch the restarted ex-seed converged to
+
+	Windows       map[rdf.Timestamp][]string // successor's polled deliveries
+	RejoinWindows map[rdf.Timestamp][]string // restarted ex-seed's deliveries
+	TwinWindows   map[rdf.Timestamp][]string // in-process fault-free twin's
+}
+
+// fetchMetricsJSON reads one daemon's /metrics endpoint as JSON.
+func fetchMetricsJSON(httpAddr string) (map[string]obs.JSONMetric, error) {
+	resp, err := http.Get("http://" + httpAddr + "/metrics?format=json")
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]obs.JSONMetric
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("chaos: bad /metrics json: %v", err)
+	}
+	return m, nil
+}
+
+// RunProcSeedKill executes one seed-kill run: spawn a durable cluster, drive
+// the scripted stream through the successor-to-be, kill -9 the authority
+// mid-script, measure the write-unavailability window, restart the ex-seed
+// from its stale data directory, and compare every survivor to the twin.
+func RunProcSeedKill(cfg ProcConfig) (*SeedKillReport, error) {
+	cfg = cfg.procDefaults()
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.WorkDir == "" {
+		return nil, fmt.Errorf("chaos: ProcConfig.WorkDir is required")
+	}
+	if cfg.Nodes < 3 {
+		return nil, fmt.Errorf("chaos: seed kill needs at least 3 daemons, got %d", cfg.Nodes)
+	}
+	if cfg.RestartAtBatch <= cfg.KillAtBatch || cfg.RestartAtBatch > cfg.Batches {
+		return nil, fmt.Errorf("chaos: RestartAtBatch %d must be inside (KillAtBatch, Batches]", cfg.RestartAtBatch)
+	}
+
+	bin, err := cfg.EnsureBin()
+	if err != nil {
+		return nil, err
+	}
+	ports, err := freePorts(3 * cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	daemons := make([]*procDaemon, cfg.Nodes)
+	for r := 0; r < cfg.Nodes; r++ {
+		daemons[r] = &procDaemon{
+			rank:     r,
+			addr:     fmt.Sprintf("127.0.0.1:%d", ports[3*r]),
+			wireAddr: fmt.Sprintf("127.0.0.1:%d", ports[3*r+1]),
+			httpAddr: fmt.Sprintf("127.0.0.1:%d", ports[3*r+2]),
+			dataDir:  filepath.Join(cfg.WorkDir, fmt.Sprintf("data-%d", r)),
+		}
+		if err := os.MkdirAll(daemons[r].dataDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	defer func() {
+		for _, d := range daemons {
+			d.kill9()
+		}
+	}()
+	for r := 0; r < cfg.Nodes; r++ {
+		if err := cfg.spawn(bin, daemons[r], daemons[0].wireAddr); err != nil {
+			return nil, err
+		}
+	}
+	logf("chaos: %d durable daemons up", cfg.Nodes)
+
+	// Drive everything through the successor-to-be. A generous unavailable
+	// budget keeps each write inside ONE id-bearing logical op, so a write
+	// that raced the takeover retries with the same id — the dedup table,
+	// not the harness, guarantees exactly-once.
+	seed := daemons[0]
+	successor := daemons[1]
+	cl, err := client.DialOptions(successor.addr, client.Options{
+		JitterSeed:         cfg.Seed,
+		UnavailableRetries: 400,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	if err := cl.Stream(StreamName, batchMS*time.Millisecond); err != nil {
+		return nil, err
+	}
+	qname, err := cl.Register(queryText)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &SeedKillReport{}
+	var killedAt time.Time
+	for b := 1; b <= cfg.Batches; b++ {
+		start := time.Now()
+		if err := cl.Emit(StreamName, scriptBatch(cfg.Seed, b, cfg.TuplesPerBatch)...); err != nil {
+			return nil, fmt.Errorf("chaos: emit batch %d: %w", b, err)
+		}
+		if !killedAt.IsZero() && rep.WriteUnavail == 0 {
+			// First write acked under the successor: the unavailability
+			// window spans death detection, fencing, and this op's commit.
+			rep.WriteUnavail = time.Since(killedAt)
+			_ = start
+			v, err := readClusterView(successor.addr, cfg.Timeout)
+			if err != nil {
+				return nil, err
+			}
+			rep.SeedDeclaredDead = v.states[0] == "dead"
+			rep.FailoverEpoch = v.epoch
+			rep.FailoverAuthority = v.auth
+			logf("chaos: writes resumed %v after kill (epoch %d, authority %d)",
+				rep.WriteUnavail, v.epoch, v.auth)
+			if m, err := fetchMetricsJSON(successor.httpAddr); err == nil {
+				for name, jm := range m {
+					if strings.HasSuffix(name, "cluster_write_unavail_ns") && jm.Histogram != nil && jm.Histogram.Count > 0 {
+						rep.UnavailRecorded = true
+						rep.RecordedUnavailMax = time.Duration(jm.Histogram.Max)
+					}
+				}
+			}
+		}
+		if _, err := cl.Advance(rdf.Timestamp(b * batchMS)); err != nil {
+			return nil, fmt.Errorf("chaos: advance batch %d: %w", b, err)
+		}
+		if b == cfg.KillAtBatch {
+			seed.kill9()
+			killedAt = time.Now()
+			logf("chaos: kill -9 the authority (rank 0) at batch %d", b)
+		}
+		if b == cfg.RestartAtBatch {
+			// The ex-seed comes back with its stale durable state. Resume
+			// must find the live fenced cluster and rejoin demoted — never
+			// re-crown itself from disk.
+			if err := cfg.spawn(bin, seed, successor.wireAddr); err != nil {
+				return nil, fmt.Errorf("chaos: restarting ex-seed: %w", err)
+			}
+			logf("chaos: ex-seed restarted from %s at batch %d", seed.dataDir, b)
+			if err := waitFor("ex-seed rejoined", cfg.Timeout, func() (bool, error) {
+				v, err := readClusterView(successor.addr, time.Second)
+				if err != nil {
+					return false, err
+				}
+				return v.states[0] == "alive", nil
+			}); err != nil {
+				return nil, err
+			}
+			rep.ExSeedResumed = true
+			if err := waitFor("ex-seed demoted under the fenced epoch", cfg.Timeout, func() (bool, error) {
+				v, err := readClusterView(seed.addr, time.Second)
+				if err != nil {
+					return false, err
+				}
+				rep.ExSeedEpoch = v.epoch
+				rep.ExSeedDemoted = v.auth == 1 && v.epoch >= rep.FailoverEpoch
+				return rep.ExSeedDemoted, nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Trailing boundaries flush the last windows; everyone converges on the
+	// successor's op log before the final polls.
+	if _, err := cl.Advance(rdf.Timestamp((cfg.Batches + 1) * batchMS)); err != nil {
+		return nil, err
+	}
+	if _, err := cl.Advance(rdf.Timestamp((cfg.Batches + 2) * batchMS)); err != nil {
+		return nil, err
+	}
+	refView, err := readClusterView(successor.addr, cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range daemons {
+		d := d
+		if d == nil || d.cmd == nil {
+			continue
+		}
+		if err := waitFor(fmt.Sprintf("daemon %d converged", d.rank), cfg.Timeout, func() (bool, error) {
+			v, err := readClusterView(d.addr, time.Second)
+			if err != nil {
+				return false, err
+			}
+			return v.seq >= refView.seq, nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	fires, err := cl.Poll(qname)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Windows, err = dedupWindows(fires); err != nil {
+		return nil, err
+	}
+	clS, err := client.DialOptions(seed.addr, client.Options{JitterSeed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	sfires, err := clS.Poll(qname)
+	clS.Close()
+	if err != nil {
+		return nil, err
+	}
+	if rep.RejoinWindows, err = dedupWindows(sfires); err != nil {
 		return nil, err
 	}
 	if rep.TwinWindows, err = runTwin(cfg); err != nil {

@@ -104,3 +104,60 @@ func assertWindowsEqual(t *testing.T, who string, got, want map[rdf.Timestamp][]
 		}
 	}
 }
+
+// TestProcSeedKillFailover is the PR-9 succession contract asserted across
+// real process boundaries: three durable wukongsd daemons form a TCP
+// cluster, the write AUTHORITY (rank 0) is kill -9ed under sustained EMIT
+// load, and rank 1 must fence a new epoch and resume acking writes within a
+// bounded, metrics-recorded window with nothing acked lost or doubled; the
+// ex-seed restarted from its stale data directory must come back demoted
+// under the fenced epoch. Runs in -short mode too (make chaos-proc): the
+// scenario IS the short configuration.
+func TestProcSeedKillFailover(t *testing.T) {
+	rep, err := RunProcSeedKill(ProcConfig{
+		Seed:          11,
+		WorkDir:       t.TempDir(),
+		SnapshotEvery: 64,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) deterministic fenced succession, within a bounded recorded window.
+	if !rep.SeedDeclaredDead {
+		t.Error("the killed authority was never declared dead by the successor's detector")
+	}
+	if rep.FailoverAuthority != 1 {
+		t.Errorf("post-failover authority = rank %d, want the deterministic successor rank 1", rep.FailoverAuthority)
+	}
+	if rep.FailoverEpoch < 2 {
+		t.Errorf("post-failover epoch = %d, want >= 2 (the takeover must fence)", rep.FailoverEpoch)
+	}
+	if rep.WriteUnavail <= 0 || rep.WriteUnavail > 10*time.Second {
+		t.Errorf("write-unavailability window %v is outside the bounded contract (0, 10s]", rep.WriteUnavail)
+	}
+	if !rep.UnavailRecorded {
+		t.Error("cluster_write_unavail_ns histogram recorded no samples for the outage")
+	} else if rep.RecordedUnavailMax <= 0 || rep.RecordedUnavailMax > rep.WriteUnavail {
+		t.Errorf("recorded unavailability max %v should be positive and inside the harness-observed %v",
+			rep.RecordedUnavailMax, rep.WriteUnavail)
+	}
+
+	// (c) the ex-seed resumes demoted, never re-crowning itself from disk.
+	if !rep.ExSeedResumed {
+		t.Error("restarted ex-seed never rejoined the successor's view")
+	}
+	if !rep.ExSeedDemoted {
+		t.Errorf("restarted ex-seed did not demote: epoch %d, want authority 1 at epoch >= %d",
+			rep.ExSeedEpoch, rep.FailoverEpoch)
+	}
+
+	// (b) nothing acked is lost or doubled: both the successor's deliveries
+	// and the resumed ex-seed's dedup to exactly the fault-free twin.
+	if len(rep.TwinWindows) == 0 {
+		t.Fatal("fault-free twin produced no windows")
+	}
+	assertWindowsEqual(t, "successor", rep.Windows, rep.TwinWindows)
+	assertWindowsEqual(t, "resumed ex-seed", rep.RejoinWindows, rep.TwinWindows)
+}

@@ -46,6 +46,13 @@ type Options struct {
 	// honoring the server's retry-after hint (default 2; negative disables —
 	// the caller gets the typed OverloadError immediately).
 	OverloadRetries int
+	// UnavailableRetries is how many times a server-reported peer failure
+	// ("-ERR unavailable retry-after=...", typically a write that raced a
+	// seed failover) is retried on the same connection after honoring the
+	// server's retry-after hint (default 4; negative disables). The server
+	// re-resolves the write authority on each attempt, and the id= token
+	// attached to every mutating request makes those retries exactly-once.
+	UnavailableRetries int
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +73,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.OverloadRetries == 0 {
 		o.OverloadRetries = 2
+	}
+	if o.UnavailableRetries == 0 {
+		o.UnavailableRetries = 4
 	}
 	return o
 }
@@ -154,7 +164,11 @@ var ErrUnavailable = errors.New("server unavailable")
 type UnavailableError struct {
 	Addr string
 	Op   string // the protocol command, or "remote" for server-reported peer failures
-	Err  error
+	// RetryAfter is the server's backoff hint on "remote" failures (zero
+	// when the server sent none): how long until a retry has a chance —
+	// typically the window for a seed failover to fence in a successor.
+	RetryAfter time.Duration
+	Err        error
 }
 
 func (e *UnavailableError) Error() string {
@@ -164,8 +178,30 @@ func (e *UnavailableError) Error() string {
 // Unwrap exposes both the ErrUnavailable sentinel and the underlying cause.
 func (e *UnavailableError) Unwrap() []error { return []error{ErrUnavailable, e.Err} }
 
-// unavailablePrefix is the server's typed peer-unreachable response.
-const unavailablePrefix = "-ERR unavailable: "
+// unavailablePrefix is the server's typed peer-unreachable response; a
+// "retry-after=<duration>" hint may follow the word "unavailable".
+const unavailablePrefix = "-ERR unavailable"
+
+// parseUnavailable decodes "-ERR unavailable: <reason>" and
+// "-ERR unavailable retry-after=<duration>: <reason>".
+func (c *Client) parseUnavailable(line string) (*UnavailableError, bool) {
+	rest, ok := strings.CutPrefix(line, unavailablePrefix)
+	if !ok {
+		return nil, false
+	}
+	ue := &UnavailableError{Addr: c.addr, Op: "remote"}
+	if hinted, ok := strings.CutPrefix(rest, " retry-after="); ok {
+		durStr, msg, _ := strings.Cut(hinted, ":")
+		if d, err := time.ParseDuration(strings.TrimSpace(durStr)); err == nil {
+			ue.RetryAfter = d
+		}
+		rest = msg
+	} else {
+		rest = strings.TrimPrefix(rest, ":")
+	}
+	ue.Err = errors.New(strings.TrimSpace(rest))
+	return ue, true
+}
 
 // parseOverload decodes "-ERR overload retry-after=<duration>: <reason>".
 func parseOverload(line string) (*OverloadError, bool) {
@@ -204,8 +240,21 @@ type Client struct {
 	w      *bufio.Writer
 	closed bool
 
+	// opSession + opSeq mint the per-request id= tokens: a random session
+	// tag (so two clients never collide) and a counter (so two ops from one
+	// client never collide). Retries of one logical op reuse its token —
+	// that is what makes a replayed write exactly-once cluster-side.
+	opSession uint64
+	opSeq     uint64
+
 	streams []streamReg
 	queries []*queryReg
+}
+
+// newOpID mints the exactly-once token for one logical mutating request.
+func (c *Client) newOpID() string {
+	c.opSeq++
+	return fmt.Sprintf("%x-%d", c.opSession, c.opSeq)
 }
 
 // Dial connects to a wukongsd server with default Options.
@@ -221,6 +270,7 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 		seed = time.Now().UnixNano()
 	}
 	c := &Client{addr: addr, opts: opts, rng: rand.New(rand.NewSource(seed))}
+	c.opSession = uint64(c.rng.Int63())
 	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, err
@@ -251,32 +301,58 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// do runs one request exchange: overload sheds back off per the server's
-// retry-after hint and retry on the same connection; connection failures
-// reconnect and retry (server "-ERR" responses are neither). Whatever
-// transport-level failure survives the retry budget is wrapped in a typed
-// UnavailableError so callers never see a raw net.OpError.
+// do runs one request exchange: overload sheds and server-reported peer
+// unavailability (a write racing a seed failover, typically) back off per
+// the server's retry-after hint and retry on the same connection;
+// connection failures reconnect and retry (server "-ERR" responses are
+// neither). Whatever transport-level failure survives the retry budget is
+// wrapped in a typed UnavailableError so callers never see a raw
+// net.OpError.
 func (c *Client) do(op string, fn func() error) error {
-	for try := 0; ; try++ {
+	overloadTries, unavailTries := 0, 0
+	for {
 		err := c.doConn(fn)
+		if err == nil {
+			return nil
+		}
 		var oe *OverloadError
-		if err == nil || !errors.As(err, &oe) {
+		var ue *UnavailableError
+		switch {
+		case errors.As(err, &oe):
+			if c.closed || c.opts.OverloadRetries < 0 || overloadTries >= c.opts.OverloadRetries {
+				return err
+			}
+			overloadTries++
+			c.backoffHint(oe.RetryAfter)
+		case errors.As(err, &ue) && ue.Op == "remote":
+			// The server itself is healthy but could not complete the op
+			// cluster-side — usually the write authority died and a
+			// successor is fencing in. The server re-resolves the authority
+			// on every attempt, so retrying the same bytes (with their id=
+			// token) is both useful and exactly-once.
+			if c.closed || c.opts.UnavailableRetries < 0 || unavailTries >= c.opts.UnavailableRetries {
+				return err
+			}
+			unavailTries++
+			c.backoffHint(ue.RetryAfter)
+		default:
 			return c.typed(op, err)
 		}
-		if c.closed || c.opts.OverloadRetries < 0 || try >= c.opts.OverloadRetries {
-			return err
-		}
-		// Honor the hint, jittered upward so synchronized producers do not
-		// all retry at the same instant, capped at MaxBackoff.
-		d := oe.RetryAfter
-		if d <= 0 {
-			d = c.opts.BaseBackoff
-		}
-		if d > c.opts.MaxBackoff {
-			d = c.opts.MaxBackoff
-		}
-		time.Sleep(d + time.Duration(c.rng.Int63n(int64(d/4)+1)))
 	}
+}
+
+// backoffHint sleeps the server's retry-after hint (or the base backoff),
+// jittered upward so synchronized producers do not all retry at the same
+// instant, capped at MaxBackoff.
+func (c *Client) backoffHint(hint time.Duration) {
+	d := hint
+	if d <= 0 {
+		d = c.opts.BaseBackoff
+	}
+	if d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	time.Sleep(d + time.Duration(c.rng.Int63n(int64(d/4)+1)))
 }
 
 // typed wraps raw transport failures in UnavailableError at the client
@@ -442,9 +518,8 @@ func (c *Client) status() (string, error) {
 	if pd, ok := parsePartitionDown(line); ok {
 		return "", pd
 	}
-	if strings.HasPrefix(line, unavailablePrefix) {
-		return "", &UnavailableError{Addr: c.addr, Op: "remote",
-			Err: errors.New(strings.TrimPrefix(line, unavailablePrefix))}
+	if ue, ok := c.parseUnavailable(line); ok {
+		return "", ue
 	}
 	if strings.HasPrefix(line, "-ERR ") {
 		return "", &ServerError{Msg: strings.TrimPrefix(line, "-ERR ")}
@@ -494,8 +569,9 @@ func (c *Client) Load(ntriples string) (int, error) {
 		return 0, err
 	}
 	var n int
+	cmd := "LOAD id=" + c.newOpID()
 	err := c.do("LOAD", func() error {
-		if err := c.send("LOAD"); err != nil {
+		if err := c.send(cmd); err != nil {
 			return err
 		}
 		if err := c.sendBlock(ntriples); err != nil {
@@ -532,8 +608,11 @@ func (c *Client) Stream(name string, interval time.Duration, timingPreds ...stri
 	return err
 }
 
-// Emit pushes tuples into a stream. A retried Emit may deliver tuples twice
-// (at-least-once); the engine's window-granularity dedup absorbs this.
+// Emit pushes tuples into a stream. Every Emit carries a fresh id= token,
+// reused across its own retries: a clustered server dedups on it, so a
+// retried Emit lands exactly once; a standalone daemon ignores the token and
+// keeps the at-least-once contract the engine's window-granularity dedup
+// absorbs.
 func (c *Client) Emit(stream string, tuples ...rdf.Tuple) error {
 	var b strings.Builder
 	for i, tu := range tuples {
@@ -545,8 +624,9 @@ func (c *Client) Emit(stream string, tuples ...rdf.Tuple) error {
 	if err := checkBlock(b.String()); err != nil {
 		return err
 	}
+	cmd := "EMIT " + stream + " id=" + c.newOpID()
 	return c.do("EMIT", func() error {
-		if err := c.send("EMIT " + stream); err != nil {
+		if err := c.send(cmd); err != nil {
 			return err
 		}
 		if err := c.sendBlock(b.String()); err != nil {
@@ -615,8 +695,9 @@ func (c *Client) Register(text string) (string, error) {
 		return "", err
 	}
 	var name string
+	cmd := "REGISTER id=" + c.newOpID()
 	err := c.do("REGISTER", func() error {
-		if err := c.send("REGISTER"); err != nil {
+		if err := c.send(cmd); err != nil {
 			return err
 		}
 		if err := c.sendBlock(text); err != nil {

@@ -1,8 +1,12 @@
 package client
 
 import (
+	"bufio"
+	"errors"
+	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -280,5 +284,120 @@ func TestClientExplain(t *testing.T) {
 	}
 	if _, err := c.Explain("garbage"); err == nil {
 		t.Error("bad explain accepted")
+	}
+}
+
+// TestClientUnavailableRetryAfter: a write that races a seed failover gets
+// "-ERR unavailable retry-after=..."; the client must honor the hint, retry
+// the same bytes (same id= token), and succeed once the successor fences in.
+func TestClientUnavailableRetryAfter(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var mu sync.Mutex
+	var advanceCmds []string
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		sc := bufio.NewScanner(conn)
+		fails := 2
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "ADVANCE") {
+				continue
+			}
+			mu.Lock()
+			advanceCmds = append(advanceCmds, line)
+			mu.Unlock()
+			if fails > 0 {
+				fails--
+				fmt.Fprintf(conn, "-ERR unavailable retry-after=5ms: forward ADVANCE: authority moved\n")
+				continue
+			}
+			fmt.Fprintf(conn, "+OK now 1000\n")
+		}
+	}()
+	c, err := DialOptions(ln.Addr().String(), Options{JitterSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	now, err := c.Advance(1000)
+	if err != nil {
+		t.Fatalf("advance across unavailability: %v", err)
+	}
+	if now != 1000 {
+		t.Fatalf("now = %d", now)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("retries took %v, retry-after hint not honored", d)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(advanceCmds) != 3 {
+		t.Fatalf("server saw %d ADVANCE attempts, want 3", len(advanceCmds))
+	}
+	for _, cmd := range advanceCmds[1:] {
+		if cmd != advanceCmds[0] {
+			t.Fatalf("retry changed the request: %q vs %q", cmd, advanceCmds[0])
+		}
+	}
+}
+
+// TestClientUnavailableRetryBudget: the retry budget is finite and the typed
+// error (with its hint) surfaces once it is spent.
+func TestClientUnavailableRetryBudget(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		sc := bufio.NewScanner(conn)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "ADVANCE") {
+				fmt.Fprintf(conn, "-ERR unavailable retry-after=1ms: no authority\n")
+			}
+		}
+	}()
+	c, err := DialOptions(ln.Addr().String(), Options{JitterSeed: 1, UnavailableRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Advance(5)
+	if err == nil {
+		t.Fatal("exhausted retries reported success")
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	var ue *UnavailableError
+	if !errors.As(err, &ue) || ue.RetryAfter != time.Millisecond {
+		t.Fatalf("retry-after hint lost: %v", err)
+	}
+}
+
+// TestClientOpIDsUnique: every mutating request carries a distinct id= token.
+func TestClientOpIDsUnique(t *testing.T) {
+	c := &Client{opSession: 7}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := c.newOpID()
+		if seen[id] {
+			t.Fatalf("duplicate op id %q", id)
+		}
+		seen[id] = true
 	}
 }

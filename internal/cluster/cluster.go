@@ -26,9 +26,22 @@
 //     fresh engine, and re-fires every window exactly once (the dedup
 //     contract: fresh POLL buffers, deterministic replay).
 //
-// Replication losses self-heal two ways: the seed's broadcast retries
+// Replication losses self-heal two ways: the authority's broadcast retries
 // transient drops through flow.Sender, and a member that observes a sequence
-// gap fetches the missing range from the seed before applying (SYNC).
+// gap fetches the missing range from the sender before applying (SYNC).
+//
+// Write authority is survivable (DESIGN.md §15). The sequencer is not
+// pinned to rank 0: when the membership detector declares the current
+// authority dead, the lowest live rank assumes authority, reconciles to the
+// highest applied sequence among live members, and fences the old authority
+// out by sequencing an EPOCH op at epoch+1. Every op carries the epoch it
+// was sequenced under; replicas reject broadcast ops from older epochs, so
+// a zombie ex-authority can neither sequence nor replicate stale ops. All
+// ranks keep the bounded in-memory oplog (any live member can serve SYNC),
+// and a daemon with a data directory also keeps a segmented CRC32C-framed
+// durable oplog plus periodic engine snapshots, so a restart recovers from
+// disk and a member too far behind catches up by snapshot transfer instead
+// of full replay.
 package cluster
 
 import (
@@ -46,6 +59,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/member"
 	"repro/internal/obs"
+	"repro/internal/oplog"
 	"repro/internal/rdf"
 	"repro/internal/stream"
 	"repro/internal/trace"
@@ -56,14 +70,42 @@ import (
 // with -listen and no -join; everything else joins through it.
 const SeedRank fabric.NodeID = 0
 
-// maxOplog bounds the replication log. A joiner that needs ops older than
-// the window cannot be brought up by replay and is refused (it must restart
-// from scratch once log compaction exists; see DESIGN.md §12).
-const maxOplog = 65536
+// DefaultMaxOplog bounds the in-memory replication log. A joiner that needs
+// ops older than the window is served ErrLogCompacted and converges through
+// snapshot transfer instead of replay (DESIGN.md §15).
+const DefaultMaxOplog = 65536
+
+// dedupCap bounds the replicated id→reply table that makes client write
+// retries exactly-once. Entries evict FIFO; a client that retries an op id
+// more than dedupCap acked writes later re-executes, which the id scheme
+// treats as a fresh op.
+const dedupCap = 8192
 
 // ErrUnavailable is the base error for cluster operations that failed
-// because a required peer (usually the seed) is unreachable.
+// because a required peer (usually the write authority) is unreachable.
 var ErrUnavailable = errors.New("cluster: unavailable")
+
+// ErrNotAuthority reports a sequencing request served by a daemon that is
+// not the current write authority (it lost a failover race, or the caller's
+// routing is stale). The caller should re-resolve and retry.
+var ErrNotAuthority = errors.New("cluster: not the write authority")
+
+// ErrLogCompacted reports a SYNC that asked for ops already compacted out of
+// the serving member's window. The requester cannot converge by replay; it
+// must catch up by snapshot transfer.
+var ErrLogCompacted = errors.New("cluster: log compacted")
+
+// IsLogCompacted reports whether err is ErrLogCompacted, including the
+// wire-flattened form (remote errors cross TCP as text).
+func IsLogCompacted(err error) bool {
+	return err != nil && (errors.Is(err, ErrLogCompacted) || strings.Contains(err.Error(), "log compacted"))
+}
+
+// IsNotAuthority reports whether err is ErrNotAuthority, including the
+// wire-flattened form.
+func IsNotAuthority(err error) bool {
+	return err != nil && (errors.Is(err, ErrNotAuthority) || strings.Contains(err.Error(), "not the write authority"))
+}
 
 // UnavailableError reports which peer an operation needed and why it failed.
 type UnavailableError struct {
@@ -146,6 +188,23 @@ type Config struct {
 	LocalStats func() string
 	// Logf may be nil.
 	Logf func(format string, args ...any)
+
+	// DataDir, when set, enables oplog durability: every applied op is
+	// appended to a segmented CRC32C-framed log under this directory, and
+	// periodic engine snapshots make compaction and restart recovery safe.
+	DataDir string
+	// SnapshotEvery is the op cadence between durable snapshots (default
+	// 4096; only meaningful with DataDir). A due snapshot is deferred until
+	// the engine is quiescent (no pending emits, see Engine.PendingEmits).
+	SnapshotEvery int
+	// SegmentOps caps ops per durable log segment (oplog.DefaultSegmentOps
+	// when zero).
+	SegmentOps int
+	// NoSync skips fsync on durable appends (tests only).
+	NoSync bool
+	// MaxOplog bounds the in-memory replication log (DefaultMaxOplog when
+	// zero). Tests shrink it to exercise compaction catch-up.
+	MaxOplog int
 }
 
 // Node is one daemon's cluster brain: the transport handler, the replication
@@ -167,13 +226,29 @@ type Node struct {
 
 	// mu guards the replicated bookkeeping below. Never held across engine
 	// or transport calls.
-	mu       sync.Mutex
-	oplog    [][]byte // encoded ops; oplog[i] has seq base+i
-	base     uint64   // seq of oplog[0] (1 when nothing discarded)
-	nextSeq  uint64   // seed: next seq to assign
-	applied  uint64   // highest seq applied locally
-	members  []string // rank → advertised addr ("" unknown)
-	reserved []string // seed: rank → addr promised by Discover, not yet joined
+	mu        sync.Mutex
+	oplog     [][]byte // encoded ops; oplog[i] has seq base+i
+	base      uint64   // seq of oplog[0] (1 when nothing discarded)
+	nextSeq   uint64   // authority: next seq to assign
+	applied   uint64   // highest seq applied locally
+	members   []string // rank → advertised addr ("" unknown)
+	reserved  []string // authority: rank → addr promised by Discover, not yet joined
+	epoch     uint64   // current authority epoch (raised only by EPOCH ops)
+	authority fabric.NodeID
+	dedup     map[string]dedupEntry // op id → acked (seq, reply)
+	dedupRing []string              // FIFO eviction order for dedup
+
+	maxOplog int
+	dlog     *oplog.Log // durable log; nil without DataDir
+
+	opsSinceSnap int        // ops applied since the last durable snapshot
+	snapMu       sync.Mutex // guards the cached snapshot served to peers
+	snapSeq      uint64     // applied seq the cached snapshot covers
+	snapEpoch    uint64
+	snapPayload  []byte
+
+	catching   atomic.Bool // mid snapshot-transfer / large sync (healthz)
+	takingOver atomic.Bool // one authority takeover attempt at a time
 
 	// outbox holds the payload the retrying sender's attempt closure ships;
 	// written under applyMu immediately before each Send. outboxTC carries
@@ -194,6 +269,19 @@ type Node struct {
 	cRemoteQ   *obs.Counter
 	cScatterQ  *obs.Counter
 	cPartDown  *obs.Counter
+
+	cFailover     *obs.Counter   // seed_failover_total
+	cStaleEpoch   *obs.Counter   // cluster_stale_epoch_rejected_total
+	cSnapBytes    *obs.Counter   // snapshot_bytes_total
+	cSnapXfers    *obs.Counter   // snapshot_transfers_total
+	cSnapDeferred *obs.Counter   // snapshot_deferred_total
+	hUnavail      *obs.Histogram // cluster_write_unavail_ns
+}
+
+// dedupEntry is one acked write in the replicated exactly-once table.
+type dedupEntry struct {
+	seq   uint64
+	reply string
 }
 
 func (c Config) heartbeat() time.Duration {
@@ -213,20 +301,24 @@ func newNode(cfg Config) (*Node, error) {
 	}
 	r := cfg.Metrics
 	n := &Node{
-		cfg:      cfg,
-		t:        cfg.Transport,
-		self:     cfg.Self,
-		nodes:    nodes,
-		eng:      cfg.Engine,
-		tracer:   cfg.Tracer,
-		base:     1,
-		nextSeq:  1,
-		members:  make([]string, nodes),
-		reserved: make([]string, nodes),
-		outbox:   make([][]byte, nodes),
-		outboxTC: make([]trace.Context, nodes),
-		stop:     make(chan struct{}),
-		start:    time.Now(),
+		cfg:       cfg,
+		t:         cfg.Transport,
+		self:      cfg.Self,
+		nodes:     nodes,
+		eng:       cfg.Engine,
+		tracer:    cfg.Tracer,
+		base:      1,
+		nextSeq:   1,
+		epoch:     1,
+		authority: SeedRank,
+		members:   make([]string, nodes),
+		reserved:  make([]string, nodes),
+		dedup:     make(map[string]dedupEntry),
+		maxOplog:  cfg.MaxOplog,
+		outbox:    make([][]byte, nodes),
+		outboxTC:  make([]trace.Context, nodes),
+		stop:      make(chan struct{}),
+		start:     time.Now(),
 
 		cApplied:   r.Counter("cluster_ops_applied_total"),
 		cForwarded: r.Counter("cluster_ops_forwarded_total"),
@@ -236,6 +328,31 @@ func newNode(cfg Config) (*Node, error) {
 		cRemoteQ:   r.Counter("cluster_queries_forwarded_total"),
 		cScatterQ:  r.Counter("cluster_queries_scattered_total"),
 		cPartDown:  r.Counter("cluster_queries_partition_down_total"),
+
+		cFailover:     r.Counter("seed_failover_total"),
+		cStaleEpoch:   r.Counter("cluster_stale_epoch_rejected_total"),
+		cSnapBytes:    r.Counter("snapshot_bytes_total"),
+		cSnapXfers:    r.Counter("snapshot_transfers_total"),
+		cSnapDeferred: r.Counter("snapshot_deferred_total"),
+		hUnavail:      r.Histogram("cluster_write_unavail_ns", nil),
+	}
+	if n.maxOplog <= 0 {
+		n.maxOplog = DefaultMaxOplog
+	}
+	r.GaugeFunc("authority_epoch", func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return int64(n.epoch)
+	})
+	if cfg.DataDir != "" {
+		dl, err := oplog.Open(cfg.DataDir, oplog.Options{SegmentOps: cfg.SegmentOps, NoSync: cfg.NoSync})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: open durable oplog: %w", err)
+		}
+		n.dlog = dl
+	}
+	if tcp, ok := cfg.Transport.(*wire.TCP); ok {
+		tcp.SetEpoch(1)
 	}
 	n.snd = flow.NewSenderOver(nodes, n.attemptSend, flow.SenderConfig{Seed: cfg.FlowSeed}, r)
 	sa := cfg.SuspectAfter
@@ -253,7 +370,12 @@ func newNode(cfg Config) (*Node, error) {
 		HasSelf:             true,
 		Self:                n.self,
 	}, member.Hooks{
-		OnDead:   func(m fabric.NodeID) { n.logf("member %d declared dead", m) },
+		OnDead: func(m fabric.NodeID) {
+			n.logf("member %d declared dead", m)
+			if m == n.currentAuthority() {
+				go n.maybeAssumeAuthority()
+			}
+		},
 		OnRejoin: func(m fabric.NodeID) { n.logf("member %d rejoined", m) },
 	}, r)
 	cfg.Transport.SetHandler(cfg.Self, n)
@@ -271,7 +393,7 @@ func NewSeed(cfg Config) (*Node, error) {
 	n.mu.Lock()
 	n.members[SeedRank] = cfg.SelfAddr
 	n.mu.Unlock()
-	if _, err := n.sequence(trace.Context{}, "MEMBER", []string{"0", cfg.SelfAddr}, ""); err != nil {
+	if _, _, err := n.sequence(trace.Context{}, "", "MEMBER", []string{"0", cfg.SelfAddr}, ""); err != nil {
 		return nil, err
 	}
 	n.startTicker()
@@ -319,12 +441,20 @@ func Join(cfg Config) (*Node, error) {
 		if rank != int(cfg.Self) || nodes != n.nodes {
 			return nil, fmt.Errorf("cluster: seed assigned rank %d/%d nodes, we are %d/%d", rank, nodes, cfg.Self, n.nodes)
 		}
-		if err := n.syncRange(1, latest); err != nil {
-			joinErr = err
-			if errors.Is(err, ErrUnavailable) {
-				continue
+		if err := n.syncRange(SeedRank, 1, latest); err != nil {
+			if IsLogCompacted(err) {
+				// Too far behind the seed's window for replay: converge by
+				// snapshot transfer plus the incremental tail.
+				if err := n.catchUpFromSnapshot(SeedRank); err != nil {
+					return nil, err
+				}
+			} else {
+				joinErr = err
+				if errors.Is(err, ErrUnavailable) {
+					continue
+				}
+				return nil, err
 			}
-			return nil, err
 		}
 		joinErr = nil
 		break
@@ -369,9 +499,15 @@ func Discover(seedAddr, advertise string, timeout time.Duration) (rank, nodes in
 	return rank, nodes, nil
 }
 
-// Close stops the ticker. The transport and engine belong to the caller.
+// Close stops the ticker and the durable log. The transport and engine
+// belong to the caller.
 func (n *Node) Close() {
-	n.stopOnce.Do(func() { close(n.stop) })
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		if n.dlog != nil {
+			n.dlog.Close()
+		}
+	})
 }
 
 // Self returns this daemon's rank.
@@ -388,6 +524,45 @@ func (n *Node) Applied() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.applied
+}
+
+// Epoch returns the current authority epoch this daemon has seen.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// currentAuthority returns the rank this daemon believes is the sequencer.
+func (n *Node) currentAuthority() fabric.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.authority
+}
+
+// Authority is the exported form of currentAuthority.
+func (n *Node) Authority() fabric.NodeID { return n.currentAuthority() }
+
+// Status reports this daemon's serving state for health checks:
+// "ready", "catching-up" (mid snapshot transfer or bulk sync), or
+// "no-authority" (the sequencer is dead and this daemon is not in line to
+// replace it yet — writes will stall until a successor fences in).
+func (n *Node) Status() string {
+	if n.catching.Load() {
+		return "catching-up"
+	}
+	auth := n.currentAuthority()
+	if auth != n.self && n.det.State(auth) == member.Dead {
+		return "no-authority"
+	}
+	return "ready"
+}
+
+// stateReply renders the STATE verb: the peer-visible succession facts.
+func (n *Node) stateReply() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return fmt.Sprintf("EPOCH %d AUTH %d SEQ %d FIRST %d", n.epoch, int(n.authority), n.applied, n.base)
 }
 
 func (n *Node) logf(format string, args ...any) {
@@ -411,30 +586,42 @@ func (n *Node) startTicker() {
 				return
 			case <-t.C:
 				n.det.Tick(time.Since(n.start).Milliseconds())
-				if n.self != SeedRank {
+				if auth := n.currentAuthority(); auth != n.self {
 					go n.antiEntropy()
+					// Belt and braces next to the OnDead hook: succession
+					// also fires if this daemon booted after the authority
+					// died (it never saw the transition).
+					if n.det.State(auth) == member.Dead {
+						go n.maybeAssumeAuthority()
+					}
 				}
 			}
 		}
 	}()
 }
 
-// antiEntropy is a member's periodic pull against the seed's op log. The
-// broadcast path is one-way: an op the seed ships while this member's wire
-// path is still healing (right after a restart, say) is retried a few times
-// and then gone, and gap repair only triggers on RECEIPT of a later op — a
-// finite op stream can strand a member one broadcast behind forever. The
-// fix is to make the member ask: each detector tick it fetches the seed's
-// applied sequence (the MEMBERS reply leads with "SEQ <n>") and SYNCs any
-// shortfall. Seed rank never pulls (it is the log).
+// antiEntropy is a member's periodic pull against the authority's op log.
+// The broadcast path is one-way: an op the authority ships while this
+// member's wire path is still healing (right after a restart, say) is
+// retried a few times and then gone, and gap repair only triggers on
+// RECEIPT of a later op — a finite op stream can strand a member one
+// broadcast behind forever. The fix is to make the member ask: each
+// detector tick it fetches the authority's applied sequence (the MEMBERS
+// reply leads with "SEQ <n>") and SYNCs any shortfall. The authority never
+// pulls (it is the log). A shortfall past the authority's compaction window
+// converges through snapshot transfer instead.
 func (n *Node) antiEntropy() {
 	if !n.aeBusy.CompareAndSwap(false, true) {
 		return
 	}
 	defer n.aeBusy.Store(false)
-	resp, err := n.call(SeedRank, "MEMBERS", "", "anti-entropy")
+	auth := n.currentAuthority()
+	if auth == n.self {
+		return
+	}
+	resp, err := n.call(auth, "MEMBERS", "", "anti-entropy")
 	if err != nil {
-		return // seed unreachable: the detector is already tracking that
+		return // authority unreachable: the detector is already tracking that
 	}
 	head, _ := splitLine(resp)
 	f := strings.Fields(head)
@@ -446,14 +633,22 @@ func (n *Node) antiEntropy() {
 		return
 	}
 	n.applyMu.Lock()
-	defer n.applyMu.Unlock()
 	n.mu.Lock()
 	applied := n.applied
 	n.mu.Unlock()
+	var syncErr error
 	if latest > applied {
-		if err := n.syncRangeLocked(applied+1, latest); err != nil {
-			n.logf("anti-entropy [%d,%d]: %v", applied+1, latest, err)
+		syncErr = n.syncRangeLocked(auth, applied+1, latest)
+	}
+	n.applyMu.Unlock()
+	if syncErr != nil {
+		if IsLogCompacted(syncErr) {
+			if err := n.catchUpFromSnapshot(auth); err != nil {
+				n.logf("snapshot catch-up from %d: %v", auth, err)
+			}
+			return
 		}
+		n.logf("anti-entropy [%d,%d]: %v", applied+1, latest, syncErr)
 	}
 }
 
@@ -477,13 +672,23 @@ func (v vantage) Heartbeat(from, to fabric.NodeID) error {
 }
 
 // ---------------------------------------------------------------------------
-// Op encoding. One op is a text header line "OP <seq> <KIND> [args...]"
-// followed by the raw body (N-Triples, tuple lines, or query text).
+// Op encoding. One op is a text header line
+// "OP <seq> <epoch> <id|-> <KIND> [args...]" followed by the raw body
+// (N-Triples, tuple lines, or query text). The epoch is the authority epoch
+// the op was sequenced under (the fencing token); the id is the client's
+// exactly-once token ("-" when absent).
 
-func encodeOp(seq uint64, kind string, args []string, body string) []byte {
+func encodeOp(seq, epoch uint64, id, kind string, args []string, body string) []byte {
+	if id == "" {
+		id = "-"
+	}
 	var b bytes.Buffer
 	b.WriteString("OP ")
 	b.WriteString(strconv.FormatUint(seq, 10))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(epoch, 10))
+	b.WriteByte(' ')
+	b.WriteString(id)
 	b.WriteByte(' ')
 	b.WriteString(kind)
 	for _, a := range args {
@@ -495,17 +700,35 @@ func encodeOp(seq uint64, kind string, args []string, body string) []byte {
 	return b.Bytes()
 }
 
-func decodeOp(p []byte) (seq uint64, kind string, args []string, body string, err error) {
+func decodeOp(p []byte) (seq, epoch uint64, id, kind string, args []string, body string, err error) {
 	head, rest := splitLine(string(p))
 	f := strings.Fields(head)
-	if len(f) < 3 || f[0] != "OP" {
-		return 0, "", nil, "", fmt.Errorf("cluster: malformed op header %q", head)
+	if len(f) < 5 || f[0] != "OP" {
+		return 0, 0, "", "", nil, "", fmt.Errorf("cluster: malformed op header %q", head)
 	}
 	seq, err = strconv.ParseUint(f[1], 10, 64)
 	if err != nil {
-		return 0, "", nil, "", fmt.Errorf("cluster: bad op seq %q", f[1])
+		return 0, 0, "", "", nil, "", fmt.Errorf("cluster: bad op seq %q", f[1])
 	}
-	return seq, f[2], f[3:], rest, nil
+	epoch, err = strconv.ParseUint(f[2], 10, 64)
+	if err != nil {
+		return 0, 0, "", "", nil, "", fmt.Errorf("cluster: bad op epoch %q", f[2])
+	}
+	id = f[3]
+	if id == "-" {
+		id = ""
+	}
+	return seq, epoch, id, f[4], f[5:], rest, nil
+}
+
+// splitID strips a trailing "id=<token>" argument — the client's
+// exactly-once token, carried in-band through the text protocol so every
+// hop (server parse, FWD relay) forwards it without special plumbing.
+func splitID(args []string) (id string, rest []string) {
+	if len(args) > 0 && strings.HasPrefix(args[len(args)-1], "id=") {
+		return strings.TrimPrefix(args[len(args)-1], "id="), args[:len(args)-1]
+	}
+	return "", args
 }
 
 func splitLine(s string) (first, rest string) {
@@ -523,62 +746,166 @@ func firstLine(s string) string {
 // ---------------------------------------------------------------------------
 // Seed: sequencing + broadcast.
 
-// Forward executes one state-mutating op cluster-wide: the seed sequences
-// and applies it; members relay to the seed and return its reply. This is
-// the single write path — the server's LOAD/STREAM/EMIT/ADVANCE/REGISTER
-// commands all land here in cluster mode.
+// ForwardTimeout bounds one Forward's retry loop across authority loss: the
+// recorded write-unavailability window can be at most this long before the
+// write fails back to the client with a retry-after hint.
+const ForwardTimeout = 15 * time.Second
+
+// forwardAckTimeout bounds how long a forwarding member waits for the
+// sequenced op to apply locally before acking the client. An op acked here
+// exists on at least two daemons (the authority's log and this replica), so
+// a single crash cannot lose it.
+const forwardAckTimeout = 5 * time.Second
+
+// Forward executes one state-mutating op cluster-wide: the authority
+// sequences and applies it; members relay to the authority, wait for the op
+// to apply locally, and return the reply. This is the single write path —
+// the server's LOAD/STREAM/EMIT/ADVANCE/REGISTER commands all land here in
+// cluster mode. A trailing "id=<token>" argument is the client's
+// exactly-once token: retries of an already-acked id return the cached
+// reply without re-sequencing.
 func (n *Node) Forward(kind string, args []string, body string) (string, error) {
 	return n.ForwardTraced(trace.Context{}, kind, args, body)
 }
 
 // ForwardTraced is Forward attached to a caller's trace: the member-side
 // hop records a cluster.forward span whose context crosses the wire, so the
-// seed's sequencing spans link under it.
+// authority's sequencing spans link under it. On authority loss it
+// re-resolves (lowest live rank) and retries until the successor fences in,
+// recording the client-observed write-unavailability window.
 func (n *Node) ForwardTraced(tc trace.Context, kind string, args []string, body string) (string, error) {
 	if !tc.Valid() && n.tracer != nil {
 		root := n.tracer.StartRoot("cluster.op")
 		tc = root.Context()
 		defer root.End()
 	}
-	if n.self == SeedRank {
-		return n.sequence(tc, kind, args, body)
+	id, bare := splitID(args)
+	deadline := time.Now().Add(ForwardTimeout)
+	var unavailSince time.Time
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if time.Now().After(deadline) {
+				if lastErr != nil {
+					return "", lastErr
+				}
+				return "", &UnavailableError{Node: n.currentAuthority(), Op: "forward " + kind, Err: errors.New("authority unavailable")}
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		target := n.resolveAuthority()
+		var reply string
+		var err error
+		if target == n.self {
+			reply, _, err = n.sequence(tc, id, kind, bare, body)
+		} else {
+			reply, err = n.forwardRemote(tc, target, id, kind, bare, body)
+		}
+		switch {
+		case err == nil:
+			if !unavailSince.IsZero() && n.hUnavail != nil {
+				n.hUnavail.Observe(time.Since(unavailSince))
+			}
+			return reply, nil
+		case errors.Is(err, ErrUnavailable), IsNotAuthority(err):
+			// The authority is gone or moved: start (or continue) the
+			// unavailability window and retry against the re-resolved rank.
+			if unavailSince.IsZero() {
+				unavailSince = time.Now()
+			}
+			lastErr = err
+			continue
+		default:
+			return "", err
+		}
 	}
+}
+
+// forwardRemote relays one op to the authority and waits until this replica
+// has applied the acked sequence, so the committed op exists here before
+// the client hears "ok".
+func (n *Node) forwardRemote(tc trace.Context, target fabric.NodeID, id, kind string, args []string, body string) (string, error) {
 	n.cForwarded.Inc()
 	req := "FWD " + kind
 	if len(args) > 0 {
 		req += " " + strings.Join(args, " ")
 	}
+	if id != "" {
+		req += " id=" + id
+	}
 	sp := n.tracer.Start(tc, "cluster.forward")
-	reply, err := n.callTraced(SeedRank, req, body, "forward "+kind, sp.Context())
+	resp, err := n.callTraced(target, req, body, "forward "+kind, sp.Context())
 	sp.EndErr(err)
-	return reply, err
+	if err != nil {
+		return "", err
+	}
+	head, reply := splitLine(resp)
+	var seq uint64
+	if _, err := fmt.Sscanf(head, "SEQ %d", &seq); err != nil {
+		return "", fmt.Errorf("cluster: bad FWD ack %q", head)
+	}
+	if !n.waitApplied(seq, forwardAckTimeout) {
+		// Committed at the authority but not yet replicated here; the
+		// client's id-bearing retry returns the cached reply once it lands.
+		return "", &UnavailableError{Node: target, Op: "forward " + kind, Err: fmt.Errorf("op %d not replicated locally in %v", seq, forwardAckTimeout)}
+	}
+	return reply, nil
 }
 
-// sequence assigns the next op sequence number, applies the op locally, logs
-// it, and replicates it to every member — all under applyMu, so the op order
-// members observe is the apply order.
-func (n *Node) sequence(tc trace.Context, kind string, args []string, body string) (string, error) {
+// waitApplied blocks until this replica has applied seq (true) or the
+// timeout passes (false).
+func (n *Node) waitApplied(seq uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		n.mu.Lock()
+		ok := n.applied >= seq
+		n.mu.Unlock()
+		if ok {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// sequence assigns the next op sequence number, applies the op locally,
+// logs it (in memory and, with a data dir, durably), and replicates it to
+// every member — all under applyMu, so the op order members observe is the
+// apply order. Only the current authority may sequence; an already-acked op
+// id short-circuits to the cached reply.
+func (n *Node) sequence(tc trace.Context, id, kind string, args []string, body string) (string, uint64, error) {
 	n.applyMu.Lock()
 	defer n.applyMu.Unlock()
 	n.mu.Lock()
+	if n.authority != n.self {
+		n.mu.Unlock()
+		return "", 0, ErrNotAuthority
+	}
+	if id != "" {
+		if e, ok := n.dedup[id]; ok {
+			n.mu.Unlock()
+			n.cDupOps.Inc()
+			return e.reply, e.seq, nil
+		}
+	}
 	seq := n.nextSeq
 	n.mu.Unlock()
 	spApply := n.tracer.Start(tc, "seed.apply")
-	reply, err := n.applyLocked(seq, kind, args, body)
+	reply, err := n.applyLocked(seq, id, kind, args, body)
 	spApply.EndErr(err)
 	if err != nil {
 		// The op never happened: no seq consumed, nothing replicated.
-		return "", err
+		return "", 0, err
 	}
-	enc := encodeOp(seq, kind, args, body)
+	// Encode after applying: an EPOCH op raises n.epoch during apply and
+	// must carry the new epoch (that is the fence).
 	n.mu.Lock()
-	n.nextSeq = seq + 1
-	n.oplog = append(n.oplog, enc)
-	if len(n.oplog) > maxOplog {
-		drop := len(n.oplog) - maxOplog
-		n.oplog = append(n.oplog[:0:0], n.oplog[drop:]...)
-		n.base += uint64(drop)
-	}
+	enc := encodeOp(seq, n.epoch, id, kind, args, body)
+	n.mu.Unlock()
+	n.recordLocked(seq, kind, enc)
+	n.mu.Lock()
 	targets := make([]fabric.NodeID, 0, n.nodes)
 	for r := 0; r < n.nodes; r++ {
 		if fabric.NodeID(r) != n.self && n.members[r] != "" {
@@ -596,7 +923,30 @@ func (n *Node) sequence(tc trace.Context, kind string, args []string, body strin
 		_ = n.snd.Send(n.self, to, len(enc))
 	}
 	spRepl.End()
-	return reply, nil
+	return reply, seq, nil
+}
+
+// recordLocked appends one applied op to the in-memory oplog (trimming past
+// MaxOplog), to the durable log when one is open, and advances nextSeq.
+// Caller holds applyMu. It also drives the durable snapshot cadence.
+func (n *Node) recordLocked(seq uint64, kind string, enc []byte) {
+	n.mu.Lock()
+	if seq >= n.nextSeq {
+		n.nextSeq = seq + 1
+	}
+	n.oplog = append(n.oplog, enc)
+	if len(n.oplog) > n.maxOplog {
+		drop := len(n.oplog) - n.maxOplog
+		n.oplog = append(n.oplog[:0:0], n.oplog[drop:]...)
+		n.base += uint64(drop)
+	}
+	n.mu.Unlock()
+	if n.dlog != nil {
+		if err := n.dlog.Append(seq, enc); err != nil {
+			n.logf("durable append %d: %v", seq, err)
+		}
+	}
+	n.maybeSnapshotLocked(kind)
 }
 
 // attemptSend is the flow.Sender delivery attempt: ship the current outbox
@@ -606,14 +956,16 @@ func (n *Node) attemptSend(from, to fabric.NodeID, _ int) error {
 	return fabric.SendTraced(n.t, from, to, n.outbox[to], n.outboxTC[to])
 }
 
-// handleJoin serves JOIN <rank|-1> <addr> on the seed. Rank -1 is the
+// handleJoin serves JOIN <rank|-1> <addr> on the authority. Rank -1 is the
 // bootstrap form (Discover): it only reserves a rank — the joiner has no
 // transport yet, so nothing may be replicated toward it. The real join
 // (rank >= 0, sent once the joiner's listener serves frames) commits the
-// membership as a replicated MEMBER op.
+// membership as a replicated MEMBER op. A non-authority receiver relays to
+// the current authority, so joiners keep working after a failover even if
+// they only know one member's address.
 func (n *Node) handleJoin(args []string) (string, error) {
-	if n.self != SeedRank {
-		return "", fmt.Errorf("cluster: JOIN sent to non-seed rank %d", n.self)
+	if auth := n.currentAuthority(); auth != n.self {
+		return n.call(auth, "JOIN "+strings.Join(args, " "), "", "join-relay")
 	}
 	if len(args) != 2 {
 		return "", fmt.Errorf("cluster: usage JOIN <rank|-1> <addr>")
@@ -660,7 +1012,7 @@ func (n *Node) handleJoin(args []string) (string, error) {
 		return "", fmt.Errorf("cluster: no rank available for %s (cluster of %d full or rank taken)", addr, n.nodes)
 	}
 	if commit {
-		if _, err := n.sequence(trace.Context{}, "MEMBER", []string{strconv.Itoa(rank), addr}, ""); err != nil {
+		if _, _, err := n.sequence(trace.Context{}, "", "MEMBER", []string{strconv.Itoa(rank), addr}, ""); err != nil {
 			return "", err
 		}
 		n.mu.Lock()
@@ -690,7 +1042,7 @@ func (n *Node) handleSync(args []string) (string, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if lo < n.base {
-		return "", fmt.Errorf("cluster: ops before %d were compacted away (asked for %d); full restart required", n.base, lo)
+		return "", fmt.Errorf("%w: ops before %d are gone (asked for %d); catch up by snapshot transfer", ErrLogCompacted, n.base, lo)
 	}
 	if hi >= n.base+uint64(len(n.oplog)) {
 		hi = n.base + uint64(len(n.oplog)) - 1
@@ -713,24 +1065,37 @@ func (n *Node) HandleSend(from fabric.NodeID, payload []byte) {
 }
 
 // HandleSendTraced consumes one replicated op, recording a replica.apply
-// span under the seed's replicate span (fabric.TraceHandler).
+// span under the authority's replicate span (fabric.TraceHandler). This is
+// where epoch fencing bites: an op sequenced under an older epoch than this
+// replica has seen is a zombie ex-authority's broadcast and is rejected.
 func (n *Node) HandleSendTraced(from fabric.NodeID, payload []byte, tc trace.Context) {
-	seq, kind, args, body, err := decodeOp(payload)
+	seq, epoch, id, kind, args, body, err := decodeOp(payload)
 	if err != nil {
 		n.logf("dropping malformed op from %d: %v", from, err)
 		return
 	}
+	n.mu.Lock()
+	cur := n.epoch
+	n.mu.Unlock()
+	if epoch < cur {
+		n.cStaleEpoch.Inc()
+		n.logf("rejecting op %d %s from %d: epoch %d < %d (fenced)", seq, kind, from, epoch, cur)
+		return
+	}
 	sp := n.tracer.Start(tc, "replica.apply")
 	n.applyMu.Lock()
-	n.ingestLocked(seq, kind, args, body)
+	n.ingestLocked(from, seq, epoch, id, kind, args, body)
 	n.applyMu.Unlock()
 	sp.End()
 }
 
 // ingestLocked applies one op in sequence order, fetching any gap from the
-// seed first. Duplicates (sequence already applied) are dropped — this plus
-// the deterministic engine is what makes replication idempotent.
-func (n *Node) ingestLocked(seq uint64, kind string, args []string, body string) {
+// SENDER first — after a failover the sender is the new authority, and the
+// gap includes the EPOCH op this replica missed; pulling from the dead old
+// authority would strand it. Duplicates (sequence already applied) are
+// dropped — this plus the deterministic engine is what makes replication
+// idempotent.
+func (n *Node) ingestLocked(from fabric.NodeID, seq, epoch uint64, id, kind string, args []string, body string) {
 	n.mu.Lock()
 	applied := n.applied
 	n.mu.Unlock()
@@ -739,26 +1104,36 @@ func (n *Node) ingestLocked(seq uint64, kind string, args []string, body string)
 		return
 	}
 	if seq > applied+1 {
-		if err := n.syncRangeLocked(applied+1, seq-1); err != nil {
+		if err := n.syncRangeLocked(from, applied+1, seq-1); err != nil {
+			if IsLogCompacted(err) {
+				go func() {
+					if err := n.catchUpFromSnapshot(from); err != nil {
+						n.logf("snapshot catch-up from %d: %v", from, err)
+					}
+				}()
+				return
+			}
 			n.logf("gap [%d,%d] unrepaired: %v", applied+1, seq-1, err)
 			// Leave the gap; the op cannot be applied out of order. The next
-			// broadcast (or the member's restart) retries the repair.
+			// broadcast (or anti-entropy) retries the repair.
 			return
 		}
 	}
-	if _, err := n.applyLocked(seq, kind, args, body); err != nil {
+	if _, err := n.applyLocked(seq, id, kind, args, body); err != nil {
 		n.logf("op %d %s failed: %v", seq, kind, err)
+		return
 	}
+	n.recordLocked(seq, kind, encodeOp(seq, epoch, id, kind, args, body))
 }
 
-// syncRange fetches and applies the op range [lo,hi] from the seed.
-func (n *Node) syncRange(lo, hi uint64) error {
+// syncRange fetches and applies the op range [lo,hi] from target.
+func (n *Node) syncRange(target fabric.NodeID, lo, hi uint64) error {
 	n.applyMu.Lock()
 	defer n.applyMu.Unlock()
-	return n.syncRangeLocked(lo, hi)
+	return n.syncRangeLocked(target, lo, hi)
 }
 
-func (n *Node) syncRangeLocked(lo, hi uint64) error {
+func (n *Node) syncRangeLocked(target fabric.NodeID, lo, hi uint64) error {
 	if hi < lo {
 		return nil
 	}
@@ -768,7 +1143,7 @@ func (n *Node) syncRangeLocked(lo, hi uint64) error {
 	var resp string
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
-		resp, err = n.call(SeedRank, fmt.Sprintf("SYNC %d %d", lo, hi), "", "sync")
+		resp, err = n.call(target, fmt.Sprintf("SYNC %d %d", lo, hi), "", "sync")
 		if err == nil || !errors.Is(err, ErrUnavailable) {
 			break
 		}
@@ -783,7 +1158,8 @@ func (n *Node) syncRangeLocked(lo, hi uint64) error {
 		if err != nil || size < 0 || size > len(tail) {
 			return fmt.Errorf("cluster: malformed SYNC chunk header %q", head)
 		}
-		seq, kind, args, body, err := decodeOp([]byte(tail[:size]))
+		raw := []byte(tail[:size])
+		seq, _, id, kind, args, body, err := decodeOp(raw)
 		if err != nil {
 			return err
 		}
@@ -791,9 +1167,12 @@ func (n *Node) syncRangeLocked(lo, hi uint64) error {
 		applied := n.applied
 		n.mu.Unlock()
 		if seq > applied {
-			if _, err := n.applyLocked(seq, kind, args, body); err != nil {
+			// No epoch fencing on replay: historical ops legitimately carry
+			// the epochs they were sequenced under.
+			if _, err := n.applyLocked(seq, id, kind, args, body); err != nil {
 				return fmt.Errorf("cluster: replaying op %d %s: %w", seq, kind, err)
 			}
+			n.recordLocked(seq, kind, append([]byte(nil), raw...))
 			n.cSynced.Inc()
 		}
 		rest = tail[size:]
@@ -806,8 +1185,10 @@ func (n *Node) syncRangeLocked(lo, hi uint64) error {
 
 // applyLocked applies one op to the local engine. Caller holds applyMu.
 // Every replica applies the same ops in the same order; anything this
-// touches must be deterministic in that order.
-func (n *Node) applyLocked(seq uint64, kind string, args []string, body string) (string, error) {
+// touches must be deterministic in that order — including the id→reply
+// dedup table, which is what makes a client retry return the same ack from
+// whichever daemon survives.
+func (n *Node) applyLocked(seq uint64, id, kind string, args []string, body string) (string, error) {
 	reply, err := n.applyOp(kind, args, body)
 	if err != nil {
 		return "", err
@@ -817,8 +1198,27 @@ func (n *Node) applyLocked(seq uint64, kind string, args []string, body string) 
 	if seq > n.applied {
 		n.applied = seq
 	}
+	n.recordDedupLocked(id, seq, reply)
 	n.mu.Unlock()
 	return reply, nil
+}
+
+// recordDedupLocked installs one acked (id, seq, reply) into the replicated
+// exactly-once table, evicting FIFO past dedupCap. Caller holds n.mu.
+func (n *Node) recordDedupLocked(id string, seq uint64, reply string) {
+	if id == "" {
+		return
+	}
+	if _, ok := n.dedup[id]; ok {
+		return
+	}
+	n.dedup[id] = dedupEntry{seq: seq, reply: reply}
+	n.dedupRing = append(n.dedupRing, id)
+	if len(n.dedupRing) > dedupCap {
+		evict := n.dedupRing[0]
+		n.dedupRing = n.dedupRing[1:]
+		delete(n.dedup, evict)
+	}
 }
 
 func (n *Node) applyOp(kind string, args []string, body string) (string, error) {
@@ -838,6 +1238,30 @@ func (n *Node) applyOp(kind string, args []string, body string) (string, error) 
 			tcp.SetPeer(fabric.NodeID(rank), args[1])
 		}
 		return fmt.Sprintf("member %d %s", rank, args[1]), nil
+
+	case "EPOCH":
+		// EPOCH <new-epoch> <authority-rank>: the successor's fence. Every
+		// replica that applies it raises its epoch — from then on any
+		// broadcast sequenced under the old epoch is rejected.
+		if len(args) != 2 {
+			return "", fmt.Errorf("cluster: usage EPOCH <epoch> <rank>")
+		}
+		e, err1 := strconv.ParseUint(args[0], 10, 64)
+		rank, err2 := strconv.Atoi(args[1])
+		if err1 != nil || err2 != nil || rank < 0 || rank >= n.nodes {
+			return "", fmt.Errorf("cluster: bad EPOCH op %v", args)
+		}
+		n.mu.Lock()
+		if e > n.epoch {
+			n.epoch = e
+		}
+		n.authority = fabric.NodeID(rank)
+		n.mu.Unlock()
+		if tcp, ok := n.t.(*wire.TCP); ok {
+			tcp.SetEpoch(e)
+		}
+		n.logf("authority epoch %d, rank %d", e, rank)
+		return fmt.Sprintf("epoch %d authority %d", e, rank), nil
 
 	case "LOAD":
 		count, err := n.eng.LoadReader(strings.NewReader(body))
@@ -987,14 +1411,24 @@ func (n *Node) HandleCallTraced(from fabric.NodeID, req []byte, tc trace.Context
 		resp, err := n.handleSync(f[1:])
 		return []byte(resp), err
 	case "FWD":
-		if n.self != SeedRank {
-			return nil, fmt.Errorf("cluster: FWD sent to non-seed rank %d", n.self)
-		}
 		if len(f) < 2 {
 			return nil, fmt.Errorf("cluster: usage FWD <kind> [args...]")
 		}
-		resp, err := n.sequence(tc, f[1], f[2:], body)
+		id, bare := splitID(f[2:])
+		reply, seq, err := n.sequence(tc, id, f[1], bare, body)
+		if err != nil {
+			return nil, err
+		}
+		// The ack leads with the assigned sequence so the forwarding member
+		// can wait for local apply before acking its client.
+		return []byte(fmt.Sprintf("SEQ %d\n%s", seq, reply)), nil
+	case "STATE":
+		return []byte(n.stateReply()), nil
+	case "SNAPMETA":
+		resp, err := n.serveSnapMeta()
 		return []byte(resp), err
+	case "SNAPGET":
+		return n.serveSnapGet(f[1:])
 	case "QUERY":
 		return n.serveQuery(tc, body)
 	case "SCATTER":
@@ -1008,14 +1442,17 @@ func (n *Node) HandleCallTraced(from fabric.NodeID, req []byte, tc trace.Context
 	}
 }
 
-// membersReply renders "SEQ <applied>" plus one "<rank> <addr> <state>" line
-// per rank, from this daemon's local view.
+// membersReply renders "SEQ <applied>", then "EPOCH <e> AUTH <r>", plus one
+// "<rank> <addr> <state>" line per rank, from this daemon's local view. The
+// leading SEQ line is load-bearing for anti-entropy; the EPOCH line lets
+// operators (and the chaos harness) watch a failover fence in.
 func (n *Node) membersReply() string {
 	states := n.det.States()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "SEQ %d\n", n.applied)
+	fmt.Fprintf(&b, "EPOCH %d AUTH %d\n", n.epoch, int(n.authority))
 	for r := 0; r < n.nodes; r++ {
 		addr := n.members[r]
 		if addr == "" {

@@ -1,0 +1,488 @@
+// Snapshot transfer: the catch-up path for members too far behind the
+// compacted oplog window, and the durable checkpoint that makes compaction
+// and restart recovery safe (DESIGN.md §15).
+//
+// A snapshot is a deterministic text transcript of one replica's state
+// machine at an applied-sequence boundary. The one property everything
+// hinges on is replica-identical string-server IDs: store keys, vertex
+// homing, and scatter routing are all ID-based, so the transcript dumps the
+// entity and predicate tables in ID order and a restorer re-interns them in
+// that order before anything else touches the string server. Stream and
+// continuous-query registrations replay through the same applyOp path the
+// op log uses, so coordinator slots, round-robin homes, and auto-assigned
+// query names come out identical too. Triples restore through
+// store.InsertFloor, which clamps snapshot numbers instead of panicking
+// when a catch-up replays history into a store that already advanced.
+//
+// Transcript sections, in order:
+//
+//	WSSNAP 1
+//	STATE SEQ <applied> EPOCH <e> AUTH <r> NOW <now>
+//	MEMBER <rank> <addr>          (per known member)
+//	ACK <id> <seq> <len>\n<reply> (replicated exactly-once table)
+//	ENT <len>\n<term-key>         (entity terms, ID order)
+//	PRED <len>\n<iri>             (predicates, ID order)
+//	STREAM <name> <interval_ms> [preds...]
+//	ADVANCE <now>                 (clock restore: seal/advance before CQs)
+//	CQ <name> <len>\n<text>       (registration order)
+//	KEY <vid> <pid> <n> <obj...>  (out-edge multisets; in-edges and indexes
+//	                               are rebuilt by InsertFloor)
+//
+// Window-resident transient state (tstore batches, stream-index spans for
+// unexpired windows) is deliberately NOT captured: the store effects of
+// every sealed batch are already in the KEY dump, and a restored replica
+// under-reports continuous results only until its windows slide past the
+// snapshot point. Snapshots are only built at quiescent points — right
+// after an ADVANCE with no pending emits — because tuples sitting in
+// adaptor buffers live nowhere else and would be lost permanently.
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/oplog"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/strserver"
+	"repro/internal/wire"
+)
+
+// DefaultSnapshotEvery is the op cadence between durable snapshots.
+const DefaultSnapshotEvery = 4096
+
+// snapChunk bounds one SNAPGET response, comfortably under the wire's
+// 16 MiB frame ceiling.
+const snapChunk = 1 << 20
+
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// maybeSnapshotLocked drives the durable snapshot cadence after each
+// recorded op. Caller holds applyMu. Due snapshots are deferred at
+// non-quiescent points (only an ADVANCE with no pending emits is safe —
+// see the package comment) and retried on the next op.
+func (n *Node) maybeSnapshotLocked(kind string) {
+	if n.dlog == nil {
+		return
+	}
+	every := n.cfg.SnapshotEvery
+	if every <= 0 {
+		every = DefaultSnapshotEvery
+	}
+	n.opsSinceSnap++
+	if n.opsSinceSnap < every {
+		return
+	}
+	if kind != "ADVANCE" || n.eng.PendingEmits() != 0 {
+		n.cSnapDeferred.Inc()
+		return
+	}
+	payload := n.buildSnapshotLocked()
+	n.mu.Lock()
+	seq, epoch := n.applied, n.epoch
+	n.mu.Unlock()
+	if err := oplog.SaveSnapshot(n.cfg.DataDir, seq, epoch, payload); err != nil {
+		n.logf("snapshot save at %d: %v", seq, err)
+		return
+	}
+	// Ops at or below the snapshot are dominated; whole segments they span
+	// are reclaimed (the open tail is never deleted).
+	if err := n.dlog.TruncateBefore(seq + 1); err != nil {
+		n.logf("log compaction below %d: %v", seq+1, err)
+	}
+	n.cacheSnapshot(seq, epoch, payload)
+	n.cSnapBytes.Add(int64(len(payload)))
+	n.opsSinceSnap = 0
+	n.logf("durable snapshot at seq %d (%d bytes)", seq, len(payload))
+}
+
+func (n *Node) cacheSnapshot(seq, epoch uint64, payload []byte) {
+	n.snapMu.Lock()
+	n.snapSeq, n.snapEpoch, n.snapPayload = seq, epoch, payload
+	n.snapMu.Unlock()
+}
+
+// buildSnapshotLocked renders the transcript. Caller holds applyMu (no op
+// may apply mid-dump) and has verified quiescence.
+func (n *Node) buildSnapshotLocked() []byte {
+	var b bytes.Buffer
+	eng := n.eng
+	ss := eng.StringServer()
+	b.WriteString("WSSNAP 1\n")
+	n.mu.Lock()
+	fmt.Fprintf(&b, "STATE SEQ %d EPOCH %d AUTH %d NOW %d\n", n.applied, n.epoch, int(n.authority), int64(eng.Now()))
+	for r := 0; r < n.nodes; r++ {
+		if n.members[r] != "" {
+			fmt.Fprintf(&b, "MEMBER %d %s\n", r, n.members[r])
+		}
+	}
+	for _, id := range n.dedupRing {
+		e := n.dedup[id]
+		fmt.Fprintf(&b, "ACK %s %d %d\n%s\n", id, e.seq, len(e.reply), e.reply)
+	}
+	now := int64(eng.Now())
+	n.mu.Unlock()
+
+	for _, key := range ss.EntityKeys() {
+		fmt.Fprintf(&b, "ENT %d\n%s\n", len(key), key)
+	}
+	for _, iri := range ss.PredicateIRIs() {
+		fmt.Fprintf(&b, "PRED %d\n%s\n", len(iri), iri)
+	}
+	for _, cfg := range eng.StreamConfigsOrdered() {
+		fmt.Fprintf(&b, "STREAM %s %d", cfg.Name, cfg.BatchInterval.Milliseconds())
+		for _, p := range cfg.TimingPredicates {
+			b.WriteByte(' ')
+			b.WriteString(p)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "ADVANCE %d\n", now)
+	for _, cq := range eng.ContinuousOrdered() {
+		fmt.Fprintf(&b, "CQ %s %d\n%s\n", cq.Name, len(cq.Text), cq.Text)
+	}
+	g := eng.Store()
+	for node := 0; node < g.Fabric().Nodes(); node++ {
+		g.Shard(fabric.NodeID(node)).RangeKeys(func(k store.Key, vals []rdf.ID) {
+			if k.Dir != store.Out || k.IsIndex() || k.IsPredIndex() {
+				return
+			}
+			fmt.Fprintf(&b, "KEY %d %d %d", uint64(k.Vid), uint64(k.Pid), len(vals))
+			for _, v := range vals {
+				fmt.Fprintf(&b, " %d", uint64(v))
+			}
+			b.WriteByte('\n')
+		})
+	}
+	return b.Bytes()
+}
+
+// applySnapshotLocked replays a transcript into this replica. Caller holds
+// applyMu. The same code path serves a fresh engine (restore/join) and a
+// stale one (in-place catch-up): every section skips what already exists,
+// and triple restore inserts only the per-key multiset shortfall.
+func (n *Node) applySnapshotLocked(payload []byte) (seq, epoch uint64, auth fabric.NodeID, err error) {
+	s := string(payload)
+	line, rest := splitLine(s)
+	if line != "WSSNAP 1" {
+		return 0, 0, 0, fmt.Errorf("cluster: bad snapshot magic %q", line)
+	}
+	ss := n.eng.StringServer()
+	g := n.eng.Store()
+	haveCQ := make(map[string]bool)
+	for _, cq := range n.eng.ContinuousOrdered() {
+		haveCQ[cq.Name] = true
+	}
+	// readBlob consumes "<len bytes>\n" after a header line consumed n
+	// fields; the blob may contain newlines.
+	readBlob := func(rest string, size int) (blob, tail string, err error) {
+		if size < 0 || size > len(rest) {
+			return "", "", fmt.Errorf("cluster: snapshot blob of %d bytes overruns", size)
+		}
+		blob = rest[:size]
+		tail = rest[size:]
+		tail = strings.TrimPrefix(tail, "\n")
+		return blob, tail, nil
+	}
+	for rest != "" {
+		line, tail := splitLine(rest)
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			rest = tail
+			continue
+		}
+		switch f[0] {
+		case "STATE":
+			if _, e := fmt.Sscanf(line, "STATE SEQ %d EPOCH %d AUTH %d", &seq, &epoch, &auth); e != nil {
+				return 0, 0, 0, fmt.Errorf("cluster: bad snapshot state %q: %w", line, e)
+			}
+			rest = tail
+		case "MEMBER":
+			if len(f) != 3 {
+				return 0, 0, 0, fmt.Errorf("cluster: bad snapshot member %q", line)
+			}
+			if _, e := n.applyOp("MEMBER", f[1:], ""); e != nil {
+				return 0, 0, 0, e
+			}
+			rest = tail
+		case "ACK":
+			if len(f) != 4 {
+				return 0, 0, 0, fmt.Errorf("cluster: bad snapshot ack %q", line)
+			}
+			ackSeq, e1 := strconv.ParseUint(f[2], 10, 64)
+			size, e2 := strconv.Atoi(f[3])
+			if e1 != nil || e2 != nil {
+				return 0, 0, 0, fmt.Errorf("cluster: bad snapshot ack %q", line)
+			}
+			reply, t2, e := readBlob(tail, size)
+			if e != nil {
+				return 0, 0, 0, e
+			}
+			n.mu.Lock()
+			n.recordDedupLocked(f[1], ackSeq, reply)
+			n.mu.Unlock()
+			rest = t2
+		case "ENT", "PRED":
+			if len(f) != 2 {
+				return 0, 0, 0, fmt.Errorf("cluster: bad snapshot intern %q", line)
+			}
+			size, e := strconv.Atoi(f[1])
+			if e != nil {
+				return 0, 0, 0, fmt.Errorf("cluster: bad snapshot intern %q", line)
+			}
+			blob, t2, e := readBlob(tail, size)
+			if e != nil {
+				return 0, 0, 0, e
+			}
+			if f[0] == "ENT" {
+				ss.InternEntity(rdf.TermFromKey(blob))
+			} else {
+				ss.InternPredicate(blob)
+			}
+			rest = t2
+		case "STREAM":
+			if len(f) < 3 {
+				return 0, 0, 0, fmt.Errorf("cluster: bad snapshot stream %q", line)
+			}
+			if _, ok := n.eng.SourceOf(f[1]); !ok {
+				if _, e := n.applyOp("STREAM", f[1:], ""); e != nil {
+					return 0, 0, 0, e
+				}
+			}
+			rest = tail
+		case "ADVANCE":
+			if len(f) != 2 {
+				return 0, 0, 0, fmt.Errorf("cluster: bad snapshot advance %q", line)
+			}
+			if _, e := n.applyOp("ADVANCE", f[1:], ""); e != nil {
+				return 0, 0, 0, e
+			}
+			rest = tail
+		case "CQ":
+			if len(f) != 3 {
+				return 0, 0, 0, fmt.Errorf("cluster: bad snapshot cq %q", line)
+			}
+			size, e := strconv.Atoi(f[2])
+			if e != nil {
+				return 0, 0, 0, fmt.Errorf("cluster: bad snapshot cq %q", line)
+			}
+			text, t2, e := readBlob(tail, size)
+			if e != nil {
+				return 0, 0, 0, e
+			}
+			if !haveCQ[f[1]] {
+				if _, e := n.applyOp("REGISTER", nil, text); e != nil {
+					return 0, 0, 0, e
+				}
+			}
+			rest = t2
+		case "KEY":
+			if len(f) < 4 {
+				return 0, 0, 0, fmt.Errorf("cluster: bad snapshot key %q", line)
+			}
+			vid, e1 := strconv.ParseUint(f[1], 10, 64)
+			pid, e2 := strconv.ParseUint(f[2], 10, 64)
+			count, e3 := strconv.Atoi(f[3])
+			if e1 != nil || e2 != nil || e3 != nil || len(f) != 4+count {
+				return 0, 0, 0, fmt.Errorf("cluster: bad snapshot key %q", line)
+			}
+			// In-place catch-up dedup: insert only the multiset shortfall
+			// per (key, object), so replaying a snapshot over a store that
+			// already holds a prefix of it cannot double triples.
+			want := make(map[rdf.ID]int, count)
+			order := make([]rdf.ID, 0, count)
+			for _, tok := range f[4:] {
+				o, e := strconv.ParseUint(tok, 10, 64)
+				if e != nil {
+					return 0, 0, 0, fmt.Errorf("cluster: bad snapshot key %q", line)
+				}
+				id := rdf.ID(o)
+				if want[id] == 0 {
+					order = append(order, id)
+				}
+				want[id]++
+			}
+			outKey := store.EdgeKey(rdf.ID(vid), rdf.ID(pid), store.Out)
+			for _, existing := range g.ShardOf(rdf.ID(vid)).GetAll(outKey) {
+				if want[existing] > 0 {
+					want[existing]--
+				}
+			}
+			for _, obj := range order {
+				for i := 0; i < want[obj]; i++ {
+					g.InsertFloor(strserver.EncodedTriple{S: rdf.ID(vid), P: rdf.ID(pid), O: obj}, store.BaseSN)
+				}
+			}
+			rest = tail
+		default:
+			return 0, 0, 0, fmt.Errorf("cluster: unknown snapshot section %q", f[0])
+		}
+	}
+	// Succession facts ride the snapshot: the restored replica starts at
+	// the donor's epoch and authority view.
+	n.mu.Lock()
+	if epoch > n.epoch {
+		n.epoch = epoch
+	}
+	cur := n.epoch
+	n.authority = auth
+	n.mu.Unlock()
+	if tcp, ok := n.t.(*wire.TCP); ok {
+		tcp.SetEpoch(cur)
+	}
+	return seq, epoch, auth, nil
+}
+
+// serveSnapMeta answers SNAPMETA: refresh the served snapshot if the engine
+// is quiescent, then describe it ("SNAP <seq> <epoch> <bytes> <chunks>
+// <crc>"). A replica that has never reached a quiescent point answers an
+// error; the requester retries.
+func (n *Node) serveSnapMeta() (string, error) {
+	n.applyMu.Lock()
+	if n.eng.PendingEmits() == 0 {
+		payload := n.buildSnapshotLocked()
+		n.mu.Lock()
+		seq, epoch := n.applied, n.epoch
+		n.mu.Unlock()
+		n.cacheSnapshot(seq, epoch, payload)
+	}
+	n.applyMu.Unlock()
+	n.snapMu.Lock()
+	defer n.snapMu.Unlock()
+	if n.snapPayload == nil {
+		return "", fmt.Errorf("cluster: no snapshot available yet (not quiescent)")
+	}
+	chunks := (len(n.snapPayload) + snapChunk - 1) / snapChunk
+	crc := crc32.Checksum(n.snapPayload, snapCRC)
+	return fmt.Sprintf("SNAP %d %d %d %d %d", n.snapSeq, n.snapEpoch, len(n.snapPayload), chunks, crc), nil
+}
+
+// serveSnapGet answers SNAPGET <seq> <i>: chunk i of the cached snapshot at
+// seq. A seq mismatch means the cache moved between META and GET; the
+// requester restarts the transfer.
+func (n *Node) serveSnapGet(args []string) ([]byte, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("cluster: usage SNAPGET <seq> <chunk>")
+	}
+	seq, err1 := strconv.ParseUint(args[0], 10, 64)
+	i, err2 := strconv.Atoi(args[1])
+	if err1 != nil || err2 != nil || i < 0 {
+		return nil, fmt.Errorf("cluster: bad SNAPGET %v", args)
+	}
+	n.snapMu.Lock()
+	defer n.snapMu.Unlock()
+	if n.snapPayload == nil || n.snapSeq != seq {
+		return nil, fmt.Errorf("cluster: snapshot at %d no longer cached", seq)
+	}
+	lo := i * snapChunk
+	if lo >= len(n.snapPayload) {
+		return nil, fmt.Errorf("cluster: SNAPGET chunk %d out of range", i)
+	}
+	hi := lo + snapChunk
+	if hi > len(n.snapPayload) {
+		hi = len(n.snapPayload)
+	}
+	return n.snapPayload[lo:hi], nil
+}
+
+// catchUpFromSnapshot converges this replica on target's state via snapshot
+// transfer plus the incremental SYNC tail from the snapshot sequence — the
+// path for members beyond the compacted oplog window (and for restarts that
+// find the log already compacted past their applied point).
+func (n *Node) catchUpFromSnapshot(target fabric.NodeID) error {
+	if !n.catching.CompareAndSwap(false, true) {
+		return nil // one transfer at a time; the runner converges for us
+	}
+	defer n.catching.Store(false)
+
+	// The donor may briefly have no quiescent snapshot to serve (or be
+	// mid-restart); retry for a bounded window before giving up.
+	var meta string
+	var err error
+	for attempt := 0; attempt < 20; attempt++ {
+		if attempt > 0 {
+			time.Sleep(100 * time.Millisecond)
+		}
+		meta, err = n.call(target, "SNAPMETA", "", "snapshot-meta")
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return err
+	}
+	var seq, epoch uint64
+	var size, chunks int
+	var crc uint32
+	if _, err := fmt.Sscanf(meta, "SNAP %d %d %d %d %d", &seq, &epoch, &size, &chunks, &crc); err != nil {
+		return fmt.Errorf("cluster: bad SNAPMETA %q: %w", meta, err)
+	}
+	if n.Applied() >= seq {
+		// Already past the snapshot point: a plain tail sync suffices.
+		return n.tailSync(target, seq)
+	}
+	payload := make([]byte, 0, size)
+	for i := 0; i < chunks; i++ {
+		chunk, err := n.call(target, fmt.Sprintf("SNAPGET %d %d", seq, i), "", "snapshot-get")
+		if err != nil {
+			return err
+		}
+		payload = append(payload, chunk...)
+	}
+	if len(payload) != size || crc32.Checksum(payload, snapCRC) != crc {
+		return fmt.Errorf("cluster: snapshot transfer damaged (%d of %d bytes)", len(payload), size)
+	}
+
+	n.applyMu.Lock()
+	gotSeq, gotEpoch, _, err := n.applySnapshotLocked(payload)
+	if err != nil {
+		n.applyMu.Unlock()
+		return err
+	}
+	n.mu.Lock()
+	if gotSeq > n.applied {
+		n.applied = gotSeq
+	}
+	n.nextSeq = n.applied + 1
+	n.base = n.applied + 1
+	n.oplog = nil
+	n.mu.Unlock()
+	if n.dlog != nil {
+		// Rebase the durable log at the snapshot: everything before it is
+		// captured by the snapshot file saved alongside.
+		if err := n.dlog.Reset(); err != nil {
+			n.logf("durable log rebase: %v", err)
+		} else if err := oplog.SaveSnapshot(n.cfg.DataDir, gotSeq, gotEpoch, payload); err != nil {
+			n.logf("durable snapshot save: %v", err)
+		}
+	}
+	n.applyMu.Unlock()
+
+	n.cSnapXfers.Inc()
+	n.cSnapBytes.Add(int64(len(payload)))
+	n.logf("caught up by snapshot transfer from %d: seq %d (%d bytes)", target, gotSeq, len(payload))
+	return n.tailSync(target, gotSeq)
+}
+
+// tailSync pulls the incremental op tail (snapSeq, latest] from target.
+func (n *Node) tailSync(target fabric.NodeID, snapSeq uint64) error {
+	resp, err := n.call(target, "STATE", "", "tail-sync")
+	if err != nil {
+		return err
+	}
+	var epoch uint64
+	var auth int
+	var latest, first uint64
+	if _, err := fmt.Sscanf(resp, "EPOCH %d AUTH %d SEQ %d FIRST %d", &epoch, &auth, &latest, &first); err != nil {
+		return fmt.Errorf("cluster: bad STATE %q: %w", resp, err)
+	}
+	if latest <= snapSeq {
+		return nil
+	}
+	return n.syncRange(target, snapSeq+1, latest)
+}

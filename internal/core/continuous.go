@@ -203,6 +203,7 @@ func (e *Engine) RegisterContinuous(text string, cb func(*Result, FireInfo)) (*C
 		return nil, fmt.Errorf("core: continuous query %q already registered", name)
 	}
 	e.continuous[name] = cq
+	e.cqOrder = append(e.cqOrder, name)
 	if e.ft != nil {
 		e.ftLogQuery(text)
 	}
@@ -215,6 +216,12 @@ func (e *Engine) Unregister(name string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	delete(e.continuous, name)
+	for i, n := range e.cqOrder {
+		if n == name {
+			e.cqOrder = append(e.cqOrder[:i], e.cqOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 // ContinuousQueries returns the registered continuous queries.
@@ -224,6 +231,22 @@ func (e *Engine) ContinuousQueries() []*ContinuousQuery {
 	out := make([]*ContinuousQuery, 0, len(e.continuous))
 	for _, cq := range e.continuous {
 		out = append(out, cq)
+	}
+	return out
+}
+
+// ContinuousOrdered returns the registered continuous queries in
+// registration order. Snapshot transfer dumps them this way so a restored
+// replica re-registers in the same order and the auto-name counter (cq%d)
+// continues identically.
+func (e *Engine) ContinuousOrdered() []*ContinuousQuery {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*ContinuousQuery, 0, len(e.cqOrder))
+	for _, name := range e.cqOrder {
+		if cq, ok := e.continuous[name]; ok {
+			out = append(out, cq)
+		}
 	}
 	return out
 }

@@ -262,6 +262,7 @@ type Engine struct {
 	streams    map[string]*streamState
 	streamByID []*streamState
 	continuous map[string]*ContinuousQuery
+	cqOrder    []string // registration order, for deterministic snapshot dumps
 	cqSeq      int
 	now        rdf.Timestamp
 	nextHome   int // round-robin placement for queries and adaptors
@@ -665,6 +666,34 @@ func (e *Engine) StreamNames() []string {
 		out = append(out, name)
 	}
 	return out
+}
+
+// StreamConfigsOrdered returns the configs of all registered streams in
+// registration order. Replaying them through RegisterStream on a fresh
+// engine reproduces stream IDs, coordinator slots, and round-robin homes.
+func (e *Engine) StreamConfigsOrdered() []stream.Config {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]stream.Config, 0, len(e.streamByID))
+	for _, st := range e.streamByID {
+		out = append(out, st.cfg)
+	}
+	return out
+}
+
+// PendingEmits reports the total number of emitted-but-unsealed tuples
+// across all streams. A snapshot is only quiescent when this is zero —
+// pending tuples live nowhere but the adaptor buffers, so a snapshot taken
+// now would silently drop them on restore.
+func (e *Engine) PendingEmits() int {
+	e.mu.Lock()
+	states := append([]*streamState(nil), e.streamByID...)
+	e.mu.Unlock()
+	n := 0
+	for _, st := range states {
+		n += st.src.PendingLen()
+	}
+	return n
 }
 
 // SourceOf returns the source handle of a registered stream. Applications

@@ -1,0 +1,359 @@
+// Package oplog is the durable half of the cluster's replication log
+// (DESIGN.md §15): segmented, CRC32C-framed op files plus a snapshot file,
+// so a restarted daemon recovers cluster state from disk instead of needing
+// a live peer to replay the whole history.
+//
+// The log is a sequence of records, each one encoded op, appended strictly
+// in sequence order and split into segment files named by the first
+// sequence they hold ("seg-<base>.wal"). One record is
+//
+//	[8B seq][4B len][4B crc32c(payload)][payload]
+//
+// in big-endian, the same Castagnoli polynomial as the PR-5 checkpoint
+// framing. A torn tail (partial record after a crash) is tolerated: replay
+// stops at the first record that fails to frame or checksum, and the next
+// append truncates the damage away. A corrupt record in the *middle* of a
+// segment poisons everything after it in that segment — the caller falls
+// back to snapshot catch-up, which is always safe.
+package oplog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const recordHeader = 16 // seq + len + crc
+
+// DefaultSegmentOps is how many ops one segment file holds before rotation.
+const DefaultSegmentOps = 8192
+
+// MaxRecord bounds one op's payload (a LOAD body is the realistic worst
+// case); larger appends are refused rather than written unreadably.
+const MaxRecord = 64 << 20
+
+type segment struct {
+	base uint64 // seq of the first record
+	last uint64 // seq of the last valid record (0 = empty)
+	path string
+	bad  bool // a record failed to frame mid-file (tail is truncated instead)
+}
+
+// Log is an append-only durable op log. All methods are safe for concurrent
+// use; appends are strictly ordered by sequence.
+type Log struct {
+	dir    string
+	segOps int
+	nosync bool
+
+	mu    sync.Mutex
+	segs  []segment
+	w     *os.File // open tail segment, nil until first append
+	wseg  int      // index into segs of the open tail
+	first uint64   // lowest seq on disk (0 = empty)
+	last  uint64   // highest seq on disk (0 = empty)
+}
+
+// Options configure Open.
+type Options struct {
+	// SegmentOps is the rotation threshold (default DefaultSegmentOps).
+	SegmentOps int
+	// NoSync skips the per-append fsync (tests; crash durability is lost).
+	NoSync bool
+}
+
+// Open scans dir for segments and opens the log for appending. The
+// directory is created if missing. A torn tail record is truncated away.
+func Open(dir string, opt Options) (*Log, error) {
+	if opt.SegmentOps <= 0 {
+		opt.SegmentOps = DefaultSegmentOps
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, segOps: opt.SegmentOps, nosync: opt.NoSync}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		base, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".wal"), 10, 64)
+		if err != nil {
+			continue
+		}
+		l.segs = append(l.segs, segment{base: base, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].base < l.segs[j].base })
+	for i := range l.segs {
+		if err := l.scanSegment(&l.segs[i]); err != nil {
+			return nil, err
+		}
+	}
+	// Keep the longest contiguous, fully-valid prefix chain; quarantine the
+	// rest (a damaged interior record orphans everything after it — the
+	// caller recovers what the chain covers and snapshot-catches-up the
+	// rest).
+	good := 0
+	for good < len(l.segs) {
+		s := l.segs[good]
+		if s.last == 0 || (good > 0 && s.base != l.segs[good-1].last+1) {
+			break
+		}
+		good++
+		if s.bad {
+			break // keep this segment's valid prefix; orphan the rest
+		}
+	}
+	for _, s := range l.segs[good:] {
+		os.Rename(s.path, s.path+".bad")
+	}
+	l.segs = l.segs[:good]
+	if len(l.segs) > 0 {
+		l.first = l.segs[0].base
+		l.last = l.segs[len(l.segs)-1].last
+	}
+	return l, nil
+}
+
+// scanSegment walks one segment validating records, truncating the file at
+// the first framing/CRC failure. The caller decides what a shortened
+// segment means for the chain.
+func (l *Log) scanSegment(s *segment) error {
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		return err
+	}
+	off, lastGood := 0, 0
+	var last uint64
+	for off+recordHeader <= len(data) {
+		seq := binary.BigEndian.Uint64(data[off:])
+		sz := int(binary.BigEndian.Uint32(data[off+8:]))
+		crc := binary.BigEndian.Uint32(data[off+12:])
+		if sz > MaxRecord || off+recordHeader+sz > len(data) {
+			break
+		}
+		payload := data[off+recordHeader : off+recordHeader+sz]
+		if crc32.Checksum(payload, crcTable) != crc {
+			break
+		}
+		if last != 0 && seq != last+1 {
+			break
+		}
+		if last == 0 && seq != s.base {
+			break
+		}
+		last = seq
+		off += recordHeader + sz
+		lastGood = off
+	}
+	s.last = last
+	if lastGood < len(data) {
+		s.bad = s.last != 0 // damage after valid records: chain ends here
+		if err := os.Truncate(s.path, int64(lastGood)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// First returns the lowest sequence on disk (0 when empty).
+func (l *Log) First() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.first
+}
+
+// Last returns the highest sequence on disk (0 when empty).
+func (l *Log) Last() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+// Append writes one op. seq must be last+1, or anything when the log is
+// empty (the base after a snapshot catch-up).
+func (l *Log) Append(seq uint64, payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("oplog: record %d bytes exceeds max %d", len(payload), MaxRecord)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.last != 0 && seq != l.last+1 {
+		return fmt.Errorf("oplog: out-of-order append %d after %d", seq, l.last)
+	}
+	if l.w == nil || l.segs[l.wseg].last-l.segs[l.wseg].base+1 >= uint64(l.segOps) {
+		if err := l.rotateLocked(seq); err != nil {
+			return err
+		}
+	}
+	var hdr [recordHeader]byte
+	binary.BigEndian.PutUint64(hdr[0:], seq)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[12:], crc32.Checksum(payload, crcTable))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return err
+	}
+	if !l.nosync {
+		if err := l.w.Sync(); err != nil {
+			return err
+		}
+	}
+	l.segs[l.wseg].last = seq
+	l.last = seq
+	if l.first == 0 {
+		l.first = seq
+	}
+	return nil
+}
+
+// rotateLocked closes the open tail and starts a fresh segment at base.
+func (l *Log) rotateLocked(base uint64) error {
+	if l.w != nil {
+		l.w.Close()
+		l.w = nil
+	}
+	path := filepath.Join(l.dir, fmt.Sprintf("seg-%d.wal", base))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.w = f
+	l.segs = append(l.segs, segment{base: base, path: path})
+	l.wseg = len(l.segs) - 1
+	return syncDir(l.dir)
+}
+
+// Range calls f for each record with from <= seq <= to, in order. A zero
+// `to` means "through the end".
+func (l *Log) Range(from, to uint64, f func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segs...)
+	l.mu.Unlock()
+	if to == 0 {
+		to = ^uint64(0)
+	}
+	for _, s := range segs {
+		if s.last < from || s.base > to {
+			continue
+		}
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			return err
+		}
+		off := 0
+		for off+recordHeader <= len(data) {
+			seq := binary.BigEndian.Uint64(data[off:])
+			sz := int(binary.BigEndian.Uint32(data[off+8:]))
+			crc := binary.BigEndian.Uint32(data[off+12:])
+			if sz > MaxRecord || off+recordHeader+sz > len(data) {
+				return fmt.Errorf("oplog: torn record at %s+%d", s.path, off)
+			}
+			payload := data[off+recordHeader : off+recordHeader+sz]
+			if crc32.Checksum(payload, crcTable) != crc {
+				return fmt.Errorf("oplog: checksum mismatch at %s+%d (seq %d)", s.path, off, seq)
+			}
+			if seq > to {
+				return nil
+			}
+			if seq >= from {
+				if err := f(seq, payload); err != nil {
+					return err
+				}
+			}
+			off += recordHeader + sz
+		}
+	}
+	return nil
+}
+
+// TruncateBefore deletes whole segments whose every record is < seq
+// (compaction after a snapshot). The segment containing seq is kept.
+func (l *Log) TruncateBefore(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keep := 0
+	for keep < len(l.segs) && l.segs[keep].last < seq {
+		// Never remove the open tail out from under the writer.
+		if l.w != nil && keep == l.wseg {
+			break
+		}
+		keep++
+	}
+	for i := 0; i < keep; i++ {
+		if err := os.Remove(l.segs[i].path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if keep > 0 {
+		l.segs = append(l.segs[:0:0], l.segs[keep:]...)
+		l.wseg -= keep
+		if len(l.segs) > 0 {
+			l.first = l.segs[0].base
+		} else {
+			l.first, l.last = 0, 0
+		}
+		if err := syncDir(l.dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset discards every record (a snapshot catch-up replaced the history
+// this log described). The next Append may use any base sequence.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w != nil {
+		l.w.Close()
+		l.w = nil
+	}
+	for _, s := range l.segs {
+		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	l.segs = nil
+	l.wseg = 0
+	l.first, l.last = 0, 0
+	return syncDir(l.dir)
+}
+
+// Close releases the open tail segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w != nil {
+		err := l.w.Close()
+		l.w = nil
+		return err
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some filesystems refuse directory fsync; the rename/create is still
+	// ordered on the ones we target.
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,236 @@
+package oplog
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func appendN(t *testing.T, l *Log, from, to uint64) {
+	t.Helper()
+	for s := from; s <= to; s++ {
+		if err := l.Append(s, []byte(fmt.Sprintf("op-%d", s))); err != nil {
+			t.Fatalf("append %d: %v", s, err)
+		}
+	}
+}
+
+func collect(t *testing.T, l *Log, from, to uint64) map[uint64]string {
+	t.Helper()
+	got := map[uint64]string{}
+	if err := l.Range(from, to, func(seq uint64, p []byte) error {
+		got[seq] = string(p)
+		return nil
+	}); err != nil {
+		t.Fatalf("range: %v", err)
+	}
+	return got
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentOps: 4, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1, 10)
+	if l.First() != 1 || l.Last() != 10 {
+		t.Fatalf("bounds = [%d,%d], want [1,10]", l.First(), l.Last())
+	}
+	got := collect(t, l, 3, 7)
+	if len(got) != 5 || got[3] != "op-3" || got[7] != "op-7" {
+		t.Fatalf("range [3,7] = %v", got)
+	}
+	l.Close()
+
+	// Reopen: same contents, appends continue.
+	l2, err := Open(dir, Options{SegmentOps: 4, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.First() != 1 || l2.Last() != 10 {
+		t.Fatalf("reopen bounds = [%d,%d], want [1,10]", l2.First(), l2.Last())
+	}
+	appendN(t, l2, 11, 12)
+	if got := collect(t, l2, 1, 0); len(got) != 12 {
+		t.Fatalf("after reopen+append got %d records, want 12", len(got))
+	}
+}
+
+func TestOutOfOrderAppendRefused(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 5, 6) // empty log may start anywhere
+	if err := l.Append(8, []byte("skip")); err == nil {
+		t.Fatal("append 8 after 6 succeeded; want out-of-order error")
+	}
+	if err := l.Append(6, []byte("dup")); err == nil {
+		t.Fatal("duplicate append succeeded; want out-of-order error")
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentOps: 100, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1, 5)
+	l.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %v", segs)
+	}
+	// Tear the tail mid-record (a crash during the last append).
+	fi, _ := os.Stat(segs[0])
+	if err := os.Truncate(segs[0], fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{SegmentOps: 100, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Last() != 4 {
+		t.Fatalf("after torn tail Last = %d, want 4", l2.Last())
+	}
+	appendN(t, l2, 5, 5) // the damaged slot is rewritable
+	if got := collect(t, l2, 1, 0); got[5] != "op-5" || len(got) != 5 {
+		t.Fatalf("after repair got %v", got)
+	}
+}
+
+func TestCorruptRecordQuarantinesTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentOps: 3, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1, 9) // 3 segments
+	l.Close()
+
+	// Flip a payload bit in the middle segment.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) != 3 {
+		t.Fatalf("want 3 segments, got %v", segs)
+	}
+	mid := filepath.Join(dir, "seg-4.wal")
+	data, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(mid, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{SegmentOps: 3, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	// Valid prefix: seg 1-3 plus seg 4's two good records. Seg 7-9 is
+	// orphaned (quarantined), because 6 is gone.
+	if l2.First() != 1 || l2.Last() != 5 {
+		t.Fatalf("bounds after corruption = [%d,%d], want [1,5]", l2.First(), l2.Last())
+	}
+	bads, _ := filepath.Glob(filepath.Join(dir, "*.bad"))
+	if len(bads) != 1 {
+		t.Fatalf("want 1 quarantined segment, got %v", bads)
+	}
+}
+
+func TestTruncateBeforeCompacts(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentOps: 4, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 1, 12)
+	if err := l.TruncateBefore(9); err != nil {
+		t.Fatal(err)
+	}
+	if l.First() != 9 || l.Last() != 12 {
+		t.Fatalf("bounds after truncate = [%d,%d], want [9,12]", l.First(), l.Last())
+	}
+	if got := collect(t, l, 1, 0); len(got) != 4 {
+		t.Fatalf("after truncate got %v", got)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment after compaction, got %v", segs)
+	}
+}
+
+func TestResetAllowsNewBase(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 1, 5)
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if l.First() != 0 || l.Last() != 0 {
+		t.Fatalf("bounds after reset = [%d,%d], want empty", l.First(), l.Last())
+	}
+	appendN(t, l, 1000, 1002) // snapshot catch-up rebases the log
+	if got := collect(t, l, 1, 0); len(got) != 3 || got[1000] != "op-1000" {
+		t.Fatalf("after rebase got %v", got)
+	}
+}
+
+func TestSnapshotSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, _, err := LoadSnapshot(dir); err != ErrNoSnapshot {
+		t.Fatalf("empty dir load err = %v, want ErrNoSnapshot", err)
+	}
+	payload := bytes.Repeat([]byte("state"), 1000)
+	if err := SaveSnapshot(dir, 42, 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveSnapshot(dir, 99, 4, payload); err != nil {
+		t.Fatal(err)
+	}
+	seq, epoch, got, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 99 || epoch != 4 || !bytes.Equal(got, payload) {
+		t.Fatalf("load = (%d,%d,%d bytes)", seq, epoch, len(got))
+	}
+	// Older snapshot was reclaimed.
+	if files := snapFiles(dir); len(files) != 1 {
+		t.Fatalf("want 1 snapshot file, got %v", files)
+	}
+}
+
+func TestSnapshotCorruptionQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveSnapshot(dir, 7, 1, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	path := snapPath(dir, 7)
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0x01
+	os.WriteFile(path, data, 0o644)
+
+	if _, _, _, err := LoadSnapshot(dir); err != ErrNoSnapshot {
+		t.Fatalf("corrupt load err = %v, want ErrNoSnapshot", err)
+	}
+	bads, _ := filepath.Glob(filepath.Join(dir, "*.bad"))
+	if len(bads) != 1 {
+		t.Fatalf("want quarantined snapshot, got %v", bads)
+	}
+}

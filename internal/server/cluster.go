@@ -107,10 +107,14 @@ func renderError(w *bufio.Writer, err error) {
 	case errors.Is(err, core.ErrPartitionDown):
 		fmt.Fprintf(w, "-ERR partition-down node=-1: %s\n", msg)
 	case errors.Is(err, cluster.ErrUnavailable),
+		cluster.IsNotAuthority(err),
 		errors.Is(err, wire.ErrPeerDown),
 		errors.Is(err, flow.ErrBreakerOpen),
 		errors.Is(err, fabric.ErrClusterClosed):
-		fmt.Fprintf(w, "-ERR unavailable: %s\n", msg)
+		// retry-after carries the failover hint: the write authority moved
+		// (or died) and a short backoff beats tight-looping while the
+		// successor fences in.
+		fmt.Fprintf(w, "-ERR unavailable retry-after=%s: %s\n", cluster.RetryAfterHint, msg)
 	default:
 		fmt.Fprintf(w, "-ERR %s\n", msg)
 	}
@@ -121,11 +125,14 @@ func renderError(w *bufio.Writer, err error) {
 // formats exactly.
 
 func (s *Server) cmdStreamCluster(w *bufio.Writer, c ClusterBackend, args []string, tc trace.Context) error {
-	if len(args) < 2 {
+	// Validate the bare command; the full args (with any trailing id= token,
+	// the client's exactly-once handle) go to the cluster untouched.
+	bare := stripIDToken(args)
+	if len(bare) < 2 {
 		return fmt.Errorf("usage: STREAM <name> <interval_ms> [timingPred ...]")
 	}
-	if ms, err := strconv.ParseInt(args[1], 10, 64); err != nil || ms <= 0 {
-		return fmt.Errorf("bad interval %q", args[1])
+	if ms, err := strconv.ParseInt(bare[1], 10, 64); err != nil || ms <= 0 {
+		return fmt.Errorf("bad interval %q", bare[1])
 	}
 	reply, err := forward(c, tc, "STREAM", args, "")
 	if err != nil {
@@ -134,21 +141,21 @@ func (s *Server) cmdStreamCluster(w *bufio.Writer, c ClusterBackend, args []stri
 	// Keep the local source map warm for EMIT fallbacks and tests: the op
 	// has been applied to the local replica by the time Forward returns on
 	// the seed; on members it lands asynchronously, so tolerate absence.
-	if src, ok := s.eng.SourceOf(args[0]); ok {
+	if src, ok := s.eng.SourceOf(bare[0]); ok {
 		s.mu.Lock()
-		s.sources[args[0]] = src
+		s.sources[bare[0]] = src
 		s.mu.Unlock()
 	}
 	fmt.Fprintf(w, "+OK %s\n", reply)
 	return nil
 }
 
-func (s *Server) cmdLoadCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scanner, tc trace.Context) error {
+func (s *Server) cmdLoadCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scanner, args []string, tc trace.Context) error {
 	block, err := readBlock(r)
 	if err != nil {
 		return err
 	}
-	reply, err := forward(c, tc, "LOAD", nil, block)
+	reply, err := forward(c, tc, "LOAD", args, block)
 	if err != nil {
 		return err
 	}
@@ -161,7 +168,8 @@ func (s *Server) cmdEmitCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scan
 	if err != nil {
 		return err
 	}
-	if len(args) != 1 {
+	bare := stripIDToken(args)
+	if len(bare) != 1 {
 		return fmt.Errorf("usage: EMIT <stream>")
 	}
 	// Validate and count tuples here so the ingest-edge rate limiter keeps
@@ -197,11 +205,12 @@ func (s *Server) cmdEmitCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scan
 }
 
 func (s *Server) cmdAdvanceCluster(w *bufio.Writer, c ClusterBackend, args []string, tc trace.Context) error {
-	if len(args) != 1 {
+	bare := stripIDToken(args)
+	if len(bare) != 1 {
 		return fmt.Errorf("usage: ADVANCE <ts_ms>")
 	}
-	if _, err := strconv.ParseInt(args[0], 10, 64); err != nil {
-		return fmt.Errorf("bad timestamp %q", args[0])
+	if _, err := strconv.ParseInt(bare[0], 10, 64); err != nil {
+		return fmt.Errorf("bad timestamp %q", bare[0])
 	}
 	reply, err := forward(c, tc, "ADVANCE", args, "")
 	if err != nil {
@@ -211,12 +220,12 @@ func (s *Server) cmdAdvanceCluster(w *bufio.Writer, c ClusterBackend, args []str
 	return nil
 }
 
-func (s *Server) cmdRegisterCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scanner, tc trace.Context) error {
+func (s *Server) cmdRegisterCluster(w *bufio.Writer, c ClusterBackend, r *bufio.Scanner, args []string, tc trace.Context) error {
 	text, err := readBlock(r)
 	if err != nil {
 		return err
 	}
-	reply, err := forward(c, tc, "REGISTER", nil, text)
+	reply, err := forward(c, tc, "REGISTER", args, text)
 	if err != nil {
 		return err
 	}

@@ -175,6 +175,17 @@ func overloadError(retryAfter time.Duration, reason string) error {
 	return fmt.Errorf("overload retry-after=%s: %s", retryAfter, reason)
 }
 
+// stripIDToken drops a trailing "id=<token>" argument — the client's
+// exactly-once handle. Cluster mode threads it into the replicated dedup
+// table; a standalone daemon applies commands exactly once by construction
+// and simply ignores it, so clients can send the same bytes to both.
+func stripIDToken(args []string) []string {
+	if n := len(args); n > 0 && strings.HasPrefix(args[n-1], "id=") {
+		return args[:n-1]
+	}
+	return args
+}
+
 // mapShed translates an admission-control rejection (the stream's bounded
 // buffer, typically) into the protocol's overload error; other errors pass
 // through.
@@ -353,11 +364,11 @@ func (s *Server) handle(conn net.Conn) {
 			if cb != nil {
 				err = s.cmdStreamCluster(w, cb, fields[1:], tc)
 			} else {
-				err = s.cmdStream(w, fields[1:])
+				err = s.cmdStream(w, stripIDToken(fields[1:]))
 			}
 		case "LOAD":
 			if cb != nil {
-				err = s.cmdLoadCluster(w, cb, r, tc)
+				err = s.cmdLoadCluster(w, cb, r, fields[1:], tc)
 			} else {
 				err = s.cmdLoad(w, r)
 			}
@@ -365,13 +376,13 @@ func (s *Server) handle(conn net.Conn) {
 			if cb != nil {
 				err = s.cmdEmitCluster(w, cb, r, fields[1:], tc)
 			} else {
-				err = s.cmdEmit(w, r, fields[1:])
+				err = s.cmdEmit(w, r, stripIDToken(fields[1:]))
 			}
 		case "ADVANCE":
 			if cb != nil {
 				err = s.cmdAdvanceCluster(w, cb, fields[1:], tc)
 			} else {
-				err = s.cmdAdvance(w, fields[1:])
+				err = s.cmdAdvance(w, stripIDToken(fields[1:]))
 			}
 		case "QUERY":
 			if cb != nil {
@@ -383,7 +394,7 @@ func (s *Server) handle(conn net.Conn) {
 			err = s.cmdExplain(w, r)
 		case "REGISTER":
 			if cb != nil {
-				err = s.cmdRegisterCluster(w, cb, r, tc)
+				err = s.cmdRegisterCluster(w, cb, r, fields[1:], tc)
 			} else {
 				err = s.cmdRegister(w, r)
 			}

@@ -144,6 +144,41 @@ func (g *Sharded) Insert(t strserver.EncodedTriple, sn uint32) []KeySpan {
 	return spans
 }
 
+// InsertFloor is Insert for snapshot restore and catch-up: it performs the
+// same out-edge/in-edge/index writes but through AppendOneFloor, so replaying
+// a historical triple into a store that already advanced past sn clamps the
+// boundary instead of panicking on snapshot regression.
+func (g *Sharded) InsertFloor(t strserver.EncodedTriple, sn uint32) []KeySpan {
+	spans := make([]KeySpan, 0, 4)
+	st := g.pstat(t.P)
+	st.Edges.Add(1)
+
+	sShard := g.ShardOf(t.S)
+	outKey := EdgeKey(t.S, t.P, Out)
+	sp, newSubj := sShard.AppendOneFloor(outKey, t.O, sn)
+	spans = append(spans, KeySpan{Key: outKey, Span: sp})
+	if newSubj {
+		idx := IndexKey(t.P, Out)
+		isp, _ := sShard.AppendOneFloor(idx, t.S, sn)
+		spans = append(spans, KeySpan{Key: idx, Span: isp})
+		sShard.AppendOneFloor(PredIndexKey(t.S, Out), t.P, sn)
+		st.Subjects.Add(1)
+	}
+
+	oShard := g.ShardOf(t.O)
+	inKey := EdgeKey(t.O, t.P, In)
+	osp, newObj := oShard.AppendOneFloor(inKey, t.S, sn)
+	spans = append(spans, KeySpan{Key: inKey, Span: osp})
+	if newObj {
+		idx := IndexKey(t.P, In)
+		isp, _ := oShard.AppendOneFloor(idx, t.O, sn)
+		spans = append(spans, KeySpan{Key: idx, Span: isp})
+		oShard.AppendOneFloor(PredIndexKey(t.O, In), t.P, sn)
+		st.Objects.Add(1)
+	}
+	return spans
+}
+
 // LoadBase bulk-loads the initially stored data at the base snapshot.
 func (g *Sharded) LoadBase(triples []strserver.EncodedTriple) {
 	for _, t := range triples {

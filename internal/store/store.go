@@ -257,6 +257,53 @@ func (s *Shard) AppendOne(key Key, val rdf.ID, sn uint32) (sp Span, wasEmpty boo
 	return sp, wasEmpty
 }
 
+// AppendOneFloor is AppendOne with the snapshot number clamped up to the
+// key's newest boundary when sn would regress. Snapshot catch-up replays
+// historical triples into an engine that may already hold newer data for the
+// same key; the replayed value must land (continuous queries read the full
+// list via spans), but it may not tear the per-key snapshot monotonicity
+// invariant. Clamping is sound for catch-up because the receiving replica's
+// snapshot readers are already at or above the newest boundary.
+func (s *Shard) AppendOneFloor(key Key, val rdf.ID, sn uint32) (sp Span, wasEmpty bool) {
+	st := stripeOf(key)
+	s.mu[st].Lock()
+	defer s.mu[st].Unlock()
+	e, ok := s.kv[st][key]
+	if !ok {
+		e = &entry{}
+		s.kv[st][key] = e
+		s.stat[st].entries++
+	}
+	if n := len(e.segs); n > 0 && e.segs[n-1].sn > sn {
+		sn = e.segs[n-1].sn
+	}
+	wasEmpty = len(e.vals) == 0
+	segsBefore := len(e.segs)
+	sp = e.append([]rdf.ID{val}, sn, s.maxSnapshots)
+	s.stat[st].values++
+	s.stat[st].segBounds += int64(len(e.segs) - segsBefore)
+	return sp, wasEmpty
+}
+
+// RangeKeys calls f for every key in the shard with a copy of its full
+// value list, one stripe at a time under the stripe's read lock. Iteration
+// order is unspecified. Snapshot transfer uses this to dump the store.
+func (s *Shard) RangeKeys(f func(Key, []rdf.ID)) {
+	for st := 0; st < stripes; st++ {
+		s.mu[st].RLock()
+		keys := make([]Key, 0, len(s.kv[st]))
+		vals := make([][]rdf.ID, 0, len(s.kv[st]))
+		for k, e := range s.kv[st] {
+			keys = append(keys, k)
+			vals = append(vals, append([]rdf.ID(nil), e.vals...))
+		}
+		s.mu[st].RUnlock()
+		for i, k := range keys {
+			f(k, vals[i])
+		}
+	}
+}
+
 // HasEdge reports whether the key already has any values at all.
 func (s *Shard) HasEdge(key Key) bool {
 	st := stripeOf(key)

@@ -296,6 +296,15 @@ func (s *Source) admitLocked() error {
 // the source is unbounded; depth and watermark are tracked either way).
 func (s *Source) QueueStats() *flow.QueueStats { return s.qstats }
 
+// PendingLen reports how many admitted tuples have not yet been sealed into
+// a batch (released and reorder-held alike). Snapshot quiescence checks it:
+// a snapshot taken while tuples sit here would lose them permanently.
+func (s *Source) PendingLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.depthLocked()
+}
+
 // emitReorderedLocked accepts a possibly-late tuple into the reorder buffer
 // and releases everything at or below the watermark into pending, sorted.
 func (s *Source) emitReorderedLocked(enc strserver.EncodedTuple) error {

@@ -130,6 +130,23 @@ func (s *Server) InternPredicate(iri string) rdf.ID {
 	return id
 }
 
+// EntityKeys returns every interned entity term key in ID order (entry i is
+// ID i+1). Snapshot transfer dumps this so a restored replica re-interns
+// terms in the same order and assigns identical IDs — store keys and vertex
+// homing are ID-based, so replica-identical IDs are load-bearing.
+func (s *Server) EntityKeys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.entToo...)
+}
+
+// PredicateIRIs returns every interned predicate IRI in ID order.
+func (s *Server) PredicateIRIs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.predToo...)
+}
+
 // LookupPredicate returns the ID for a predicate IRI without assigning one.
 func (s *Server) LookupPredicate(iri string) (rdf.ID, bool) {
 	s.mu.RLock()

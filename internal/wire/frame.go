@@ -96,24 +96,47 @@ const (
 const FlagTrace = 0x01
 
 // Handshake feature bits. The Hello payload (and the HelloAck payload) is
-// either empty — a legacy peer, features 0 — or [version=1, featureBits].
-// Each side uses the AND of what it offered and what it heard.
+// one of:
+//
+//	[]                                    legacy peer: features 0, epoch 0
+//	[version=1, featureBits]              PR-7 peer: no epoch
+//	[version=2, featureBits, 8B epoch]    PR-9 peer: carries the sender's
+//	                                      authority epoch (DESIGN.md §15)
+//
+// Each side uses the AND of the feature bits it offered and heard. The
+// epoch is informational at the wire layer — fencing decisions belong to
+// the cluster layer, which observes both sides' epochs via the handshake
+// callback — but carrying it here means a zombie's staleness is visible on
+// the very first frame a healed connection exchanges.
 const (
-	FeatTrace       = 0x01 // peer understands FlagTrace context prefixes
-	helloVersion    = 1
-	helloPayloadLen = 2
+	FeatTrace         = 0x01 // peer understands FlagTrace context prefixes
+	helloVersion      = 1
+	helloVersionEpoch = 2
+	helloPayloadLen   = 2
+	helloEpochLen     = helloPayloadLen + 8
 )
 
-// encodeHello renders a feature-bearing Hello/HelloAck payload.
-func encodeHello(features byte) []byte { return []byte{helloVersion, features} }
+// encodeHello renders a feature-and-epoch-bearing Hello/HelloAck payload.
+func encodeHello(features byte, epoch uint64) []byte {
+	p := make([]byte, helloEpochLen)
+	p[0] = helloVersionEpoch
+	p[1] = features
+	binary.BigEndian.PutUint64(p[2:], epoch)
+	return p
+}
 
-// decodeHello extracts the feature bits from a Hello/HelloAck payload.
-// Empty (or unrecognized) payloads are legacy peers: no features.
-func decodeHello(payload []byte) byte {
-	if len(payload) < helloPayloadLen || payload[0] != helloVersion {
-		return 0
+// decodeHello extracts the feature bits and authority epoch from a
+// Hello/HelloAck payload. Empty (or unrecognized) payloads are legacy
+// peers: no features, epoch 0. Version-1 payloads carry no epoch.
+func decodeHello(payload []byte) (features byte, epoch uint64) {
+	switch {
+	case len(payload) >= helloEpochLen && payload[0] == helloVersionEpoch:
+		return payload[1], binary.BigEndian.Uint64(payload[2:])
+	case len(payload) >= helloPayloadLen && payload[0] == helloVersion:
+		return payload[1], 0
+	default:
+		return 0, 0
 	}
-	return payload[1]
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)

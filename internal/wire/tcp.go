@@ -114,6 +114,7 @@ type call struct {
 	done    chan struct{}
 	payload []byte
 	err     error
+	conn    *wconn // connection the request went out on; nil until written
 }
 
 // wconn wraps one socket shared by a reader goroutine and concurrent
@@ -160,6 +161,12 @@ type TCP struct {
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
+
+	// epoch is the authority epoch this transport advertises in handshakes
+	// (DESIGN.md §15); the cluster layer keeps it current via SetEpoch.
+	// epochObs, when set, observes the epoch each peer advertised back.
+	epoch    atomic.Uint64
+	epochObs atomic.Value // func(from fabric.NodeID, epoch uint64)
 
 	// accepted tracks inbound sockets so Close can kill their readers.
 	amu      sync.Mutex
@@ -278,6 +285,30 @@ func (t *TCP) SetPeer(n fabric.NodeID, addr string) {
 		}
 	}
 	p.mu.Unlock()
+}
+
+// SetEpoch updates the authority epoch advertised in every subsequent
+// Hello/HelloAck handshake (DESIGN.md §15). Existing connections are not
+// re-handshaken — op-level fencing covers them; the handshake epoch exists
+// so a healing connection reveals staleness on its very first frame.
+func (t *TCP) SetEpoch(epoch uint64) { t.epoch.Store(epoch) }
+
+// Epoch returns the currently advertised authority epoch.
+func (t *TCP) Epoch() uint64 { return t.epoch.Load() }
+
+// SetEpochObserver installs f to receive the authority epoch each peer
+// advertises during handshakes. The cluster layer uses it to notice, the
+// moment a connection heals, that a peer has fenced it out (or that the
+// peer itself is a stale zombie). f must be fast and non-blocking; it runs
+// on the dial/accept path.
+func (t *TCP) SetEpochObserver(f func(from fabric.NodeID, epoch uint64)) {
+	t.epochObs.Store(f)
+}
+
+func (t *TCP) observeEpoch(from fabric.NodeID, epoch uint64) {
+	if f, ok := t.epochObs.Load().(func(fabric.NodeID, uint64)); ok && f != nil {
+		f(from, epoch)
+	}
 }
 
 // PeerAddr returns node n's recorded address ("" if unknown).
@@ -465,7 +496,17 @@ func (t *TCP) roundTrip(to fabric.NodeID, typ byte, req []byte, timeout time.Dur
 	if typ == TypePing {
 		op = "heartbeat"
 	}
-	if err := t.writeTo(to, &Frame{Type: typ, From: t.cfg.Self, To: to, Seq: seq, Payload: req, Trace: tc}); err != nil {
+	// Resolve the connection before writing and pin it to the call, so the
+	// reader's death sweep (failConnCalls) can fail this round trip the
+	// moment the socket dies instead of letting it sit out CallTimeout.
+	w, err := t.outbound(to)
+	if err != nil {
+		return nil, err
+	}
+	t.pmu.Lock()
+	c.conn = w
+	t.pmu.Unlock()
+	if err := t.writeOn(w, to, &Frame{Type: typ, From: t.cfg.Self, To: to, Seq: seq, Payload: req, Trace: tc}); err != nil {
 		return nil, err
 	}
 	timer := time.NewTimer(timeout)
@@ -485,6 +526,12 @@ func (t *TCP) writeTo(to fabric.NodeID, f *Frame) error {
 	if err != nil {
 		return err
 	}
+	return t.writeOn(w, to, f)
+}
+
+// writeOn writes one request-direction frame on an already-resolved
+// connection, mapping hard write failures to PeerDownError.
+func (t *TCP) writeOn(w *wconn, to fabric.NodeID, f *Frame) error {
 	if err := t.writeFrame(w, f, "send"); err != nil {
 		if fabric.Transient(err) {
 			return err
@@ -588,7 +635,7 @@ func (t *TCP) dial(to fabric.NodeID, addr string) (*wconn, error) {
 	w := &wconn{c: c}
 	hello := &Frame{Type: TypeHello, From: t.cfg.Self, To: to, Seq: t.seq.Add(1)}
 	if !t.cfg.LegacyHandshake {
-		hello.Payload = encodeHello(FeatTrace)
+		hello.Payload = encodeHello(FeatTrace, t.epoch.Load())
 	}
 	c.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
 	if _, err := c.Write(Encode(hello)); err != nil {
@@ -605,7 +652,9 @@ func (t *TCP) dial(to fabric.NodeID, addr string) (*wconn, error) {
 		return nil, fmt.Errorf("handshake: %w", err)
 	}
 	if !t.cfg.LegacyHandshake {
-		w.feat = FeatTrace & decodeHello(ack.Payload)
+		feat, epoch := decodeHello(ack.Payload)
+		w.feat = FeatTrace & feat
+		t.observeEpoch(to, epoch)
 	}
 	c.SetReadDeadline(time.Time{})
 	t.wg.Add(1)
@@ -653,7 +702,9 @@ func (t *TCP) serveConn(c net.Conn) {
 	c.SetReadDeadline(time.Time{})
 	w := &wconn{c: c}
 	if !t.cfg.LegacyHandshake {
-		w.feat = FeatTrace & decodeHello(hello.Payload)
+		feat, epoch := decodeHello(hello.Payload)
+		w.feat = FeatTrace & feat
+		t.observeEpoch(hello.From, epoch)
 	}
 	t.amu.Lock()
 	if t.closed.Load() {
@@ -670,7 +721,7 @@ func (t *TCP) serveConn(c net.Conn) {
 	}()
 	ack := &Frame{Type: TypeHelloAck, From: t.cfg.Self, To: hello.From, Seq: hello.Seq}
 	if !t.cfg.LegacyHandshake {
-		ack.Payload = encodeHello(FeatTrace)
+		ack.Payload = encodeHello(FeatTrace, t.epoch.Load())
 	}
 	if err := t.writeFrame(w, ack, "helloack"); err != nil {
 		w.close()
@@ -687,6 +738,7 @@ func (t *TCP) serveConn(c net.Conn) {
 // dialer-side connections receive only response-direction frames.
 func (t *TCP) readLoop(w *wconn, from fabric.NodeID, inbound bool) {
 	defer t.wg.Done()
+	defer t.failConnCalls(w, from) // after w.close(): no new call can pin w
 	defer w.close()
 	for {
 		f, err := ReadFrame(w.c)
@@ -776,6 +828,29 @@ func (t *TCP) resolve(f *Frame) {
 		c.payload = f.Payload
 	}
 	close(c.done)
+}
+
+// failConnCalls completes every pending round trip whose request went out on
+// w: the connection is gone, so no response can ever arrive. Without this
+// sweep a call whose peer died mid-flight would sit out its entire
+// CallTimeout even though the kernel reported the loss within milliseconds —
+// a window that would otherwise dominate authority-failover time. Runs after
+// w.close(), so a racing roundTrip that grabbed w but has not yet written
+// sees the closed flag and fails on its own.
+func (t *TCP) failConnCalls(w *wconn, from fabric.NodeID) {
+	var failed []*call
+	t.pmu.Lock()
+	for seq, c := range t.pending {
+		if c.conn == w {
+			delete(t.pending, seq)
+			failed = append(failed, c)
+		}
+	}
+	t.pmu.Unlock()
+	for _, c := range failed {
+		c.err = &PeerDownError{To: from, Op: "call", Err: fmt.Errorf("connection lost mid-call")}
+		close(c.done)
+	}
 }
 
 // quarantine counts one untrustworthy frame dropped by the receive path. It

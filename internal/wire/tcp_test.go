@@ -392,3 +392,56 @@ func TestMemTransportDelivers(t *testing.T) {
 		t.Fatal("faulted send must not deliver")
 	}
 }
+
+func TestTCPHandshakeCarriesEpoch(t *testing.T) {
+	a := newTestTCP(t, 0, 2, nil, nil)
+	b := newTestTCP(t, 1, 2, nil, nil)
+	a.SetPeer(1, b.Addr())
+	b.SetPeer(0, a.Addr())
+	a.SetHandler(0, &testHandler{})
+	b.SetHandler(1, &testHandler{})
+
+	a.SetEpoch(3)
+	b.SetEpoch(5)
+	type obsd struct {
+		from  fabric.NodeID
+		epoch uint64
+	}
+	var mu sync.Mutex
+	seenByA := map[fabric.NodeID]uint64{}
+	seenByB := map[fabric.NodeID]uint64{}
+	a.SetEpochObserver(func(from fabric.NodeID, epoch uint64) {
+		mu.Lock()
+		seenByA[from] = epoch
+		mu.Unlock()
+	})
+	b.SetEpochObserver(func(from fabric.NodeID, epoch uint64) {
+		mu.Lock()
+		seenByB[from] = epoch
+		mu.Unlock()
+	})
+	_ = obsd{}
+
+	// One call dials a->b: b observes a's epoch from the Hello, a observes
+	// b's from the HelloAck.
+	if _, err := a.Call(0, 1, []byte("hi")); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	waitFor(t, "epoch observations", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return seenByB[0] == 3 && seenByA[1] == 5
+	})
+
+	// An epoch bump is visible on the next fresh handshake (new connection).
+	b.SetEpoch(9)
+	b.SetPeer(0, a.Addr()) // no-op addr change keeps conn; force re-dial b->a
+	if _, err := b.Call(1, 0, []byte("yo")); err != nil {
+		t.Fatalf("reverse call: %v", err)
+	}
+	waitFor(t, "bumped epoch observed", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return seenByA[1] == 9
+	})
+}

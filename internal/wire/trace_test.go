@@ -87,14 +87,17 @@ func TestFrameTraceRoundTrip(t *testing.T) {
 }
 
 func TestHelloFeatureBytes(t *testing.T) {
-	if got := decodeHello(nil); got != 0 {
-		t.Fatalf("legacy empty hello -> features %x", got)
+	if got, ep := decodeHello(nil); got != 0 || ep != 0 {
+		t.Fatalf("legacy empty hello -> features %x epoch %d", got, ep)
 	}
-	if got := decodeHello(encodeHello(FeatTrace)); got != FeatTrace {
-		t.Fatalf("features roundtrip: %x", got)
+	if got, ep := decodeHello(encodeHello(FeatTrace, 7)); got != FeatTrace || ep != 7 {
+		t.Fatalf("features+epoch roundtrip: %x %d", got, ep)
 	}
-	if got := decodeHello([]byte{99, FeatTrace}); got != 0 {
-		t.Fatalf("unknown version must negotiate nothing, got %x", got)
+	if got, ep := decodeHello([]byte{helloVersion, FeatTrace}); got != FeatTrace || ep != 0 {
+		t.Fatalf("v1 hello must carry features but no epoch, got %x %d", got, ep)
+	}
+	if got, ep := decodeHello([]byte{99, FeatTrace}); got != 0 || ep != 0 {
+		t.Fatalf("unknown version must negotiate nothing, got %x %d", got, ep)
 	}
 }
 
